@@ -1,0 +1,119 @@
+// Ablation for the §3.5 combine-phase engineering: "We initially employed
+// a naive quadratic-time algorithm, but we later replaced that with a
+// B-Tree-based priority queue, which reduced the running time by a
+// substantial factor."
+//
+// The two strategies produce identical pop orders (asserted in tests);
+// here we measure the speed gap on dags whose superdags have many
+// simultaneously-ready components (SDSS-shaped chain forests), plus the
+// raw B-tree against std::multiset as a sanity baseline.
+#include <benchmark/benchmark.h>
+
+#include <set>
+#include <utility>
+
+#include "core/combine.h"
+#include "core/decompose.h"
+#include "core/schedule.h"
+#include "dag/algorithms.h"
+#include "stats/rng.h"
+#include "util/btree_pq.h"
+#include "workloads/scientific.h"
+
+namespace {
+
+using namespace prio::core;
+
+struct Prepared {
+  Decomposition decomposition;
+  std::vector<ComponentSchedule> schedules;
+};
+
+Prepared prepare(std::size_t fields) {
+  const auto g = prio::workloads::makeSdss({fields, 6, 3, 20});
+  Prepared p;
+  p.decomposition = decompose(prio::dag::transitiveReduction(g));
+  p.schedules = scheduleComponents(p.decomposition);
+  return p;
+}
+
+void BM_CombineBTreeClasses(benchmark::State& state) {
+  const auto p = prepare(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(combineGreedy(
+        p.decomposition, p.schedules, CombineStrategy::kBTreeClasses));
+  }
+  state.SetLabel(std::to_string(p.decomposition.components.size()) +
+                 " components");
+}
+BENCHMARK(BM_CombineBTreeClasses)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_CombineNaiveQuadratic(benchmark::State& state) {
+  const auto p = prepare(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(combineGreedy(
+        p.decomposition, p.schedules, CombineStrategy::kNaiveQuadratic));
+  }
+  state.SetLabel(std::to_string(p.decomposition.components.size()) +
+                 " components");
+}
+BENCHMARK(BM_CombineNaiveQuadratic)->Arg(50)->Arg(150)->Arg(400);
+
+// Raw data-structure comparison: our B-tree vs std::multiset under the
+// combine phase's access pattern (insert, erase-by-pair, max).
+template <class Structure>
+void churn(Structure& s, prio::stats::Rng& rng, int ops);
+
+template <>
+void churn(prio::util::BTreePq<double, long>& s, prio::stats::Rng& rng,
+           int ops) {
+  for (int i = 0; i < ops; ++i) {
+    const double key = rng.uniform01();
+    const long value = static_cast<long>(rng.below(64));
+    s.insert(key, value);
+    if (s.size() > 32) {
+      const auto [k, v] = s.max();
+      s.erase(k, v);
+      s.erase(key, value);  // may or may not still be present
+    }
+  }
+}
+
+template <>
+void churn(std::multiset<std::pair<double, long>>& s, prio::stats::Rng& rng,
+           int ops) {
+  for (int i = 0; i < ops; ++i) {
+    const double key = rng.uniform01();
+    const long value = static_cast<long>(rng.below(64));
+    s.insert({key, value});
+    if (s.size() > 32) {
+      s.erase(std::prev(s.end()));
+      const auto it = s.find({key, value});
+      if (it != s.end()) s.erase(it);
+    }
+  }
+}
+
+void BM_BTreePqChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    prio::util::BTreePq<double, long> pq;
+    prio::stats::Rng rng(7);
+    churn(pq, rng, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(pq.size());
+  }
+}
+BENCHMARK(BM_BTreePqChurn)->Arg(10000);
+
+void BM_MultisetChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    std::multiset<std::pair<double, long>> ms;
+    prio::stats::Rng rng(7);
+    churn(ms, rng, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(ms.size());
+  }
+}
+BENCHMARK(BM_MultisetChurn)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Deterministic analogue of Figs. 6-9, via the batch-scheduling model of
+// the companion paper [15]: execute each scientific dag in synchronous
+// rounds of b jobs and count rounds to completion under PRIO, FIFO and
+// critical-path orders. No stochastic noise — the pure effect of keeping
+// eligibility high. Rounds are reported relative to the lower bound
+// max(ceil(n/b), depth).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/prio.h"
+#include "sim/baselines.h"
+#include "theory/batch.h"
+#include "workloads/scientific.h"
+
+namespace {
+
+void sweep(const char* name, const prio::dag::Digraph& g) {
+  const auto prio_order = prio::core::prioritize(g).schedule;
+  const auto cp_order = prio::sim::criticalPathSchedule(g);
+
+  std::printf("%s (%zu jobs, depth %zu):\n", name, g.numNodes(),
+              prio::dag::longestPathNodes(g));
+  std::printf("%10s %8s | %8s %8s %8s %8s | %16s\n", "batch b", "bound",
+              "PRIO", "FIFO", "CP", "GREEDY", "PRIO/FIFO rounds");
+  for (std::size_t b = 1; b <= 1u << 16; b *= 4) {
+    const auto bound = prio::theory::batchedRoundsLowerBound(g, b);
+    const auto rp = prio::theory::batchedExecute(g, prio_order, b);
+    const auto rf = prio::theory::batchedExecuteFifo(g, b);
+    const auto rc = prio::theory::batchedExecute(g, cp_order, b);
+    const auto rg = prio::theory::batchedExecuteGreedy(g, b);
+    std::printf("%10zu %8zu | %8zu %8zu %8zu %8zu | %16.3f\n", b, bound,
+                rp.rounds, rf.rounds, rc.rounds, rg.rounds,
+                static_cast<double>(rp.rounds) /
+                    static_cast<double>(rf.rounds));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace prio::workloads;
+  std::printf("=== batched-execution rounds ([15]'s model): lower is "
+              "better ===\n\n");
+  sweep("AIRSN(250)", makeAirsn({}));
+  sweep("Inspiral", makeInspiral(inspiralBenchScale()));
+  sweep("Montage", makeMontage(montageBenchScale()));
+  sweep("SDSS", prio::bench::fullScale() ? makeSdss({})
+                                         : makeSdss(sdssBenchScale()));
+  return 0;
+}

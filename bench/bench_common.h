@@ -1,0 +1,113 @@
+// Shared driver for the Figs. 6-9 parameter sweeps.
+//
+// Each figure bench runs the §4.2 campaign over the paper's grid
+//   mu_BIT in {10^-3 .. 10^3} x mu_BS in {2^0 .. 2^16}
+// and prints one row per cell with the three metric ratios (median and
+// 95% CI). Defaults are scaled down so the whole bench suite finishes in
+// minutes on one core; environment variables restore paper scale:
+//   PRIO_BENCH_P      sampling-distribution size p   (default 8)
+//   PRIO_BENCH_Q      measurements per sample q      (default 4)
+//   PRIO_BENCH_FULL   "1" = full mu_BS grid (2^0..2^16 step 2^1) and
+//                     full-size dags where the default is scaled
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/prio.h"
+#include "sim/campaign.h"
+
+namespace prio::bench {
+
+inline std::size_t envSize(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline bool fullScale() {
+  const char* v = std::getenv("PRIO_BENCH_FULL");
+  return v != nullptr && std::string(v) == "1";
+}
+
+inline sim::CampaignConfig benchCampaignConfig() {
+  sim::CampaignConfig cfg;
+  cfg.p = envSize("PRIO_BENCH_P", 8);
+  cfg.q = envSize("PRIO_BENCH_Q", 4);
+  cfg.seed = envSize("PRIO_BENCH_SEED", 20060627);  // HPDC'06 ;-)
+  return cfg;
+}
+
+inline std::vector<double> muBitGrid() {
+  return {1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3};
+}
+
+inline std::vector<double> muBsGrid() {
+  std::vector<double> grid;
+  const int step = fullScale() ? 1 : 2;  // powers of 2: all vs every other
+  for (int e = 0; e <= 16; e += step) {
+    grid.push_back(std::pow(2.0, e));
+  }
+  return grid;
+}
+
+inline void printRatioCell(const stats::RatioSummary& r) {
+  if (!r.defined) {
+    std::printf("        --            ");
+    return;
+  }
+  std::printf(" %5.3f [%5.3f,%5.3f]", r.median, r.ci_low, r.ci_high);
+}
+
+/// Runs the full sweep for one dag and prints the paper-style table.
+/// Returns the best (smallest) time-ratio median seen and the cell where
+/// it occurred.
+struct SweepSummary {
+  double best_time_median = 1e9;
+  double best_mu_bit = 0.0;
+  double best_mu_bs = 0.0;
+};
+
+inline SweepSummary runFigureSweep(const char* figure_name,
+                                   const char* dag_name,
+                                   const dag::Digraph& g) {
+  const auto prio_order = core::prioritize(g).schedule;
+  const auto cfg = benchCampaignConfig();
+
+  std::printf("=== %s: PRIO/FIFO ratios for %s (%zu jobs; p=%zu q=%zu) ===\n",
+              figure_name, dag_name, g.numNodes(), cfg.p, cfg.q);
+  std::printf("%8s %8s |  %-20s %-20s %-20s\n", "mu_BIT", "mu_BS",
+              "time ratio", "stall ratio", "util ratio");
+
+  SweepSummary summary;
+  for (const double mu_bit : muBitGrid()) {
+    for (const double mu_bs : muBsGrid()) {
+      sim::GridModel model;
+      model.mean_batch_interarrival = mu_bit;
+      model.mean_batch_size = mu_bs;
+      const auto cmp = sim::comparePrioVsFifo(g, prio_order, model, cfg);
+      std::printf("%8g %8g |", mu_bit, mu_bs);
+      printRatioCell(cmp.time_ratio);
+      printRatioCell(cmp.stall_ratio);
+      printRatioCell(cmp.util_ratio);
+      std::printf("\n");
+      if (cmp.time_ratio.defined &&
+          cmp.time_ratio.median < summary.best_time_median) {
+        summary.best_time_median = cmp.time_ratio.median;
+        summary.best_mu_bit = mu_bit;
+        summary.best_mu_bs = mu_bs;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "%s: best time-ratio median %.3f at mu_BIT=%g, mu_BS=2^%.0f\n\n",
+      dag_name, summary.best_time_median, summary.best_mu_bit,
+      std::log2(summary.best_mu_bs));
+  return summary;
+}
+
+}  // namespace prio::bench

@@ -1,0 +1,15 @@
+// Reproduces Fig. 7: PRIO/FIFO performance ratios on Inspiral.
+// Paper anchor: the advantage peaks around mu_BS = 2^9.
+#include "bench_common.h"
+#include "workloads/scientific.h"
+
+int main() {
+  const auto g =
+      prio::workloads::makeInspiral(prio::workloads::inspiralBenchScale());
+  const auto s = prio::bench::runFigureSweep("Fig. 7", "Inspiral", g);
+  std::printf("paper: gain maximized near mu_BS=2^9. measured best: "
+              "%.1f%% at (%g, 2^%.0f)\n",
+              100.0 * (1.0 - s.best_time_median), s.best_mu_bit,
+              std::log2(s.best_mu_bs));
+  return 0;
+}

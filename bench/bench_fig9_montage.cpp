@@ -1,0 +1,16 @@
+// Reproduces Fig. 9: PRIO/FIFO performance ratios on Montage.
+// Paper anchor: Montage shows the weakest gains of the four dags, with
+// the best cells around mu_BS = 2^7.
+#include "bench_common.h"
+#include "workloads/scientific.h"
+
+int main() {
+  const auto g =
+      prio::workloads::makeMontage(prio::workloads::montageBenchScale());
+  const auto s = prio::bench::runFigureSweep("Fig. 9", "Montage", g);
+  std::printf("paper: weakest gains of the four dags, peak near "
+              "mu_BS=2^7. measured best: %.1f%% at (%g, 2^%.0f)\n",
+              100.0 * (1.0 - s.best_time_median), s.best_mu_bit,
+              std::log2(s.best_mu_bs));
+  return 0;
+}

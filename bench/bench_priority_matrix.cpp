@@ -1,0 +1,77 @@
+// The pairwise ⊵_r priority matrix of the Fig. 2 building-block
+// families — the table the Combine phase consults. Entry (row, col) is
+// priority(row over col): 1.000 means executing the row block first
+// never loses eligible jobs against the column block; anything below 1
+// is the worst-case fraction retained. The N/Clique pair shows the
+// mutual incomparability that motivates the graded relation.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "theory/blocks.h"
+#include "theory/eligibility.h"
+#include "theory/priority.h"
+
+namespace {
+
+using prio::dag::Digraph;
+using Profile = std::vector<std::size_t>;
+
+Profile blockProfile(const Digraph& g) {
+  const auto rec = prio::theory::recognizeBlock(g);
+  std::size_t nonsinks = 0;
+  for (prio::dag::NodeId u = 0; u < g.numNodes(); ++u) {
+    if (!g.isSink(u)) ++nonsinks;
+  }
+  return prio::theory::eligibilityProfile(
+      g,
+      std::span<const prio::dag::NodeId>(rec.schedule).first(nonsinks));
+}
+
+}  // namespace
+
+int main() {
+  using namespace prio::theory;
+  struct Entry {
+    std::string name;
+    Profile profile;
+  };
+  std::vector<Entry> blocks;
+  blocks.push_back({"W(1,2)", blockProfile(makeW(1, 2))});
+  blocks.push_back({"W(1,5)", blockProfile(makeW(1, 5))});
+  blocks.push_back({"W(2,2)", blockProfile(makeW(2, 2))});
+  blocks.push_back({"W(3,3)", blockProfile(makeW(3, 3))});
+  blocks.push_back({"M(1,5)", blockProfile(makeM(1, 5))});
+  blocks.push_back({"M(2,5)", blockProfile(makeM(2, 5))});
+  blocks.push_back({"N(2)", blockProfile(makeN(2))});
+  blocks.push_back({"N(4)", blockProfile(makeN(4))});
+  blocks.push_back({"Cycle(2)", blockProfile(makeCycleDag(2))});
+  blocks.push_back({"Cycle(4)", blockProfile(makeCycleDag(4))});
+  blocks.push_back({"Clique(3)", blockProfile(makeCliqueDag(3))});
+  blocks.push_back({"Clique(5)", blockProfile(makeCliqueDag(5))});
+  blocks.push_back({"K(3,3)", blockProfile(makeCompleteBipartite(3, 3))});
+
+  std::printf("=== pairwise priority(row over col) for Fig. 2 families "
+              "===\n%10s", "");
+  for (const auto& b : blocks) std::printf(" %9s", b.name.c_str());
+  std::printf("\n");
+  std::size_t full = 0, partial = 0;
+  for (const auto& row : blocks) {
+    std::printf("%10s", row.name.c_str());
+    for (const auto& col : blocks) {
+      const double r = pairPriority(row.profile, col.profile);
+      if (r == 1.0) {
+        ++full;
+      } else {
+        ++partial;
+      }
+      std::printf(" %9.3f", r);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%zu of %zu ordered pairs hold exactly (r = 1); the rest "
+              "are the graded cases the heuristic's greedy selection "
+              "navigates.\n",
+              full, full + partial);
+  return 0;
+}

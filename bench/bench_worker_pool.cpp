@@ -1,0 +1,73 @@
+// Extension bench: does prioritization matter on a dedicated cluster?
+// List-scheduling on W persistent workers (no lost requests), sweeping
+// the pool size on the four workloads: mean makespan of PRIO and
+// critical-path orders relative to FIFO, plus FIFO pool efficiency.
+//
+// Expectation: with persistent workers, any work-conserving order is
+// near-optimal while the pool is the bottleneck (small W) or while the
+// dag is wide (large W never starves); ordering matters most in the
+// transition region — the cluster analogue of the mid-range μ_BS effect.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/prio.h"
+#include "sim/baselines.h"
+#include "sim/workers.h"
+#include "workloads/scientific.h"
+
+namespace {
+
+double meanMakespan(const prio::dag::Digraph& g, prio::sim::Regimen regimen,
+                    const std::vector<prio::dag::NodeId>& order,
+                    std::size_t workers, std::size_t reps,
+                    std::uint64_t seed, double* efficiency = nullptr) {
+  prio::sim::GridModel model;
+  prio::stats::Rng rng(seed);
+  double total = 0.0, eff = 0.0;
+  for (std::size_t i = 0; i < reps; ++i) {
+    prio::stats::Rng r = rng.fork();
+    const auto m =
+        prio::sim::simulateWorkerPool(g, regimen, order, workers, model, r);
+    total += m.makespan;
+    eff += m.pool_efficiency;
+  }
+  if (efficiency != nullptr) eff /= static_cast<double>(reps);
+  if (efficiency != nullptr) *efficiency = eff;
+  return total / static_cast<double>(reps);
+}
+
+void sweep(const char* name, const prio::dag::Digraph& g,
+           std::size_t reps) {
+  const auto prio_order = prio::core::prioritize(g).schedule;
+  const auto cp_order = prio::sim::criticalPathSchedule(g);
+  std::printf("%s (%zu jobs):\n", name, g.numNodes());
+  std::printf("%8s | %10s %10s %10s | %10s\n", "workers", "FIFO",
+              "PRIO/FIFO", "CP/FIFO", "FIFO eff");
+  for (const std::size_t w : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+    double eff = 0.0;
+    const double fifo = meanMakespan(g, prio::sim::Regimen::kFifo, {}, w,
+                                     reps, 100 + w, &eff);
+    const double prio_time = meanMakespan(
+        g, prio::sim::Regimen::kOblivious, prio_order, w, reps, 200 + w);
+    const double cp = meanMakespan(g, prio::sim::Regimen::kOblivious,
+                                   cp_order, w, reps, 300 + w);
+    std::printf("%8zu | %10.2f %10.3f %10.3f | %10.3f\n", w, fifo,
+                prio_time / fifo, cp / fifo, eff);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace prio::workloads;
+  const std::size_t reps = prio::bench::envSize("PRIO_BENCH_Q", 4) * 2;
+  std::printf("=== fixed worker-pool (list scheduling) extension, %zu reps "
+              "===\n\n",
+              reps);
+  sweep("AIRSN(250)", makeAirsn({}), reps);
+  sweep("Inspiral", makeInspiral(inspiralBenchScale()), reps);
+  sweep("SDSS (scaled)", makeSdss(sdssBenchScale()), reps);
+  return 0;
+}

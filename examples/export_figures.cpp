@@ -1,0 +1,104 @@
+// export_figures — write the data series behind every reproduced figure
+// as CSV files, ready for plotting (gnuplot/matplotlib):
+//   fig4_<dag>.csv          t, E_prio, E_fifo, diff, diff_normalized
+//   fig<6..9>_<dag>.csv     mu_bit, mu_bs, metric, median, ci_low, ci_high
+//
+// Usage: export_figures [directory] [p] [q]   (default ./figures, 8, 4)
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/prio.h"
+#include "sim/campaign.h"
+#include "theory/eligibility.h"
+#include "workloads/scientific.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void exportFig4(const fs::path& dir, const char* name,
+                const prio::dag::Digraph& g) {
+  const auto prio_order = prio::core::prioritize(g).schedule;
+  const auto ep = prio::theory::eligibilityProfile(g, prio_order);
+  const auto ef =
+      prio::theory::eligibilityProfile(g, prio::core::fifoSchedule(g));
+  const fs::path path = dir / (std::string("fig4_") + name + ".csv");
+  std::ofstream out(path);
+  out << "t,e_prio,e_fifo,diff,diff_normalized\n";
+  const auto n = static_cast<double>(g.numNodes());
+  for (std::size_t t = 0; t < ep.size(); ++t) {
+    const auto diff =
+        static_cast<long long>(ep[t]) - static_cast<long long>(ef[t]);
+    out << t << ',' << ep[t] << ',' << ef[t] << ',' << diff << ','
+        << static_cast<double>(diff) / n << '\n';
+  }
+  std::printf("  wrote %s (%zu rows)\n", path.string().c_str(), ep.size());
+}
+
+void writeMetric(std::ofstream& out, double mu_bit, double mu_bs,
+                 const char* metric, const prio::stats::RatioSummary& r) {
+  out << mu_bit << ',' << mu_bs << ',' << metric << ',';
+  if (r.defined) {
+    out << r.median << ',' << r.ci_low << ',' << r.ci_high << '\n';
+  } else {
+    out << ",,\n";
+  }
+}
+
+void exportGrid(const fs::path& dir, const char* figure, const char* name,
+                const prio::dag::Digraph& g,
+                const prio::sim::CampaignConfig& cfg) {
+  const auto prio_order = prio::core::prioritize(g).schedule;
+  const fs::path path =
+      dir / (std::string(figure) + "_" + name + ".csv");
+  std::ofstream out(path);
+  out << "mu_bit,mu_bs,metric,median,ci_low,ci_high\n";
+  std::size_t rows = 0;
+  for (const double mu_bit : {1e-3, 1e-2, 1e-1, 1.0, 1e1, 1e2, 1e3}) {
+    for (int e = 0; e <= 16; e += 2) {
+      prio::sim::GridModel model;
+      model.mean_batch_interarrival = mu_bit;
+      model.mean_batch_size = static_cast<double>(1u << e);
+      const auto cmp =
+          prio::sim::comparePrioVsFifo(g, prio_order, model, cfg);
+      writeMetric(out, mu_bit, model.mean_batch_size, "time",
+                  cmp.time_ratio);
+      writeMetric(out, mu_bit, model.mean_batch_size, "stall",
+                  cmp.stall_ratio);
+      writeMetric(out, mu_bit, model.mean_batch_size, "util",
+                  cmp.util_ratio);
+      rows += 3;
+    }
+  }
+  std::printf("  wrote %s (%zu rows)\n", path.string().c_str(), rows);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prio::workloads;
+
+  const fs::path dir = argc >= 2 ? argv[1] : "figures";
+  fs::create_directories(dir);
+  prio::sim::CampaignConfig cfg;
+  cfg.p = argc >= 3 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  cfg.q = argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 4;
+
+  std::printf("Fig. 4 eligibility series:\n");
+  exportFig4(dir, "airsn", makeAirsn({}));
+  exportFig4(dir, "inspiral", makeInspiral({}));
+  exportFig4(dir, "montage", makeMontage({}));
+  exportFig4(dir, "sdss", makeSdss(sdssBenchScale()));
+
+  std::printf("Figs. 6-9 ratio grids (p=%zu, q=%zu):\n", cfg.p, cfg.q);
+  exportGrid(dir, "fig6", "airsn", makeAirsn({}), cfg);
+  exportGrid(dir, "fig7", "inspiral", makeInspiral(inspiralBenchScale()),
+             cfg);
+  exportGrid(dir, "fig8", "sdss", makeSdss(sdssBenchScale()), cfg);
+  exportGrid(dir, "fig9", "montage", makeMontage(montageBenchScale()), cfg);
+  return 0;
+}

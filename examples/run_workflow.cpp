@@ -1,0 +1,97 @@
+// run_workflow — execute a real (in-process) workflow with the DAGMan-
+// style executor, end to end:
+//   1. generate an AIRSN instance and write it as a DAGMan file,
+//   2. instrument it with the prio tool,
+//   3. execute it on a worker pool, PRIO-prioritized vs FIFO,
+//   4. inject a failure, produce a rescue DAG, and resume from it.
+//
+// Usage: run_workflow [width] [workers]   (defaults: 25, 4)
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "core/prio.h"
+#include "dagman/executor.h"
+#include "dagman/instrument.h"
+#include "workloads/scientific.h"
+
+namespace {
+
+prio::dagman::DagmanFile toDagman(const prio::dag::Digraph& g) {
+  prio::dagman::DagmanFile file;
+  for (prio::dag::NodeId u = 0; u < g.numNodes(); ++u) {
+    file.addJob(g.name(u), "job.submit");
+  }
+  for (prio::dag::NodeId u = 0; u < g.numNodes(); ++u) {
+    for (prio::dag::NodeId v : g.children(u)) {
+      file.addDependency(g.name(u), g.name(v));
+    }
+  }
+  return file;
+}
+
+double readyArea(const std::vector<std::size_t>& history) {
+  double sum = 0.0;
+  for (const auto r : history) sum += static_cast<double>(r);
+  return history.empty() ? 0.0 : sum / static_cast<double>(history.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prio;
+
+  workloads::AirsnParams params;
+  params.width = argc >= 2 ? std::strtoul(argv[1], nullptr, 10) : 25;
+  const std::size_t workers =
+      argc >= 3 ? std::strtoul(argv[2], nullptr, 10) : 4;
+
+  const auto g = workloads::makeAirsn(params);
+  auto file = toDagman(g);
+  const auto result = dagman::prioritizeDagmanFile(file);
+  std::printf("AIRSN(%zu): %zu jobs instrumented; executing on %zu "
+              "workers\n\n",
+              params.width, g.numNodes(), workers);
+
+  // Each "job" burns a short, fixed amount of wall time.
+  const auto busy_job = [](const std::string&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return true;
+  };
+
+  const auto prio_report = dagman::executeDagmanFile(
+      file, busy_job, {.max_workers = workers});
+  const auto fifo_report = dagman::executeDagmanFile(
+      file, busy_job, {.max_workers = workers, .use_priorities = false});
+
+  std::printf("PRIO: %zu jobs in %.3fs, mean ready-set %.1f\n",
+              prio_report.executed, prio_report.wall_seconds,
+              readyArea(prio_report.ready_history));
+  std::printf("FIFO: %zu jobs in %.3fs, mean ready-set %.1f\n",
+              fifo_report.executed, fifo_report.wall_seconds,
+              readyArea(fifo_report.ready_history));
+  std::printf("(a larger mean ready-set means more work was available "
+              "whenever a worker freed up)\n\n");
+  (void)result;
+
+  // Failure + rescue: the first reslice join fails once; the rescue DAG
+  // resumes without re-running finished jobs.
+  const auto flaky = [](const std::string& name) {
+    return name != "reslice_join";
+  };
+  const auto broken = dagman::executeDagmanFile(
+      file, flaky, {.max_workers = workers});
+  std::printf("injected failure at 'reslice_join': %zu done, %zu failed, "
+              "%zu skipped\n",
+              broken.executed, broken.failed, broken.skipped);
+
+  const auto rescue = dagman::makeRescueDag(file, broken);
+  const auto resumed = dagman::executeDagmanFile(
+      rescue, busy_job, {.max_workers = workers});
+  std::printf("rescue DAG resumed: %zu jobs re-run (of %zu total), "
+              "success=%s\n",
+              resumed.executed, g.numNodes(),
+              resumed.success ? "yes" : "no");
+  return 0;
+}

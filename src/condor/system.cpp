@@ -1,0 +1,174 @@
+#include "condor/system.h"
+
+#include <algorithm>
+#include <limits>
+#include <deque>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "util/check.h"
+
+namespace prio::condor {
+
+namespace {
+
+using dag::NodeId;
+
+// The schedd's idle-job queue: Condor serves the highest priority
+// attribute first, breaking ties by queue date (earlier first). Queue
+// dates are modeled by a monotonically increasing sequence number.
+struct QueuedJob {
+  std::size_t priority;
+  std::uint64_t qdate;
+  NodeId job;
+  bool operator<(const QueuedJob& o) const {
+    if (priority != o.priority) return priority > o.priority;
+    return qdate < o.qdate;
+  }
+};
+
+}  // namespace
+
+CondorRunResult runCondorSystem(const dag::Digraph& g,
+                                std::span<const std::size_t> priorities,
+                                const CondorOptions& options,
+                                stats::Rng& rng) {
+  const std::size_t n = g.numNodes();
+  PRIO_CHECK_MSG(options.slots >= 1, "need at least one slot");
+  PRIO_CHECK_MSG(options.negotiation_period > 0.0,
+                 "negotiation period must be positive");
+  PRIO_CHECK_MSG(priorities.empty() || priorities.size() == n,
+                 "priorities must be empty or one per job");
+
+  CondorRunResult out;
+  if (n == 0) return out;
+
+  stats::JobRuntime runtime(options.job_runtime_mean,
+                            options.job_runtime_stddev);
+
+  const auto priorityOf = [&](NodeId u) -> std::size_t {
+    if (!options.use_priorities || priorities.empty()) return 0;
+    return priorities[u];
+  };
+
+  // --- DAGMan process state ---
+  // The DAGMan queue holds eligible jobs not yet forwarded. Stock DAGMan
+  // forwards in eligibility order; with prioritize_dagman_queue set (the
+  // paper's proposed Condor modification) it forwards by jobpriority.
+  std::vector<std::size_t> pending(n);
+  std::uint64_t eligible_counter = 0;
+  std::set<QueuedJob> dagman_queue;
+  const auto enqueueEligible = [&](NodeId u) {
+    const std::size_t key =
+        options.prioritize_dagman_queue ? priorityOf(u) : 0;
+    dagman_queue.insert({key, eligible_counter++, u});
+  };
+  for (NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) enqueueEligible(u);
+  }
+
+  // --- schedd state ---
+  std::set<QueuedJob> idle_jobs;
+  std::uint64_t qdate_counter = 0;
+  std::size_t resident = 0;  // idle + running jobs at the schedd
+
+  const auto forward = [&] {
+    while (!dagman_queue.empty() &&
+           (options.max_forwarded == 0 ||
+            resident < options.max_forwarded)) {
+      const NodeId u = dagman_queue.begin()->job;
+      dagman_queue.erase(dagman_queue.begin());
+      idle_jobs.insert({priorityOf(u), qdate_counter++, u});
+      ++resident;
+    }
+    out.peak_staging_bytes =
+        std::max(out.peak_staging_bytes,
+                 resident * options.staging_bytes_per_job);
+  };
+
+  // --- pool state ---
+  // Background jobs use the sentinel id n in the completion heap.
+  const NodeId kBackground = static_cast<NodeId>(n);
+  using Completion = std::pair<double, NodeId>;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      running;
+  std::size_t executed = 0, matched = 0;
+  std::size_t running_dag = 0, running_bg = 0, bg_idle = 0;
+  double busy_time = 0.0;
+  double next_negotiation = 0.0;
+  const double kNever = std::numeric_limits<double>::infinity();
+  const bool has_background = options.background_job_rate > 0.0;
+  stats::Exponential bg_interarrival(
+      has_background ? 1.0 / options.background_job_rate : 1.0);
+  double next_bg_arrival =
+      has_background ? bg_interarrival.sample(rng) : kNever;
+
+  forward();
+  while (executed < n) {
+    const double t_completion =
+        running.empty() ? kNever : running.top().first;
+    const double t_negotiation = matched < n ? next_negotiation : kNever;
+    const double t_background = matched < n ? next_bg_arrival : kNever;
+
+    if (t_completion <= t_negotiation && t_completion <= t_background) {
+      const auto [t, u] = running.top();
+      running.pop();
+      if (u == kBackground) {
+        --running_bg;
+        continue;  // a competing computation finished; nothing else
+      }
+      --running_dag;
+      ++executed;
+      --resident;  // the sandbox is cleaned up on completion
+      out.makespan = std::max(out.makespan, t);
+      for (NodeId v : g.children(u)) {
+        if (--pending[v] == 0) enqueueEligible(v);
+      }
+      forward();
+    } else if (t_background < t_negotiation) {
+      ++bg_idle;
+      next_bg_arrival = t_background + bg_interarrival.sample(rng);
+    } else {
+      const double t = t_negotiation;
+      ++out.negotiation_cycles;
+      if (idle_jobs.empty() && running.size() < options.slots) {
+        ++out.starved_cycles;
+      }
+      // Fair-share matching: while slots are free, give the next match
+      // to the user with fewer running jobs (ties favor the dag user).
+      while (running.size() < options.slots &&
+             (!idle_jobs.empty() || bg_idle > 0)) {
+        const bool pick_background =
+            bg_idle > 0 &&
+            (idle_jobs.empty() || running_bg < running_dag);
+        const double d = runtime.sample(rng);
+        busy_time += d;
+        if (pick_background) {
+          --bg_idle;
+          ++running_bg;
+          ++out.background_jobs_run;
+          running.push({t + d, kBackground});
+        } else {
+          const QueuedJob q = *idle_jobs.begin();
+          idle_jobs.erase(idle_jobs.begin());
+          ++running_dag;
+          running.push({t + d, q.job});
+          ++matched;
+        }
+      }
+      next_negotiation = t + options.negotiation_period;
+    }
+  }
+
+  out.slot_utilization =
+      out.makespan > 0.0
+          ? busy_time /
+                (static_cast<double>(options.slots) * out.makespan)
+          : 0.0;
+  return out;
+}
+
+}  // namespace prio::condor

@@ -1,0 +1,206 @@
+#include "core/combine.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "theory/priority.h"
+#include "util/btree_pq.h"
+#include "util/check.h"
+
+namespace prio::core {
+
+namespace {
+
+constexpr double kPerfectEps = 1e-12;
+
+// Lazily computed, memoized priority(class a over class b) matrix.
+class PairPriorityCache {
+ public:
+  PairPriorityCache(const std::vector<std::vector<std::size_t>>& profiles)
+      : profiles_(profiles),
+        n_(profiles.size()),
+        value_(n_ * n_, 0.0),
+        ready_(n_ * n_, 0) {}
+
+  double get(std::size_t a, std::size_t b) {
+    const std::size_t idx = a * n_ + b;
+    if (!ready_[idx]) {
+      value_[idx] = theory::pairPriority(profiles_[a], profiles_[b]);
+      ready_[idx] = 1;
+    }
+    return value_[idx];
+  }
+
+ private:
+  const std::vector<std::vector<std::size_t>>& profiles_;
+  std::size_t n_;
+  std::vector<double> value_;
+  std::vector<char> ready_;
+};
+
+// Shared driver state: superdag in-degrees and ready bookkeeping.
+struct Driver {
+  Driver(const Decomposition& d, CombineResult& result)
+      : decomposition(d), out(result) {
+    const std::size_t k = d.components.size();
+    indeg.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      indeg[i] = d.superdag.inDegree(static_cast<dag::NodeId>(i));
+    }
+  }
+
+  // Pops component i; returns newly ready component indices.
+  std::vector<std::size_t> pop(std::size_t i, double p) {
+    out.pop_order.push_back(i);
+    if (p < 1.0 - kPerfectEps) out.all_pops_perfect = false;
+    std::vector<std::size_t> unlocked;
+    for (dag::NodeId child :
+         decomposition.superdag.children(static_cast<dag::NodeId>(i))) {
+      if (--indeg[child] == 0) unlocked.push_back(child);
+    }
+    return unlocked;
+  }
+
+  const Decomposition& decomposition;
+  CombineResult& out;
+  std::vector<std::size_t> indeg;
+};
+
+void runNaive(Driver& driver, const std::vector<std::size_t>& cls,
+              PairPriorityCache& cache) {
+  std::set<std::size_t> ready;
+  for (std::size_t i = 0; i < driver.indeg.size(); ++i) {
+    if (driver.indeg[i] == 0) ready.insert(i);
+  }
+  while (!ready.empty()) {
+    // Quadratic selection: p_i = min over other ready sources j of
+    // priority(C_i over C_j); pick max p_i (ties: smallest class id,
+    // then smallest component index).
+    std::size_t best = 0;
+    double best_p = -1.0;
+    for (std::size_t i : ready) {
+      double p = 1.0;
+      for (std::size_t j : ready) {
+        if (j == i) continue;
+        p = std::min(p, cache.get(cls[i], cls[j]));
+      }
+      const bool better =
+          p > best_p ||
+          (p == best_p && (cls[i] < cls[best] ||
+                           (cls[i] == cls[best] && i < best)));
+      if (better) {
+        best_p = p;
+        best = i;
+      }
+    }
+    ready.erase(best);
+    for (std::size_t u : driver.pop(best, best_p)) ready.insert(u);
+  }
+}
+
+void runBTree(Driver& driver, const std::vector<std::size_t>& cls,
+              PairPriorityCache& cache, std::size_t num_classes) {
+  // Ready components grouped by profile class; the B-tree priority queue
+  // holds one (key, -class) entry per present class, keyed by that class's
+  // p value. popMax then yields the highest p, ties to the smallest class.
+  std::vector<std::set<std::size_t>> members(num_classes);
+  std::vector<std::size_t> count(num_classes, 0);
+  std::vector<double> stored_key(num_classes,
+                                 std::numeric_limits<double>::quiet_NaN());
+  util::BTreePq<double, std::int64_t> pq;
+  std::size_t total_ready = 0;
+  bool dirty = true;
+
+  auto addReady = [&](std::size_t i) {
+    members[cls[i]].insert(i);
+    ++count[cls[i]];
+    ++total_ready;
+    dirty = true;
+  };
+  for (std::size_t i = 0; i < driver.indeg.size(); ++i) {
+    if (driver.indeg[i] == 0) addReady(i);
+  }
+
+  auto classKey = [&](std::size_t c) {
+    double p = 1.0;
+    for (std::size_t d = 0; d < num_classes; ++d) {
+      if (count[d] == 0) continue;
+      if (d == c && count[c] < 2) continue;
+      p = std::min(p, cache.get(c, d));
+    }
+    return p;
+  };
+
+  while (total_ready > 0) {
+    if (dirty) {
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const bool present = count[c] > 0;
+        const double key = present ? classKey(c) : 0.0;
+        const bool stored = !std::isnan(stored_key[c]);
+        if (stored && (!present || key != stored_key[c])) {
+          PRIO_CHECK(pq.erase(stored_key[c], -static_cast<std::int64_t>(c)));
+          stored_key[c] = std::numeric_limits<double>::quiet_NaN();
+        }
+        if (present && std::isnan(stored_key[c])) {
+          pq.insert(key, -static_cast<std::int64_t>(c));
+          stored_key[c] = key;
+        }
+      }
+      dirty = false;
+    }
+    const auto [p, neg_class] = pq.max();
+    const auto c = static_cast<std::size_t>(-neg_class);
+    const std::size_t i = *members[c].begin();
+    members[c].erase(members[c].begin());
+    --count[c];
+    --total_ready;
+    dirty = true;  // presence/multiplicity changed
+    if (count[c] == 0) {
+      PRIO_CHECK(pq.erase(stored_key[c], neg_class));
+      stored_key[c] = std::numeric_limits<double>::quiet_NaN();
+    }
+    for (std::size_t u : driver.pop(i, p)) addReady(u);
+  }
+}
+
+}  // namespace
+
+CombineResult combineGreedy(const Decomposition& decomposition,
+                            const std::vector<ComponentSchedule>& schedules,
+                            CombineStrategy strategy) {
+  const std::size_t k = decomposition.components.size();
+  PRIO_CHECK(schedules.size() == k);
+
+  CombineResult out;
+  out.pop_order.reserve(k);
+  out.profile_class.resize(k);
+
+  // Group identical eligibility profiles into classes; all pairwise
+  // priorities are functions of the profile pair only.
+  std::map<std::vector<std::size_t>, std::size_t> class_of;
+  for (std::size_t i = 0; i < k; ++i) {
+    auto [it, inserted] =
+        class_of.try_emplace(schedules[i].profile, class_of.size());
+    out.profile_class[i] = it->second;
+    if (inserted) out.class_profiles.push_back(schedules[i].profile);
+  }
+
+  PairPriorityCache cache(out.class_profiles);
+  Driver driver(decomposition, out);
+  switch (strategy) {
+    case CombineStrategy::kNaiveQuadratic:
+      runNaive(driver, out.profile_class, cache);
+      break;
+    case CombineStrategy::kBTreeClasses:
+      runBTree(driver, out.profile_class, cache, out.class_profiles.size());
+      break;
+  }
+  PRIO_CHECK_MSG(out.pop_order.size() == k,
+                 "combine did not pop every component");
+  return out;
+}
+
+}  // namespace prio::core

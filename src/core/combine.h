@@ -1,0 +1,49 @@
+// The Combine phase (§3.1 step 6): greedily pop superdag sources, always
+// choosing a source C_i maximizing p_i = min over the other current
+// sources C_j of priority(C_i over C_j).
+//
+// Two interchangeable strategies are provided:
+//   kNaiveQuadratic — recompute the min for every current source at every
+//     step (the paper's first implementation);
+//   kBTreeClasses   — group sources into eligibility-profile classes,
+//     memoize pairwise priorities per class pair, and keep the class keys
+//     in a B-tree priority queue (the paper's §3.5 engineering).
+// Both use the same deterministic tie-breaking (highest p, then smallest
+// profile class id, then smallest component index) and therefore produce
+// identical pop orders — asserted in tests and compared for speed in
+// bench_ablation_pq.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/decompose.h"
+#include "core/schedule.h"
+
+namespace prio::core {
+
+enum class CombineStrategy {
+  kBTreeClasses,
+  kNaiveQuadratic,
+};
+
+struct CombineResult {
+  /// Component indices in execution order (a topological order of the
+  /// superdag).
+  std::vector<std::size_t> pop_order;
+  /// True when every pop had p_i == 1, i.e. no greedy choice could lose
+  /// eligible jobs relative to any other ordering of the ready sources.
+  bool all_pops_perfect = true;
+  /// Profile-class index assigned to each component (classes group
+  /// components with identical eligibility profiles).
+  std::vector<std::size_t> profile_class;
+  /// One representative profile per class.
+  std::vector<std::vector<std::size_t>> class_profiles;
+};
+
+[[nodiscard]] CombineResult combineGreedy(
+    const Decomposition& decomposition,
+    const std::vector<ComponentSchedule>& schedules,
+    CombineStrategy strategy = CombineStrategy::kBTreeClasses);
+
+}  // namespace prio::core

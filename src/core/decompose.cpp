@@ -1,0 +1,281 @@
+#include "core/decompose.h"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "dag/algorithms.h"
+#include "util/check.h"
+
+namespace prio::core {
+
+namespace {
+
+using dag::Digraph;
+using dag::NodeId;
+
+// Mutable remnant of G' during decomposition. A node is removed when it is
+// scheduled by a component (it has a child inside the component) or when
+// it is a sink of G' detached with its component. Children of a live node
+// are always live (parents are removed no later than their children's
+// other ancestors), so out-degrees never change; only live in-degrees do.
+//
+// The remnant records two event streams the caller drains after each
+// detach: nodes that were removed, and nodes that newly became sources —
+// both are the triggers for retrying parked fast-path seeds (see below).
+class Remnant {
+ public:
+  explicit Remnant(const Digraph& g) : g_(g), alive_(g.numNodes(), 1) {
+    live_in_.reserve(g.numNodes());
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+      live_in_.push_back(g.inDegree(u));
+      if (live_in_[u] == 0) sources_.insert(u);
+    }
+    alive_count_ = g.numNodes();
+  }
+
+  [[nodiscard]] bool alive(NodeId u) const { return alive_[u] != 0; }
+  [[nodiscard]] bool isSource(NodeId u) const {
+    return alive_[u] && live_in_[u] == 0;
+  }
+  [[nodiscard]] std::size_t aliveCount() const { return alive_count_; }
+  [[nodiscard]] const std::set<NodeId>& sources() const { return sources_; }
+  [[nodiscard]] std::size_t liveIn(NodeId u) const { return live_in_[u]; }
+
+  void remove(NodeId u) {
+    PRIO_CHECK(alive_[u]);
+    alive_[u] = 0;
+    sources_.erase(u);
+    --alive_count_;
+    removed_events_.push_back(u);
+    for (NodeId v : g_.children(u)) {
+      if (!alive_[v]) continue;
+      if (--live_in_[v] == 0) {
+        sources_.insert(v);
+        new_source_events_.push_back(v);
+      }
+    }
+  }
+
+  std::vector<NodeId> takeRemovedEvents() {
+    return std::exchange(removed_events_, {});
+  }
+  std::vector<NodeId> takeNewSourceEvents() {
+    return std::exchange(new_source_events_, {});
+  }
+
+ private:
+  const Digraph& g_;
+  std::vector<char> alive_;
+  std::vector<std::size_t> live_in_;
+  std::set<NodeId> sources_;
+  std::vector<NodeId> removed_events_;
+  std::vector<NodeId> new_source_events_;
+  std::size_t alive_count_ = 0;
+};
+
+// Outcome of one fast-path attempt: either the component's members, or
+// the first live non-source parent that ruled the region out.
+struct BipartiteAttempt {
+  std::optional<std::vector<NodeId>> members;
+  NodeId blocker = 0;
+};
+
+// §3.5 fast path: grow the maximal connected bipartite subdag seeded at
+// source `s` whose source side consists only of remnant sources. Fails as
+// soon as a candidate sink has a live non-source parent; that parent is
+// reported as the blocker — the seed cannot succeed until the blocker is
+// removed or becomes a source, so the caller parks the seed under it
+// instead of retrying every round (this replaces a per-round rescan of
+// all sources and is what keeps SDSS-scale decomposition fast).
+BipartiteAttempt tryBipartiteComponent(const Digraph& g,
+                                       const Remnant& remnant, NodeId s) {
+  std::unordered_set<NodeId> source_side{s};
+  std::unordered_set<NodeId> sink_side;
+  std::vector<NodeId> queue{s};
+  while (!queue.empty()) {
+    const NodeId src = queue.back();
+    queue.pop_back();
+    for (NodeId c : g.children(src)) {
+      if (sink_side.count(c) != 0) continue;
+      bool blocked = false;
+      NodeId blocker = 0;
+      std::size_t blocker_live_in = 0;
+      for (NodeId p : g.parents(c)) {
+        if (!remnant.alive(p)) continue;
+        if (remnant.liveIn(p) != 0) {
+          // Among this sink's blocking parents, park under the one likely
+          // to clear last (most live ancestors, then highest id) — this
+          // keeps retries per seed near one even at SDSS's 3401-parent
+          // coadd join, instead of re-parking once per cleared parent.
+          if (!blocked || remnant.liveIn(p) > blocker_live_in ||
+              (remnant.liveIn(p) == blocker_live_in && p > blocker)) {
+            blocker = p;
+            blocker_live_in = remnant.liveIn(p);
+          }
+          blocked = true;
+          continue;
+        }
+        if (!blocked && source_side.insert(p).second) queue.push_back(p);
+      }
+      if (blocked) return BipartiteAttempt{std::nullopt, blocker};
+      sink_side.insert(c);
+    }
+  }
+  std::vector<NodeId> members(source_side.begin(), source_side.end());
+  members.insert(members.end(), sink_side.begin(), sink_side.end());
+  std::sort(members.begin(), members.end());
+  return BipartiteAttempt{std::move(members), 0};
+}
+
+// The general C(s) of §3.1 step 2: the smallest subgraph containing s that
+// contains every child of each member source and every parent of each
+// member. Computed as a fixpoint with two worklists.
+std::vector<NodeId> generalClosure(const Digraph& g, const Remnant& remnant,
+                                   NodeId s) {
+  std::unordered_set<NodeId> members{s};
+  std::vector<NodeId> source_work{s};   // members that are remnant sources
+  std::vector<NodeId> parent_work{s};   // members whose parents to add
+  auto addMember = [&](NodeId u) {
+    if (!members.insert(u).second) return;
+    parent_work.push_back(u);
+    if (remnant.liveIn(u) == 0) source_work.push_back(u);
+  };
+  while (!source_work.empty() || !parent_work.empty()) {
+    if (!source_work.empty()) {
+      const NodeId src = source_work.back();
+      source_work.pop_back();
+      for (NodeId c : g.children(src)) addMember(c);
+      continue;
+    }
+    const NodeId t = parent_work.back();
+    parent_work.pop_back();
+    for (NodeId p : g.parents(t)) {
+      if (remnant.alive(p)) addMember(p);
+    }
+  }
+  std::vector<NodeId> out(members.begin(), members.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Decomposition decompose(const dag::Digraph& g,
+                        const DecomposeOptions& options) {
+  PRIO_CHECK_MSG(dag::isAcyclic(g), "decompose requires a dag");
+
+  Decomposition out;
+  out.owner.assign(g.numNodes(), kGlobalSinkOwner);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (g.isSink(u)) out.global_sinks.push_back(u);
+  }
+
+  Remnant remnant(g);
+
+  // Fast-path seed management: candidate seeds in discovery order, plus
+  // seeds parked under the blocker that must change before a retry can
+  // succeed.
+  std::deque<NodeId> seed_queue;
+  std::unordered_map<NodeId, std::vector<NodeId>> parked;
+  for (NodeId s : remnant.sources()) seed_queue.push_back(s);
+  (void)remnant.takeNewSourceEvents();  // initial sources already queued
+
+  const auto drainEvents = [&] {
+    for (NodeId s : remnant.takeNewSourceEvents()) {
+      seed_queue.push_back(s);
+      if (const auto it = parked.find(s); it != parked.end()) {
+        for (NodeId waiting : it->second) seed_queue.push_back(waiting);
+        parked.erase(it);
+      }
+    }
+    for (NodeId r : remnant.takeRemovedEvents()) {
+      if (const auto it = parked.find(r); it != parked.end()) {
+        for (NodeId waiting : it->second) seed_queue.push_back(waiting);
+        parked.erase(it);
+      }
+    }
+  };
+
+  while (remnant.aliveCount() > 0) {
+    PRIO_CHECK_MSG(!remnant.sources().empty(),
+                   "remnant has live nodes but no sources (cycle?)");
+
+    std::vector<NodeId> members;
+    if (options.bipartite_fast_path) {
+      while (!seed_queue.empty()) {
+        const NodeId s = seed_queue.front();
+        seed_queue.pop_front();
+        if (!remnant.alive(s)) continue;  // stale entry
+        auto attempt = tryBipartiteComponent(g, remnant, s);
+        if (attempt.members) {
+          members = std::move(*attempt.members);
+          break;
+        }
+        parked[attempt.blocker].push_back(s);
+      }
+    }
+    if (members.empty()) {
+      // No bipartite component: run the general search over every source
+      // and keep a containment-minimal (smallest) closure.
+      ++out.general_searches;
+      for (NodeId s : remnant.sources()) {
+        auto closure = generalClosure(g, remnant, s);
+        if (members.empty() || closure.size() < members.size()) {
+          members = std::move(closure);
+        }
+      }
+      PRIO_CHECK(!members.empty());
+    }
+
+    // Build the component and detach it.
+    Component comp;
+    comp.nodes = members;
+    comp.graph = g.inducedSubgraph(comp.nodes);
+    comp.bipartite = dag::isBipartiteDag(comp.graph);
+    if (comp.bipartite) ++out.bipartite_components;
+    const auto comp_index = static_cast<std::uint32_t>(out.components.size());
+
+    for (std::size_t local = 0; local < comp.nodes.size(); ++local) {
+      const NodeId u = comp.nodes[local];
+      if (comp.graph.outDegree(static_cast<NodeId>(local)) > 0) {
+        // Non-sink of the component: scheduled here, removed from remnant.
+        ++comp.num_nonsinks;
+        out.owner[u] = comp_index;
+        remnant.remove(u);
+      } else if (g.isSink(u)) {
+        // Sink of the component that is a sink of G': detached, scheduled
+        // in the global tail (owner stays kGlobalSinkOwner).
+        remnant.remove(u);
+      }
+      // Other component sinks stay live and become sources of later
+      // components.
+    }
+    out.components.push_back(std::move(comp));
+    drainEvents();
+  }
+
+  // Superdag: arc owner(u) -> owner(v) for every arc (u, v) of G' whose
+  // endpoints are scheduled by different components.
+  out.superdag.reserveNodes(out.components.size());
+  for (std::size_t i = 0; i < out.components.size(); ++i) {
+    out.superdag.addNode("C" + std::to_string(i));
+  }
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (out.owner[u] == kGlobalSinkOwner) continue;
+    for (NodeId v : g.children(u)) {
+      if (out.owner[v] == kGlobalSinkOwner) continue;
+      if (out.owner[u] != out.owner[v]) {
+        out.superdag.addEdge(out.owner[u], out.owner[v]);
+      }
+    }
+  }
+  PRIO_CHECK_MSG(dag::isAcyclic(out.superdag), "superdag must be acyclic");
+  return out;
+}
+
+}  // namespace prio::core

@@ -1,0 +1,128 @@
+#include "core/prio.h"
+
+#include <deque>
+
+#include "theory/priority.h"
+#include "util/check.h"
+#include "util/timing.h"
+
+namespace prio::core {
+
+namespace {
+
+// The theoretical algorithm's success conditions (§2.2 steps 4–5), which
+// certify IC-optimality of the assembled schedule.
+bool certifyICOptimal(const PrioResult& r) {
+  for (const ComponentSchedule& cs : r.component_schedules) {
+    if (!cs.recognition.ic_optimal) return false;
+  }
+  if (!r.combine.all_pops_perfect) return false;
+  // Step 4: all component classes pairwise comparable under ⊵.
+  if (!theory::linearlyPrioritizable(r.combine.class_profiles)) return false;
+  // Step 5: the superdag respects ⊵ along its arcs.
+  const dag::Digraph& sd = r.decomposition.superdag;
+  for (dag::NodeId i = 0; i < sd.numNodes(); ++i) {
+    for (dag::NodeId j : sd.children(i)) {
+      if (!theory::hasPriorityOver(
+              r.combine.class_profiles[r.combine.profile_class[i]],
+              r.combine.class_profiles[r.combine.profile_class[j]])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PrioResult prioritize(const dag::Digraph& g, const PrioOptions& options) {
+  util::Stopwatch total;
+  PrioResult out;
+
+  // Step 1: shortcut removal.
+  util::Stopwatch phase;
+  const dag::Digraph reduced =
+      transitiveReduction(g, options.reduction_method);
+  out.shortcuts_removed = g.numEdges() - reduced.numEdges();
+  out.timings.reduce_s = phase.elapsedSeconds();
+
+  // Step 2: decomposition.
+  phase.reset();
+  DecomposeOptions dopt;
+  dopt.bipartite_fast_path = options.bipartite_fast_path;
+  out.decomposition = decompose(reduced, dopt);
+  out.timings.decompose_s = phase.elapsedSeconds();
+
+  // Step 3: per-component schedules.
+  phase.reset();
+  ScheduleOptions sopt;
+  sopt.greedy_bipartite_fallback = options.greedy_bipartite_fallback;
+  out.component_schedules = scheduleComponents(out.decomposition, sopt);
+  out.timings.recurse_s = phase.elapsedSeconds();
+
+  // Steps 4–6: greedy combine over the superdag.
+  phase.reset();
+  out.combine = combineGreedy(out.decomposition, out.component_schedules,
+                              options.combine_strategy);
+  out.timings.combine_s = phase.elapsedSeconds();
+
+  // Assemble the global schedule: each popped component contributes its
+  // non-sinks in its own order; all sinks of G run at the end.
+  out.schedule.reserve(g.numNodes());
+  for (std::size_t ci : out.combine.pop_order) {
+    const Component& comp = out.decomposition.components[ci];
+    const auto& local_order = out.component_schedules[ci].recognition.schedule;
+    for (std::size_t i = 0; i < comp.num_nonsinks; ++i) {
+      out.schedule.push_back(comp.nodes[local_order[i]]);
+    }
+  }
+  for (dag::NodeId sink : out.decomposition.global_sinks) {
+    out.schedule.push_back(sink);
+  }
+  PRIO_CHECK_MSG(out.schedule.size() == g.numNodes(),
+                 "assembled schedule misses jobs");
+  if (options.verify_schedule) {
+    PRIO_CHECK_MSG(dag::isTopologicalOrder(g, out.schedule),
+                   "assembled schedule violates precedence");
+  }
+
+  // Fig. 3 priority semantics: first job gets the highest value.
+  const std::size_t n = g.numNodes();
+  out.priority.assign(n, 0);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    out.priority[out.schedule[pos]] = n - pos;
+  }
+
+  out.certified_ic_optimal = certifyICOptimal(out);
+  out.timings.total_s = total.elapsedSeconds();
+  return out;
+}
+
+std::vector<dag::NodeId> prioSchedule(const dag::Digraph& g,
+                                      const PrioOptions& options) {
+  return prioritize(g, options).schedule;
+}
+
+std::vector<dag::NodeId> fifoSchedule(const dag::Digraph& g) {
+  const std::size_t n = g.numNodes();
+  std::vector<std::size_t> pending(n);
+  std::deque<dag::NodeId> queue;
+  for (dag::NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) queue.push_back(u);
+  }
+  std::vector<dag::NodeId> order;
+  order.reserve(n);
+  while (!queue.empty()) {
+    const dag::NodeId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (dag::NodeId v : g.children(u)) {
+      if (--pending[v] == 0) queue.push_back(v);
+    }
+  }
+  PRIO_CHECK_MSG(order.size() == n, "fifoSchedule requires a dag");
+  return order;
+}
+
+}  // namespace prio::core

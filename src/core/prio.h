@@ -1,0 +1,89 @@
+// Public entry point of the library: the prio scheduling heuristic.
+//
+// prioritize() runs the full pipeline of §3.1 on any dag:
+//   1. remove shortcut arcs (transitive reduction),
+//   2. decompose into components (bipartite fast path + general C(s)),
+//   3. schedule each component (explicit IC-optimal family schedules or
+//      the outdegree fallback),
+//   4. combine greedily over the superdag by ⊵_r priorities,
+//   5. emit the global PRIO schedule (all non-sinks in combine order, all
+//      sinks of G last) and per-job priority values with Fig. 3 semantics
+//      (priority n for the first job, 1 for the last).
+//
+// The result also carries a certificate: when every component has a known
+// IC-optimal schedule, the components are linearly prioritizable under ⊵,
+// and the superdag respects ⊵ along its arcs (§2.2 steps 4–5), the
+// produced schedule is IC-optimal and certified_ic_optimal is set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/combine.h"
+#include "core/decompose.h"
+#include "core/schedule.h"
+#include "dag/algorithms.h"
+#include "dag/digraph.h"
+
+namespace prio::core {
+
+struct PrioOptions {
+  /// Reachability backend for shortcut removal.
+  dag::ReductionMethod reduction_method = dag::ReductionMethod::kBitset;
+  /// §3.5 decomposition fast path.
+  bool bipartite_fast_path = true;
+  /// Combine-phase selection structure (§3.5 engineering vs naive).
+  CombineStrategy combine_strategy = CombineStrategy::kBTreeClasses;
+  /// Extension: marginal-gain greedy fallback for unrecognized bipartite
+  /// components (off = paper's outdegree order).
+  bool greedy_bipartite_fallback = false;
+  /// Validate the final schedule against the input dag (cheap; on by
+  /// default).
+  bool verify_schedule = true;
+};
+
+/// Wall-clock seconds spent in each phase.
+struct PhaseTimings {
+  double reduce_s = 0.0;
+  double decompose_s = 0.0;
+  double recurse_s = 0.0;
+  double combine_s = 0.0;
+  double total_s = 0.0;
+};
+
+struct PrioResult {
+  /// The PRIO schedule: every job of the input dag in execution order.
+  std::vector<dag::NodeId> schedule;
+  /// Per job: priority value (numNodes() for the first scheduled job down
+  /// to 1 for the last), as written into DAGMan files.
+  std::vector<std::size_t> priority;
+  /// The decomposition of the shortcut-free dag.
+  Decomposition decomposition;
+  /// Per-component schedules and eligibility profiles.
+  std::vector<ComponentSchedule> component_schedules;
+  /// Combine-phase outcome (pop order, profile classes, perfect-pop flag).
+  CombineResult combine;
+  /// True when the theoretical algorithm's success conditions held, which
+  /// certifies the schedule IC-optimal.
+  bool certified_ic_optimal = false;
+  /// Arcs removed by step 1.
+  std::size_t shortcuts_removed = 0;
+  PhaseTimings timings;
+};
+
+/// Runs the prio heuristic on any dag. Throws util::Error when g has a
+/// directed cycle.
+[[nodiscard]] PrioResult prioritize(const dag::Digraph& g,
+                                    const PrioOptions& options = {});
+
+/// Convenience: just the schedule.
+[[nodiscard]] std::vector<dag::NodeId> prioSchedule(
+    const dag::Digraph& g, const PrioOptions& options = {});
+
+/// The FIFO baseline order used throughout the paper's evaluation: jobs in
+/// the order they become eligible, where simultaneously eligible jobs are
+/// taken in id (input file) order. This is the static order DAGMan's FIFO
+/// regimen induces when every job runs for the same duration.
+[[nodiscard]] std::vector<dag::NodeId> fifoSchedule(const dag::Digraph& g);
+
+}  // namespace prio::core

@@ -1,0 +1,81 @@
+#include "core/report.h"
+
+#include <sstream>
+
+#include "dag/dot.h"
+#include "util/check.h"
+
+namespace prio::core {
+
+std::map<std::string, std::size_t> componentCensus(const PrioResult& result) {
+  std::map<std::string, std::size_t> census;
+  for (const ComponentSchedule& cs : result.component_schedules) {
+    ++census[cs.recognition.describe()];
+  }
+  return census;
+}
+
+std::string describeResult(const dag::Digraph& g, const PrioResult& result) {
+  std::ostringstream os;
+  os << "prio result: " << g.numNodes() << " jobs, " << g.numEdges()
+     << " dependencies\n";
+  os << "  shortcut arcs removed : " << result.shortcuts_removed << '\n';
+  os << "  components            : "
+     << result.decomposition.components.size() << " ("
+     << result.decomposition.bipartite_components << " bipartite, "
+     << result.decomposition.general_searches
+     << " general searches)\n";
+  os << "  component census      :";
+  std::size_t shown = 0;
+  for (const auto& [kind, count] : componentCensus(result)) {
+    if (++shown > 12) {
+      os << " ...";
+      break;
+    }
+    os << ' ' << kind << "×" << count;
+  }
+  os << '\n';
+  os << "  global sinks          : " << result.decomposition.global_sinks.size()
+     << " (scheduled last)\n";
+  os << "  certified IC-optimal  : "
+     << (result.certified_ic_optimal ? "yes" : "no") << '\n';
+  os << "  phase timings (s)     : reduce " << result.timings.reduce_s
+     << ", decompose " << result.timings.decompose_s << ", recurse "
+     << result.timings.recurse_s << ", combine " << result.timings.combine_s
+     << ", total " << result.timings.total_s << '\n';
+  return os.str();
+}
+
+std::string superdagDot(const PrioResult& result) {
+  const dag::Digraph& sd = result.decomposition.superdag;
+  // Pop position per component.
+  std::vector<std::size_t> pop_pos(sd.numNodes(), 0);
+  for (std::size_t i = 0; i < result.combine.pop_order.size(); ++i) {
+    pop_pos[result.combine.pop_order[i]] = i + 1;
+  }
+  std::ostringstream os;
+  os << "digraph superdag {\n  rankdir=BT;\n  node [shape=box];\n";
+  for (dag::NodeId i = 0; i < sd.numNodes(); ++i) {
+    const auto& comp = result.decomposition.components[i];
+    const auto& rec = result.component_schedules[i].recognition;
+    os << "  c" << i << " [label=\"" << rec.describe() << "\\n"
+       << comp.nodes.size() << " jobs, pop #" << pop_pos[i] << "\"];\n";
+  }
+  for (dag::NodeId i = 0; i < sd.numNodes(); ++i) {
+    for (dag::NodeId j : sd.children(i)) {
+      os << "  c" << i << " -> c" << j << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string prioritizedDot(const dag::Digraph& g, const PrioResult& result) {
+  PRIO_CHECK(result.priority.size() == g.numNodes());
+  dag::DotOptions options;
+  options.graph_name = "prioritized";
+  options.priorities = result.priority;
+  return dag::toDot(g, options);
+}
+
+}  // namespace prio::core

@@ -1,0 +1,32 @@
+// Human-readable and graphical reporting for prioritize() results:
+// decomposition census, per-phase timings, superdag and priority DOT
+// renderings. Used by prio_tool --report and the figure benches.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "core/prio.h"
+#include "dag/digraph.h"
+
+namespace prio::core {
+
+/// Census of component families, e.g. {"W(1,1)": 20, "M(1,250)": 2, ...}.
+[[nodiscard]] std::map<std::string, std::size_t> componentCensus(
+    const PrioResult& result);
+
+/// Multi-line human-readable report: sizes, census, timings, certificate.
+[[nodiscard]] std::string describeResult(const dag::Digraph& g,
+                                         const PrioResult& result);
+
+/// DOT rendering of the superdag: one node per component, labeled with
+/// its family, size and pop position.
+[[nodiscard]] std::string superdagDot(const PrioResult& result);
+
+/// DOT rendering of the input dag with each job's PRIO priority in its
+/// label (the Fig. 5 style).
+[[nodiscard]] std::string prioritizedDot(const dag::Digraph& g,
+                                         const PrioResult& result);
+
+}  // namespace prio::core

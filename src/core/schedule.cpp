@@ -1,0 +1,46 @@
+#include "core/schedule.h"
+
+#include <span>
+
+#include "dag/algorithms.h"
+#include "theory/eligibility.h"
+#include "util/check.h"
+
+namespace prio::core {
+
+ComponentSchedule scheduleComponent(const Component& component,
+                                    const ScheduleOptions& options) {
+  ComponentSchedule out;
+  out.recognition = theory::recognizeBlock(component.graph);
+  if (options.greedy_bipartite_fallback &&
+      out.recognition.kind == theory::BlockKind::kBipartiteGeneric) {
+    out.recognition.schedule =
+        theory::greedyBipartiteSchedule(component.graph);
+  }
+  PRIO_CHECK(out.recognition.schedule.size() == component.nodes.size());
+  // The schedule's first num_nonsinks entries must be exactly the
+  // component's non-sinks (every recognizer and fallback guarantees
+  // non-sinks-before-sinks); the profile is evaluated over that prefix.
+  for (std::size_t i = 0; i < component.num_nonsinks; ++i) {
+    PRIO_CHECK_MSG(
+        component.graph.outDegree(out.recognition.schedule[i]) > 0,
+        "component schedule must execute all non-sinks before sinks");
+  }
+  out.profile = theory::eligibilityProfile(
+      component.graph,
+      std::span<const dag::NodeId>(out.recognition.schedule)
+          .first(component.num_nonsinks));
+  return out;
+}
+
+std::vector<ComponentSchedule> scheduleComponents(
+    const Decomposition& decomposition, const ScheduleOptions& options) {
+  std::vector<ComponentSchedule> out;
+  out.reserve(decomposition.components.size());
+  for (const Component& c : decomposition.components) {
+    out.push_back(scheduleComponent(c, options));
+  }
+  return out;
+}
+
+}  // namespace prio::core

@@ -1,0 +1,40 @@
+// The Recurse phase (§3.1 step 3): produce a schedule and an eligibility
+// profile for every decomposition component — the explicit IC-optimal
+// schedule when the component is a recognized Fig. 2 family, otherwise the
+// precedence-respecting order-by-outdegree heuristic.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/decompose.h"
+#include "theory/blocks.h"
+
+namespace prio::core {
+
+struct ScheduleOptions {
+  /// Extension (off by default, not in the paper): use the marginal-gain
+  /// greedy schedule for unrecognized bipartite components instead of the
+  /// outdegree order. Compared in bench_ablation_fallback.
+  bool greedy_bipartite_fallback = false;
+};
+
+/// A scheduled component.
+struct ComponentSchedule {
+  /// Family classification plus the full local-id schedule (non-sinks
+  /// first, then sinks).
+  theory::BlockRecognition recognition;
+  /// Eligibility profile E(x) of the component for x = 0..num_nonsinks
+  /// (the quantity the priority relation consumes).
+  std::vector<std::size_t> profile;
+};
+
+/// Schedules one component.
+[[nodiscard]] ComponentSchedule scheduleComponent(
+    const Component& component, const ScheduleOptions& options = {});
+
+/// Schedules every component of a decomposition, in order.
+[[nodiscard]] std::vector<ComponentSchedule> scheduleComponents(
+    const Decomposition& decomposition, const ScheduleOptions& options = {});
+
+}  // namespace prio::core

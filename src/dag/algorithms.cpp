@@ -1,0 +1,230 @@
+#include "dag/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace prio::dag {
+
+std::optional<std::vector<NodeId>> topologicalOrder(const Digraph& g) {
+  const std::size_t n = g.numNodes();
+  std::vector<std::size_t> pending(n);
+  // Min-heap over ready node ids for a deterministic order.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) ready.push(u);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (NodeId v : g.children(u)) {
+      if (--pending[v] == 0) ready.push(v);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool isAcyclic(const Digraph& g) { return topologicalOrder(g).has_value(); }
+
+bool isTopologicalOrder(const Digraph& g, std::span<const NodeId> order) {
+  const std::size_t n = g.numNodes();
+  if (order.size() != n) return false;
+  std::vector<std::size_t> position(n, n);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= n || position[order[i]] != n) return false;
+    position[order[i]] = i;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.children(u)) {
+      if (position[u] >= position[v]) return false;
+    }
+  }
+  return true;
+}
+
+util::BitMatrix descendantMatrix(const Digraph& g) {
+  const std::size_t n = g.numNodes();
+  util::BitMatrix reach(n, n);
+  auto order = topologicalOrder(g);
+  PRIO_CHECK_MSG(order.has_value(), "descendantMatrix requires a dag");
+  // Process in reverse topological order so children's rows are complete.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId u = *it;
+    for (NodeId v : g.children(u)) {
+      reach.set(u, v);
+      reach.orRowInto(u, v);
+    }
+  }
+  return reach;
+}
+
+namespace {
+
+// True iff v is reachable from any node of `starts` (paths of length >= 0).
+bool reachableFromAny(const Digraph& g, std::span<const NodeId> starts,
+                      NodeId target, std::vector<char>& visited,
+                      std::vector<NodeId>& stack) {
+  stack.assign(starts.begin(), starts.end());
+  std::fill(visited.begin(), visited.end(), 0);
+  for (NodeId s : starts) visited[s] = 1;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (u == target) return true;
+    for (NodeId w : g.children(u)) {
+      if (!visited[w]) {
+        visited[w] = 1;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+Digraph reduceWithBitset(const Digraph& g) {
+  const util::BitMatrix reach = descendantMatrix(g);
+  Digraph out;
+  out.reserveNodes(g.numNodes());
+  for (NodeId u = 0; u < g.numNodes(); ++u) out.addNode(g.name(u));
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v : g.children(u)) {
+      bool shortcut = false;
+      for (NodeId w : g.children(u)) {
+        if (w != v && reach.test(w, v)) {
+          shortcut = true;
+          break;
+        }
+      }
+      if (!shortcut) out.addEdge(u, v);
+    }
+  }
+  return out;
+}
+
+Digraph reduceWithDfs(const Digraph& g) {
+  Digraph out;
+  out.reserveNodes(g.numNodes());
+  for (NodeId u = 0; u < g.numNodes(); ++u) out.addNode(g.name(u));
+  std::vector<char> visited(g.numNodes(), 0);
+  std::vector<NodeId> stack;
+  std::vector<NodeId> other_children;
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v : g.children(u)) {
+      other_children.clear();
+      for (NodeId w : g.children(u)) {
+        if (w != v) other_children.push_back(w);
+      }
+      if (!reachableFromAny(g, other_children, v, visited, stack)) {
+        out.addEdge(u, v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Digraph transitiveReduction(const Digraph& g, ReductionMethod method) {
+  PRIO_CHECK_MSG(isAcyclic(g), "transitiveReduction requires a dag");
+  switch (method) {
+    case ReductionMethod::kBitset:
+      return reduceWithBitset(g);
+    case ReductionMethod::kEdgeDfs:
+      return reduceWithDfs(g);
+  }
+  PRIO_CHECK(false);
+  return Digraph{};
+}
+
+ComponentLabels weaklyConnectedComponents(const Digraph& g) {
+  const std::size_t n = g.numNodes();
+  ComponentLabels out;
+  out.label.assign(n, static_cast<std::size_t>(-1));
+  std::vector<NodeId> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (out.label[start] != static_cast<std::size_t>(-1)) continue;
+    const std::size_t comp = out.count++;
+    stack.assign(1, start);
+    out.label[start] = comp;
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      auto visit = [&](NodeId w) {
+        if (out.label[w] == static_cast<std::size_t>(-1)) {
+          out.label[w] = comp;
+          stack.push_back(w);
+        }
+      };
+      for (NodeId w : g.children(u)) visit(w);
+      for (NodeId w : g.parents(u)) visit(w);
+    }
+  }
+  return out;
+}
+
+namespace {
+std::vector<NodeId> bfsFrontier(const Digraph& g, NodeId u, bool forward) {
+  std::vector<char> visited(g.numNodes(), 0);
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{u};
+  visited[u] = 1;
+  while (!stack.empty()) {
+    const NodeId x = stack.back();
+    stack.pop_back();
+    const auto next = forward ? g.children(x) : g.parents(x);
+    for (NodeId w : next) {
+      if (!visited[w]) {
+        visited[w] = 1;
+        out.push_back(w);
+        stack.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<NodeId> descendants(const Digraph& g, NodeId u) {
+  return bfsFrontier(g, u, /*forward=*/true);
+}
+
+std::vector<NodeId> ancestors(const Digraph& g, NodeId u) {
+  return bfsFrontier(g, u, /*forward=*/false);
+}
+
+std::size_t longestPathNodes(const Digraph& g) {
+  if (g.numNodes() == 0) return 0;
+  const auto ranks = upwardRank(g);
+  return *std::max_element(ranks.begin(), ranks.end());
+}
+
+std::vector<std::size_t> upwardRank(const Digraph& g) {
+  auto order = topologicalOrder(g);
+  PRIO_CHECK_MSG(order.has_value(), "upwardRank requires a dag");
+  std::vector<std::size_t> rank(g.numNodes(), 1);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    const NodeId u = *it;
+    std::size_t best = 0;
+    for (NodeId v : g.children(u)) best = std::max(best, rank[v]);
+    rank[u] = best + 1;
+  }
+  return rank;
+}
+
+bool isBipartiteDag(const Digraph& g) {
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    if (g.inDegree(u) > 0 && g.outDegree(u) > 0) return false;
+  }
+  return true;
+}
+
+bool isConnected(const Digraph& g) {
+  if (g.numNodes() == 0) return false;
+  return weaklyConnectedComponents(g).count == 1;
+}
+
+}  // namespace prio::dag

@@ -1,0 +1,75 @@
+// Graph algorithms used across the scheduling pipeline: topological
+// sorting, reachability, weakly connected components, longest paths, and
+// the shortcut-arc removal of §3.1 step 1 (transitive reduction, after
+// Aho–Garey–Ullman and Hsu).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dag/digraph.h"
+#include "util/bitmatrix.h"
+
+namespace prio::dag {
+
+/// Kahn topological order, or nullopt when the graph has a cycle. Ties are
+/// broken by smallest node id, so the order is deterministic.
+[[nodiscard]] std::optional<std::vector<NodeId>> topologicalOrder(
+    const Digraph& g);
+
+/// True iff the graph has no directed cycle.
+[[nodiscard]] bool isAcyclic(const Digraph& g);
+
+/// True iff `order` is a permutation of all nodes consistent with every arc.
+[[nodiscard]] bool isTopologicalOrder(const Digraph& g,
+                                      std::span<const NodeId> order);
+
+/// Dense descendant matrix: row u has bit v set iff v is reachable from u
+/// by a path of length >= 1. Memory is numNodes()^2 / 8 bytes.
+[[nodiscard]] util::BitMatrix descendantMatrix(const Digraph& g);
+
+/// How transitiveReduction computes reachability.
+enum class ReductionMethod {
+  kBitset,   ///< word-parallel descendant matrix; O(V*E/64) time, O(V^2/8) memory
+  kEdgeDfs,  ///< per-edge DFS; O(E*(V+E)) time, O(V) memory (small graphs)
+};
+
+/// Removes every shortcut arc (u -> v) such that v is reachable from u
+/// without that arc (§3.1 step 1). Nodes and names are preserved.
+/// Precondition: g is acyclic (a dag's transitive reduction is unique).
+[[nodiscard]] Digraph transitiveReduction(
+    const Digraph& g, ReductionMethod method = ReductionMethod::kBitset);
+
+/// Weakly connected components (arc orientation ignored). Returns the
+/// component index of each node; indices are dense starting at 0.
+struct ComponentLabels {
+  std::vector<std::size_t> label;  ///< per node
+  std::size_t count = 0;
+};
+[[nodiscard]] ComponentLabels weaklyConnectedComponents(const Digraph& g);
+
+/// All proper descendants of u (BFS order).
+[[nodiscard]] std::vector<NodeId> descendants(const Digraph& g, NodeId u);
+/// All proper ancestors of u (BFS order).
+[[nodiscard]] std::vector<NodeId> ancestors(const Digraph& g, NodeId u);
+
+/// Number of nodes on a longest directed path (the critical path when all
+/// jobs take unit time). Precondition: g is acyclic. 0 for an empty graph.
+[[nodiscard]] std::size_t longestPathNodes(const Digraph& g);
+
+/// Upward rank with unit job costs: rank(u) = 1 + max over children of
+/// rank(child), rank(sink) = 1. Drives the critical-path baseline
+/// scheduler (a static HEFT-style priority). Precondition: g is acyclic.
+[[nodiscard]] std::vector<std::size_t> upwardRank(const Digraph& g);
+
+/// True iff the graph is a bipartite dag in the paper's sense: every node
+/// is a source or a sink (all arcs lead from the source side to the sink
+/// side).
+[[nodiscard]] bool isBipartiteDag(const Digraph& g);
+
+/// True iff the graph is weakly connected (and non-empty).
+[[nodiscard]] bool isConnected(const Digraph& g);
+
+}  // namespace prio::dag

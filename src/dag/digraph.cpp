@@ -1,0 +1,97 @@
+#include "dag/digraph.h"
+
+#include <utility>
+
+namespace prio::dag {
+
+NodeId Digraph::addNode() {
+  return addNode("n" + std::to_string(numNodes()));
+}
+
+NodeId Digraph::addNode(std::string name) {
+  PRIO_CHECK_MSG(!name.empty(), "node name must be non-empty");
+  PRIO_CHECK_MSG(name_index_.find(name) == name_index_.end(),
+                 "duplicate node name: " << name);
+  const auto id = static_cast<NodeId>(numNodes());
+  name_index_.emplace(name, id);
+  names_.push_back(std::move(name));
+  children_.emplace_back();
+  parents_.emplace_back();
+  return id;
+}
+
+bool Digraph::addEdge(NodeId u, NodeId v) {
+  PRIO_CHECK(u < numNodes() && v < numNodes());
+  PRIO_CHECK_MSG(u != v, "self-loop on node " << names_[u]);
+  if (!edge_set_.insert(edgeKey(u, v)).second) return false;
+  children_[u].push_back(v);
+  parents_[v].push_back(u);
+  ++num_edges_;
+  return true;
+}
+
+bool Digraph::hasEdge(NodeId u, NodeId v) const {
+  PRIO_CHECK(u < numNodes() && v < numNodes());
+  return edge_set_.find(edgeKey(u, v)) != edge_set_.end();
+}
+
+std::vector<NodeId> Digraph::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < numNodes(); ++u) {
+    if (isSource(u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::vector<NodeId> Digraph::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < numNodes(); ++u) {
+    if (isSink(u)) out.push_back(u);
+  }
+  return out;
+}
+
+std::optional<NodeId> Digraph::findNode(std::string_view name) const {
+  auto it = name_index_.find(std::string(name));
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph r;
+  r.reserveNodes(numNodes());
+  for (NodeId u = 0; u < numNodes(); ++u) r.addNode(names_[u]);
+  for (NodeId u = 0; u < numNodes(); ++u) {
+    for (NodeId v : children_[u]) r.addEdge(v, u);
+  }
+  return r;
+}
+
+Digraph Digraph::inducedSubgraph(std::span<const NodeId> keep) const {
+  Digraph sub;
+  sub.reserveNodes(keep.size());
+  std::unordered_map<NodeId, NodeId> remap;
+  remap.reserve(keep.size());
+  for (NodeId u : keep) {
+    PRIO_CHECK(u < numNodes());
+    PRIO_CHECK_MSG(remap.find(u) == remap.end(),
+                   "duplicate node in inducedSubgraph: " << names_[u]);
+    remap.emplace(u, sub.addNode(names_[u]));
+  }
+  for (NodeId u : keep) {
+    for (NodeId v : children_[u]) {
+      auto it = remap.find(v);
+      if (it != remap.end()) sub.addEdge(remap.at(u), it->second);
+    }
+  }
+  return sub;
+}
+
+void Digraph::reserveNodes(std::size_t n) {
+  names_.reserve(n);
+  children_.reserve(n);
+  parents_.reserve(n);
+  name_index_.reserve(n);
+}
+
+}  // namespace prio::dag

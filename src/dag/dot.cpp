@@ -1,0 +1,57 @@
+#include "dag/dot.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace prio::dag {
+
+namespace {
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+void writeDot(std::ostream& os, const Digraph& g, const DotOptions& options) {
+  if (!options.priorities.empty()) {
+    PRIO_CHECK(options.priorities.size() == g.numNodes());
+  }
+  if (!options.fill_colors.empty()) {
+    PRIO_CHECK(options.fill_colors.size() == g.numNodes());
+  }
+  os << "digraph \"" << escape(options.graph_name) << "\" {\n";
+  if (options.rank_bottom_up) os << "  rankdir=BT;\n";
+  os << "  node [shape=ellipse];\n";
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    os << "  n" << u << " [label=\"" << escape(g.name(u));
+    if (!options.priorities.empty()) {
+      os << "\\np=" << options.priorities[u];
+    }
+    os << '"';
+    if (!options.fill_colors.empty() && !options.fill_colors[u].empty()) {
+      os << ", style=filled, fillcolor=\"" << escape(options.fill_colors[u])
+         << '"';
+    }
+    os << "];\n";
+  }
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v : g.children(u)) {
+      os << "  n" << u << " -> n" << v << ";\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string toDot(const Digraph& g, const DotOptions& options) {
+  std::ostringstream os;
+  writeDot(os, g, options);
+  return os.str();
+}
+
+}  // namespace prio::dag

@@ -1,0 +1,34 @@
+// Graphviz DOT export, used by the examples and the Fig. 5 bench to render
+// dags with their PRIO priorities (the paper's AIRSN illustration).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "dag/digraph.h"
+
+namespace prio::dag {
+
+/// Options controlling DOT output.
+struct DotOptions {
+  std::string graph_name = "dag";
+  bool rank_bottom_up = true;  ///< paper draws arcs oriented upward
+  /// Optional per-node priorities (rendered in labels when non-empty;
+  /// must have numNodes() entries).
+  std::span<const std::size_t> priorities = {};
+  /// Optional per-node fill colors as Graphviz color strings (empty string
+  /// = default; must be empty or have numNodes() entries).
+  std::span<const std::string> fill_colors = {};
+};
+
+/// Writes the graph in DOT format.
+void writeDot(std::ostream& os, const Digraph& g,
+              const DotOptions& options = {});
+
+/// Convenience: DOT as a string.
+[[nodiscard]] std::string toDot(const Digraph& g,
+                                const DotOptions& options = {});
+
+}  // namespace prio::dag

@@ -1,0 +1,53 @@
+#include "dag/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dag/algorithms.h"
+#include "util/check.h"
+
+namespace prio::dag {
+
+DagStats computeStats(const Digraph& g) {
+  DagStats s;
+  s.nodes = g.numNodes();
+  s.edges = g.numEdges();
+  if (s.nodes == 0) return s;
+
+  const auto order = topologicalOrder(g);
+  PRIO_CHECK_MSG(order.has_value(), "computeStats requires a dag");
+
+  // Level = longest distance (in arcs) from any source.
+  std::vector<std::size_t> level(s.nodes, 0);
+  for (const NodeId u : *order) {
+    for (const NodeId v : g.children(u)) {
+      level[v] = std::max(level[v], level[u] + 1);
+    }
+  }
+  const std::size_t max_level =
+      *std::max_element(level.begin(), level.end());
+  s.depth = max_level + 1;
+  s.level_widths.assign(s.depth, 0);
+  for (NodeId u = 0; u < s.nodes; ++u) {
+    ++s.level_widths[level[u]];
+    ++s.out_degree_histogram[g.outDegree(u)];
+    ++s.in_degree_histogram[g.inDegree(u)];
+    if (g.isSource(u)) ++s.sources;
+    if (g.isSink(u)) ++s.sinks;
+  }
+  s.max_width =
+      *std::max_element(s.level_widths.begin(), s.level_widths.end());
+  s.average_parallelism =
+      static_cast<double>(s.nodes) / static_cast<double>(s.depth);
+  return s;
+}
+
+std::string DagStats::summary() const {
+  std::ostringstream os;
+  os << nodes << " jobs, " << edges << " deps, " << sources << " sources, "
+     << sinks << " sinks, depth " << depth << ", max width " << max_width
+     << ", avg parallelism " << average_parallelism;
+  return os.str();
+}
+
+}  // namespace prio::dag

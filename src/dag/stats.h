@@ -1,0 +1,39 @@
+// Descriptive statistics of a dag: level structure, degree distribution,
+// parallelism profile. Used by reports, workload validation tests, and
+// for reasoning about where PRIO can or cannot beat FIFO (a dag's
+// eligibility dynamics are bounded by its width profile).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dag/digraph.h"
+
+namespace prio::dag {
+
+struct DagStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t sources = 0;
+  std::size_t sinks = 0;
+  /// Longest path in nodes (depth when all jobs take unit time).
+  std::size_t depth = 0;
+  /// Nodes per BFS level (level = longest distance from any source).
+  std::vector<std::size_t> level_widths;
+  /// Largest level width — the dag's maximum intrinsic parallelism.
+  std::size_t max_width = 0;
+  /// Histogram of out-degrees and in-degrees.
+  std::map<std::size_t, std::size_t> out_degree_histogram;
+  std::map<std::size_t, std::size_t> in_degree_histogram;
+  /// Average parallelism = nodes / depth.
+  double average_parallelism = 0.0;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Computes all statistics in one pass. Precondition: g is acyclic.
+[[nodiscard]] DagStats computeStats(const Digraph& g);
+
+}  // namespace prio::dag

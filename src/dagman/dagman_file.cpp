@@ -1,0 +1,243 @@
+#include "dagman/dagman_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "dag/algorithms.h"
+#include "util/check.h"
+
+namespace prio::dagman {
+
+namespace {
+
+std::string toUpper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> splitWs(const std::string& s) {
+  std::istringstream is(s);
+  std::vector<std::string> out;
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+// Parses the `key="value"` assignments of a VARS line (value may contain
+// spaces; quotes are required, matching DAGMan syntax).
+std::vector<std::pair<std::string, std::string>> parseVarAssignments(
+    const std::string& rest, std::size_t line_no) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t i = 0;
+  const auto fail = [&](const char* why) {
+    PRIO_CHECK_MSG(false, "VARS line " << line_no << ": " << why);
+  };
+  while (i < rest.size()) {
+    while (i < rest.size() &&
+           std::isspace(static_cast<unsigned char>(rest[i]))) {
+      ++i;
+    }
+    if (i >= rest.size()) break;
+    const std::size_t key_start = i;
+    while (i < rest.size() && rest[i] != '=' &&
+           !std::isspace(static_cast<unsigned char>(rest[i]))) {
+      ++i;
+    }
+    const std::string key = rest.substr(key_start, i - key_start);
+    if (key.empty()) fail("empty macro name");
+    while (i < rest.size() &&
+           std::isspace(static_cast<unsigned char>(rest[i]))) {
+      ++i;
+    }
+    if (i >= rest.size() || rest[i] != '=') fail("expected '='");
+    ++i;
+    while (i < rest.size() &&
+           std::isspace(static_cast<unsigned char>(rest[i]))) {
+      ++i;
+    }
+    if (i >= rest.size() || rest[i] != '"') fail("expected opening quote");
+    ++i;
+    std::string value;
+    while (i < rest.size() && rest[i] != '"') {
+      if (rest[i] == '\\' && i + 1 < rest.size()) ++i;  // escaped char
+      value.push_back(rest[i]);
+      ++i;
+    }
+    if (i >= rest.size()) fail("unterminated quoted value");
+    ++i;  // closing quote
+    out.emplace_back(key, value);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::string> DagmanJob::var(const std::string& key) const {
+  for (auto it = vars.rbegin(); it != vars.rend(); ++it) {
+    if (it->first == key) return it->second;
+  }
+  return std::nullopt;
+}
+
+void DagmanJob::setVar(const std::string& key, const std::string& value) {
+  for (auto& kv : vars) {
+    if (kv.first == key) {
+      kv.second = value;
+      return;
+    }
+  }
+  vars.emplace_back(key, value);
+}
+
+DagmanFile DagmanFile::parse(std::istream& in) {
+  DagmanFile out;
+  std::string line;
+  std::size_t line_no = 0;
+  // PARENT/CHILD lines may reference jobs declared later, so collect them
+  // first and resolve at the end.
+  std::vector<std::tuple<std::string, std::string, std::size_t>> deps;
+  std::vector<std::tuple<std::string, std::string, std::string, std::size_t>>
+      vars;  // job, key, value
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+
+    std::istringstream is(stripped);
+    std::string keyword;
+    is >> keyword;
+    const std::string upper = toUpper(keyword);
+
+    if (upper == "JOB") {
+      std::string name, file, flag;
+      is >> name >> file;
+      PRIO_CHECK_MSG(!name.empty() && !file.empty(),
+                     "malformed JOB line " << line_no);
+      DagmanJob& job = out.addJob(name, file);
+      while (is >> flag) {
+        if (toUpper(flag) == "DONE") job.done = true;
+      }
+    } else if (upper == "PARENT") {
+      std::string rest;
+      std::getline(is, rest);
+      const auto tokens = splitWs(rest);
+      const auto child_it =
+          std::find_if(tokens.begin(), tokens.end(), [&](const auto& t) {
+            return toUpper(t) == "CHILD";
+          });
+      PRIO_CHECK_MSG(child_it != tokens.end() && child_it != tokens.begin() &&
+                         child_it + 1 != tokens.end(),
+                     "malformed PARENT/CHILD line " << line_no);
+      for (auto p = tokens.begin(); p != child_it; ++p) {
+        for (auto c = child_it + 1; c != tokens.end(); ++c) {
+          deps.emplace_back(*p, *c, line_no);
+        }
+      }
+    } else if (upper == "VARS") {
+      std::string job;
+      is >> job;
+      PRIO_CHECK_MSG(!job.empty(), "malformed VARS line " << line_no);
+      std::string rest;
+      std::getline(is, rest);
+      for (auto& [k, v] : parseVarAssignments(rest, line_no)) {
+        vars.emplace_back(job, k, v, line_no);
+      }
+    } else {
+      out.extra_lines_.push_back(stripped);
+    }
+  }
+
+  for (const auto& [p, c, ln] : deps) {
+    PRIO_CHECK_MSG(out.findJob(p) != nullptr,
+                   "line " << ln << ": unknown parent job " << p);
+    PRIO_CHECK_MSG(out.findJob(c) != nullptr,
+                   "line " << ln << ": unknown child job " << c);
+    out.addDependency(p, c);
+  }
+  for (const auto& [job, k, v, ln] : vars) {
+    DagmanJob* j = out.findJob(job);
+    PRIO_CHECK_MSG(j != nullptr, "line " << ln << ": VARS for unknown job "
+                                         << job);
+    j->setVar(k, v);
+  }
+  return out;
+}
+
+DagmanFile DagmanFile::parseFile(const std::string& path) {
+  std::ifstream in(path);
+  PRIO_CHECK_MSG(in.good(), "cannot open DAGMan file " << path);
+  return parse(in);
+}
+
+DagmanJob& DagmanFile::addJob(std::string name, std::string submit_file) {
+  PRIO_CHECK_MSG(job_index_.find(name) == job_index_.end(),
+                 "duplicate JOB " << name);
+  job_index_.emplace(name, jobs_.size());
+  jobs_.push_back(DagmanJob{std::move(name), std::move(submit_file)});
+  return jobs_.back();
+}
+
+void DagmanFile::addDependency(const std::string& parent,
+                               const std::string& child) {
+  PRIO_CHECK_MSG(findJob(parent) != nullptr, "unknown parent " << parent);
+  PRIO_CHECK_MSG(findJob(child) != nullptr, "unknown child " << child);
+  dependencies_.emplace_back(parent, child);
+}
+
+DagmanJob* DagmanFile::findJob(const std::string& name) {
+  auto it = job_index_.find(name);
+  return it == job_index_.end() ? nullptr : &jobs_[it->second];
+}
+
+const DagmanJob* DagmanFile::findJob(const std::string& name) const {
+  auto it = job_index_.find(name);
+  return it == job_index_.end() ? nullptr : &jobs_[it->second];
+}
+
+dag::Digraph DagmanFile::toDigraph() const {
+  dag::Digraph g;
+  g.reserveNodes(jobs_.size());
+  for (const DagmanJob& job : jobs_) g.addNode(job.name);
+  for (const auto& [p, c] : dependencies_) {
+    g.addEdge(*g.findNode(p), *g.findNode(c));
+  }
+  PRIO_CHECK_MSG(dag::isAcyclic(g),
+                 "DAGMan dependencies contain a directed cycle");
+  return g;
+}
+
+void DagmanFile::write(std::ostream& out) const {
+  for (const DagmanJob& job : jobs_) {
+    out << "Job " << job.name << ' ' << job.submit_file;
+    if (job.done) out << " DONE";
+    out << '\n';
+  }
+  for (const DagmanJob& job : jobs_) {
+    for (const auto& [k, v] : job.vars) {
+      out << "Vars " << job.name << ' ' << k << "=\"" << v << "\"\n";
+    }
+  }
+  for (const auto& [p, c] : dependencies_) {
+    out << "PARENT " << p << " CHILD " << c << '\n';
+  }
+  for (const std::string& extra : extra_lines_) out << extra << '\n';
+}
+
+void DagmanFile::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  PRIO_CHECK_MSG(out.good(), "cannot write DAGMan file " << path);
+  write(out);
+}
+
+}  // namespace prio::dagman

@@ -1,0 +1,84 @@
+// DAGMan input-file model (§3.2).
+//
+// A DAGMan input file declares jobs ("JOB <name> <submit-file>"),
+// dependencies ("PARENT <p...> CHILD <c...>") and per-job macros
+// ("VARS <job> key=\"value\""). The prio tool parses such a file, extracts
+// the dag, runs the scheduling heuristic, and writes the file back with a
+// `jobpriority` macro defined for every job (Fig. 3). Unrecognized
+// directives (RETRY, SCRIPT, CONFIG, ...) are preserved verbatim.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dag/digraph.h"
+
+namespace prio::dagman {
+
+/// One JOB declaration.
+struct DagmanJob {
+  std::string name;
+  std::string submit_file;
+  bool done = false;  ///< the DONE keyword
+  /// VARS macros in declaration order (later duplicates overwrite).
+  std::vector<std::pair<std::string, std::string>> vars;
+
+  /// Value of a macro, if defined.
+  [[nodiscard]] std::optional<std::string> var(const std::string& key) const;
+  /// Defines or overwrites a macro.
+  void setVar(const std::string& key, const std::string& value);
+};
+
+/// A parsed DAGMan input file.
+class DagmanFile {
+ public:
+  /// Parses from a stream. Throws util::Error on malformed lines,
+  /// duplicate job names, or dependencies naming unknown jobs.
+  static DagmanFile parse(std::istream& in);
+  /// Parses from a file on disk.
+  static DagmanFile parseFile(const std::string& path);
+
+  [[nodiscard]] const std::vector<DagmanJob>& jobs() const { return jobs_; }
+  [[nodiscard]] std::vector<DagmanJob>& jobs() { return jobs_; }
+  /// (parent, child) pairs in declaration order, expanded from PARENT ...
+  /// CHILD ... lines.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  dependencies() const {
+    return dependencies_;
+  }
+  /// Directives preserved verbatim (RETRY, SCRIPT, ...).
+  [[nodiscard]] const std::vector<std::string>& extraLines() const {
+    return extra_lines_;
+  }
+
+  /// Adds a job; throws on duplicate name.
+  DagmanJob& addJob(std::string name, std::string submit_file);
+  /// Adds a dependency; both jobs must already exist.
+  void addDependency(const std::string& parent, const std::string& child);
+
+  [[nodiscard]] DagmanJob* findJob(const std::string& name);
+  [[nodiscard]] const DagmanJob* findJob(const std::string& name) const;
+
+  /// The job-dependency dag; node ids follow job declaration order and
+  /// node names are job names. Throws util::Error if the dependencies
+  /// form a cycle.
+  [[nodiscard]] dag::Digraph toDigraph() const;
+
+  /// Serializes back to DAGMan syntax (JOB lines, VARS lines, PARENT/CHILD
+  /// lines, then preserved extras).
+  void write(std::ostream& out) const;
+  void writeFile(const std::string& path) const;
+
+ private:
+  std::vector<DagmanJob> jobs_;
+  std::map<std::string, std::size_t> job_index_;
+  std::vector<std::pair<std::string, std::string>> dependencies_;
+  std::vector<std::string> extra_lines_;
+};
+
+}  // namespace prio::dagman

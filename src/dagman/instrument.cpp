@@ -1,0 +1,45 @@
+#include "dagman/instrument.h"
+
+#include <filesystem>
+#include <set>
+
+#include "util/check.h"
+
+namespace prio::dagman {
+
+void instrumentDagmanFile(DagmanFile& file,
+                          std::span<const std::size_t> priorities) {
+  PRIO_CHECK_MSG(priorities.size() == file.jobs().size(),
+                 "priority vector size must match job count");
+  for (std::size_t i = 0; i < file.jobs().size(); ++i) {
+    file.jobs()[i].setVar("jobpriority", std::to_string(priorities[i]));
+  }
+}
+
+core::PrioResult prioritizeDagmanFile(DagmanFile& file,
+                                      const core::PrioOptions& options) {
+  const dag::Digraph g = file.toDigraph();
+  core::PrioResult result = core::prioritize(g, options);
+  instrumentDagmanFile(file, result.priority);
+  return result;
+}
+
+std::vector<std::string> instrumentSubmitFiles(const DagmanFile& file,
+                                               const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::set<std::string> distinct;
+  for (const DagmanJob& job : file.jobs()) distinct.insert(job.submit_file);
+
+  std::vector<std::string> rewritten;
+  for (const std::string& name : distinct) {
+    const fs::path path = fs::path(directory) / name;
+    if (!fs::exists(path)) continue;
+    Jsdf jsdf = Jsdf::parseFile(path.string());
+    jsdf.instrumentPriorityMacro();
+    jsdf.writeFile(path.string());
+    rewritten.push_back(name);
+  }
+  return rewritten;
+}
+
+}  // namespace prio::dagman

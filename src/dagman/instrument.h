@@ -1,0 +1,37 @@
+// The prio tool's instrumentation step (§3.2, Fig. 3): given a DAGMan
+// file and a PRIO schedule, define the `jobpriority` macro for every job
+// (value = the job's priority, numNodes() for the first scheduled job down
+// to 1 for the last) and add `priority = $(jobpriority)` to each job's
+// submit description file.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/prio.h"
+#include "dagman/dagman_file.h"
+#include "dagman/jsdf.h"
+
+namespace prio::dagman {
+
+/// Defines Vars jobpriority="<value>" for every job of the file.
+/// `priorities` is indexed by the node ids of file.toDigraph() (i.e. job
+/// declaration order) — exactly PrioResult::priority.
+void instrumentDagmanFile(DagmanFile& file,
+                          std::span<const std::size_t> priorities);
+
+/// One-call pipeline: parse the dag out of `file`, run the prio heuristic,
+/// and instrument the file. Returns the full PrioResult for inspection.
+core::PrioResult prioritizeDagmanFile(DagmanFile& file,
+                                      const core::PrioOptions& options = {});
+
+/// Instruments every distinct submit file referenced by `file`, reading
+/// and rewriting them relative to `directory`. Missing JSDFs are skipped
+/// (the paper, likewise, instrumented only the DAGMan inputs when JSDFs
+/// were unavailable); returns the names of the files rewritten.
+std::vector<std::string> instrumentSubmitFiles(const DagmanFile& file,
+                                               const std::string& directory);
+
+}  // namespace prio::dagman

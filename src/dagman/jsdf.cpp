@@ -1,0 +1,93 @@
+#include "dagman/jsdf.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace prio::dagman {
+
+namespace {
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Splits a `key = value` command line; returns false for comments, blank
+// lines and queue statements.
+bool splitCommand(const std::string& line, std::string& key,
+                  std::string& value) {
+  const std::string stripped = trim(line);
+  if (stripped.empty() || stripped[0] == '#') return false;
+  const std::size_t eq = stripped.find('=');
+  if (eq == std::string::npos) return false;
+  key = toLower(trim(stripped.substr(0, eq)));
+  value = trim(stripped.substr(eq + 1));
+  return !key.empty();
+}
+
+bool isQueueLine(const std::string& line) {
+  const std::string stripped = toLower(trim(line));
+  return stripped == "queue" || stripped.rfind("queue ", 0) == 0;
+}
+
+}  // namespace
+
+Jsdf Jsdf::parse(std::istream& in) {
+  Jsdf out;
+  std::string line;
+  while (std::getline(in, line)) out.lines_.push_back(line);
+  return out;
+}
+
+Jsdf Jsdf::parseFile(const std::string& path) {
+  std::ifstream in(path);
+  PRIO_CHECK_MSG(in.good(), "cannot open submit file " << path);
+  return parse(in);
+}
+
+std::optional<std::string> Jsdf::command(const std::string& name) const {
+  const std::string wanted = toLower(name);
+  std::optional<std::string> found;  // last assignment wins, as in Condor
+  for (const std::string& line : lines_) {
+    std::string key, value;
+    if (splitCommand(line, key, value) && key == wanted) found = value;
+  }
+  return found;
+}
+
+void Jsdf::setCommand(const std::string& name, const std::string& value) {
+  const std::string wanted = toLower(name);
+  for (std::string& line : lines_) {
+    std::string key, old_value;
+    if (splitCommand(line, key, old_value) && key == wanted) {
+      line = name + " = " + value;
+      return;
+    }
+  }
+  const auto queue_it = std::find_if(lines_.begin(), lines_.end(),
+                                     [](const auto& l) { return isQueueLine(l); });
+  lines_.insert(queue_it, name + " = " + value);
+}
+
+void Jsdf::write(std::ostream& out) const {
+  for (const std::string& line : lines_) out << line << '\n';
+}
+
+void Jsdf::writeFile(const std::string& path) const {
+  std::ofstream out(path);
+  PRIO_CHECK_MSG(out.good(), "cannot write submit file " << path);
+  write(out);
+}
+
+}  // namespace prio::dagman

@@ -1,0 +1,52 @@
+// Condor job-submit description files (JSDFs, §3.2).
+//
+// A JSDF is a sequence of `key = value` commands followed by one or more
+// `queue` statements. The prio tool instruments each JSDF with
+// `priority = $(jobpriority)` so Condor orders queued jobs by the macro
+// the instrumented DAGMan file defines per job (Fig. 3). The indirection
+// through the macro (rather than a hard-coded number) is deliberate: one
+// JSDF may be shared by jobs of several DAGMan files needing different
+// priorities.
+#pragma once
+
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prio::dagman {
+
+/// A parsed submit description file. Lines are preserved verbatim except
+/// where commands are edited.
+class Jsdf {
+ public:
+  static Jsdf parse(std::istream& in);
+  static Jsdf parseFile(const std::string& path);
+
+  /// Value of a command ("executable", "priority", ...), if present.
+  /// Command names are case-insensitive per Condor syntax.
+  [[nodiscard]] std::optional<std::string> command(
+      const std::string& name) const;
+
+  /// Sets (or replaces) a command, inserting before the first `queue`
+  /// statement.
+  void setCommand(const std::string& name, const std::string& value);
+
+  /// The paper's instrumentation: priority = $(jobpriority).
+  void instrumentPriorityMacro() {
+    setCommand("priority", "$(jobpriority)");
+  }
+
+  [[nodiscard]] const std::vector<std::string>& lines() const {
+    return lines_;
+  }
+
+  void write(std::ostream& out) const;
+  void writeFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace prio::dagman

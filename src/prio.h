@@ -1,0 +1,51 @@
+// Umbrella header: the library's entire public API in one include.
+//
+//   #include "prio.h"
+//   auto result = prio::core::prioritize(my_dag);
+//
+// Individual subsystem headers remain the preferred includes inside this
+// repository; the umbrella exists for downstream consumers.
+#pragma once
+
+// Substrates.
+#include "dag/algorithms.h"   // IWYU pragma: export
+#include "dag/digraph.h"      // IWYU pragma: export
+#include "dag/dot.h"          // IWYU pragma: export
+#include "dag/stats.h"        // IWYU pragma: export
+#include "stats/distributions.h"  // IWYU pragma: export
+#include "stats/rng.h"        // IWYU pragma: export
+#include "stats/sampling.h"   // IWYU pragma: export
+#include "stats/summary.h"    // IWYU pragma: export
+#include "util/btree_pq.h"    // IWYU pragma: export
+#include "util/check.h"       // IWYU pragma: export
+#include "util/timing.h"      // IWYU pragma: export
+
+// Scheduling theory.
+#include "theory/batch.h"        // IWYU pragma: export
+#include "theory/blocks.h"       // IWYU pragma: export
+#include "theory/bruteforce.h"   // IWYU pragma: export
+#include "theory/composition.h"  // IWYU pragma: export
+#include "theory/curves.h"       // IWYU pragma: export
+#include "theory/eligibility.h"  // IWYU pragma: export
+#include "theory/priority.h"     // IWYU pragma: export
+
+// The prio heuristic.
+#include "core/prio.h"    // IWYU pragma: export
+#include "core/report.h"  // IWYU pragma: export
+
+// DAGMan integration and execution.
+#include "dagman/dagman_file.h"  // IWYU pragma: export
+#include "dagman/executor.h"     // IWYU pragma: export
+#include "dagman/instrument.h"   // IWYU pragma: export
+#include "dagman/jsdf.h"         // IWYU pragma: export
+
+// Workloads, simulation, and the Condor system model.
+#include "condor/system.h"        // IWYU pragma: export
+#include "sim/baselines.h"        // IWYU pragma: export
+#include "sim/campaign.h"         // IWYU pragma: export
+#include "sim/engine.h"           // IWYU pragma: export
+#include "sim/extensions.h"       // IWYU pragma: export
+#include "sim/trace.h"            // IWYU pragma: export
+#include "sim/workers.h"          // IWYU pragma: export
+#include "workloads/random.h"     // IWYU pragma: export
+#include "workloads/scientific.h" // IWYU pragma: export

@@ -1,0 +1,51 @@
+#include "sim/baselines.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "dag/algorithms.h"
+#include "util/check.h"
+
+namespace prio::sim {
+
+using dag::NodeId;
+
+std::vector<dag::NodeId> criticalPathSchedule(const dag::Digraph& g) {
+  const auto rank = dag::upwardRank(g);
+  std::vector<NodeId> order(g.numNodes());
+  for (NodeId u = 0; u < g.numNodes(); ++u) order[u] = u;
+  std::sort(order.begin(), order.end(), [&](NodeId x, NodeId y) {
+    return rank[x] != rank[y] ? rank[x] > rank[y] : x < y;
+  });
+  // A parent's rank strictly exceeds every child's, so this is
+  // topological; assert it anyway.
+  PRIO_CHECK(dag::isTopologicalOrder(g, order));
+  return order;
+}
+
+std::vector<dag::NodeId> randomTopologicalOrder(const dag::Digraph& g,
+                                                stats::Rng& rng) {
+  const std::size_t n = g.numNodes();
+  std::vector<std::size_t> pending(n);
+  std::vector<NodeId> ready;
+  for (NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) ready.push_back(u);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const std::size_t at = rng.below(ready.size());
+    std::swap(ready[at], ready.back());
+    const NodeId u = ready.back();
+    ready.pop_back();
+    order.push_back(u);
+    for (NodeId v : g.children(u)) {
+      if (--pending[v] == 0) ready.push_back(v);
+    }
+  }
+  PRIO_CHECK_MSG(order.size() == n, "randomTopologicalOrder requires a dag");
+  return order;
+}
+
+}  // namespace prio::sim

@@ -1,0 +1,25 @@
+// Static priority orders to feed the oblivious regimen.
+//
+// The paper evaluates PRIO (the prio tool's order) against FIFO. As
+// extensions we add two more static baselines commonly used by dag
+// schedulers: critical-path (HEFT-style upward rank with unit costs) and
+// a random topological order.
+#pragma once
+
+#include <vector>
+
+#include "dag/digraph.h"
+#include "stats/rng.h"
+
+namespace prio::sim {
+
+/// Critical-path order: jobs by decreasing upward rank (unit job costs),
+/// ties by id. Always a topological order.
+[[nodiscard]] std::vector<dag::NodeId> criticalPathSchedule(
+    const dag::Digraph& g);
+
+/// Uniformly random topological order (Kahn with random ready choice).
+[[nodiscard]] std::vector<dag::NodeId> randomTopologicalOrder(
+    const dag::Digraph& g, stats::Rng& rng);
+
+}  // namespace prio::sim

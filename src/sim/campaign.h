@@ -1,0 +1,60 @@
+// The §4.2 measurement campaign driver: builds empirical sampling
+// distributions (p samples, each the mean of q simulated runs) of the
+// three metrics for two scheduling regimens and reports the paper's
+// ratio confidence intervals per metric.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "dag/digraph.h"
+#include "sim/engine.h"
+#include "stats/sampling.h"
+
+namespace prio::sim {
+
+struct CampaignConfig {
+  /// Number of sampling-distribution samples (the paper uses ~300).
+  std::size_t p = 30;
+  /// Measurements averaged into one sample (the paper uses 300).
+  std::size_t q = 5;
+  std::uint64_t seed = 42;
+};
+
+/// Sampling distributions of the three metrics for one regimen.
+struct MetricSamples {
+  stats::SamplingDistribution time;
+  stats::SamplingDistribution stall;
+  stats::SamplingDistribution util;
+};
+
+/// Runs p*q independent simulations of `g` under the given regimen.
+[[nodiscard]] MetricSamples runCampaign(const dag::Digraph& g,
+                                        Regimen regimen,
+                                        std::span<const dag::NodeId> order,
+                                        const GridModel& model,
+                                        const CampaignConfig& config);
+
+/// Ratio summaries A/B for the three metrics (Figs. 6-9 plot PRIO/FIFO).
+struct SchedulerComparison {
+  stats::RatioSummary time_ratio;
+  stats::RatioSummary stall_ratio;
+  stats::RatioSummary util_ratio;
+  double a_mean_time = 0.0, b_mean_time = 0.0;
+  double a_mean_stall = 0.0, b_mean_stall = 0.0;
+  double a_mean_util = 0.0, b_mean_util = 0.0;
+};
+
+[[nodiscard]] SchedulerComparison compareSchedulers(
+    const dag::Digraph& g, Regimen regimen_a,
+    std::span<const dag::NodeId> order_a, Regimen regimen_b,
+    std::span<const dag::NodeId> order_b, const GridModel& model,
+    const CampaignConfig& config);
+
+/// The paper's headline comparison: PRIO (oblivious with the given order)
+/// over FIFO.
+[[nodiscard]] SchedulerComparison comparePrioVsFifo(
+    const dag::Digraph& g, std::span<const dag::NodeId> prio_order,
+    const GridModel& model, const CampaignConfig& config);
+
+}  // namespace prio::sim

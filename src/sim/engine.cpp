@@ -1,0 +1,232 @@
+#include "sim/engine.h"
+
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "stats/distributions.h"
+#include "util/check.h"
+
+namespace prio::sim {
+
+namespace {
+
+using dag::NodeId;
+
+// --- Eligible-job containers, one per regimen ---
+
+class FifoQueue {
+ public:
+  void push(NodeId u) { q_.push_back(u); }
+  NodeId pop(stats::Rng&) {
+    const NodeId u = q_.front();
+    q_.pop_front();
+    return u;
+  }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+
+ private:
+  std::deque<NodeId> q_;
+};
+
+class StaticOrderQueue {
+ public:
+  explicit StaticOrderQueue(std::vector<std::size_t> position)
+      : position_(std::move(position)) {}
+  void push(NodeId u) { heap_.push({position_[u], u}); }
+  NodeId pop(stats::Rng&) {
+    const NodeId u = heap_.top().second;
+    heap_.pop();
+    return u;
+  }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+ private:
+  std::vector<std::size_t> position_;
+  std::priority_queue<std::pair<std::size_t, NodeId>,
+                      std::vector<std::pair<std::size_t, NodeId>>,
+                      std::greater<>>
+      heap_;
+};
+
+class RandomQueue {
+ public:
+  void push(NodeId u) { items_.push_back(u); }
+  NodeId pop(stats::Rng& rng) {
+    const std::size_t at = rng.below(items_.size());
+    std::swap(items_[at], items_.back());
+    const NodeId u = items_.back();
+    items_.pop_back();
+    return u;
+  }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+ private:
+  std::vector<NodeId> items_;
+};
+
+// Completion events ordered by time (min-heap).
+using Completion = std::pair<double, NodeId>;
+
+// No-op observer: plain runs compile the hooks away entirely.
+struct NullObserver {
+  void onBatch(double, std::uint64_t, std::size_t) {}
+  void onDispatch(double, NodeId, std::size_t) {}
+  void onCompletion(double, NodeId, std::size_t) {}
+};
+
+// Recording observer backing traceRun().
+struct TraceObserver {
+  std::vector<TraceEvent>* events;
+  void onBatch(double t, std::uint64_t size, std::size_t eligible) {
+    events->push_back({TraceEvent::Kind::kBatchArrival, t, 0, size,
+                       static_cast<std::uint64_t>(eligible)});
+  }
+  void onDispatch(double t, NodeId job, std::size_t eligible) {
+    events->push_back({TraceEvent::Kind::kDispatch, t, job, 0,
+                       static_cast<std::uint64_t>(eligible)});
+  }
+  void onCompletion(double t, NodeId job, std::size_t eligible) {
+    events->push_back({TraceEvent::Kind::kCompletion, t, job, 0,
+                       static_cast<std::uint64_t>(eligible)});
+  }
+};
+
+template <class Queue, class Observer>
+RunMetrics run(const dag::Digraph& g, Queue& eligible, const GridModel& model,
+               stats::Rng& rng, Observer obs) {
+  const std::size_t n = g.numNodes();
+  RunMetrics out;
+  if (n == 0) return out;
+
+  stats::Exponential interarrival(model.mean_batch_interarrival);
+  stats::BatchSize batch_size(model.mean_batch_size);
+  stats::JobRuntime runtime(model.job_runtime_mean, model.job_runtime_stddev);
+
+  std::vector<std::size_t> pending(n);
+  for (NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) eligible.push(u);  // id (input file) order
+  }
+
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+  double next_batch = 0.0;
+  std::size_t assigned = 0, executed = 0;
+  std::uint64_t batches = 0, stalled = 0, requests = 0;
+
+  while (executed < n) {
+    const bool batch_due =
+        assigned < n &&
+        (completions.empty() || next_batch < completions.top().first);
+    if (batch_due) {
+      const double t = next_batch;
+      const std::uint64_t b = batch_size.sample(rng);
+      ++batches;
+      requests += b;
+      // Stalling: unassigned work exists (assigned < n here) but nothing
+      // is eligible for this batch.
+      if (eligible.size() == 0) ++stalled;
+      obs.onBatch(t, b, eligible.size());
+      const std::uint64_t fill =
+          std::min<std::uint64_t>(b, eligible.size());
+      for (std::uint64_t i = 0; i < fill; ++i) {
+        const NodeId u = eligible.pop(rng);
+        completions.push({t + runtime.sample(rng), u});
+        ++assigned;
+        obs.onDispatch(t, u, eligible.size());
+      }
+      if (assigned == n) {
+        // "...until the batch when the last job was assigned."
+        out.batches_counted = batches;
+        out.batches_stalled = stalled;
+        out.requests_counted = requests;
+      }
+      next_batch = t + interarrival.sample(rng);
+    } else {
+      const auto [t, u] = completions.top();
+      completions.pop();
+      ++executed;
+      out.makespan = std::max(out.makespan, t);
+      for (NodeId v : g.children(u)) {
+        if (--pending[v] == 0) eligible.push(v);
+      }
+      obs.onCompletion(t, u, eligible.size());
+    }
+  }
+
+  PRIO_CHECK(out.batches_counted > 0);
+  out.stall_probability = static_cast<double>(out.batches_stalled) /
+                          static_cast<double>(out.batches_counted);
+  out.utilization = static_cast<double>(n) /
+                    static_cast<double>(out.requests_counted);
+  return out;
+}
+
+template <class Observer>
+RunMetrics dispatchRun(const dag::Digraph& g, Regimen regimen,
+                       std::span<const dag::NodeId> order,
+                       const GridModel& model, stats::Rng& rng,
+                       Observer obs) {
+  PRIO_CHECK_MSG(model.mean_batch_interarrival > 0.0 &&
+                     model.mean_batch_size > 0.0,
+                 "grid model parameters must be positive");
+  switch (regimen) {
+    case Regimen::kFifo: {
+      FifoQueue q;
+      return run(g, q, model, rng, obs);
+    }
+    case Regimen::kOblivious: {
+      PRIO_CHECK_MSG(order.size() == g.numNodes(),
+                     "oblivious regimen needs a full priority order");
+      std::vector<std::size_t> position(g.numNodes(), 0);
+      std::vector<char> seen(g.numNodes(), 0);
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        PRIO_CHECK_MSG(order[i] < g.numNodes() && !seen[order[i]],
+                       "priority order must be a permutation");
+        seen[order[i]] = 1;
+        position[order[i]] = i;
+      }
+      StaticOrderQueue q(std::move(position));
+      return run(g, q, model, rng, obs);
+    }
+    case Regimen::kRandom: {
+      RandomQueue q;
+      return run(g, q, model, rng, obs);
+    }
+  }
+  PRIO_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+RunMetrics simulateRun(const dag::Digraph& g, Regimen regimen,
+                       std::span<const dag::NodeId> order,
+                       const GridModel& model, stats::Rng& rng) {
+  return dispatchRun(g, regimen, order, model, rng, NullObserver{});
+}
+
+RunTrace traceRun(const dag::Digraph& g, Regimen regimen,
+                  std::span<const dag::NodeId> order, const GridModel& model,
+                  stats::Rng& rng) {
+  RunTrace trace;
+  trace.metrics = dispatchRun(g, regimen, order, model, rng,
+                              TraceObserver{&trace.events});
+  return trace;
+}
+
+RunMetrics simulateFifo(const dag::Digraph& g, const GridModel& model,
+                        stats::Rng& rng) {
+  return simulateRun(g, Regimen::kFifo, {}, model, rng);
+}
+
+RunMetrics simulateOblivious(const dag::Digraph& g,
+                             std::span<const dag::NodeId> order,
+                             const GridModel& model, stats::Rng& rng) {
+  return simulateRun(g, Regimen::kOblivious, order, model, rng);
+}
+
+}  // namespace prio::sim

@@ -1,0 +1,74 @@
+// The stochastic grid model of §4.1 and its event-driven simulator.
+//
+// Workers arrive in batches: the first batch at time 0, interarrival
+// times exponential with mean mu_BIT, batch sizes exponential with mean
+// mu_BS (discretized, min 1). Each worker requests one job; requests that
+// cannot be filled are NOT rolled over ("intercepted by other
+// computations"). A job's running time is normal(1, 0.1). The server
+// fills a batch of b requests with min(b, e) eligible unassigned jobs,
+// chosen by the active scheduling regimen:
+//   FIFO      — jobs leave a FIFO queue in the order they became eligible
+//               (DAGMan's default behavior);
+//   oblivious — jobs leave in the order of a static priority list (PRIO,
+//               or any other precomputed schedule);
+//   random    — uniformly random eligible job (extension baseline).
+//
+// Metrics (§4.1): makespan (execution time), probability of stalling
+// (fraction of batches, among those up to and including the batch at
+// which the last job was assigned, that arrived while unassigned work
+// existed but nothing was eligible), and utilization (jobs divided by the
+// total number of requests in those batches).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dag/digraph.h"
+#include "stats/rng.h"
+
+namespace prio::sim {
+
+/// Stochastic system parameters.
+struct GridModel {
+  double mean_batch_interarrival = 1.0;  ///< mu_BIT
+  double mean_batch_size = 16.0;         ///< mu_BS
+  double job_runtime_mean = 1.0;
+  double job_runtime_stddev = 0.1;
+};
+
+/// Result of one simulated execution of a dag.
+struct RunMetrics {
+  double makespan = 0.0;
+  double stall_probability = 0.0;
+  double utilization = 0.0;
+  std::uint64_t batches_counted = 0;   ///< up to the last-assignment batch
+  std::uint64_t batches_stalled = 0;
+  std::uint64_t requests_counted = 0;
+};
+
+/// How eligible jobs are ordered when a batch is filled.
+enum class Regimen {
+  kFifo,       ///< order of becoming eligible (DAGMan default)
+  kOblivious,  ///< static priority order (supply it via `order`)
+  kRandom,     ///< uniformly random eligible job (extension)
+};
+
+/// Simulates one execution. `order` must be a permutation of the dag's
+/// nodes for kOblivious (its positions are the priorities; earlier =
+/// assigned first) and is ignored otherwise.
+[[nodiscard]] RunMetrics simulateRun(const dag::Digraph& g, Regimen regimen,
+                                     std::span<const dag::NodeId> order,
+                                     const GridModel& model,
+                                     stats::Rng& rng);
+
+/// Convenience wrappers.
+[[nodiscard]] RunMetrics simulateFifo(const dag::Digraph& g,
+                                      const GridModel& model,
+                                      stats::Rng& rng);
+[[nodiscard]] RunMetrics simulateOblivious(const dag::Digraph& g,
+                                           std::span<const dag::NodeId> order,
+                                           const GridModel& model,
+                                           stats::Rng& rng);
+
+}  // namespace prio::sim

@@ -1,0 +1,231 @@
+#include "sim/extensions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "util/check.h"
+
+namespace prio::sim {
+
+namespace {
+
+using dag::NodeId;
+
+// Lognormal multiplier with mean 1 and the given coefficient of
+// variation; cv = 0 degenerates to the constant 1.
+class UnitLognormal {
+ public:
+  explicit UnitLognormal(double cv) {
+    PRIO_CHECK_MSG(cv >= 0.0, "coefficient of variation must be >= 0");
+    if (cv > 0.0) {
+      const double sigma2 = std::log(1.0 + cv * cv);
+      sigma_ = std::sqrt(sigma2);
+      mu_ = -0.5 * sigma2;
+    }
+  }
+
+  double sample(stats::Rng& rng, stats::Normal& standard) noexcept {
+    if (sigma_ == 0.0) return 1.0;
+    return std::exp(mu_ + sigma_ * standard.sample(rng));
+  }
+
+ private:
+  double mu_ = 0.0;
+  double sigma_ = 0.0;
+};
+
+// Eligible jobs in DAGMan-queue order (the order they became eligible).
+// The throttle window exposes only the oldest `window` entries to the
+// matchmaker; the regimen picks within the exposed prefix.
+class EligibleDeque {
+ public:
+  explicit EligibleDeque(std::span<const std::size_t> position)
+      : position_(position) {}
+
+  void push(NodeId u) { items_.push_back(u); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  NodeId pop(Regimen regimen, std::size_t window, stats::Rng& rng) {
+    PRIO_CHECK(!items_.empty());
+    const std::size_t visible =
+        window == 0 ? items_.size() : std::min(window, items_.size());
+    std::size_t at = 0;
+    switch (regimen) {
+      case Regimen::kFifo:
+        at = 0;
+        break;
+      case Regimen::kRandom:
+        at = rng.below(visible);
+        break;
+      case Regimen::kOblivious: {
+        for (std::size_t i = 1; i < visible; ++i) {
+          if (position_[items_[i]] < position_[items_[at]]) at = i;
+        }
+        break;
+      }
+    }
+    const NodeId u = items_[at];
+    items_.erase(items_.begin() + static_cast<long>(at));
+    return u;
+  }
+
+ private:
+  std::span<const std::size_t> position_;
+  std::deque<NodeId> items_;
+};
+
+struct Completion {
+  double time;
+  NodeId job;
+  bool fails;
+  bool operator>(const Completion& o) const { return time > o.time; }
+};
+
+}  // namespace
+
+ExtendedRunMetrics simulateExtended(const dag::Digraph& g, Regimen regimen,
+                                    std::span<const dag::NodeId> order,
+                                    const ExtendedGridModel& model,
+                                    stats::Rng& rng) {
+  const std::size_t n = g.numNodes();
+  PRIO_CHECK_MSG(model.base.mean_batch_interarrival > 0.0 &&
+                     model.base.mean_batch_size > 0.0,
+                 "grid model parameters must be positive");
+  PRIO_CHECK_MSG(model.failure_probability >= 0.0 &&
+                     model.failure_probability < 1.0,
+                 "failure probability must be in [0, 1)");
+
+  ExtendedRunMetrics out;
+  if (n == 0) return out;
+
+  // Static priority positions (oblivious only).
+  std::vector<std::size_t> position(n, 0);
+  if (regimen == Regimen::kOblivious) {
+    PRIO_CHECK_MSG(order.size() == n,
+                   "oblivious regimen needs a full priority order");
+    std::vector<char> seen(n, 0);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      PRIO_CHECK_MSG(order[i] < n && !seen[order[i]],
+                     "priority order must be a permutation");
+      seen[order[i]] = 1;
+      position[order[i]] = i;
+    }
+  }
+
+  stats::Exponential interarrival(model.base.mean_batch_interarrival);
+  stats::BatchSize batch_size(model.base.mean_batch_size);
+  stats::JobRuntime runtime(model.base.job_runtime_mean,
+                            model.base.job_runtime_stddev);
+  stats::Normal standard(0.0, 1.0);
+  UnitLognormal job_factor(model.runtime_heterogeneity_cv);
+  UnitLognormal speed_factor(model.worker_speed_cv);
+
+  // Per-job runtime multipliers, fixed for the whole run.
+  std::vector<double> job_multiplier(n, 1.0);
+  if (model.runtime_heterogeneity_cv > 0.0) {
+    for (auto& m : job_multiplier) m = job_factor.sample(rng, standard);
+  }
+
+  std::vector<std::size_t> pending(n);
+  EligibleDeque eligible(position);
+  for (NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) eligible.push(u);
+  }
+
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+  std::deque<double> waiting_speeds;  // rollover_requests only
+  double next_batch = 0.0;
+  std::size_t executed = 0;
+  // Jobs that still need a (nother) successful dispatch.
+  std::size_t pending_success = n;
+  std::uint64_t batches = 0, stalled = 0, requests = 0;
+  bool counters_captured = false;
+
+  const auto dispatch = [&](double now, double speed) {
+    const NodeId u = eligible.pop(regimen, model.throttle_window, rng);
+    const bool fails = model.failure_probability > 0.0 &&
+                       rng.uniform01() < model.failure_probability;
+    ++out.attempts;
+    if (!fails) {
+      PRIO_CHECK(pending_success > 0);
+      --pending_success;
+    }
+    const double duration =
+        runtime.sample(rng) * job_multiplier[u] / speed;
+    completions.push({now + duration, u, fails});
+  };
+
+  const auto capture = [&] {
+    out.base.batches_counted = batches;
+    out.base.batches_stalled = stalled;
+    out.base.requests_counted = requests;
+    counters_captured = true;
+  };
+
+  while (executed < n) {
+    const bool batch_due =
+        pending_success > 0 &&
+        (completions.empty() || next_batch < completions.top().time);
+    if (batch_due) {
+      const double t = next_batch;
+      const std::uint64_t b = batch_size.sample(rng);
+      ++batches;
+      requests += b;
+      if (eligible.size() == 0) ++stalled;
+      std::uint64_t served = 0;
+      for (; served < b && eligible.size() > 0; ++served) {
+        dispatch(t, model.worker_speed_cv > 0.0
+                        ? speed_factor.sample(rng, standard)
+                        : 1.0);
+      }
+      if (model.rollover_requests) {
+        for (std::uint64_t i = served; i < b; ++i) {
+          waiting_speeds.push_back(model.worker_speed_cv > 0.0
+                                       ? speed_factor.sample(rng, standard)
+                                       : 1.0);
+        }
+      }
+      if (pending_success == 0 && !counters_captured) capture();
+      next_batch = t + interarrival.sample(rng);
+    } else {
+      const Completion c = completions.top();
+      completions.pop();
+      if (c.fails) {
+        // The job bounces back into the eligible pool (re-queued at the
+        // end, like a newly eligible job).
+        ++out.failures;
+        eligible.push(c.job);
+      } else {
+        ++executed;
+        out.base.makespan = std::max(out.base.makespan, c.time);
+        for (NodeId v : g.children(c.job)) {
+          if (--pending[v] == 0) eligible.push(v);
+        }
+      }
+      // Rolled-over workers grab work the moment it (re)appears.
+      while (!waiting_speeds.empty() && eligible.size() > 0) {
+        const double speed = waiting_speeds.front();
+        waiting_speeds.pop_front();
+        dispatch(c.time, speed);
+      }
+      if (pending_success == 0 && !counters_captured) capture();
+    }
+  }
+
+  if (!counters_captured) capture();
+  PRIO_CHECK(out.base.batches_counted > 0);
+  out.base.stall_probability =
+      static_cast<double>(out.base.batches_stalled) /
+      static_cast<double>(out.base.batches_counted);
+  out.base.utilization = static_cast<double>(n) /
+                         static_cast<double>(out.base.requests_counted);
+  return out;
+}
+
+}  // namespace prio::sim

@@ -1,0 +1,33 @@
+#include "sim/trace.h"
+
+#include "util/check.h"
+
+namespace prio::sim {
+
+namespace {
+const char* kindName(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kBatchArrival: return "batch";
+    case TraceEvent::Kind::kDispatch: return "dispatch";
+    case TraceEvent::Kind::kCompletion: return "completion";
+  }
+  return "unknown";
+}
+}  // namespace
+
+void writeTraceCsv(std::ostream& out, const dag::Digraph& g,
+                   const RunTrace& trace) {
+  out << "kind,time,job,payload,eligible\n";
+  for (const TraceEvent& e : trace.events) {
+    out << kindName(e.kind) << ',' << e.time << ',';
+    if (e.kind == TraceEvent::Kind::kBatchArrival) {
+      out << ',' << e.payload;
+    } else {
+      PRIO_CHECK(e.job < g.numNodes());
+      out << g.name(e.job) << ',';
+    }
+    out << ',' << e.eligible << '\n';
+  }
+}
+
+}  // namespace prio::sim

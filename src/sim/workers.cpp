@@ -1,0 +1,135 @@
+#include "sim/workers.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "util/check.h"
+
+namespace prio::sim {
+
+namespace {
+using dag::NodeId;
+}  // namespace
+
+WorkerPoolMetrics simulateWorkerPool(const dag::Digraph& g, Regimen regimen,
+                                     std::span<const dag::NodeId> order,
+                                     std::size_t workers,
+                                     const GridModel& model,
+                                     stats::Rng& rng) {
+  PRIO_CHECK_MSG(workers >= 1, "need at least one worker");
+  const std::size_t n = g.numNodes();
+  WorkerPoolMetrics out;
+  if (n == 0) return out;
+
+  std::vector<std::size_t> position(n, 0);
+  if (regimen == Regimen::kOblivious) {
+    PRIO_CHECK_MSG(order.size() == n,
+                   "oblivious regimen needs a full priority order");
+    std::vector<char> seen(n, 0);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      PRIO_CHECK_MSG(order[i] < n && !seen[order[i]],
+                     "priority order must be a permutation");
+      seen[order[i]] = 1;
+      position[order[i]] = i;
+    }
+  }
+
+  stats::JobRuntime runtime(model.job_runtime_mean,
+                            model.job_runtime_stddev);
+
+  // Eligible pool per regimen; FIFO keeps eligibility order.
+  std::deque<NodeId> fifo;
+  std::priority_queue<std::pair<std::size_t, NodeId>,
+                      std::vector<std::pair<std::size_t, NodeId>>,
+                      std::greater<>>
+      by_priority;
+  std::vector<NodeId> random_pool;
+  std::size_t eligible_count = 0;
+
+  const auto push = [&](NodeId u) {
+    ++eligible_count;
+    switch (regimen) {
+      case Regimen::kFifo:
+        fifo.push_back(u);
+        break;
+      case Regimen::kOblivious:
+        by_priority.push({position[u], u});
+        break;
+      case Regimen::kRandom:
+        random_pool.push_back(u);
+        break;
+    }
+  };
+  const auto pop = [&]() -> NodeId {
+    PRIO_CHECK(eligible_count > 0);
+    --eligible_count;
+    switch (regimen) {
+      case Regimen::kFifo: {
+        const NodeId u = fifo.front();
+        fifo.pop_front();
+        return u;
+      }
+      case Regimen::kOblivious: {
+        const NodeId u = by_priority.top().second;
+        by_priority.pop();
+        return u;
+      }
+      case Regimen::kRandom: {
+        const std::size_t at = rng.below(random_pool.size());
+        std::swap(random_pool[at], random_pool.back());
+        const NodeId u = random_pool.back();
+        random_pool.pop_back();
+        return u;
+      }
+    }
+    PRIO_CHECK(false);
+    return 0;
+  };
+
+  std::vector<std::size_t> pending(n);
+  for (NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) push(u);
+  }
+
+  // Event loop: completions ordered by time; idle workers grab work
+  // immediately.
+  using Completion = std::pair<double, NodeId>;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      running;
+  std::size_t executed = 0;
+  double now = 0.0;
+  double busy_time = 0.0;
+
+  const auto fill = [&] {
+    while (running.size() < workers && eligible_count > 0) {
+      const NodeId u = pop();
+      const double d = runtime.sample(rng);
+      busy_time += d;
+      running.push({now + d, u});
+    }
+  };
+  fill();
+  while (executed < n) {
+    PRIO_CHECK_MSG(!running.empty(), "worker pool starved (cycle?)");
+    const auto [t, u] = running.top();
+    running.pop();
+    now = t;
+    ++executed;
+    out.makespan = std::max(out.makespan, t);
+    for (NodeId v : g.children(u)) {
+      if (--pending[v] == 0) push(v);
+    }
+    fill();
+  }
+
+  const double capacity = static_cast<double>(workers) * out.makespan;
+  out.total_idle_time = capacity - busy_time;
+  out.pool_efficiency = capacity > 0.0 ? busy_time / capacity : 0.0;
+  return out;
+}
+
+}  // namespace prio::sim

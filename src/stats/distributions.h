@@ -1,0 +1,113 @@
+// Probability distributions used by the grid system model of §4.1:
+//   - exponential batch interarrival times (mean mu_BIT),
+//   - exponential batch sizes (mean mu_BS, discretized; see DESIGN.md §4.3),
+//   - normal(1, 0.1) job running times, truncated away from zero.
+// Implemented from scratch over prio::stats::Rng for determinism.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "stats/rng.h"
+#include "util/check.h"
+
+namespace prio::stats {
+
+/// Exponential distribution with the given mean (inverse-CDF sampling).
+class Exponential {
+ public:
+  explicit Exponential(double mean) : mean_(mean) {
+    PRIO_CHECK_MSG(mean > 0.0, "exponential mean must be positive");
+  }
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  double sample(Rng& rng) const noexcept {
+    return -mean_ * std::log(rng.uniformOpen0());
+  }
+
+ private:
+  double mean_;
+};
+
+/// Normal distribution sampled with the Marsaglia polar method.
+///
+/// One spare deviate is cached, so a single Normal instance consumed by a
+/// single Rng produces a deterministic stream.
+class Normal {
+ public:
+  Normal(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+    PRIO_CHECK_MSG(stddev >= 0.0, "normal stddev must be non-negative");
+  }
+
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double stddev() const noexcept { return stddev_; }
+
+  double sample(Rng& rng) noexcept {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean_ + stddev_ * spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * rng.uniform01() - 1.0;
+      v = 2.0 * rng.uniform01() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return mean_ + stddev_ * (u * factor);
+  }
+
+ private:
+  double mean_;
+  double stddev_;
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+/// Job running-time model of §4.1: normal(mean=1, sd=0.1), resampled into
+/// (min_value, +inf) so a job can never take non-positive time. With
+/// sd/mean = 0.1 the truncation fires with probability ~1e-23 and does not
+/// measurably shift the mean.
+class JobRuntime {
+ public:
+  JobRuntime(double mean = 1.0, double stddev = 0.1,
+             double min_value = 1e-9)
+      : normal_(mean, stddev), min_value_(min_value) {
+    PRIO_CHECK(min_value > 0.0);
+  }
+
+  double sample(Rng& rng) noexcept {
+    double t;
+    do {
+      t = normal_.sample(rng);
+    } while (t <= min_value_);
+    return t;
+  }
+
+ private:
+  Normal normal_;
+  double min_value_;
+};
+
+/// Batch-size model of §4.1: exponential with mean mu_BS, rounded to the
+/// nearest integer and floored at 1 (every batch carries at least one
+/// request; see DESIGN.md substitution #3).
+class BatchSize {
+ public:
+  explicit BatchSize(double mean_size) : exp_(mean_size) {}
+
+  std::uint64_t sample(Rng& rng) const noexcept {
+    const double s = exp_.sample(rng);
+    const double rounded = std::floor(s + 0.5);
+    return rounded < 1.0 ? std::uint64_t{1}
+                         : static_cast<std::uint64_t>(rounded);
+  }
+
+ private:
+  Exponential exp_;
+};
+
+}  // namespace prio::stats

@@ -1,0 +1,118 @@
+// The paper's §4.2 confidence-interval procedure, reproduced exactly.
+//
+// For each metric and each (mu_BIT, mu_BS) cell, the paper builds an
+// empirical sampling distribution of the PRIO mean (p samples, each the
+// average of q simulated measurements) and likewise for FIFO; it then forms
+// all p^2 pairwise ratios x/y, drops the 2.5% smallest and largest values,
+// and reports the surviving range as a 95% confidence interval together
+// with the mean, standard deviation, and median of the ratio distribution.
+// When any denominator sample is zero, no interval is reported (the paper's
+// "missing when the probability was zero" case in Figs. 6–9).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "stats/summary.h"
+#include "util/check.h"
+
+namespace prio::stats {
+
+/// An empirical sampling distribution: p samples, each the mean of q raw
+/// measurements.
+class SamplingDistribution {
+ public:
+  SamplingDistribution() = default;
+
+  /// Builds from raw measurements laid out as p consecutive groups of q.
+  static SamplingDistribution fromRaw(const std::vector<double>& raw,
+                                      std::size_t p, std::size_t q) {
+    PRIO_CHECK_MSG(p > 0 && q > 0, "p and q must be positive");
+    PRIO_CHECK_MSG(raw.size() == p * q, "raw size must equal p*q");
+    SamplingDistribution d;
+    d.samples_.reserve(p);
+    for (std::size_t i = 0; i < p; ++i) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < q; ++j) s += raw[i * q + j];
+      d.samples_.push_back(s / static_cast<double>(q));
+    }
+    return d;
+  }
+
+  void addSample(double sample_mean) { samples_.push_back(sample_mean); }
+
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  [[nodiscard]] bool hasZero() const noexcept {
+    return std::any_of(samples_.begin(), samples_.end(),
+                       [](double x) { return x == 0.0; });
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Summary of an empirical ratio distribution (numerator/denominator).
+struct RatioSummary {
+  bool defined = false;   ///< false when a denominator sample was zero
+  double ci_low = 0.0;    ///< 2.5th percentile of the p^2 ratios
+  double ci_high = 0.0;   ///< 97.5th percentile of the p^2 ratios
+  double mean = 0.0;
+  double stddev = 0.0;
+  double median = 0.0;
+
+  /// True when the 95% interval lies entirely below 1 (PRIO better for
+  /// time/stalling-style metrics where smaller is better).
+  [[nodiscard]] bool confidentlyBelowOne() const noexcept {
+    return defined && ci_high < 1.0;
+  }
+
+  /// True when the 95% interval lies entirely above 1.
+  [[nodiscard]] bool confidentlyAboveOne() const noexcept {
+    return defined && ci_low > 1.0;
+  }
+};
+
+/// Computes the §4.2 ratio statistics for numer/denom sampling
+/// distributions. Returns defined == false when denom contains a zero
+/// sample (matching the paper: "Whenever we encounter y = 0, we do not
+/// report any confidence interval").
+inline RatioSummary ratioSummary(const SamplingDistribution& numer,
+                                 const SamplingDistribution& denom) {
+  RatioSummary out;
+  PRIO_CHECK_MSG(numer.size() > 0 && denom.size() > 0,
+                 "sampling distributions must be non-empty");
+  if (denom.hasZero()) return out;  // defined == false
+
+  std::vector<double> ratios;
+  ratios.reserve(numer.size() * denom.size());
+  for (double x : numer.samples()) {
+    for (double y : denom.samples()) {
+      ratios.push_back(x / y);
+    }
+  }
+  std::sort(ratios.begin(), ratios.end());
+
+  const std::size_t n = ratios.size();
+  // Drop the 2.5% smallest and 2.5% largest values; the surviving range is
+  // the 95% confidence interval. Keep at least one value.
+  std::size_t drop = static_cast<std::size_t>(
+      static_cast<double>(n) * 0.025);
+  if (2 * drop >= n) drop = (n - 1) / 2;
+  out.defined = true;
+  out.ci_low = ratios[drop];
+  out.ci_high = ratios[n - 1 - drop];
+  out.mean = mean(ratios);
+  out.stddev = sampleStddev(ratios);
+  out.median = (n % 2 == 1)
+                   ? ratios[n / 2]
+                   : 0.5 * (ratios[n / 2 - 1] + ratios[n / 2]);
+  return out;
+}
+
+}  // namespace prio::stats

@@ -1,0 +1,87 @@
+// Basic descriptive statistics shared by the simulator and the campaign
+// driver: mean, (sample) variance, standard deviation, median, percentiles.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace prio::stats {
+
+/// Arithmetic mean; 0 for an empty range.
+inline double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+/// Unbiased sample variance (n−1 denominator); 0 for fewer than 2 samples.
+inline double sampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+inline double sampleStddev(const std::vector<double>& xs) {
+  return std::sqrt(sampleVariance(xs));
+}
+
+/// q-th percentile, q in [0, 100], by linear interpolation between order
+/// statistics (the "linear" / type-7 rule). Precondition: xs non-empty.
+inline double percentile(std::vector<double> xs, double q) {
+  PRIO_CHECK(!xs.empty());
+  PRIO_CHECK(q >= 0.0 && q <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs.front();
+  const double pos = q / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+/// Median (50th percentile). Precondition: xs non-empty.
+inline double median(std::vector<double> xs) {
+  return percentile(std::move(xs), 50.0);
+}
+
+/// Online accumulator (Welford) for streaming means/variances.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  [[nodiscard]] double sampleVariance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+
+  [[nodiscard]] double sampleStddev() const noexcept {
+    return std::sqrt(sampleVariance());
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace prio::stats

@@ -1,0 +1,175 @@
+#include "theory/batch.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "dag/algorithms.h"
+#include "util/check.h"
+
+namespace prio::theory {
+
+namespace {
+using dag::NodeId;
+
+template <class Queue>
+BatchedExecution run(const dag::Digraph& g, Queue& eligible,
+                     std::size_t batch_size) {
+  PRIO_CHECK_MSG(batch_size >= 1, "batch size must be at least 1");
+  const std::size_t n = g.numNodes();
+  BatchedExecution out;
+  std::size_t executed = 0;
+
+  std::vector<std::size_t> pending(n);
+  for (NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) eligible.push(u);
+  }
+
+  while (executed < n) {
+    PRIO_CHECK_MSG(!eligible.empty(), "batched execution starved (cycle?)");
+    const std::size_t dispatch = std::min(batch_size, eligible.size());
+    // The round's cohort completes together; children become eligible
+    // only for the NEXT round.
+    std::vector<NodeId> cohort;
+    cohort.reserve(dispatch);
+    for (std::size_t i = 0; i < dispatch; ++i) cohort.push_back(eligible.pop());
+    for (NodeId u : cohort) {
+      for (NodeId v : g.children(u)) {
+        if (--pending[v] == 0) eligible.push(v);
+      }
+    }
+    executed += dispatch;
+    ++out.rounds;
+    out.round_sizes.push_back(dispatch);
+    if (dispatch < batch_size && executed < n) ++out.underfull_rounds;
+  }
+  return out;
+}
+
+class OrderedPool {
+ public:
+  explicit OrderedPool(std::vector<std::size_t> position)
+      : position_(std::move(position)) {}
+  void push(NodeId u) { heap_.push({position_[u], u}); }
+  NodeId pop() {
+    const NodeId u = heap_.top().second;
+    heap_.pop();
+    return u;
+  }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+ private:
+  std::vector<std::size_t> position_;
+  std::priority_queue<std::pair<std::size_t, NodeId>,
+                      std::vector<std::pair<std::size_t, NodeId>>,
+                      std::greater<>>
+      heap_;
+};
+
+class FifoPool {
+ public:
+  void push(NodeId u) { q_.push_back(u); }
+  NodeId pop() {
+    const NodeId u = q_.front();
+    q_.pop_front();
+    return u;
+  }
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+  [[nodiscard]] std::size_t size() const { return q_.size(); }
+
+ private:
+  std::deque<NodeId> q_;
+};
+
+}  // namespace
+
+BatchedExecution batchedExecute(const dag::Digraph& g,
+                                std::span<const dag::NodeId> order,
+                                std::size_t batch_size) {
+  const std::size_t n = g.numNodes();
+  PRIO_CHECK_MSG(dag::isTopologicalOrder(g, order),
+                 "batchedExecute needs a topological permutation");
+  std::vector<std::size_t> position(n, 0);
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  OrderedPool pool(std::move(position));
+  return run(g, pool, batch_size);
+}
+
+BatchedExecution batchedExecuteFifo(const dag::Digraph& g,
+                                    std::size_t batch_size) {
+  FifoPool pool;
+  return run(g, pool, batch_size);
+}
+
+BatchedExecution batchedExecuteGreedy(const dag::Digraph& g,
+                                      std::size_t batch_size) {
+  PRIO_CHECK_MSG(batch_size >= 1, "batch size must be at least 1");
+  const std::size_t n = g.numNodes();
+  BatchedExecution out;
+  std::size_t executed = 0;
+
+  std::vector<std::size_t> pending(n);
+  std::vector<NodeId> eligible;
+  for (NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) eligible.push_back(u);
+  }
+
+  // pending_after[v] tracks v's missing parents counting the cohort
+  // chosen so far as done; a pick "unlocks" v when it drops it to 0.
+  std::vector<std::size_t> pending_after = pending;
+  while (executed < n) {
+    PRIO_CHECK_MSG(!eligible.empty(), "batched execution starved (cycle?)");
+    std::vector<NodeId> cohort;
+    const std::size_t take = std::min(batch_size, eligible.size());
+    for (std::size_t pick = 0; pick < take; ++pick) {
+      std::size_t best_at = 0;
+      long best_gain = -1;
+      for (std::size_t i = 0; i < eligible.size(); ++i) {
+        const NodeId u = eligible[i];
+        long gain = 0;
+        for (const NodeId v : g.children(u)) {
+          if (pending_after[v] == 1) ++gain;
+        }
+        const NodeId best = eligible[best_at];
+        const bool better =
+            gain > best_gain ||
+            (gain == best_gain &&
+             (g.outDegree(u) > g.outDegree(best) ||
+              (g.outDegree(u) == g.outDegree(best) && u < best)));
+        if (better) {
+          best_gain = gain;
+          best_at = i;
+        }
+      }
+      const NodeId u = eligible[best_at];
+      eligible.erase(eligible.begin() + static_cast<long>(best_at));
+      for (const NodeId v : g.children(u)) --pending_after[v];
+      cohort.push_back(u);
+    }
+    for (const NodeId u : cohort) {
+      for (const NodeId v : g.children(u)) {
+        if (--pending[v] == 0) eligible.push_back(v);
+      }
+    }
+    executed += cohort.size();
+    ++out.rounds;
+    out.round_sizes.push_back(cohort.size());
+    if (cohort.size() < batch_size && executed < n) ++out.underfull_rounds;
+  }
+  return out;
+}
+
+std::size_t batchedRoundsLowerBound(const dag::Digraph& g,
+                                    std::size_t batch_size) {
+  PRIO_CHECK(batch_size >= 1);
+  if (g.numNodes() == 0) return 0;
+  const std::size_t by_volume =
+      (g.numNodes() + batch_size - 1) / batch_size;
+  const std::size_t by_depth = dag::longestPathNodes(g);
+  return std::max(by_volume, by_depth);
+}
+
+}  // namespace prio::theory

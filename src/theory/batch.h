@@ -1,0 +1,64 @@
+// Deterministic batched-execution analysis, after the companion theory
+// the paper cites as [15] (Malewicz & Rosenberg, "On batch-scheduling
+// dags for Internet-based computing", Euro-Par 2005).
+//
+// Model: execution proceeds in synchronous rounds. At the start of each
+// round, up to `batch_size` jobs that are eligible *at that moment* are
+// dispatched (chosen by a static priority order, or FIFO); all of them
+// complete before the next round. Jobs becoming eligible mid-round wait.
+// This is the deterministic skeleton of the paper's §4 stochastic model
+// in the "rare large batches" regime (mu_BIT large): the number of
+// rounds is the makespan in units of mu_BIT.
+//
+// A schedule that keeps more jobs eligible fills rounds better and
+// finishes in fewer rounds — bench_batch_rounds quantifies this for
+// PRIO vs FIFO vs critical-path without any stochastic noise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dag/digraph.h"
+
+namespace prio::theory {
+
+/// Result of a batched execution.
+struct BatchedExecution {
+  std::size_t rounds = 0;
+  /// Jobs dispatched per round (sums to numNodes()).
+  std::vector<std::size_t> round_sizes;
+  /// Rounds that dispatched fewer jobs than the batch size while work
+  /// remained — "starved" rounds where a better schedule might have kept
+  /// more jobs eligible.
+  std::size_t underfull_rounds = 0;
+};
+
+/// Executes the dag in rounds of at most batch_size jobs, picking among
+/// currently-eligible jobs by the static priority `order` (its position
+/// = rank; earlier runs first). Precondition: order is a topological
+/// permutation, batch_size >= 1.
+[[nodiscard]] BatchedExecution batchedExecute(
+    const dag::Digraph& g, std::span<const dag::NodeId> order,
+    std::size_t batch_size);
+
+/// Same, with FIFO tie-breaking (jobs in the order they became eligible;
+/// initial sources in id order).
+[[nodiscard]] BatchedExecution batchedExecuteFifo(const dag::Digraph& g,
+                                                  std::size_t batch_size);
+
+/// Lower bound on the achievable number of rounds for any schedule:
+/// max(ceil(n / b), longest path length in nodes). Tight for many dags.
+[[nodiscard]] std::size_t batchedRoundsLowerBound(const dag::Digraph& g,
+                                                  std::size_t batch_size);
+
+/// Extension: a round-aware greedy (not in the paper, in the spirit of
+/// [15]) — each round picks its cohort one job at a time, preferring the
+/// eligible job that unlocks the most children for the NEXT round given
+/// the cohort chosen so far (ties: higher out-degree, then id). A static
+/// priority list cannot react to round boundaries; this adaptive policy
+/// can, and bench_batch_rounds compares the two.
+[[nodiscard]] BatchedExecution batchedExecuteGreedy(const dag::Digraph& g,
+                                                    std::size_t batch_size);
+
+}  // namespace prio::theory

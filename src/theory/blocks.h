@@ -1,0 +1,100 @@
+// The bipartite building-block families of Fig. 2 and their explicit
+// IC-optimal schedules, plus recognizers used by the heuristic's Recurse
+// phase (§3.1 step 3): when a decomposition component is isomorphic to a
+// known family, the explicit IC-optimal schedule is used; otherwise a
+// precedence-respecting order-by-outdegree schedule is produced.
+//
+// Family definitions (see DESIGN.md §5; verified IC-optimal by the
+// brute-force checker in tests):
+//   W(a,b)  — a sources, each with b children, consecutive sources sharing
+//             exactly one child. Fig. 2's "(1,2)-W" = W(1,2), "(2,2)-W" =
+//             W(2,2). IC-optimal: sources left-to-right along the path.
+//   M(a,b)  — the dual of W(a,b) (arcs reversed): a sinks, each with b
+//             parents, consecutive sinks sharing one parent. "(1,5)-M" =
+//             M(1,5). IC-optimal: complete sinks left-to-right.
+//   N(d)    — an alternating open zigzag with d sources and d sinks
+//             (u_i -> v_i; u_{i+1} -> v_i). Fig. 2's "4-N" (4 nodes) =
+//             N(2). IC-optimal: sources from the end whose sink has a
+//             single parent.
+//   Cycle(d)— the closed zigzag: d sources, d sinks in a ring
+//             (u_i -> v_i, u_i -> v_{i-1 mod d}). "4-Cycle" = Cycle(2).
+//             IC-optimal: sources in consecutive ring order.
+//   Clique(q)— q sources, one sink per unordered source pair. "3-Clique" =
+//             Clique(3). IC-optimal: sources in any order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dag/digraph.h"
+
+namespace prio::theory {
+
+enum class BlockKind {
+  kSingleton,          ///< one node, no arcs
+  kW,                  ///< W(a,b) expansive dag
+  kM,                  ///< M(a,b) reductive dag
+  kN,                  ///< N(d) open zigzag
+  kCycle,              ///< Cycle(d) closed zigzag
+  kClique,             ///< Clique(q)
+  kCompleteBipartite,  ///< K(a,b): every source feeds every sink
+  kBipartiteGeneric,   ///< bipartite but no known IC-optimal schedule
+  kGeneric,            ///< not bipartite: heuristic schedule
+};
+
+/// Human-readable family name ("W", "M", ..., "generic").
+[[nodiscard]] const char* blockKindName(BlockKind kind);
+
+/// Result of classifying a (connected) decomposition component.
+struct BlockRecognition {
+  BlockKind kind = BlockKind::kGeneric;
+  std::size_t a = 0;  ///< first family parameter (a, d or q); 0 if unused
+  std::size_t b = 0;  ///< second family parameter; 0 if unused
+  /// Complete schedule of the component: all non-sinks first (in the
+  /// family's IC-optimal order, or by descending out-degree subject to
+  /// precedence for generic components), then all sinks.
+  std::vector<dag::NodeId> schedule;
+  /// True when `schedule` is IC-optimal by construction (known family).
+  bool ic_optimal = false;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Classifies a component and produces its schedule. Accepts any dag;
+/// disconnected or non-bipartite inputs fall through to kGeneric.
+[[nodiscard]] BlockRecognition recognizeBlock(const dag::Digraph& h);
+
+/// Precedence-respecting order-by-outdegree schedule (§3.1 step 3
+/// fallback): Kahn's algorithm preferring the ready job with the largest
+/// out-degree (ties: smallest id). Because parents of non-sinks are
+/// non-sinks, this always executes every non-sink before any sink.
+[[nodiscard]] std::vector<dag::NodeId> outdegreeSchedule(
+    const dag::Digraph& h);
+
+/// Extension (not in the paper): greedy bipartite schedule that picks the
+/// ready source completing the most sinks per step (marginal-gain greedy).
+/// Used by the ablation bench to compare against the outdegree fallback.
+[[nodiscard]] std::vector<dag::NodeId> greedyBipartiteSchedule(
+    const dag::Digraph& h);
+
+// --- Family constructors (for tests, benches and workload synthesis) ---
+
+/// W(a,b): requires a >= 1 and b >= 1 (b >= 2 when a > 1).
+[[nodiscard]] dag::Digraph makeW(std::size_t a, std::size_t b);
+/// M(a,b): dual of W(a,b); same parameter constraints.
+[[nodiscard]] dag::Digraph makeM(std::size_t a, std::size_t b);
+/// N(d): requires d >= 2.
+[[nodiscard]] dag::Digraph makeN(std::size_t d);
+/// Cycle(d): requires d >= 2.
+[[nodiscard]] dag::Digraph makeCycleDag(std::size_t d);
+/// Clique(q): requires q >= 2.
+[[nodiscard]] dag::Digraph makeCliqueDag(std::size_t q);
+/// K(a,b), the complete bipartite dag: a sources, b sinks, every source
+/// feeds every sink (an extension family beyond Fig. 2 — no sink becomes
+/// eligible before the last source runs, so every source order is
+/// IC-optimal). Requires a >= 1, b >= 1.
+[[nodiscard]] dag::Digraph makeCompleteBipartite(std::size_t a,
+                                                 std::size_t b);
+
+}  // namespace prio::theory

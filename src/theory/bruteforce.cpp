@@ -1,0 +1,169 @@
+#include "theory/bruteforce.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "theory/eligibility.h"
+#include "util/check.h"
+
+namespace prio::theory {
+
+namespace {
+
+// Per-node parent masks; a job u is eligible under executed-set `mask` iff
+// bit u is clear and (parent_mask[u] & mask) == parent_mask[u].
+struct MaskModel {
+  explicit MaskModel(const dag::Digraph& g) {
+    const std::size_t n = g.numNodes();
+    PRIO_CHECK_MSG(n <= 64, "brute-force checker requires <= 64 nodes");
+    parent_mask.assign(n, 0);
+    for (dag::NodeId u = 0; u < n; ++u) {
+      for (dag::NodeId p : g.parents(u)) {
+        parent_mask[u] |= (std::uint64_t{1} << p);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t eligibleCount(std::uint64_t mask) const {
+    std::size_t count = 0;
+    for (std::size_t u = 0; u < parent_mask.size(); ++u) {
+      const std::uint64_t bit = std::uint64_t{1} << u;
+      if ((mask & bit) == 0 && (parent_mask[u] & mask) == parent_mask[u]) {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  std::vector<std::uint64_t> parent_mask;
+};
+
+// Walks the ideal lattice breadth-first, invoking visit(mask, popcount,
+// eligible) for every distinct ideal.
+template <class Visit>
+void forEachIdeal(const dag::Digraph& g, std::size_t max_states,
+                  Visit&& visit) {
+  const MaskModel model(g);
+  const std::size_t n = g.numNodes();
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<std::uint64_t> frontier{0};
+  seen.insert(0);
+  while (!frontier.empty()) {
+    std::vector<std::uint64_t> next;
+    for (std::uint64_t mask : frontier) {
+      const auto t = static_cast<std::size_t>(__builtin_popcountll(mask));
+      visit(mask, t, model.eligibleCount(mask));
+      for (std::size_t u = 0; u < n; ++u) {
+        const std::uint64_t bit = std::uint64_t{1} << u;
+        if ((mask & bit) != 0) continue;
+        if ((model.parent_mask[u] & mask) != model.parent_mask[u]) continue;
+        const std::uint64_t grown = mask | bit;
+        if (seen.insert(grown).second) {
+          PRIO_CHECK_MSG(seen.size() <= max_states,
+                         "ideal count exceeds max_states = " << max_states);
+          next.push_back(grown);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+}
+
+}  // namespace
+
+std::vector<std::size_t> maxEligibilityProfile(const dag::Digraph& g,
+                                               std::size_t max_states) {
+  const std::size_t n = g.numNodes();
+  std::vector<std::size_t> best(n + 1, 0);
+  forEachIdeal(g, max_states,
+               [&](std::uint64_t, std::size_t t, std::size_t eligible) {
+                 if (eligible > best[t]) best[t] = eligible;
+               });
+  return best;
+}
+
+bool isICOptimal(const dag::Digraph& g, std::span<const dag::NodeId> order,
+                 std::size_t max_states) {
+  if (order.size() != g.numNodes()) return false;
+  const auto achieved = eligibilityProfile(g, order);
+  const auto best = maxEligibilityProfile(g, max_states);
+  return achieved == best;
+}
+
+double icQuality(const dag::Digraph& g, std::span<const dag::NodeId> order,
+                 std::size_t max_states) {
+  PRIO_CHECK_MSG(order.size() == g.numNodes(),
+                 "icQuality needs a complete schedule");
+  const auto achieved = eligibilityProfile(g, order);
+  const auto best = maxEligibilityProfile(g, max_states);
+  double quality = 1.0;
+  for (std::size_t t = 0; t < achieved.size(); ++t) {
+    if (best[t] == 0) continue;
+    quality = std::min(quality, static_cast<double>(achieved[t]) /
+                                    static_cast<double>(best[t]));
+  }
+  return quality;
+}
+
+std::size_t countIdeals(const dag::Digraph& g, std::size_t max_states) {
+  std::size_t count = 0;
+  forEachIdeal(g, max_states,
+               [&](std::uint64_t, std::size_t, std::size_t) { ++count; });
+  return count;
+}
+
+std::optional<std::vector<dag::NodeId>> findICOptimalSchedule(
+    const dag::Digraph& g, std::size_t max_states) {
+  const std::size_t n = g.numNodes();
+  const MaskModel model(g);
+  const auto best = maxEligibilityProfile(g, max_states);
+
+  // Forward DP over levels of the ideal lattice, keeping only "viable"
+  // ideals: those with the maximum eligibility for their size that are
+  // reachable from a viable ideal one level down. parent_of remembers one
+  // viable predecessor per surviving ideal for schedule reconstruction.
+  std::vector<std::uint64_t> level{0};
+  std::unordered_map<std::uint64_t, std::uint64_t> parent_of;
+  parent_of.emplace(0, 0);
+  std::size_t states = 1;
+
+  for (std::size_t t = 0; t < n; ++t) {
+    std::unordered_set<std::uint64_t> next;
+    for (const std::uint64_t mask : level) {
+      for (std::size_t u = 0; u < n; ++u) {
+        const std::uint64_t bit = std::uint64_t{1} << u;
+        if ((mask & bit) != 0) continue;
+        if ((model.parent_mask[u] & mask) != model.parent_mask[u]) continue;
+        const std::uint64_t grown = mask | bit;
+        if (model.eligibleCount(grown) != best[t + 1]) continue;
+        if (next.insert(grown).second) {
+          PRIO_CHECK_MSG(++states <= max_states,
+                         "viable-ideal count exceeds max_states");
+          parent_of.emplace(grown, mask);
+        }
+      }
+    }
+    if (next.empty()) return std::nullopt;  // no IC-optimal schedule
+    level.assign(next.begin(), next.end());
+  }
+
+  // Reconstruct one optimal execution order from the full ideal back to
+  // the empty one.
+  std::vector<dag::NodeId> order(n, 0);
+  std::uint64_t cur = level.front();
+  for (std::size_t t = n; t > 0; --t) {
+    const std::uint64_t prev = parent_of.at(cur);
+    const std::uint64_t bit = cur ^ prev;
+    PRIO_CHECK(bit != 0 && (bit & (bit - 1)) == 0);
+    order[t - 1] =
+        static_cast<dag::NodeId>(__builtin_ctzll(bit));
+    cur = prev;
+  }
+  return order;
+}
+
+}  // namespace prio::theory

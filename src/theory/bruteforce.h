@@ -1,0 +1,58 @@
+// Brute-force ground truth for IC-optimality on small dags.
+//
+// maxEligibilityProfile enumerates every ideal (downward-closed set of
+// executed jobs) of the dag and records, for each size t, the maximum
+// number of eligible jobs over all ideals of that size — exactly the
+// quantity an IC-optimal schedule must attain at every step (§2.1). Used
+// by the test suite to certify the explicit Fig. 2 block schedules and the
+// schedules the heuristic produces for composable dags.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dag/digraph.h"
+
+namespace prio::theory {
+
+/// Maximum achievable eligibility at every step t = 0..n, computed by
+/// exhaustive ideal enumeration. Requires numNodes() <= 64. Throws
+/// util::Error when the number of distinct ideals exceeds `max_states`
+/// (combinatorial blow-up guard).
+[[nodiscard]] std::vector<std::size_t> maxEligibilityProfile(
+    const dag::Digraph& g, std::size_t max_states = 2'000'000);
+
+/// True iff `order` is a complete schedule of g achieving the brute-force
+/// maximum eligibility at every step.
+[[nodiscard]] bool isICOptimal(const dag::Digraph& g,
+                               std::span<const dag::NodeId> order,
+                               std::size_t max_states = 2'000'000);
+
+/// Number of distinct ideals of the dag (test/diagnostic helper; counts up
+/// to max_states then throws).
+[[nodiscard]] std::size_t countIdeals(const dag::Digraph& g,
+                                      std::size_t max_states = 2'000'000);
+
+/// IC quality of a schedule: min over t (with E_max(t) > 0) of
+/// E_Σ(t) / E_max(t) — 1.0 exactly when the schedule is IC-optimal, and
+/// otherwise the worst-case fraction of the achievable eligibility the
+/// schedule preserves (the quantity the ⊵_r relation bounds). Brute
+/// force; same size limits as maxEligibilityProfile.
+[[nodiscard]] double icQuality(const dag::Digraph& g,
+                               std::span<const dag::NodeId> order,
+                               std::size_t max_states = 2'000'000);
+
+/// Exact decision procedure: returns an IC-optimal schedule of g, or
+/// nullopt when g admits none (the theory's fundamental negative result —
+/// "there do exist even some simple dags whose structures preclude any
+/// IC-optimal schedule", §2.1). Runs a forward DP over the ideal lattice
+/// keeping only ideals that attain the maximum eligibility at their size
+/// AND are reachable through such ideals at every smaller size.
+/// Requires numNodes() <= 64; throws when states exceed max_states.
+[[nodiscard]] std::optional<std::vector<dag::NodeId>>
+findICOptimalSchedule(const dag::Digraph& g,
+                      std::size_t max_states = 2'000'000);
+
+}  // namespace prio::theory

@@ -1,0 +1,32 @@
+// The theory's dag-composition operator (§2.2 / [16]): complex dags are
+// "assembled" from building blocks by identifying sinks of one block with
+// sources of the next. decompose() inverts exactly this operation, so the
+// composition operator is both a workload-construction tool and the basis
+// for round-trip property tests (compose blocks, decompose, recover the
+// blocks).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dag/digraph.h"
+
+namespace prio::theory {
+
+/// Composes `a` and `b` by identifying a_sinks[i] (which must be a sink
+/// of a) with b_sources[i] (a source of b), pairwise. The merged node
+/// keeps a's name. Remaining b-node names are made unique if they clash
+/// with a's. Throws util::Error on non-sink/non-source arguments,
+/// length mismatch or duplicates.
+[[nodiscard]] dag::Digraph composeDags(const dag::Digraph& a,
+                                       std::span<const dag::NodeId> a_sinks,
+                                       const dag::Digraph& b,
+                                       std::span<const dag::NodeId> b_sources);
+
+/// Chain-composes blocks left to right: each step identifies the first
+/// min(#sinks, #sources) sinks of the accumulated dag (in id order) with
+/// that many sources of the next block (in id order).
+[[nodiscard]] dag::Digraph chainCompose(
+    const std::vector<dag::Digraph>& blocks);
+
+}  // namespace prio::theory

@@ -1,0 +1,61 @@
+// Analysis helpers for eligibility curves (the Fig. 4 quantities):
+// pointwise comparison of two profiles E_A(t), E_B(t) — maximum/minimum
+// difference, area, dominance — shared by tests, benches and reports.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/check.h"
+
+namespace prio::theory {
+
+/// Summary of E_A(t) − E_B(t) over a common domain.
+struct CurveComparison {
+  long long max_diff = 0;
+  std::size_t argmax = 0;       ///< first step attaining max_diff
+  long long min_diff = 0;
+  std::size_t argmin = 0;       ///< first step attaining min_diff
+  long long area = 0;           ///< sum of differences over all steps
+  std::size_t steps_above = 0;  ///< steps with A > B
+  std::size_t steps_below = 0;  ///< steps with A < B
+
+  /// A is never below B.
+  [[nodiscard]] bool dominates() const noexcept { return min_diff >= 0; }
+  /// A dominates and beats B somewhere.
+  [[nodiscard]] bool strictlyDominates() const noexcept {
+    return dominates() && steps_above > 0;
+  }
+  [[nodiscard]] double meanDiff(std::size_t total_steps) const noexcept {
+    return total_steps == 0
+               ? 0.0
+               : static_cast<double>(area) /
+                     static_cast<double>(total_steps);
+  }
+};
+
+/// Compares two profiles of equal length.
+[[nodiscard]] inline CurveComparison compareProfiles(
+    std::span<const std::size_t> a, std::span<const std::size_t> b) {
+  PRIO_CHECK_MSG(a.size() == b.size(),
+                 "profiles must cover the same number of steps");
+  CurveComparison out;
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    const long long diff = static_cast<long long>(a[t]) -
+                           static_cast<long long>(b[t]);
+    out.area += diff;
+    if (diff > out.max_diff) {
+      out.max_diff = diff;
+      out.argmax = t;
+    }
+    if (diff < out.min_diff) {
+      out.min_diff = diff;
+      out.argmin = t;
+    }
+    if (diff > 0) ++out.steps_above;
+    if (diff < 0) ++out.steps_below;
+  }
+  return out;
+}
+
+}  // namespace prio::theory

@@ -1,0 +1,60 @@
+#include "theory/eligibility.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace prio::theory {
+
+std::vector<std::size_t> eligibilityProfile(
+    const dag::Digraph& g, std::span<const dag::NodeId> order) {
+  const std::size_t n = g.numNodes();
+  PRIO_CHECK_MSG(order.size() <= n, "order longer than the dag");
+
+  std::vector<std::size_t> done_parents(n, 0);
+  std::vector<char> executed(n, 0);
+  std::size_t eligible = 0;
+  for (dag::NodeId u = 0; u < n; ++u) {
+    if (g.inDegree(u) == 0) ++eligible;
+  }
+
+  std::vector<std::size_t> profile;
+  profile.reserve(order.size() + 1);
+  profile.push_back(eligible);
+
+  for (dag::NodeId u : order) {
+    PRIO_CHECK_MSG(u < n, "schedule names an unknown job");
+    PRIO_CHECK_MSG(!executed[u], "schedule repeats job " << g.name(u));
+    PRIO_CHECK_MSG(done_parents[u] == g.inDegree(u),
+                   "schedule executes " << g.name(u)
+                                        << " before its parents");
+    executed[u] = 1;
+    --eligible;  // u was eligible; it no longer is.
+    for (dag::NodeId v : g.children(u)) {
+      if (++done_parents[v] == g.inDegree(v)) ++eligible;
+    }
+    profile.push_back(eligible);
+  }
+  return profile;
+}
+
+std::size_t eligibleCount(const dag::Digraph& g,
+                          std::span<const dag::NodeId> executed) {
+  const std::size_t n = g.numNodes();
+  std::vector<char> done(n, 0);
+  for (dag::NodeId u : executed) {
+    PRIO_CHECK(u < n);
+    done[u] = 1;
+  }
+  std::size_t eligible = 0;
+  for (dag::NodeId u = 0; u < n; ++u) {
+    if (done[u]) continue;
+    const auto ps = g.parents(u);
+    const bool ok = std::all_of(ps.begin(), ps.end(),
+                                [&](dag::NodeId p) { return done[p]; });
+    if (ok) ++eligible;
+  }
+  return eligible;
+}
+
+}  // namespace prio::theory

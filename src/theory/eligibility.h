@@ -1,0 +1,31 @@
+// Eligibility profiles — the central quantity of the IC-scheduling theory.
+//
+// For a dag G and a schedule Σ (an execution order of G's jobs), E_Σ(t) is
+// the number of eligible jobs after the first t jobs of Σ have executed: an
+// unexecuted job is eligible when all of its parents have executed
+// (sources are eligible immediately). A schedule is IC-optimal when E_Σ(t)
+// is the maximum achievable over all precedence-respecting choices of t
+// executed jobs, simultaneously for every t (§2.1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dag/digraph.h"
+
+namespace prio::theory {
+
+/// E_Σ(t) for t = 0..order.size(). `order` must be a topological prefix of
+/// the dag (it may cover only the first k jobs; the profile then has k+1
+/// entries). Throws util::Error if `order` executes a job before one of
+/// its parents or repeats a job.
+[[nodiscard]] std::vector<std::size_t> eligibilityProfile(
+    const dag::Digraph& g, std::span<const dag::NodeId> order);
+
+/// Convenience: number of eligible jobs after executing `executed` (each
+/// entry marks a job as done). Order-insensitive.
+[[nodiscard]] std::size_t eligibleCount(const dag::Digraph& g,
+                                        std::span<const dag::NodeId> executed);
+
+}  // namespace prio::theory

@@ -1,0 +1,73 @@
+#include "theory/priority.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace prio::theory {
+
+namespace {
+// Shared iteration: for every (x, y), feed LHS = E_i(x)+E_j(y) and
+// RHS = E_i(min(s_i,x+y)) + E_j((x+y)-min(s_i,x+y)) to the visitor.
+// Visitor returns false to abort early.
+template <class Visit>
+void forEachPair(std::span<const std::size_t> ei,
+                 std::span<const std::size_t> ej, Visit&& visit) {
+  PRIO_CHECK_MSG(!ei.empty() && !ej.empty(),
+                 "profiles must include at least E(0)");
+  const std::size_t si = ei.size() - 1;
+  const std::size_t sj = ej.size() - 1;
+  for (std::size_t x = 0; x <= si; ++x) {
+    for (std::size_t y = 0; y <= sj; ++y) {
+      const std::size_t total = x + y;
+      const std::size_t a = std::min(si, total);
+      const std::size_t b = total - a;  // b <= sj since total <= si + sj
+      if (!visit(ei[x] + ej[y], ei[a] + ej[b])) return;
+    }
+  }
+}
+}  // namespace
+
+bool hasPriorityOver(std::span<const std::size_t> ei,
+                     std::span<const std::size_t> ej) {
+  bool holds = true;
+  forEachPair(ei, ej, [&](std::size_t lhs, std::size_t rhs) {
+    if (rhs < lhs) {
+      holds = false;
+      return false;
+    }
+    return true;
+  });
+  return holds;
+}
+
+double pairPriority(std::span<const std::size_t> ei,
+                    std::span<const std::size_t> ej) {
+  double r = 1.0;
+  forEachPair(ei, ej, [&](std::size_t lhs, std::size_t rhs) {
+    if (lhs > 0) {
+      const double bound =
+          static_cast<double>(rhs) / static_cast<double>(lhs);
+      if (bound < r) r = bound;
+    }
+    return r > 0.0;  // cannot get below zero; stop early at 0
+  });
+  return std::max(r, 0.0);
+}
+
+bool linearlyPrioritizable(
+    const std::vector<std::vector<std::size_t>>& profiles) {
+  // ⊵ is transitive (§2.2 step 4), so pairwise comparability of all
+  // profiles implies a linear prioritization exists.
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+      if (!hasPriorityOver(profiles[i], profiles[j]) &&
+          !hasPriorityOver(profiles[j], profiles[i])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace prio::theory

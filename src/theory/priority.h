@@ -1,0 +1,42 @@
+// The priority relations that drive the Combine phase.
+//
+// ⊵ (eq. 1, §2.2 step 4): component C_i "has priority over" C_j when
+// executing all of C_i's non-sinks (per its schedule) before any of C_j's
+// keeps the total eligible-job count maximal at every step.
+//
+// ⊵_r (§3.1 steps 4–5): the graceful generalization — C_i ⊵_r C_j when the
+// concatenated schedule always attains at least the fraction r of the best
+// achievable count. priority(C_i over C_j) is the largest such r in [0,1].
+//
+// Both are computed purely from the components' eligibility profiles
+// E_i(x), x = 0..s_i (s_i = number of non-sinks), so results can be
+// memoized per profile pair — the engineering that makes the Combine phase
+// fast on dags with thousands of isomorphic components.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace prio::theory {
+
+/// Exact ⊵ check (eq. 1): true iff for all x in [0,s_i], y in [0,s_j]:
+///   E_i(x) + E_j(y) <= E_i(min(s_i,x+y)) + E_j((x+y) - min(s_i,x+y)).
+/// `ei` has s_i + 1 entries (E_i(0)..E_i(s_i)); likewise `ej`.
+[[nodiscard]] bool hasPriorityOver(std::span<const std::size_t> ei,
+                                   std::span<const std::size_t> ej);
+
+/// priority(C_i over C_j): the largest r in [0,1] with C_i ⊵_r C_j.
+/// Returns 1.0 when the exact relation holds (including degenerate empty
+/// profiles) and 0.0 when some reachable step would lose everything.
+[[nodiscard]] double pairPriority(std::span<const std::size_t> ei,
+                                  std::span<const std::size_t> ej);
+
+/// True iff ⊵ is a linear order on the given profiles after sorting, i.e.
+/// the components can be linearly prioritized C_1 ⊵ C_2 ⊵ ... (the
+/// precondition under which the heuristic is provably IC-optimal, §3.1).
+/// Quadratic in the number of profiles; intended for certificates/tests.
+[[nodiscard]] bool linearlyPrioritizable(
+    const std::vector<std::vector<std::size_t>>& profiles);
+
+}  // namespace prio::theory

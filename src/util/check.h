@@ -1,0 +1,50 @@
+// Lightweight runtime-check utilities shared by all prio subsystems.
+//
+// The library throws prio::util::Error (derived from std::runtime_error) on
+// precondition violations in public entry points; internal invariants use
+// PRIO_ASSERT which is compiled in all build types (the algorithms here are
+// cheap relative to the checks, and silent corruption of a schedule is far
+// worse than an abort).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace prio::util {
+
+/// Exception thrown on violated preconditions and malformed inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* expr, const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << "prio check failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace prio::util
+
+/// Always-on invariant check; throws prio::util::Error with location info.
+#define PRIO_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::prio::util::detail::raise(#expr, __FILE__, __LINE__, "");         \
+  } while (0)
+
+/// Invariant check with an explanatory message (streamed into a string).
+#define PRIO_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream prio_check_os_;                                  \
+      prio_check_os_ << msg;                                              \
+      ::prio::util::detail::raise(#expr, __FILE__, __LINE__,              \
+                                  prio_check_os_.str());                  \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,58 @@
+// Wall-clock timing and process memory probes for the overhead experiments.
+//
+// Section 3.6 of the paper reports running time and peak memory of the prio
+// tool on the four scientific dags; bench_table_overhead reproduces that
+// table using these helpers. Peak memory is read from /proc/self/status
+// (VmHWM), so absolute values are Linux RSS rather than the paper's Windows
+// working-set numbers — comparable in order of magnitude only.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace prio::util {
+
+/// Monotonic stopwatch; starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  [[nodiscard]] double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+namespace detail {
+inline std::size_t readStatusKb(const char* key) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  const std::string prefix = std::string(key) + ":";
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      std::istringstream is(line.substr(prefix.size()));
+      std::size_t kb = 0;
+      is >> kb;
+      return kb;
+    }
+  }
+  return 0;
+}
+}  // namespace detail
+
+/// Peak resident set size of this process in kilobytes (0 if unavailable).
+inline std::size_t peakRssKb() { return detail::readStatusKb("VmHWM"); }
+
+/// Current resident set size of this process in kilobytes (0 if unavailable).
+inline std::size_t currentRssKb() { return detail::readStatusKb("VmRSS"); }
+
+}  // namespace prio::util

@@ -1,0 +1,39 @@
+// Additional scientific-workflow archetypes (Pegasus-style), extending
+// the §5 "broad repertoire" beyond the paper's four dags:
+//   - CyberShake: per-site seismic hazard — two ExtractSGT jobs feed many
+//     SeismogramSynthesis jobs (shared parents!), each followed by a
+//     PeakValCalc, all zipped per site and merged globally.
+//   - Epigenomics: per-lane deep sequencing pipelines (split -> filter ->
+//     sol2sanger -> fastq2bfq -> map chains) merged, indexed and piled
+//     up — long parallel chains into a global join.
+// Both shapes are standard in workflow-scheduling evaluations and stress
+// different parts of the heuristic: CyberShake is dominated by wide
+// shared-parent bipartite blocks, Epigenomics by deep chain bundles.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/digraph.h"
+
+namespace prio::workloads {
+
+/// CyberShake-style dag.
+/// Job count = sites * (2 + 2*synthesis_per_site + 1) + 1.
+struct CybershakeParams {
+  std::size_t sites = 4;
+  std::size_t synthesis_per_site = 20;
+};
+[[nodiscard]] dag::Digraph makeCybershake(const CybershakeParams& p = {});
+[[nodiscard]] std::size_t cybershakeJobCount(const CybershakeParams& p = {});
+
+/// Epigenomics-style dag.
+/// Job count = lanes * (1 + 4*splits_per_lane) + 3.
+struct EpigenomicsParams {
+  std::size_t lanes = 4;
+  std::size_t splits_per_lane = 8;
+};
+[[nodiscard]] dag::Digraph makeEpigenomics(const EpigenomicsParams& p = {});
+[[nodiscard]] std::size_t epigenomicsJobCount(
+    const EpigenomicsParams& p = {});
+
+}  // namespace prio::workloads

@@ -1,0 +1,37 @@
+// Random dag families for property-based testing and extra benches:
+//   - randomDag: Erdős–Rényi over a topological id order,
+//   - layeredRandom: layered dags where every non-first-layer node has at
+//     least one parent in the previous layer,
+//   - randomComposable: dags assembled from the Fig. 2 building blocks by
+//     attaching fan-out/fan-in/chain blocks to the current frontier —
+//     these exercise the decomposition's composition machinery and often
+//     admit IC-optimal schedules the heuristic can certify.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/digraph.h"
+#include "stats/rng.h"
+
+namespace prio::workloads {
+
+/// Random dag on n nodes: each pair (i, j) with i < j carries the arc
+/// i -> j with probability edge_prob.
+[[nodiscard]] dag::Digraph randomDag(std::size_t n, double edge_prob,
+                                     stats::Rng& rng);
+
+/// Layered random dag: `layers` layers of `width` nodes; every node in
+/// layer k >= 1 gets one uniformly chosen parent in layer k-1, plus each
+/// other cross-layer pair (k-1 -> k) with probability edge_prob.
+[[nodiscard]] dag::Digraph layeredRandom(std::size_t layers,
+                                         std::size_t width, double edge_prob,
+                                         stats::Rng& rng);
+
+/// Dag assembled from building blocks: starting from a random W block, a
+/// sequence of `steps` operations attaches a fan-out W(1,c), a fan-in
+/// M(1,c), or a chain link to nodes of the current frontier (the sinks so
+/// far). Produces connected dags composed of bipartite blocks.
+[[nodiscard]] dag::Digraph randomComposable(std::size_t steps,
+                                            stats::Rng& rng);
+
+}  // namespace prio::workloads

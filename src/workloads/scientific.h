@@ -1,0 +1,94 @@
+// Synthetic generators for the four scientific dags of §3.3.
+//
+// The original DAGMan files (AIRSN, Inspiral, Montage, SDSS) are not
+// publicly archived, so these generators reproduce the structural
+// descriptions the paper gives (see DESIGN.md substitution #1), calibrated
+// so the default parameters yield exactly the paper's job counts:
+//   AIRSN(width 250)  =    773 jobs
+//   Inspiral          =  2,988 jobs, with a >1000-job non-bipartite
+//                         decomposition component
+//   Montage           =  7,881 jobs, with a >1000-source bipartite
+//                         component, 3–10 children per source, shared
+//   SDSS              = 48,013 jobs, with a >1500-source bipartite
+//                         component, 3 children per source, shared
+// Each generator is parameterized so scaled-down instances can be used by
+// the simulation benches (paperScale()/benchScale() presets).
+#pragma once
+
+#include <cstddef>
+
+#include "dag/digraph.h"
+
+namespace prio::workloads {
+
+/// AIRSN (fMRI analysis): the "double umbrella with fringes" of Fig. 5 —
+/// a handle chain, a fork of `width` jobs each also depending on a
+/// dedicated fringe job, a join, a second fork of `width`, and a final
+/// join. Job count = handle_length + 3*width + 2.
+struct AirsnParams {
+  std::size_t width = 250;
+  std::size_t handle_length = 21;
+};
+[[nodiscard]] dag::Digraph makeAirsn(const AirsnParams& params = {});
+[[nodiscard]] std::size_t airsnJobCount(const AirsnParams& params = {});
+
+/// Inspiral (gravitational-wave search): `segments` analysis segments,
+/// each datafind -> templates x tmpltbank -> templates x inspiral ->
+/// thinca -> trigbank -> sire, where every inspiral also depends on a
+/// per-segment shallow `calibration` source (the AIRSN "fringe" pattern
+/// that separates PRIO from FIFO). Coincidence couples segments at mixed
+/// depths: thinca_i depends on segment i's inspirals AND on a veto_i job
+/// computed from segment (i+1)'s inspirals (wrapping around at the last
+/// segment). The mixed depth means no source ever roots a bipartite
+/// component once every segment reaches the inspiral level, so the
+/// general C(s) search welds the whole inspiral/veto/thinca layer
+/// (segments*(templates+2) jobs) into one non-bipartite decomposition
+/// component — the paper's ">1000-job non-bipartite component".
+/// Job count = segments * (2*templates + 6).
+struct InspiralParams {
+  std::size_t segments = 83;
+  std::size_t templates = 15;
+};
+[[nodiscard]] dag::Digraph makeInspiral(const InspiralParams& params = {});
+[[nodiscard]] std::size_t inspiralJobCount(const InspiralParams& params = {});
+
+/// Montage (image mosaicking): an rows x cols grid of images; one
+/// mProject per image; one mDiffFit per overlapping pair (the 4-neighbor
+/// grid overlaps plus `extra_diagonal_overlaps` diagonal ones, assigned
+/// row-major) — so projects are sources with a few to ~ten shared
+/// children; then mConcatFit -> mBgModel -> per-image mBackground ->
+/// mImgtbl -> mAdd -> mShrink -> mJPEG.
+/// Job count = 2*rows*cols + overlaps + 6.
+struct MontageParams {
+  std::size_t rows = 20;
+  std::size_t cols = 90;
+  std::size_t extra_diagonal_overlaps = 785;
+};
+[[nodiscard]] dag::Digraph makeMontage(const MontageParams& params = {});
+[[nodiscard]] std::size_t montageJobCount(const MontageParams& params = {});
+
+/// SDSS (galaxy-cluster search): `fields` field-extraction sources, each
+/// with 3 children, consecutive fields sharing one (a W(fields,3) block
+/// with 2*fields+1 target jobs); each target is followed by a processing
+/// chain whose depth alternates long_chain / short_chain (the depth
+/// heterogeneity of the real per-target pipelines — and the source of
+/// PRIO's eligibility advantage over FIFO here); all chains join into one
+/// coadd job fanning out to `output_files` catalog jobs.
+/// Job count = fields + (2F+1) + ceil((2F+1)/2)*long_chain
+///             + floor((2F+1)/2)*short_chain + 1 + output_files.
+struct SdssParams {
+  std::size_t fields = 1700;
+  std::size_t long_chain = 16;
+  std::size_t short_chain = 8;
+  std::size_t output_files = 2095;
+};
+[[nodiscard]] dag::Digraph makeSdss(const SdssParams& params = {});
+[[nodiscard]] std::size_t sdssJobCount(const SdssParams& params = {});
+
+/// Scaled-down presets used by the simulation benches so the full suite
+/// runs in minutes on one core (the structural shape is preserved).
+[[nodiscard]] InspiralParams inspiralBenchScale();
+[[nodiscard]] MontageParams montageBenchScale();
+[[nodiscard]] SdssParams sdssBenchScale();
+
+}  // namespace prio::workloads

@@ -1,0 +1,173 @@
+// Tests for the B-tree priority queue (§3.5 engineering substrate),
+// including randomized differential tests against std::multiset.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "stats/rng.h"
+#include "util/btree_pq.h"
+#include "util/check.h"
+
+namespace {
+
+using prio::stats::Rng;
+using prio::util::BTreePq;
+
+TEST(BTreePq, StartsEmpty) {
+  BTreePq<int, int> pq;
+  EXPECT_TRUE(pq.empty());
+  EXPECT_EQ(pq.size(), 0u);
+  EXPECT_THROW((void)pq.min(), prio::util::Error);
+  EXPECT_THROW((void)pq.max(), prio::util::Error);
+}
+
+TEST(BTreePq, SingleElement) {
+  BTreePq<int, int> pq;
+  pq.insert(7, 42);
+  EXPECT_FALSE(pq.empty());
+  EXPECT_EQ(pq.size(), 1u);
+  EXPECT_EQ(pq.min(), (std::pair<int, int>{7, 42}));
+  EXPECT_EQ(pq.max(), (std::pair<int, int>{7, 42}));
+  EXPECT_TRUE(pq.contains(7, 42));
+  EXPECT_FALSE(pq.contains(7, 43));
+  EXPECT_TRUE(pq.erase(7, 42));
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(BTreePq, OrdersLexicographically) {
+  BTreePq<int, int> pq;
+  pq.insert(1, 9);
+  pq.insert(1, 2);
+  pq.insert(0, 100);
+  pq.insert(2, -5);
+  EXPECT_EQ(pq.min(), (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(pq.max(), (std::pair<int, int>{2, -5}));
+  EXPECT_EQ(pq.popMin(), (std::pair<int, int>{0, 100}));
+  EXPECT_EQ(pq.popMin(), (std::pair<int, int>{1, 2}));
+  EXPECT_EQ(pq.popMax(), (std::pair<int, int>{2, -5}));
+  EXPECT_EQ(pq.popMax(), (std::pair<int, int>{1, 9}));
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(BTreePq, DuplicatePairsAreKept) {
+  BTreePq<int, int> pq;
+  for (int i = 0; i < 5; ++i) pq.insert(3, 3);
+  EXPECT_EQ(pq.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(pq.erase(3, 3));
+  EXPECT_FALSE(pq.erase(3, 3));
+  EXPECT_TRUE(pq.empty());
+}
+
+TEST(BTreePq, EraseMissingReturnsFalse) {
+  BTreePq<int, int> pq;
+  pq.insert(1, 1);
+  EXPECT_FALSE(pq.erase(1, 2));
+  EXPECT_FALSE(pq.erase(2, 1));
+  EXPECT_EQ(pq.size(), 1u);
+}
+
+TEST(BTreePq, SortedTraversalAfterManyInserts) {
+  BTreePq<int, int> pq;
+  Rng rng(1);
+  std::vector<std::pair<int, int>> reference;
+  for (int i = 0; i < 2000; ++i) {
+    const int k = static_cast<int>(rng.below(100));
+    const int v = static_cast<int>(rng.below(100));
+    pq.insert(k, v);
+    reference.emplace_back(k, v);
+  }
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(pq.toSortedVector(), reference);
+  pq.validate();
+}
+
+TEST(BTreePq, AscendingAndDescendingInsertions) {
+  for (const bool ascending : {true, false}) {
+    BTreePq<int, int> pq;
+    for (int i = 0; i < 1000; ++i) {
+      pq.insert(ascending ? i : 1000 - i, 0);
+    }
+    pq.validate();
+    EXPECT_EQ(pq.size(), 1000u);
+    int prev = -1;
+    while (!pq.empty()) {
+      const auto [k, v] = pq.popMin();
+      EXPECT_GT(k, prev);
+      prev = k;
+    }
+  }
+}
+
+TEST(BTreePq, MoveSemantics) {
+  BTreePq<int, int> pq;
+  pq.insert(1, 1);
+  pq.insert(2, 2);
+  BTreePq<int, int> other = std::move(pq);
+  EXPECT_EQ(other.size(), 2u);
+  EXPECT_EQ(other.popMin(), (std::pair<int, int>{1, 1}));
+}
+
+TEST(BTreePq, DoubleKeysWithNegativeValues) {
+  // The combine phase uses (double priority, -class id) pairs.
+  BTreePq<double, long> pq;
+  pq.insert(0.5, -3);
+  pq.insert(1.0, -7);
+  pq.insert(1.0, -2);
+  // Max = highest priority, ties broken to the highest value = smallest
+  // class id.
+  EXPECT_EQ(pq.max(), (std::pair<double, long>{1.0, -2}));
+}
+
+// ---- Randomized differential test vs std::multiset ----
+
+class BTreePqRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BTreePqRandomized, MatchesMultisetReference) {
+  Rng rng(GetParam());
+  BTreePq<int, int, 3> pq;  // small degree stresses splits/merges
+  std::multiset<std::pair<int, int>> ref;
+
+  for (int step = 0; step < 4000; ++step) {
+    const auto action = rng.below(100);
+    if (action < 55 || ref.empty()) {
+      const int k = static_cast<int>(rng.below(50));
+      const int v = static_cast<int>(rng.below(50));
+      pq.insert(k, v);
+      ref.insert({k, v});
+    } else if (action < 75) {
+      // Erase an existing element.
+      auto it = ref.begin();
+      std::advance(it, static_cast<long>(rng.below(ref.size())));
+      EXPECT_TRUE(pq.erase(it->first, it->second));
+      ref.erase(it);
+    } else if (action < 85) {
+      // Erase a probably-missing element.
+      const int k = static_cast<int>(rng.below(50));
+      const int v = 1000 + static_cast<int>(rng.below(50));
+      EXPECT_EQ(pq.erase(k, v), ref.erase({k, v}) > 0);
+    } else if (action < 92) {
+      EXPECT_EQ(pq.popMin(), *ref.begin());
+      ref.erase(ref.begin());
+    } else {
+      EXPECT_EQ(pq.popMax(), *std::prev(ref.end()));
+      ref.erase(std::prev(ref.end()));
+    }
+    ASSERT_EQ(pq.size(), ref.size());
+    if (!ref.empty()) {
+      ASSERT_EQ(pq.min(), *ref.begin());
+      ASSERT_EQ(pq.max(), *std::prev(ref.end()));
+    }
+    if (step % 500 == 0) pq.validate();
+  }
+  pq.validate();
+  std::vector<std::pair<int, int>> expected(ref.begin(), ref.end());
+  EXPECT_EQ(pq.toSortedVector(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreePqRandomized,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for topological sorting, reachability, components, ranks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "dag/algorithms.h"
+#include "dag/digraph.h"
+#include "stats/rng.h"
+#include "workloads/random.h"
+
+namespace {
+
+using namespace prio::dag;
+using prio::stats::Rng;
+
+Digraph diamond() {
+  Digraph g;
+  const NodeId a = g.addNode("a"), b = g.addNode("b"), c = g.addNode("c"),
+               d = g.addNode("d");
+  g.addEdge(a, b);
+  g.addEdge(a, c);
+  g.addEdge(b, d);
+  g.addEdge(c, d);
+  return g;
+}
+
+TEST(TopologicalOrder, DiamondDeterministic) {
+  const Digraph g = diamond();
+  const auto order = topologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  // Kahn with min-id ties: a, b, c, d.
+  EXPECT_EQ(*order, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_TRUE(isTopologicalOrder(g, *order));
+}
+
+TEST(TopologicalOrder, DetectsCycle) {
+  Digraph g;
+  const NodeId a = g.addNode("a"), b = g.addNode("b"), c = g.addNode("c");
+  g.addEdge(a, b);
+  g.addEdge(b, c);
+  g.addEdge(c, a);
+  EXPECT_FALSE(topologicalOrder(g).has_value());
+  EXPECT_FALSE(isAcyclic(g));
+}
+
+TEST(TopologicalOrder, EmptyGraph) {
+  Digraph g;
+  const auto order = topologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(IsTopologicalOrder, RejectsBadOrders) {
+  const Digraph g = diamond();
+  EXPECT_FALSE(isTopologicalOrder(g, std::vector<NodeId>{0, 1, 2}));     // short
+  EXPECT_FALSE(isTopologicalOrder(g, std::vector<NodeId>{0, 0, 1, 2}));  // dup
+  EXPECT_FALSE(isTopologicalOrder(g, std::vector<NodeId>{1, 0, 2, 3}));  // b<a
+  EXPECT_FALSE(isTopologicalOrder(g, std::vector<NodeId>{0, 1, 2, 9}));  // oob
+  EXPECT_TRUE(isTopologicalOrder(g, std::vector<NodeId>{0, 2, 1, 3}));
+}
+
+TEST(DescendantMatrix, DiamondReachability) {
+  const Digraph g = diamond();
+  const auto reach = descendantMatrix(g);
+  EXPECT_TRUE(reach.test(0, 1));
+  EXPECT_TRUE(reach.test(0, 2));
+  EXPECT_TRUE(reach.test(0, 3));
+  EXPECT_TRUE(reach.test(1, 3));
+  EXPECT_FALSE(reach.test(1, 2));
+  EXPECT_FALSE(reach.test(3, 0));
+  EXPECT_FALSE(reach.test(0, 0));  // proper descendants only
+}
+
+TEST(DescendantsAndAncestors, Diamond) {
+  const Digraph g = diamond();
+  auto d = descendants(g, 0);
+  std::sort(d.begin(), d.end());
+  EXPECT_EQ(d, (std::vector<NodeId>{1, 2, 3}));
+  auto a = ancestors(g, 3);
+  std::sort(a.begin(), a.end());
+  EXPECT_EQ(a, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_TRUE(descendants(g, 3).empty());
+  EXPECT_TRUE(ancestors(g, 0).empty());
+}
+
+TEST(WeaklyConnectedComponents, CountsAndLabels) {
+  Digraph g;
+  const NodeId a = g.addNode("a"), b = g.addNode("b");
+  const NodeId c = g.addNode("c"), d = g.addNode("d");
+  g.addNode("iso");
+  g.addEdge(a, b);
+  g.addEdge(d, c);  // direction must not matter
+  const auto comps = weaklyConnectedComponents(g);
+  EXPECT_EQ(comps.count, 3u);
+  EXPECT_EQ(comps.label[a], comps.label[b]);
+  EXPECT_EQ(comps.label[c], comps.label[d]);
+  EXPECT_NE(comps.label[a], comps.label[c]);
+  EXPECT_NE(comps.label[4], comps.label[a]);
+}
+
+TEST(IsConnected, Basics) {
+  EXPECT_FALSE(isConnected(Digraph{}));
+  Digraph g;
+  g.addNode("a");
+  EXPECT_TRUE(isConnected(g));
+  g.addNode("b");
+  EXPECT_FALSE(isConnected(g));
+}
+
+TEST(LongestPathNodes, ChainAndDiamond) {
+  EXPECT_EQ(longestPathNodes(Digraph{}), 0u);
+  EXPECT_EQ(longestPathNodes(diamond()), 3u);  // a-b-d
+  Digraph chain;
+  NodeId prev = chain.addNode("n0");
+  for (int i = 1; i < 5; ++i) {
+    const NodeId next = chain.addNode("n" + std::to_string(i));
+    chain.addEdge(prev, next);
+    prev = next;
+  }
+  EXPECT_EQ(longestPathNodes(chain), 5u);
+}
+
+TEST(UpwardRank, DiamondRanks) {
+  const auto rank = upwardRank(diamond());
+  EXPECT_EQ(rank[3], 1u);
+  EXPECT_EQ(rank[1], 2u);
+  EXPECT_EQ(rank[2], 2u);
+  EXPECT_EQ(rank[0], 3u);
+}
+
+TEST(UpwardRank, ParentAlwaysExceedsChild) {
+  Rng rng(17);
+  const auto g = prio::workloads::randomDag(40, 0.15, rng);
+  const auto rank = upwardRank(g);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v : g.children(u)) EXPECT_GT(rank[u], rank[v]);
+  }
+}
+
+TEST(IsBipartiteDag, Classification) {
+  Digraph bip;
+  const NodeId s1 = bip.addNode("s1"), s2 = bip.addNode("s2");
+  const NodeId t1 = bip.addNode("t1");
+  bip.addEdge(s1, t1);
+  bip.addEdge(s2, t1);
+  EXPECT_TRUE(isBipartiteDag(bip));
+  EXPECT_FALSE(isBipartiteDag(diamond()));  // b has parent and child
+  Digraph empty;
+  EXPECT_TRUE(isBipartiteDag(empty));
+}
+
+// Property sweep: random dags always admit valid topological orders and
+// the descendant matrix agrees with BFS descendants.
+class RandomDagAlgorithms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDagAlgorithms, TopoAndReachConsistent) {
+  Rng rng(GetParam());
+  const auto g = prio::workloads::randomDag(30, 0.12, rng);
+  const auto order = topologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(isTopologicalOrder(g, *order));
+  const auto reach = descendantMatrix(g);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    const auto bfs = descendants(g, u);
+    EXPECT_EQ(bfs.size(), reach.rowPopcount(u));
+    for (NodeId v : bfs) EXPECT_TRUE(reach.test(u, v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagAlgorithms,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace

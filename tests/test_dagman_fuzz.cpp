@@ -1,0 +1,109 @@
+// Robustness tests for the DAGMan parser: random token soup must either
+// parse cleanly or throw util::Error (never crash or corrupt state), and
+// structured random files must round-trip exactly.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dagman/dagman_file.h"
+#include "stats/rng.h"
+#include "util/check.h"
+#include "workloads/random.h"
+
+namespace {
+
+using prio::dagman::DagmanFile;
+using prio::stats::Rng;
+
+std::string randomToken(Rng& rng) {
+  static const char* kTokens[] = {
+      "JOB",  "PARENT", "CHILD", "VARS", "DONE",  "RETRY",
+      "a",    "b",      "job1",  "x.sub", "=",    "\"v\"",
+      "key=", "#",      "",      "  ",    "\\",   "\"",
+  };
+  return kTokens[rng.below(sizeof(kTokens) / sizeof(kTokens[0]))];
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, GarbageEitherParsesOrThrowsError) {
+  Rng rng(GetParam());
+  for (int file_no = 0; file_no < 200; ++file_no) {
+    std::ostringstream os;
+    const std::size_t lines = 1 + rng.below(8);
+    for (std::size_t l = 0; l < lines; ++l) {
+      const std::size_t tokens = rng.below(6);
+      for (std::size_t t = 0; t < tokens; ++t) {
+        os << randomToken(rng) << ' ';
+      }
+      os << '\n';
+    }
+    std::istringstream in(os.str());
+    try {
+      const auto f = DagmanFile::parse(in);
+      // Whatever parsed must serialize and re-parse identically.
+      std::ostringstream out;
+      f.write(out);
+      std::istringstream in2(out.str());
+      const auto f2 = DagmanFile::parse(in2);
+      EXPECT_EQ(f2.jobs().size(), f.jobs().size());
+      EXPECT_EQ(f2.dependencies(), f.dependencies());
+    } catch (const prio::util::Error&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+class RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripProperty, StructuredRandomFilesRoundTrip) {
+  Rng rng(GetParam());
+  const auto g = prio::workloads::randomDag(25, 0.12, rng);
+  DagmanFile file;
+  for (prio::dag::NodeId u = 0; u < g.numNodes(); ++u) {
+    auto& job = file.addJob("job_" + std::to_string(u),
+                            "submit_" + std::to_string(rng.below(5)) +
+                                ".sub");
+    if (rng.below(4) == 0) job.done = true;
+    if (rng.below(3) == 0) {
+      job.setVar("key" + std::to_string(rng.below(3)),
+                 "value with spaces " + std::to_string(rng.below(100)));
+    }
+  }
+  for (prio::dag::NodeId u = 0; u < g.numNodes(); ++u) {
+    for (prio::dag::NodeId v : g.children(u)) {
+      file.addDependency("job_" + std::to_string(u),
+                         "job_" + std::to_string(v));
+    }
+  }
+
+  std::ostringstream out;
+  file.write(out);
+  std::istringstream in(out.str());
+  const auto parsed = DagmanFile::parse(in);
+
+  ASSERT_EQ(parsed.jobs().size(), file.jobs().size());
+  for (std::size_t i = 0; i < file.jobs().size(); ++i) {
+    EXPECT_EQ(parsed.jobs()[i].name, file.jobs()[i].name);
+    EXPECT_EQ(parsed.jobs()[i].submit_file, file.jobs()[i].submit_file);
+    EXPECT_EQ(parsed.jobs()[i].done, file.jobs()[i].done);
+    EXPECT_EQ(parsed.jobs()[i].vars, file.jobs()[i].vars);
+  }
+  EXPECT_EQ(parsed.dependencies(), file.dependencies());
+
+  // And the dag the file describes is unchanged.
+  const auto g1 = file.toDigraph();
+  const auto g2 = parsed.toDigraph();
+  EXPECT_EQ(g1.numNodes(), g2.numNodes());
+  EXPECT_EQ(g1.numEdges(), g2.numEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Range<std::uint64_t>(10, 20));
+
+}  // namespace

@@ -1,0 +1,127 @@
+// Tests for the §4.1 system-model distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "stats/summary.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace prio::stats;
+
+TEST(Exponential, RejectsNonPositiveMean) {
+  EXPECT_THROW(Exponential(0.0), prio::util::Error);
+  EXPECT_THROW(Exponential(-1.0), prio::util::Error);
+}
+
+TEST(Exponential, SamplesArePositive) {
+  Rng rng(1);
+  Exponential e(2.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(e.sample(rng), 0.0);
+}
+
+class ExponentialMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMean, EmpiricalMeanMatches) {
+  const double mu = GetParam();
+  Rng rng(2);
+  Exponential e(mu);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += e.sample(rng);
+  EXPECT_NEAR(sum / n, mu, mu * 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMean,
+                         ::testing::Values(1e-3, 0.1, 1.0, 10.0, 1e3));
+
+TEST(Exponential, MedianIsMeanTimesLn2) {
+  Rng rng(3);
+  Exponential e(5.0);
+  std::vector<double> xs;
+  for (int i = 0; i < 100001; ++i) xs.push_back(e.sample(rng));
+  EXPECT_NEAR(median(xs), 5.0 * std::log(2.0), 0.15);
+}
+
+TEST(Normal, EmpiricalMomentsMatch) {
+  Rng rng(4);
+  Normal n(1.0, 0.1);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(n.sample(rng));
+  EXPECT_NEAR(mean(xs), 1.0, 0.005);
+  EXPECT_NEAR(sampleStddev(xs), 0.1, 0.005);
+}
+
+TEST(Normal, ZeroStddevIsConstant) {
+  Rng rng(5);
+  Normal n(3.0, 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(n.sample(rng), 3.0);
+}
+
+TEST(Normal, SymmetricAroundMean) {
+  Rng rng(6);
+  Normal n(0.0, 1.0);
+  int above = 0;
+  const int total = 100000;
+  for (int i = 0; i < total; ++i) {
+    if (n.sample(rng) > 0.0) ++above;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / total, 0.5, 0.01);
+}
+
+TEST(JobRuntime, AlwaysPositive) {
+  Rng rng(7);
+  // Aggressive parameters that would often sample negative without
+  // truncation.
+  JobRuntime rt(0.1, 1.0, 1e-6);
+  for (int i = 0; i < 20000; ++i) EXPECT_GT(rt.sample(rng), 0.0);
+}
+
+TEST(JobRuntime, PaperParametersMeanNearOne) {
+  Rng rng(8);
+  JobRuntime rt;  // normal(1, 0.1)
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rt.sample(rng);
+  EXPECT_NEAR(sum / n, 1.0, 0.005);
+}
+
+TEST(BatchSize, AtLeastOne) {
+  Rng rng(9);
+  BatchSize bs(0.01);  // tiny mean: nearly every raw sample rounds to 0
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(bs.sample(rng), 1u);
+}
+
+class BatchSizeMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(BatchSizeMean, LargeMeansAreApproximatelyPreserved) {
+  const double mu = GetParam();
+  Rng rng(10);
+  BatchSize bs(mu);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(bs.sample(rng));
+  // Rounding + the floor at 1 distort small means; for mu >= 4 the
+  // distortion is within a few percent.
+  EXPECT_NEAR(sum / n, mu, mu * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, BatchSizeMean,
+                         ::testing::Values(4.0, 16.0, 256.0, 65536.0));
+
+TEST(BatchSize, MeanOneIsBiasedUpButBounded) {
+  Rng rng(11);
+  BatchSize bs(1.0);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(bs.sample(rng));
+  const double m = sum / n;
+  EXPECT_GT(m, 1.0);   // the floor at 1 raises the mean
+  EXPECT_LT(m, 1.55);  // but not beyond E[max(1, round(Exp(1)))] ~ 1.45
+}
+
+}  // namespace

@@ -1,0 +1,148 @@
+// End-to-end integration tests across the whole pipeline: DAGMan file ->
+// prio tool -> schedule -> simulator, on (scaled) scientific workloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/prio.h"
+#include "dag/algorithms.h"
+#include "dagman/dagman_file.h"
+#include "dagman/instrument.h"
+#include "sim/campaign.h"
+#include "theory/eligibility.h"
+#include "workloads/scientific.h"
+
+namespace {
+
+using namespace prio;
+
+// Serializes a generated dag as a DAGMan file, re-parses it, and checks
+// the round-tripped dag drives the exact same PRIO schedule.
+TEST(Integration, DagmanRoundTripPreservesSchedule) {
+  const auto g = workloads::makeAirsn({12, 4});
+  dagman::DagmanFile file;
+  for (dag::NodeId u = 0; u < g.numNodes(); ++u) {
+    file.addJob(g.name(u), "job.submit");
+  }
+  for (dag::NodeId u = 0; u < g.numNodes(); ++u) {
+    for (dag::NodeId v : g.children(u)) {
+      file.addDependency(g.name(u), g.name(v));
+    }
+  }
+  std::ostringstream out;
+  file.write(out);
+  std::istringstream in(out.str());
+  auto parsed = dagman::DagmanFile::parse(in);
+  const auto g2 = parsed.toDigraph();
+  ASSERT_EQ(g2.numNodes(), g.numNodes());
+  ASSERT_EQ(g2.numEdges(), g.numEdges());
+
+  const auto r1 = core::prioritize(g);
+  const auto r2 = dagman::prioritizeDagmanFile(parsed);
+  // Node ids coincide (same declaration order), so schedules must match.
+  EXPECT_EQ(r1.schedule, r2.schedule);
+  // Every job carries its jobpriority macro.
+  for (const auto& job : parsed.jobs()) {
+    EXPECT_TRUE(job.var("jobpriority").has_value()) << job.name;
+  }
+}
+
+// Fig. 4's qualitative claim on all four (scaled) scientific dags:
+// PRIO's eligibility curve dominates FIFO's in aggregate, and never by
+// less at any step on AIRSN.
+TEST(Integration, EligibilityDominanceOnScientificDags) {
+  struct Case {
+    const char* name;
+    dag::Digraph g;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"airsn", workloads::makeAirsn({40, 6})});
+  cases.push_back({"inspiral", workloads::makeInspiral({8, 4})});
+  cases.push_back({"montage", workloads::makeMontage({5, 8, 4})});
+  cases.push_back({"sdss", workloads::makeSdss({20, 5, 2, 10})});
+
+  for (const auto& c : cases) {
+    const auto r = core::prioritize(c.g);
+    ASSERT_TRUE(dag::isTopologicalOrder(c.g, r.schedule)) << c.name;
+    const auto ep = theory::eligibilityProfile(c.g, r.schedule);
+    const auto ef =
+        theory::eligibilityProfile(c.g, core::fifoSchedule(c.g));
+    long long area = 0;
+    long long min_diff = 0;
+    for (std::size_t t = 0; t < ep.size(); ++t) {
+      const long long diff = static_cast<long long>(ep[t]) -
+                             static_cast<long long>(ef[t]);
+      area += diff;
+      min_diff = std::min(min_diff, diff);
+    }
+    EXPECT_GT(area, 0) << c.name << ": PRIO should dominate in aggregate";
+    if (std::string(c.name) == "airsn") {
+      EXPECT_GE(min_diff, 0) << "AIRSN: PRIO never below FIFO";
+    }
+  }
+}
+
+// The decomposition structure claims of §3.3, on scaled instances.
+TEST(Integration, DecompositionStructureClaims) {
+  {
+    const auto g = workloads::makeInspiral({8, 4});
+    const auto r = core::prioritize(g);
+    std::size_t biggest_nonbip = 0;
+    for (const auto& c : r.decomposition.components) {
+      if (!c.bipartite) {
+        biggest_nonbip = std::max(biggest_nonbip, c.nodes.size());
+      }
+    }
+    EXPECT_EQ(biggest_nonbip, 8u * (4u + 2u));
+  }
+  {
+    const auto g = workloads::makeMontage({5, 8, 4});
+    const auto r = core::prioritize(g);
+    std::size_t biggest_bip = 0;
+    for (const auto& c : r.decomposition.components) {
+      if (c.bipartite) biggest_bip = std::max(biggest_bip, c.nodes.size());
+    }
+    // Projects + diffs in one block.
+    EXPECT_GE(biggest_bip, 40u);
+  }
+  {
+    const auto g = workloads::makeSdss({20, 5, 2, 10});
+    const auto r = core::prioritize(g);
+    // The W(fields,3) core must be recognized as a W block.
+    bool found_w_core = false;
+    for (std::size_t i = 0; i < r.component_schedules.size(); ++i) {
+      const auto& rec = r.component_schedules[i].recognition;
+      if (rec.kind == theory::BlockKind::kW && rec.a == 20 && rec.b == 3) {
+        found_w_core = true;
+      }
+    }
+    EXPECT_TRUE(found_w_core);
+  }
+}
+
+// End-to-end simulation sanity on a non-AIRSN dag: PRIO never loses badly
+// in the mid-range regime.
+TEST(Integration, PrioCompetitiveOnSdssScaled) {
+  const auto g = workloads::makeSdss({30, 5, 2, 10});
+  const auto r = core::prioritize(g);
+  sim::GridModel m;
+  m.mean_batch_interarrival = 1.0;
+  m.mean_batch_size = 32.0;
+  sim::CampaignConfig cfg;
+  cfg.p = 6;
+  cfg.q = 3;
+  const auto cmp = sim::comparePrioVsFifo(g, r.schedule, m, cfg);
+  ASSERT_TRUE(cmp.time_ratio.defined);
+  EXPECT_LT(cmp.time_ratio.median, 1.05);
+}
+
+// The overhead path of §3.6: prioritize must handle a full-size AIRSN in
+// well under a second (the paper's number on 2005 hardware).
+TEST(Integration, AirsnOverheadUnderOneSecond) {
+  const auto g = workloads::makeAirsn({});
+  const auto r = core::prioritize(g);
+  EXPECT_LT(r.timings.total_s, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Tests for the Pegasus-style workflow archetypes.
+#include <gtest/gtest.h>
+
+#include "core/prio.h"
+#include "dag/algorithms.h"
+#include "dag/stats.h"
+#include "theory/curves.h"
+#include "theory/eligibility.h"
+#include "util/check.h"
+#include "workloads/pegasus.h"
+
+namespace {
+
+using namespace prio;
+using namespace prio::workloads;
+
+TEST(Cybershake, StructureAndCounts) {
+  const CybershakeParams p{3, 5};
+  const auto g = makeCybershake(p);
+  EXPECT_EQ(g.numNodes(), cybershakeJobCount(p));
+  ASSERT_TRUE(dag::isAcyclic(g));
+  EXPECT_TRUE(dag::isConnected(g));
+  // Sources: the two SGT extractions per site.
+  EXPECT_EQ(g.sources().size(), 2 * p.sites);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  // Every synthesis has exactly the two shared SGT parents.
+  EXPECT_EQ(g.inDegree(*g.findNode("synthesis0_0")), 2u);
+  EXPECT_EQ(g.inDegree(*g.findNode("synthesis0_4")), 2u);
+  // Each zip joins the site's peak calculations.
+  EXPECT_EQ(g.inDegree(*g.findNode("zip_seis0")), p.synthesis_per_site);
+  EXPECT_THROW((void)makeCybershake({0, 5}), util::Error);
+}
+
+TEST(Epigenomics, StructureAndCounts) {
+  const EpigenomicsParams p{3, 4};
+  const auto g = makeEpigenomics(p);
+  EXPECT_EQ(g.numNodes(), epigenomicsJobCount(p));
+  ASSERT_TRUE(dag::isAcyclic(g));
+  EXPECT_TRUE(dag::isConnected(g));
+  EXPECT_EQ(g.sources().size(), p.lanes);
+  EXPECT_EQ(g.sinks().size(), 1u);  // pileup
+  // The merge joins every per-split map.
+  EXPECT_EQ(g.inDegree(*g.findNode("map_merge")),
+            p.lanes * p.splits_per_lane);
+  // Depth: split + 4 chain stages + merge + index + pileup = 8.
+  EXPECT_EQ(dag::computeStats(g).depth, 8u);
+}
+
+TEST(Pegasus, PrioHandlesBothShapes) {
+  for (const auto& g :
+       {makeCybershake({6, 25}), makeEpigenomics({8, 16})}) {
+    const auto r = core::prioritize(g);
+    EXPECT_TRUE(dag::isTopologicalOrder(g, r.schedule));
+    // PRIO's eligibility never falls below FIFO's on these shapes.
+    const auto ep = theory::eligibilityProfile(g, r.schedule);
+    const auto ef = theory::eligibilityProfile(g, core::fifoSchedule(g));
+    const auto cmp = theory::compareProfiles(ep, ef);
+    EXPECT_TRUE(cmp.dominates());
+  }
+}
+
+TEST(Cybershake, SynthesisLayerIsSharedParentBipartiteBlock) {
+  const auto g = makeCybershake({2, 10});
+  const auto r = core::prioritize(g);
+  // Per site, the {sgt_x, sgt_y} -> synthesis layer must decompose as a
+  // complete bipartite K(2,10) block.
+  std::size_t k_blocks = 0;
+  for (const auto& cs : r.component_schedules) {
+    if (cs.recognition.kind == theory::BlockKind::kCompleteBipartite &&
+        cs.recognition.a == 2 && cs.recognition.b == 10) {
+      ++k_blocks;
+    }
+  }
+  EXPECT_EQ(k_blocks, 2u);
+}
+
+}  // namespace

@@ -1,0 +1,304 @@
+// Tests for the public prioritize() API: validity on arbitrary dags,
+// graceful IC-optimality (certificates match brute force), Fig. 3
+// semantics, and option variations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/prio.h"
+#include "dag/algorithms.h"
+#include "stats/rng.h"
+#include "theory/bruteforce.h"
+#include "theory/eligibility.h"
+#include "util/check.h"
+#include "workloads/random.h"
+#include "workloads/scientific.h"
+
+namespace {
+
+using namespace prio::core;
+using namespace prio::dag;
+using prio::stats::Rng;
+
+TEST(Prioritize, Fig3Example) {
+  Digraph g;
+  const NodeId a = g.addNode("a"), b = g.addNode("b"), c = g.addNode("c"),
+               d = g.addNode("d"), e = g.addNode("e");
+  g.addEdge(a, b);
+  g.addEdge(c, d);
+  g.addEdge(c, e);
+  const auto r = prioritize(g);
+  // The paper's PRIO schedule for IV.dag is c,a,b,d,e.
+  ASSERT_EQ(r.schedule.size(), 5u);
+  EXPECT_EQ(r.schedule[0], c);
+  EXPECT_EQ(r.schedule[1], a);
+  // Priorities: job c highest (5), as in Fig. 3.
+  EXPECT_EQ(r.priority[c], 5u);
+  EXPECT_EQ(r.priority[a], 4u);
+  EXPECT_TRUE(r.certified_ic_optimal);
+  EXPECT_TRUE(prio::theory::isICOptimal(g, r.schedule));
+}
+
+TEST(Prioritize, EmptyDag) {
+  Digraph g;
+  const auto r = prioritize(g);
+  EXPECT_TRUE(r.schedule.empty());
+  EXPECT_TRUE(r.priority.empty());
+}
+
+TEST(Prioritize, SingleJob) {
+  Digraph g;
+  g.addNode("only");
+  const auto r = prioritize(g);
+  EXPECT_EQ(r.schedule, (std::vector<NodeId>{0}));
+  EXPECT_EQ(r.priority[0], 1u);
+  EXPECT_TRUE(r.certified_ic_optimal);
+}
+
+TEST(Prioritize, RejectsCycles) {
+  Digraph g;
+  const NodeId a = g.addNode("a"), b = g.addNode("b");
+  g.addEdge(a, b);
+  g.addEdge(b, a);
+  EXPECT_THROW((void)prioritize(g), prio::util::Error);
+}
+
+TEST(Prioritize, PrioritiesAreInverseOfPositions) {
+  Rng rng(21);
+  const auto g = prio::workloads::randomDag(25, 0.15, rng);
+  const auto r = prioritize(g);
+  const std::size_t n = g.numNodes();
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    EXPECT_EQ(r.priority[r.schedule[pos]], n - pos);
+  }
+}
+
+TEST(Prioritize, ShortcutsAreCountedAndHarmless) {
+  Digraph g;
+  const NodeId a = g.addNode("a"), b = g.addNode("b"), c = g.addNode("c");
+  g.addEdge(a, b);
+  g.addEdge(b, c);
+  g.addEdge(a, c);  // shortcut
+  const auto r = prioritize(g);
+  EXPECT_EQ(r.shortcuts_removed, 1u);
+  EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
+  EXPECT_TRUE(r.certified_ic_optimal);  // chain after reduction
+}
+
+TEST(Prioritize, CertificateImpliesBruteForceOptimal) {
+  Rng rng(22);
+  int certified = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto g = prio::workloads::randomComposable(6, rng);
+    if (g.numNodes() > 22) continue;  // keep brute force cheap
+    const auto r = prioritize(g);
+    EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
+    if (r.certified_ic_optimal) {
+      ++certified;
+      EXPECT_TRUE(prio::theory::isICOptimal(g, r.schedule))
+          << "certificate lied on trial " << trial;
+    }
+  }
+  // The theoretical algorithm's success conditions are deliberately
+  // conservative (§3: it "may fail" even on dags admitting IC-optimal
+  // schedules), so only some random composable dags certify — but the
+  // certificate must not be vacuous.
+  EXPECT_GE(certified, 1);
+}
+
+TEST(Prioritize, CertifiesKnownComposableConstructions) {
+  // Constructions where the theoretical algorithm provably succeeds:
+  // every block is a recognized family and priorities hold along arcs.
+  std::vector<Digraph> dags;
+
+  // (a) A pure chain.
+  {
+    Digraph g;
+    NodeId prev = g.addNode("n0");
+    for (int i = 1; i < 8; ++i) {
+      const NodeId next = g.addNode("n" + std::to_string(i));
+      g.addEdge(prev, next);
+      prev = next;
+    }
+    dags.push_back(std::move(g));
+  }
+  // (b) A decreasing-fanout tree: W(1,4) whose sinks root W(1,2) blocks
+  // (parent block has priority over each child block).
+  {
+    Digraph g;
+    const NodeId root = g.addNode("root");
+    for (int i = 0; i < 4; ++i) {
+      const NodeId mid = g.addNode("mid" + std::to_string(i));
+      g.addEdge(root, mid);
+      for (int j = 0; j < 2; ++j) {
+        g.addEdge(mid, g.addNode("leaf" + std::to_string(2 * i + j)));
+      }
+    }
+    dags.push_back(std::move(g));
+  }
+  // (c) Independent Fig. 2 blocks side by side.
+  {
+    Digraph g;
+    const NodeId w = g.addNode("w");
+    for (int i = 0; i < 3; ++i) {
+      g.addEdge(w, g.addNode("wt" + std::to_string(i)));
+    }
+    const NodeId mt = g.addNode("mt");
+    for (int i = 0; i < 2; ++i) {
+      const NodeId s = g.addNode("ms" + std::to_string(i));
+      g.addEdge(s, mt);
+    }
+    dags.push_back(std::move(g));
+  }
+
+  for (std::size_t i = 0; i < dags.size(); ++i) {
+    const auto r = prioritize(dags[i]);
+    EXPECT_TRUE(r.certified_ic_optimal) << "construction " << i;
+    EXPECT_TRUE(prio::theory::isICOptimal(dags[i], r.schedule))
+        << "construction " << i;
+  }
+}
+
+TEST(Prioritize, GracefulOnDagsWithNoICOptimalSchedule) {
+  // The heuristic's raison d'être (§3): it must produce a valid schedule
+  // for EVERY dag, including ones that provably admit no IC-optimal
+  // schedule — and must not certify those.
+  Digraph g;
+  const NodeId a = g.addNode("a");
+  g.addEdge(a, g.addNode("b"));
+  const NodeId c = g.addNode("c"), d = g.addNode("d");
+  const NodeId e = g.addNode("e"), f = g.addNode("f");
+  g.addEdge(c, e);
+  g.addEdge(c, f);
+  g.addEdge(d, e);
+  g.addEdge(d, f);
+  ASSERT_EQ(prio::theory::findICOptimalSchedule(g), std::nullopt);
+  const auto r = prioritize(g);
+  EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
+  EXPECT_FALSE(r.certified_ic_optimal);
+}
+
+TEST(Prioritize, CertificateConsistentWithExactFinder) {
+  // Whenever the heuristic certifies, an IC-optimal schedule must exist
+  // and the heuristic's schedule must be one.
+  Rng rng(99);
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 8; ++trial) {
+    const auto g = prio::workloads::randomComposable(5, rng);
+    if (g.numNodes() > 20) continue;
+    const auto r = prioritize(g);
+    if (!r.certified_ic_optimal) continue;
+    ++checked;
+    const auto exact = prio::theory::findICOptimalSchedule(g);
+    ASSERT_TRUE(exact.has_value());
+    EXPECT_EQ(prio::theory::eligibilityProfile(g, r.schedule),
+              prio::theory::eligibilityProfile(g, *exact));
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(Prioritize, ValidOnRandomDags) {
+  Rng rng(23);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto g = prio::workloads::randomDag(40, 0.1, rng);
+    const auto r = prioritize(g);
+    EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
+    EXPECT_EQ(r.schedule.size(), g.numNodes());
+  }
+}
+
+TEST(Prioritize, ValidOnLayeredDags) {
+  Rng rng(24);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto g = prio::workloads::layeredRandom(5, 8, 0.25, rng);
+    const auto r = prioritize(g);
+    EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
+  }
+}
+
+class PrioOptionMatrix : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrioOptionMatrix, AllOptionCombinationsProduceValidSchedules) {
+  const int mask = GetParam();
+  PrioOptions opt;
+  opt.reduction_method = (mask & 1) ? ReductionMethod::kEdgeDfs
+                                    : ReductionMethod::kBitset;
+  opt.bipartite_fast_path = (mask & 2) != 0;
+  opt.combine_strategy = (mask & 4) ? CombineStrategy::kNaiveQuadratic
+                                    : CombineStrategy::kBTreeClasses;
+  opt.greedy_bipartite_fallback = (mask & 8) != 0;
+  Rng rng(25);
+  const auto g = prio::workloads::randomComposable(20, rng);
+  const auto r = prioritize(g, opt);
+  EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, PrioOptionMatrix, ::testing::Range(0, 16));
+
+TEST(Prioritize, FullyDeterministic) {
+  // Identical inputs must yield byte-identical schedules (ties are broken
+  // by ids/classes, never by iteration order of unordered containers).
+  const auto g = prio::workloads::makeInspiral({6, 4});
+  const auto r1 = prioritize(g);
+  const auto r2 = prioritize(g);
+  EXPECT_EQ(r1.schedule, r2.schedule);
+  EXPECT_EQ(r1.combine.pop_order, r2.combine.pop_order);
+  Rng rng(123);
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto h = prio::workloads::randomDag(30, 0.1, rng);
+    EXPECT_EQ(prioritize(h).schedule, prioritize(h).schedule);
+  }
+}
+
+TEST(Prioritize, SinksAreScheduledLast) {
+  Rng rng(26);
+  const auto g = prio::workloads::randomComposable(25, rng);
+  const auto r = prioritize(g);
+  // All global sinks occupy the tail of the schedule.
+  const std::size_t num_sinks = g.sinks().size();
+  for (std::size_t i = g.numNodes() - num_sinks; i < g.numNodes(); ++i) {
+    EXPECT_TRUE(g.isSink(r.schedule[i]));
+  }
+}
+
+TEST(Prioritize, EligibilityNeverBelowFifoOnAirsn) {
+  const auto g = prio::workloads::makeAirsn({30, 5});
+  const auto r = prioritize(g);
+  const auto prio_profile = prio::theory::eligibilityProfile(g, r.schedule);
+  const auto fifo_profile =
+      prio::theory::eligibilityProfile(g, fifoSchedule(g));
+  for (std::size_t t = 0; t < prio_profile.size(); ++t) {
+    EXPECT_GE(prio_profile[t], fifo_profile[t]) << "step " << t;
+  }
+}
+
+TEST(FifoSchedule, IsBfsOrder) {
+  Digraph g;
+  const NodeId a = g.addNode("a"), b = g.addNode("b"), c = g.addNode("c"),
+               d = g.addNode("d");
+  g.addEdge(a, c);
+  g.addEdge(b, d);
+  const auto fifo = fifoSchedule(g);
+  EXPECT_EQ(fifo, (std::vector<NodeId>{a, b, c, d}));
+  EXPECT_TRUE(isTopologicalOrder(g, fifo));
+}
+
+TEST(FifoSchedule, RequiresAcyclic) {
+  Digraph g;
+  const NodeId a = g.addNode("a"), b = g.addNode("b");
+  g.addEdge(a, b);
+  g.addEdge(b, a);
+  EXPECT_THROW((void)fifoSchedule(g), prio::util::Error);
+}
+
+TEST(Prioritize, TimingsArePopulated) {
+  const auto g = prio::workloads::makeAirsn({20, 3});
+  const auto r = prioritize(g);
+  EXPECT_GE(r.timings.total_s, 0.0);
+  EXPECT_LE(r.timings.reduce_s + r.timings.decompose_s +
+                r.timings.recurse_s + r.timings.combine_s,
+            r.timings.total_s + 1e-3);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// Tests for the ⊵ relation (eq. 1) and its ⊵_r generalization.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "theory/blocks.h"
+#include "theory/eligibility.h"
+#include "theory/priority.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace prio::theory;
+using Profile = std::vector<std::size_t>;
+
+// Eligibility profile of a block over its non-sink prefix.
+Profile blockProfile(const prio::dag::Digraph& g) {
+  const auto r = recognizeBlock(g);
+  std::size_t nonsinks = 0;
+  for (prio::dag::NodeId u = 0; u < g.numNodes(); ++u) {
+    if (!g.isSink(u)) ++nonsinks;
+  }
+  return eligibilityProfile(
+      g, std::span<const prio::dag::NodeId>(r.schedule).first(nonsinks));
+}
+
+TEST(PairPriority, AlwaysInUnitInterval) {
+  const std::vector<Profile> profiles{
+      blockProfile(makeW(1, 3)), blockProfile(makeW(3, 2)),
+      blockProfile(makeM(1, 4)), blockProfile(makeM(2, 3)),
+      blockProfile(makeN(3)),    blockProfile(makeCycleDag(4)),
+      blockProfile(makeCliqueDag(4))};
+  for (const auto& a : profiles) {
+    for (const auto& b : profiles) {
+      const double r = pairPriority(a, b);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(PairPriority, OneIffExactRelationHolds) {
+  const std::vector<Profile> profiles{
+      blockProfile(makeW(1, 3)), blockProfile(makeW(2, 2)),
+      blockProfile(makeM(1, 4)), blockProfile(makeM(3, 2)),
+      blockProfile(makeN(4)),    blockProfile(makeCliqueDag(3))};
+  for (const auto& a : profiles) {
+    for (const auto& b : profiles) {
+      const bool exact = hasPriorityOver(a, b);
+      const double r = pairPriority(a, b);
+      EXPECT_EQ(exact, r == 1.0)
+          << "exact=" << exact << " r=" << r;
+    }
+  }
+}
+
+TEST(HasPriorityOver, ExpansiveBeforeReductive) {
+  // A fan-out W(1,3) should have priority over a fan-in M(1,3):
+  // executing the expansive source first creates eligible jobs, while the
+  // reductive block only consumes them.
+  const Profile w = blockProfile(makeW(1, 3));
+  const Profile m = blockProfile(makeM(1, 3));
+  EXPECT_TRUE(hasPriorityOver(w, m));
+  EXPECT_FALSE(hasPriorityOver(m, w));
+}
+
+TEST(HasPriorityOver, ReflexiveOnSymmetricProfiles) {
+  const Profile w = blockProfile(makeW(2, 3));
+  EXPECT_TRUE(hasPriorityOver(w, w));
+}
+
+TEST(HasPriorityOver, BiggerFanoutFirst) {
+  const Profile big = blockProfile(makeW(1, 5));
+  const Profile small = blockProfile(makeW(1, 2));
+  EXPECT_TRUE(hasPriorityOver(big, small));
+}
+
+TEST(PairPriority, DegenerateProfiles) {
+  // Profiles with a single entry (zero non-sinks) are vacuously dominated.
+  const Profile empty_block{1};  // one eligible sink, no non-sinks
+  const Profile w = blockProfile(makeW(1, 3));
+  EXPECT_EQ(pairPriority(empty_block, w), 1.0);
+  EXPECT_EQ(pairPriority(w, empty_block), 1.0);
+}
+
+TEST(PairPriority, RejectsEmptyProfiles) {
+  const Profile ok{1, 2};
+  const Profile empty;
+  EXPECT_THROW((void)pairPriority(empty, ok), prio::util::Error);
+  EXPECT_THROW((void)hasPriorityOver(ok, empty), prio::util::Error);
+}
+
+TEST(PairPriority, KnownFractionalCase) {
+  // Hand-crafted profiles where the relation holds only fractionally.
+  // E_i = [1, 0] (one non-sink whose execution leaves nothing eligible),
+  // E_j = [1, 3]. Executing i first: at (x,y)=(0,1) LHS=E_i(0)+E_j(1)=4,
+  // RHS=E_i(1)+E_j(0)=1 -> r <= 1/4.
+  const Profile ei{1, 0};
+  const Profile ej{1, 3};
+  EXPECT_FALSE(hasPriorityOver(ei, ej));
+  EXPECT_DOUBLE_EQ(pairPriority(ei, ej), 0.25);
+  EXPECT_TRUE(hasPriorityOver(ej, ei));
+}
+
+TEST(PairPriority, ZeroWhenEverythingIsLost) {
+  // E_i = [1, 0], E_j = [0, 5] -> at (0,1): LHS = 1+5 = 6,
+  // RHS = E_i(1)+E_j(0) = 0 -> r = 0.
+  const Profile ei{1, 0};
+  const Profile ej{0, 5};
+  EXPECT_DOUBLE_EQ(pairPriority(ei, ej), 0.0);
+}
+
+TEST(LinearlyPrioritizable, FamilyMixIsComparable) {
+  const std::vector<Profile> profiles{
+      blockProfile(makeW(1, 2)), blockProfile(makeW(1, 5)),
+      blockProfile(makeM(1, 3))};
+  EXPECT_TRUE(linearlyPrioritizable(profiles));
+}
+
+TEST(LinearlyPrioritizable, DetectsIncomparablePairs) {
+  // Two artificial profiles, neither dominating the other:
+  // A = [2, 0, 5], B = [2, 4, 0].
+  // A over B fails at (x,y)=(0,1): LHS=2+4=6, RHS=E_A(1)+E_B(0)=0+2=2.
+  // B over A fails at (x,y)=(0,2): LHS=2+5=7, RHS=E_B(2)+E_A(0)=0+2=2.
+  const std::vector<Profile> profiles{{2, 0, 5}, {2, 4, 0}};
+  EXPECT_FALSE(linearlyPrioritizable(profiles));
+}
+
+TEST(LinearlyPrioritizable, EmptyAndSingleton) {
+  EXPECT_TRUE(linearlyPrioritizable({}));
+  EXPECT_TRUE(linearlyPrioritizable({Profile{1, 2, 3}}));
+}
+
+TEST(HasPriorityOver, TransitiveOnFamilyProfiles) {
+  // §2.2 step 6 relies on ⊵ being transitive ("because ⊵ is transitive
+  // [16]"). Verify it across every ordered triple of a broad profile
+  // pool drawn from the block families.
+  std::vector<Profile> pool;
+  for (std::size_t b = 2; b <= 5; ++b) {
+    pool.push_back(blockProfile(makeW(1, b)));
+    pool.push_back(blockProfile(makeM(1, b)));
+  }
+  pool.push_back(blockProfile(makeW(2, 3)));
+  pool.push_back(blockProfile(makeW(3, 2)));
+  pool.push_back(blockProfile(makeM(2, 3)));
+  pool.push_back(blockProfile(makeN(3)));
+  pool.push_back(blockProfile(makeN(5)));
+  pool.push_back(blockProfile(makeCycleDag(4)));
+  pool.push_back(blockProfile(makeCliqueDag(4)));
+
+  std::size_t chains_checked = 0;
+  for (const auto& a : pool) {
+    for (const auto& b : pool) {
+      if (!hasPriorityOver(a, b)) continue;
+      for (const auto& c : pool) {
+        if (!hasPriorityOver(b, c)) continue;
+        ++chains_checked;
+        EXPECT_TRUE(hasPriorityOver(a, c)) << "transitivity violated";
+      }
+    }
+  }
+  EXPECT_GT(chains_checked, 100u);  // the pool must actually exercise it
+}
+
+TEST(PairPriority, IncomparableFamilyPairsExist) {
+  // The paper only "hopes" all block pairs are ⊵-comparable (§2.2 step
+  // 4) — and indeed they are not, even among the Fig. 2 families: N(4)
+  // and Clique(3) are mutually incomparable, each direction achieving
+  // only r = 6/7 of the optimum. This is precisely what motivates the
+  // heuristic's graded ⊵_r relation: the greedy combine can still pick
+  // the least-lossy side.
+  const Profile n4 = blockProfile(makeN(4));
+  const Profile clique3 = blockProfile(makeCliqueDag(3));
+  EXPECT_FALSE(hasPriorityOver(n4, clique3));
+  EXPECT_FALSE(hasPriorityOver(clique3, n4));
+  EXPECT_NEAR(pairPriority(n4, clique3), 6.0 / 7.0, 1e-12);
+  EXPECT_NEAR(pairPriority(clique3, n4), 6.0 / 7.0, 1e-12);
+  // Both directions stay strictly positive: the greedy never divides by
+  // zero here and loses at most the factor 7/6.
+  EXPECT_GT(pairPriority(n4, clique3), 0.0);
+}
+
+}  // namespace

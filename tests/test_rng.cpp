@@ -1,0 +1,105 @@
+// Tests for the deterministic xoshiro256++ generator.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace {
+
+using prio::stats::Rng;
+using prio::stats::SplitMix64;
+
+TEST(SplitMix64, KnownFirstOutputs) {
+  // Reference values for seed 0 (splitmix64 is fully specified).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformOpen0NeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniformOpen0();
+    EXPECT_GT(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000007ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowZeroBoundReturnsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.fork();
+  // The two streams should not collide over a short horizon.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(parent.next());
+    seen.insert(child.next());
+  }
+  EXPECT_EQ(seen.size(), 2000u);
+}
+
+TEST(Rng, ForksAreDeterministic) {
+  Rng a(42), b(42);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(fa.next(), fb.next());
+}
+
+}  // namespace

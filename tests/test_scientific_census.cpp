@@ -1,0 +1,75 @@
+// Full-scale decomposition snapshots of the four scientific dags: the
+// component census each one must produce, pinning down the structural
+// story of §3.3–§3.5 end to end (these run at the paper's real sizes —
+// the whole file takes well under two seconds after the parked-seed
+// engineering).
+#include <gtest/gtest.h>
+
+#include "core/prio.h"
+#include "core/report.h"
+#include "theory/blocks.h"
+#include "workloads/scientific.h"
+
+namespace {
+
+using namespace prio;
+
+TEST(ScientificCensus, Airsn250) {
+  const auto g = workloads::makeAirsn({});
+  const auto r = core::prioritize(g);
+  const auto census = core::componentCensus(r);
+  // 20 handle pairs, the umbrella block, fork/join M and W blocks.
+  EXPECT_EQ(census.at("W(1,1)"), 20u);
+  EXPECT_EQ(census.at("M(1,250)"), 2u);   // both joins
+  EXPECT_EQ(census.at("W(1,250)"), 1u);   // second cover fan-out
+  EXPECT_EQ(census.at("bipartite-generic"), 1u);  // the fringed umbrella
+  EXPECT_TRUE(r.decomposition.general_searches == 0u);
+}
+
+TEST(ScientificCensus, Inspiral) {
+  const auto g = workloads::makeInspiral({});
+  const auto r = core::prioritize(g);
+  const auto census = core::componentCensus(r);
+  // Per segment: one W(1,15) datafind fan-out and one tb/cal->inspiral
+  // block; the coincidence layer welds into a single generic component.
+  EXPECT_EQ(census.at("W(1,15)"), 83u);
+  EXPECT_EQ(census.at("generic"), 1u);
+  // trigbank->sire chains: two W(1,1) per segment.
+  EXPECT_EQ(census.at("W(1,1)"), 2u * 83u);
+  EXPECT_GE(r.decomposition.general_searches, 1u);
+  // The generic component is the paper's >1000-job non-bipartite one.
+  std::size_t biggest = 0;
+  for (const auto& c : r.decomposition.components) {
+    if (!c.bipartite) biggest = std::max(biggest, c.nodes.size());
+  }
+  EXPECT_EQ(biggest, 83u * 17u);  // 15 inspirals + veto + thinca, x83
+}
+
+TEST(ScientificCensus, Montage) {
+  const auto g = workloads::makeMontage({});
+  const auto r = core::prioritize(g);
+  const auto census = core::componentCensus(r);
+  // The project/diff layer is one big unrecognized bipartite block; the
+  // correction pipeline contributes fan blocks and chain links.
+  EXPECT_EQ(census.at("bipartite-generic"), 1u);
+  EXPECT_EQ(census.at("M(1,4275)"), 1u);  // diffs join into mConcatFit
+  EXPECT_EQ(census.at("W(1,1800)"), 1u);  // mBgModel fans out
+  EXPECT_EQ(census.at("M(1,1800)"), 1u);  // backgrounds join into mImgtbl
+  EXPECT_EQ(r.decomposition.general_searches, 0u);
+}
+
+TEST(ScientificCensus, Sdss) {
+  const auto g = workloads::makeSdss({});
+  const auto r = core::prioritize(g);
+  const auto census = core::componentCensus(r);
+  // The W(1700,3) core, 40,816 chain links, the coadd join and the
+  // catalog fan-out.
+  EXPECT_EQ(census.at("W(1700,3)"), 1u);
+  EXPECT_EQ(census.at("W(1,1)"), 40816u);
+  EXPECT_EQ(census.at("M(1,3401)"), 1u);
+  EXPECT_EQ(census.at("W(1,2095)"), 1u);
+  EXPECT_EQ(r.decomposition.general_searches, 0u);
+  EXPECT_EQ(r.decomposition.components.size(), 40819u);
+}
+
+}  // namespace

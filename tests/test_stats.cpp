@@ -1,0 +1,158 @@
+// Tests for descriptive statistics and the §4.2 ratio-CI machinery.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/sampling.h"
+#include "stats/summary.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace prio::stats;
+
+TEST(Summary, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(Summary, VarianceAndStddev) {
+  EXPECT_DOUBLE_EQ(sampleVariance({}), 0.0);
+  EXPECT_DOUBLE_EQ(sampleVariance({3.0}), 0.0);
+  // Known: variance of {2,4,4,4,5,5,7,9} is 4.571428... (n-1 = 7).
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(sampleVariance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(sampleStddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Summary, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 15.0);  // interpolated
+}
+
+TEST(Summary, PercentileRejectsBadInputs) {
+  EXPECT_THROW(percentile({}, 50.0), prio::util::Error);
+  EXPECT_THROW(percentile({1.0}, -1.0), prio::util::Error);
+  EXPECT_THROW(percentile({1.0}, 101.0), prio::util::Error);
+}
+
+TEST(RunningStats, MatchesBatchComputation) {
+  const std::vector<double> xs{1.5, 2.5, -3.0, 7.0, 0.0, 4.25};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.sampleVariance(), sampleVariance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+}
+
+TEST(SamplingDistribution, FromRawAveragesGroups) {
+  // p = 2 samples, q = 3 measurements each.
+  const std::vector<double> raw{1, 2, 3, 10, 20, 30};
+  const auto d = SamplingDistribution::fromRaw(raw, 2, 3);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.samples()[0], 2.0);
+  EXPECT_DOUBLE_EQ(d.samples()[1], 20.0);
+}
+
+TEST(SamplingDistribution, FromRawValidatesShape) {
+  EXPECT_THROW(SamplingDistribution::fromRaw({1, 2, 3}, 2, 2),
+               prio::util::Error);
+  EXPECT_THROW(SamplingDistribution::fromRaw({}, 0, 1), prio::util::Error);
+}
+
+TEST(SamplingDistribution, HasZeroDetectsZeros) {
+  SamplingDistribution d;
+  d.addSample(1.0);
+  EXPECT_FALSE(d.hasZero());
+  d.addSample(0.0);
+  EXPECT_TRUE(d.hasZero());
+}
+
+TEST(RatioSummary, IdenticalDistributionsGiveUnitRatios) {
+  SamplingDistribution a, b;
+  for (double x : {2.0, 2.0, 2.0}) {
+    a.addSample(x);
+    b.addSample(x);
+  }
+  const auto r = ratioSummary(a, b);
+  ASSERT_TRUE(r.defined);
+  EXPECT_DOUBLE_EQ(r.mean, 1.0);
+  EXPECT_DOUBLE_EQ(r.median, 1.0);
+  EXPECT_DOUBLE_EQ(r.ci_low, 1.0);
+  EXPECT_DOUBLE_EQ(r.ci_high, 1.0);
+  EXPECT_DOUBLE_EQ(r.stddev, 0.0);
+  EXPECT_FALSE(r.confidentlyBelowOne());
+  EXPECT_FALSE(r.confidentlyAboveOne());
+}
+
+TEST(RatioSummary, ZeroDenominatorMeansUndefined) {
+  SamplingDistribution a, b;
+  a.addSample(1.0);
+  b.addSample(0.0);
+  const auto r = ratioSummary(a, b);
+  EXPECT_FALSE(r.defined);
+  EXPECT_FALSE(r.confidentlyBelowOne());
+}
+
+TEST(RatioSummary, ZeroNumeratorIsFine) {
+  SamplingDistribution a, b;
+  a.addSample(0.0);
+  b.addSample(2.0);
+  const auto r = ratioSummary(a, b);
+  ASSERT_TRUE(r.defined);
+  EXPECT_DOUBLE_EQ(r.mean, 0.0);
+}
+
+TEST(RatioSummary, KnownSmallCase) {
+  // a = {1, 3}, b = {1, 2}: ratios {1, 0.5, 3, 1.5} -> sorted
+  // {0.5, 1, 1.5, 3}. With only 4 values the 2.5% trim keeps everything.
+  SamplingDistribution a, b;
+  a.addSample(1.0);
+  a.addSample(3.0);
+  b.addSample(1.0);
+  b.addSample(2.0);
+  const auto r = ratioSummary(a, b);
+  ASSERT_TRUE(r.defined);
+  EXPECT_DOUBLE_EQ(r.ci_low, 0.5);
+  EXPECT_DOUBLE_EQ(r.ci_high, 3.0);
+  EXPECT_DOUBLE_EQ(r.median, 1.25);
+  EXPECT_DOUBLE_EQ(r.mean, 1.5);
+}
+
+TEST(RatioSummary, TrimsTails) {
+  // 100 numerator samples, 1 denominator sample: 100 ratios, trim 2 each
+  // side.
+  SamplingDistribution a, b;
+  for (int i = 1; i <= 100; ++i) a.addSample(static_cast<double>(i));
+  b.addSample(1.0);
+  const auto r = ratioSummary(a, b);
+  ASSERT_TRUE(r.defined);
+  EXPECT_DOUBLE_EQ(r.ci_low, 3.0);    // drops 1, 2
+  EXPECT_DOUBLE_EQ(r.ci_high, 98.0);  // drops 99, 100
+  EXPECT_DOUBLE_EQ(r.median, 50.5);
+}
+
+TEST(RatioSummary, ConfidenceFlags) {
+  SamplingDistribution low, high, one;
+  low.addSample(0.5);
+  high.addSample(2.0);
+  one.addSample(1.0);
+  EXPECT_TRUE(ratioSummary(low, one).confidentlyBelowOne());
+  EXPECT_TRUE(ratioSummary(high, one).confidentlyAboveOne());
+  EXPECT_FALSE(ratioSummary(one, one).confidentlyBelowOne());
+}
+
+}  // namespace

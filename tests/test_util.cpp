@@ -1,0 +1,146 @@
+// Tests for the small utility substrates: check macros, bit matrix,
+// timing/memory probes, DOT export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "dag/dot.h"
+#include "util/bitmatrix.h"
+#include "util/check.h"
+#include "util/timing.h"
+
+namespace {
+
+using prio::util::BitMatrix;
+
+TEST(Check, ThrowsWithLocationAndMessage) {
+  try {
+    PRIO_CHECK_MSG(1 == 2, "custom context " << 42);
+    FAIL() << "should have thrown";
+  } catch (const prio::util::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("custom context 42"), std::string::npos);
+    EXPECT_NE(what.find("test_util.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(PRIO_CHECK(2 + 2 == 4));
+}
+
+TEST(BitMatrix, SetTestClear) {
+  BitMatrix m(3, 130);  // spans multiple words per row
+  EXPECT_FALSE(m.test(1, 64));
+  m.set(1, 64);
+  m.set(1, 129);
+  m.set(2, 0);
+  EXPECT_TRUE(m.test(1, 64));
+  EXPECT_TRUE(m.test(1, 129));
+  EXPECT_FALSE(m.test(0, 64));
+  m.clearBit(1, 64);
+  EXPECT_FALSE(m.test(1, 64));
+  EXPECT_TRUE(m.test(1, 129));
+}
+
+TEST(BitMatrix, RowPopcountAndOr) {
+  BitMatrix m(2, 200);
+  for (std::size_t c = 0; c < 200; c += 3) m.set(0, c);
+  EXPECT_EQ(m.rowPopcount(0), 67u);
+  EXPECT_EQ(m.rowPopcount(1), 0u);
+  m.orRowInto(1, 0);
+  EXPECT_EQ(m.rowPopcount(1), 67u);
+  m.set(1, 1);
+  m.orRowInto(1, 0);  // idempotent for existing bits
+  EXPECT_EQ(m.rowPopcount(1), 68u);
+}
+
+TEST(BitMatrix, RowsIntersect) {
+  BitMatrix m(3, 100);
+  m.set(0, 70);
+  m.set(1, 70);
+  m.set(2, 71);
+  EXPECT_TRUE(m.rowsIntersect(0, 1));
+  EXPECT_FALSE(m.rowsIntersect(0, 2));
+}
+
+TEST(BitMatrix, BoundsChecked) {
+  BitMatrix m(2, 10);
+  EXPECT_THROW(m.set(2, 0), prio::util::Error);
+  EXPECT_THROW(m.set(0, 10), prio::util::Error);
+  EXPECT_THROW((void)m.test(0, 11), prio::util::Error);
+}
+
+TEST(BitMatrix, ByteSizeAccountsForPadding) {
+  BitMatrix m(4, 65);  // 2 words per row
+  EXPECT_EQ(m.byteSize(), 4u * 2u * 8u);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  prio::util::Stopwatch w;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t = w.elapsedSeconds();
+  EXPECT_GE(t, 0.015);
+  EXPECT_LT(t, 5.0);
+  w.reset();
+  EXPECT_LT(w.elapsedSeconds(), 0.015);
+}
+
+TEST(MemoryProbe, ReportsPlausibleValues) {
+  const std::size_t peak = prio::util::peakRssKb();
+  const std::size_t current = prio::util::currentRssKb();
+  EXPECT_GT(peak, 0u);
+  EXPECT_GT(current, 0u);
+  EXPECT_GE(peak, current / 2);  // peak should not be wildly below current
+}
+
+TEST(Dot, BasicStructure) {
+  prio::dag::Digraph g;
+  const auto a = g.addNode("alpha");
+  const auto b = g.addNode("beta");
+  g.addEdge(a, b);
+  const std::string dot = prio::dag::toDot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=BT"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesInNames) {
+  prio::dag::Digraph g;
+  g.addNode("has\"quote");
+  const std::string dot = prio::dag::toDot(g);
+  EXPECT_NE(dot.find("has\\\"quote"), std::string::npos);
+}
+
+TEST(Dot, PrioritiesAndColorsValidated) {
+  prio::dag::Digraph g;
+  g.addNode("a");
+  g.addNode("b");
+  const std::vector<std::size_t> priorities{2, 1};
+  prio::dag::DotOptions opts;
+  opts.priorities = priorities;
+  const std::string dot = prio::dag::toDot(g, opts);
+  EXPECT_NE(dot.find("p=2"), std::string::npos);
+
+  const std::vector<std::size_t> wrong{1};
+  prio::dag::DotOptions bad;
+  bad.priorities = wrong;
+  EXPECT_THROW((void)prio::dag::toDot(g, bad), prio::util::Error);
+}
+
+TEST(Dot, FillColors) {
+  prio::dag::Digraph g;
+  g.addNode("a");
+  g.addNode("b");
+  const std::vector<std::string> colors{"gray", ""};
+  prio::dag::DotOptions opts;
+  opts.fill_colors = colors;
+  const std::string dot = prio::dag::toDot(g, opts);
+  EXPECT_NE(dot.find("fillcolor=\"gray\""), std::string::npos);
+  // Node b has no color: exactly one fillcolor directive.
+  EXPECT_EQ(dot.find("fillcolor"), dot.rfind("fillcolor"));
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for the scientific workload generators (§3.3/§3.4 calibration)
+// and the random dag families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dag/algorithms.h"
+#include "stats/rng.h"
+#include "util/check.h"
+#include "workloads/random.h"
+#include "workloads/scientific.h"
+
+namespace {
+
+using namespace prio::dag;
+using namespace prio::workloads;
+using prio::stats::Rng;
+
+// ---- The paper's §3.4 job counts, exactly ----
+
+TEST(JobCounts, MatchPaperTable) {
+  EXPECT_EQ(makeAirsn({}).numNodes(), 773u);
+  EXPECT_EQ(makeInspiral({}).numNodes(), 2988u);
+  EXPECT_EQ(makeMontage({}).numNodes(), 7881u);
+  EXPECT_EQ(makeSdss({}).numNodes(), 48013u);
+}
+
+TEST(JobCounts, FormulasMatchGenerators) {
+  const AirsnParams ap{17, 4};
+  EXPECT_EQ(makeAirsn(ap).numNodes(), airsnJobCount(ap));
+  const InspiralParams ip{5, 3};
+  EXPECT_EQ(makeInspiral(ip).numNodes(), inspiralJobCount(ip));
+  const MontageParams mp{4, 6, 3};
+  EXPECT_EQ(makeMontage(mp).numNodes(), montageJobCount(mp));
+  const SdssParams sp{10, 4, 2, 7};
+  EXPECT_EQ(makeSdss(sp).numNodes(), sdssJobCount(sp));
+}
+
+// ---- AIRSN structure (Fig. 5's "double umbrella with fringes") ----
+
+TEST(Airsn, StructureMatchesDescription) {
+  const AirsnParams p{10, 5};
+  const auto g = makeAirsn(p);
+  ASSERT_TRUE(isAcyclic(g));
+  EXPECT_TRUE(isConnected(g));
+  // Sources: first handle job + the fringes.
+  EXPECT_EQ(g.sources().size(), 1 + p.width);
+  // Single global sink: the final join.
+  EXPECT_EQ(g.sinks().size(), 1u);
+  // The handle end fans out to `width` jobs.
+  const auto handle_end = *g.findNode("handle4");
+  EXPECT_EQ(g.outDegree(handle_end), p.width);
+  // Every first-fork job has exactly two parents: handle end + fringe.
+  for (std::size_t i = 0; i < p.width; ++i) {
+    EXPECT_EQ(g.inDegree(*g.findNode("align" + std::to_string(i))), 2u);
+  }
+  // The first join collects the whole fork and fans out the second cover.
+  const auto join1 = *g.findNode("reslice_join");
+  EXPECT_EQ(g.inDegree(join1), p.width);
+  EXPECT_EQ(g.outDegree(join1), p.width);
+}
+
+TEST(Airsn, RejectsDegenerateParams) {
+  EXPECT_THROW((void)makeAirsn({0, 5}), prio::util::Error);
+  EXPECT_THROW((void)makeAirsn({5, 0}), prio::util::Error);
+}
+
+// ---- Inspiral structure ----
+
+TEST(Inspiral, StructureMatchesDescription) {
+  const InspiralParams p{6, 4};
+  const auto g = makeInspiral(p);
+  ASSERT_TRUE(isAcyclic(g));
+  EXPECT_TRUE(isConnected(g));
+  // Sources: one datafind and one calibration job per segment.
+  EXPECT_EQ(g.sources().size(), 2 * p.segments);
+  // Sinks: one sire per segment.
+  EXPECT_EQ(g.sinks().size(), p.segments);
+  // Every inspiral has a deep parent (tmpltbank) and a shallow one
+  // (calibration) — the fringe pattern.
+  EXPECT_EQ(g.inDegree(*g.findNode("inspiral0_0")), 2u);
+  EXPECT_TRUE(g.hasEdge(*g.findNode("calibration0"),
+                        *g.findNode("inspiral0_1")));
+  // thinca depends on its own inspirals plus its veto.
+  EXPECT_EQ(g.inDegree(*g.findNode("thinca0")), p.templates + 1);
+  // veto_i digests the next segment's inspirals.
+  EXPECT_EQ(g.inDegree(*g.findNode("veto0")), p.templates);
+  EXPECT_TRUE(g.hasEdge(*g.findNode("inspiral1_0"), *g.findNode("veto0")));
+  // Wraparound at the last segment.
+  EXPECT_TRUE(g.hasEdge(*g.findNode("inspiral0_0"),
+                        *g.findNode("veto5")));
+}
+
+TEST(Inspiral, NoArcIsAShortcut) {
+  const auto g = makeInspiral({5, 3});
+  const auto r = transitiveReduction(g);
+  EXPECT_EQ(r.numEdges(), g.numEdges());
+}
+
+// ---- Montage structure ----
+
+TEST(Montage, StructureMatchesDescription) {
+  const MontageParams p{4, 5, 3};
+  const auto g = makeMontage(p);
+  ASSERT_TRUE(isAcyclic(g));
+  EXPECT_TRUE(isConnected(g));
+  // Sources: exactly the projects.
+  EXPECT_EQ(g.sources().size(), p.rows * p.cols);
+  // Every project has between 2 and ~10 diff children (grid + diagonal).
+  for (std::size_t i = 0; i < p.rows * p.cols; ++i) {
+    const auto deg = g.outDegree(static_cast<NodeId>(i));
+    EXPECT_GE(deg, 2u);
+    EXPECT_LE(deg, 10u);
+  }
+  // Diffs are shared: some diff has two distinct project parents.
+  const auto diff0 = *g.findNode("mDiffFit0");
+  EXPECT_EQ(g.inDegree(diff0), 2u);
+  // Single final sink (mJPEG).
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(Montage, RejectsTooManyDiagonals) {
+  EXPECT_THROW((void)makeMontage({3, 3, 100}), prio::util::Error);
+}
+
+// ---- SDSS structure ----
+
+TEST(Sdss, StructureMatchesDescription) {
+  const SdssParams p{10, 4, 2, 5};
+  const auto g = makeSdss(p);
+  ASSERT_TRUE(isAcyclic(g));
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_EQ(g.sources().size(), p.fields);
+  // Every field has exactly 3 children (the paper's claim), some shared.
+  for (std::size_t i = 0; i < p.fields; ++i) {
+    EXPECT_EQ(g.outDegree(*g.findNode("field" + std::to_string(i))), 3u);
+  }
+  // Targets: 2*fields + 1; a middle target is shared by two fields.
+  EXPECT_EQ(g.inDegree(*g.findNode("target2")), 2u);
+  // Output catalogs are sinks.
+  EXPECT_EQ(g.sinks().size(), p.output_files);
+}
+
+// ---- Random families ----
+
+class RandomFamilySeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomFamilySeeds, RandomDagIsAcyclicAndDeterministic) {
+  Rng rng1(GetParam()), rng2(GetParam());
+  const auto g1 = randomDag(30, 0.2, rng1);
+  const auto g2 = randomDag(30, 0.2, rng2);
+  EXPECT_TRUE(isAcyclic(g1));
+  EXPECT_EQ(g1.numEdges(), g2.numEdges());
+}
+
+TEST_P(RandomFamilySeeds, LayeredRandomHasMinimumParents) {
+  Rng rng(GetParam());
+  const auto g = layeredRandom(4, 5, 0.3, rng);
+  EXPECT_TRUE(isAcyclic(g));
+  EXPECT_EQ(g.numNodes(), 20u);
+  // Every non-first-layer node has at least one parent.
+  for (NodeId u = 5; u < 20; ++u) EXPECT_GE(g.inDegree(u), 1u);
+  // First layer nodes are sources.
+  for (NodeId u = 0; u < 5; ++u) EXPECT_TRUE(g.isSource(u));
+}
+
+TEST_P(RandomFamilySeeds, ComposableIsConnectedAcyclic) {
+  Rng rng(GetParam());
+  const auto g = randomComposable(25, rng);
+  EXPECT_TRUE(isAcyclic(g));
+  EXPECT_TRUE(isConnected(g));
+  EXPECT_GE(g.numNodes(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFamilySeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(RandomDag, EdgeProbabilityExtremes) {
+  Rng rng(1);
+  EXPECT_EQ(randomDag(10, 0.0, rng).numEdges(), 0u);
+  EXPECT_EQ(randomDag(10, 1.0, rng).numEdges(), 45u);
+  EXPECT_THROW((void)randomDag(5, 1.5, rng), prio::util::Error);
+}
+
+}  // namespace
