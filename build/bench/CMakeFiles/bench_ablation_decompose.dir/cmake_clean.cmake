@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decompose.dir/bench_ablation_decompose.cpp.o"
+  "CMakeFiles/bench_ablation_decompose.dir/bench_ablation_decompose.cpp.o.d"
+  "bench_ablation_decompose"
+  "bench_ablation_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

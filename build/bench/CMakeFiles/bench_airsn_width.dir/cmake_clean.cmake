@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_airsn_width.dir/bench_airsn_width.cpp.o"
+  "CMakeFiles/bench_airsn_width.dir/bench_airsn_width.cpp.o.d"
+  "bench_airsn_width"
+  "bench_airsn_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_airsn_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

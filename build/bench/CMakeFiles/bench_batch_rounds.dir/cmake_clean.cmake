@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_batch_rounds.dir/bench_batch_rounds.cpp.o"
+  "CMakeFiles/bench_batch_rounds.dir/bench_batch_rounds.cpp.o.d"
+  "bench_batch_rounds"
+  "bench_batch_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_batch_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

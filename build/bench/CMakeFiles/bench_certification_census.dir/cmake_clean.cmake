@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_certification_census.dir/bench_certification_census.cpp.o"
+  "CMakeFiles/bench_certification_census.dir/bench_certification_census.cpp.o.d"
+  "bench_certification_census"
+  "bench_certification_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_certification_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

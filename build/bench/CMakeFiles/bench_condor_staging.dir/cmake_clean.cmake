@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_condor_staging.dir/bench_condor_staging.cpp.o"
+  "CMakeFiles/bench_condor_staging.dir/bench_condor_staging.cpp.o.d"
+  "bench_condor_staging"
+  "bench_condor_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_condor_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_eligibility.dir/bench_fig4_eligibility.cpp.o"
+  "CMakeFiles/bench_fig4_eligibility.dir/bench_fig4_eligibility.cpp.o.d"
+  "bench_fig4_eligibility"
+  "bench_fig4_eligibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_eligibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_airsn.dir/bench_fig5_airsn.cpp.o"
+  "CMakeFiles/bench_fig5_airsn.dir/bench_fig5_airsn.cpp.o.d"
+  "bench_fig5_airsn"
+  "bench_fig5_airsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_airsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_airsn.dir/bench_fig6_airsn.cpp.o"
+  "CMakeFiles/bench_fig6_airsn.dir/bench_fig6_airsn.cpp.o.d"
+  "bench_fig6_airsn"
+  "bench_fig6_airsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_airsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

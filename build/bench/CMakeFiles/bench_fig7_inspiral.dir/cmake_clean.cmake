@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_inspiral.dir/bench_fig7_inspiral.cpp.o"
+  "CMakeFiles/bench_fig7_inspiral.dir/bench_fig7_inspiral.cpp.o.d"
+  "bench_fig7_inspiral"
+  "bench_fig7_inspiral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_inspiral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

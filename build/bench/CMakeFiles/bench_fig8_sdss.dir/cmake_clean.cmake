@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_sdss.dir/bench_fig8_sdss.cpp.o"
+  "CMakeFiles/bench_fig8_sdss.dir/bench_fig8_sdss.cpp.o.d"
+  "bench_fig8_sdss"
+  "bench_fig8_sdss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_sdss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_priority_matrix.dir/bench_priority_matrix.cpp.o"
+  "CMakeFiles/bench_priority_matrix.dir/bench_priority_matrix.cpp.o.d"
+  "bench_priority_matrix"
+  "bench_priority_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priority_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

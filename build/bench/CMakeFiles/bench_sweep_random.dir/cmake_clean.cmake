@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sweep_random.dir/bench_sweep_random.cpp.o"
+  "CMakeFiles/bench_sweep_random.dir/bench_sweep_random.cpp.o.d"
+  "bench_sweep_random"
+  "bench_sweep_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sweep_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

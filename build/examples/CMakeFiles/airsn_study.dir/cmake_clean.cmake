@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airsn_study.dir/airsn_study.cpp.o"
+  "CMakeFiles/airsn_study.dir/airsn_study.cpp.o.d"
+  "airsn_study"
+  "airsn_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airsn_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

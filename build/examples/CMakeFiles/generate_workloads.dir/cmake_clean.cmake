@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_workloads.dir/generate_workloads.cpp.o"
+  "CMakeFiles/generate_workloads.dir/generate_workloads.cpp.o.d"
+  "generate_workloads"
+  "generate_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

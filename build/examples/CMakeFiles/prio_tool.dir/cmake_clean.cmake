@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prio_tool.dir/prio_tool.cpp.o"
+  "CMakeFiles/prio_tool.dir/prio_tool.cpp.o.d"
+  "prio_tool"
+  "prio_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prio_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

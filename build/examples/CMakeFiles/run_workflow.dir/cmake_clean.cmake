@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_workflow.dir/run_workflow.cpp.o"
+  "CMakeFiles/run_workflow.dir/run_workflow.cpp.o.d"
+  "run_workflow"
+  "run_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_grid.dir/simulate_grid.cpp.o"
+  "CMakeFiles/simulate_grid.dir/simulate_grid.cpp.o.d"
+  "simulate_grid"
+  "simulate_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_prio_tool_demo "/root/repo/build/examples/prio_tool" "--demo" "/root/repo/build/examples/demo_out")
+set_tests_properties(example_prio_tool_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_prio_tool_run "/root/repo/build/examples/prio_tool" "--run" "/root/repo/build/examples/demo_out/IV.dag" "2")
+set_tests_properties(example_prio_tool_run PROPERTIES  DEPENDS "example_prio_tool_demo" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_generate_workloads "/root/repo/build/examples/generate_workloads" "/root/repo/build/examples/wl_out")
+set_tests_properties(example_generate_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_run_workflow "/root/repo/build/examples/run_workflow" "10" "2")
+set_tests_properties(example_run_workflow PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_export_figures "/root/repo/build/examples/export_figures" "/root/repo/build/examples/fig_out" "2" "1")
+set_tests_properties(example_export_figures PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_simulate_grid "/root/repo/build/examples/simulate_grid" "airsn" "1.0" "16" "4" "2")
+set_tests_properties(example_simulate_grid PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;30;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_theory_tour "/root/repo/build/examples/theory_tour")
+set_tests_properties(example_theory_tour PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_airsn_study "/root/repo/build/examples/airsn_study" "40")
+set_tests_properties(example_airsn_study PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")

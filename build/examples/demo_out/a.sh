@@ -1,0 +1,1 @@
+echo job a ran

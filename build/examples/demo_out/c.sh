@@ -1,0 +1,1 @@
+echo job c ran

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prio_condor.dir/system.cpp.o"
+  "CMakeFiles/prio_condor.dir/system.cpp.o.d"
+  "libprio_condor.a"
+  "libprio_condor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prio_condor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/combine.cpp" "src/core/CMakeFiles/prio_core.dir/combine.cpp.o" "gcc" "src/core/CMakeFiles/prio_core.dir/combine.cpp.o.d"
+  "/root/repo/src/core/decompose.cpp" "src/core/CMakeFiles/prio_core.dir/decompose.cpp.o" "gcc" "src/core/CMakeFiles/prio_core.dir/decompose.cpp.o.d"
+  "/root/repo/src/core/prio.cpp" "src/core/CMakeFiles/prio_core.dir/prio.cpp.o" "gcc" "src/core/CMakeFiles/prio_core.dir/prio.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/prio_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/prio_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/prio_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/prio_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/theory/CMakeFiles/prio_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/prio_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prio_core.dir/combine.cpp.o"
+  "CMakeFiles/prio_core.dir/combine.cpp.o.d"
+  "CMakeFiles/prio_core.dir/decompose.cpp.o"
+  "CMakeFiles/prio_core.dir/decompose.cpp.o.d"
+  "CMakeFiles/prio_core.dir/prio.cpp.o"
+  "CMakeFiles/prio_core.dir/prio.cpp.o.d"
+  "CMakeFiles/prio_core.dir/report.cpp.o"
+  "CMakeFiles/prio_core.dir/report.cpp.o.d"
+  "CMakeFiles/prio_core.dir/schedule.cpp.o"
+  "CMakeFiles/prio_core.dir/schedule.cpp.o.d"
+  "libprio_core.a"
+  "libprio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

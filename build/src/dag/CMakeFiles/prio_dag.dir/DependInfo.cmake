@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/algorithms.cpp" "src/dag/CMakeFiles/prio_dag.dir/algorithms.cpp.o" "gcc" "src/dag/CMakeFiles/prio_dag.dir/algorithms.cpp.o.d"
+  "/root/repo/src/dag/digraph.cpp" "src/dag/CMakeFiles/prio_dag.dir/digraph.cpp.o" "gcc" "src/dag/CMakeFiles/prio_dag.dir/digraph.cpp.o.d"
+  "/root/repo/src/dag/dot.cpp" "src/dag/CMakeFiles/prio_dag.dir/dot.cpp.o" "gcc" "src/dag/CMakeFiles/prio_dag.dir/dot.cpp.o.d"
+  "/root/repo/src/dag/stats.cpp" "src/dag/CMakeFiles/prio_dag.dir/stats.cpp.o" "gcc" "src/dag/CMakeFiles/prio_dag.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prio_dag.dir/algorithms.cpp.o"
+  "CMakeFiles/prio_dag.dir/algorithms.cpp.o.d"
+  "CMakeFiles/prio_dag.dir/digraph.cpp.o"
+  "CMakeFiles/prio_dag.dir/digraph.cpp.o.d"
+  "CMakeFiles/prio_dag.dir/dot.cpp.o"
+  "CMakeFiles/prio_dag.dir/dot.cpp.o.d"
+  "CMakeFiles/prio_dag.dir/stats.cpp.o"
+  "CMakeFiles/prio_dag.dir/stats.cpp.o.d"
+  "libprio_dag.a"
+  "libprio_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prio_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

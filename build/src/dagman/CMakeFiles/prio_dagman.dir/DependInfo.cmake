@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dagman/dagman_file.cpp" "src/dagman/CMakeFiles/prio_dagman.dir/dagman_file.cpp.o" "gcc" "src/dagman/CMakeFiles/prio_dagman.dir/dagman_file.cpp.o.d"
+  "/root/repo/src/dagman/executor.cpp" "src/dagman/CMakeFiles/prio_dagman.dir/executor.cpp.o" "gcc" "src/dagman/CMakeFiles/prio_dagman.dir/executor.cpp.o.d"
+  "/root/repo/src/dagman/instrument.cpp" "src/dagman/CMakeFiles/prio_dagman.dir/instrument.cpp.o" "gcc" "src/dagman/CMakeFiles/prio_dagman.dir/instrument.cpp.o.d"
+  "/root/repo/src/dagman/jsdf.cpp" "src/dagman/CMakeFiles/prio_dagman.dir/jsdf.cpp.o" "gcc" "src/dagman/CMakeFiles/prio_dagman.dir/jsdf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/prio_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/prio_theory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prio_dagman.dir/dagman_file.cpp.o"
+  "CMakeFiles/prio_dagman.dir/dagman_file.cpp.o.d"
+  "CMakeFiles/prio_dagman.dir/executor.cpp.o"
+  "CMakeFiles/prio_dagman.dir/executor.cpp.o.d"
+  "CMakeFiles/prio_dagman.dir/instrument.cpp.o"
+  "CMakeFiles/prio_dagman.dir/instrument.cpp.o.d"
+  "CMakeFiles/prio_dagman.dir/jsdf.cpp.o"
+  "CMakeFiles/prio_dagman.dir/jsdf.cpp.o.d"
+  "libprio_dagman.a"
+  "libprio_dagman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prio_dagman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for prio_dagman.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/baselines.cpp" "src/sim/CMakeFiles/prio_sim.dir/baselines.cpp.o" "gcc" "src/sim/CMakeFiles/prio_sim.dir/baselines.cpp.o.d"
+  "/root/repo/src/sim/campaign.cpp" "src/sim/CMakeFiles/prio_sim.dir/campaign.cpp.o" "gcc" "src/sim/CMakeFiles/prio_sim.dir/campaign.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/prio_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/prio_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/extensions.cpp" "src/sim/CMakeFiles/prio_sim.dir/extensions.cpp.o" "gcc" "src/sim/CMakeFiles/prio_sim.dir/extensions.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/prio_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/prio_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/workers.cpp" "src/sim/CMakeFiles/prio_sim.dir/workers.cpp.o" "gcc" "src/sim/CMakeFiles/prio_sim.dir/workers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/prio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/prio_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/prio_theory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

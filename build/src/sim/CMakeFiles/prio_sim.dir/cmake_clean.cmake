@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prio_sim.dir/baselines.cpp.o"
+  "CMakeFiles/prio_sim.dir/baselines.cpp.o.d"
+  "CMakeFiles/prio_sim.dir/campaign.cpp.o"
+  "CMakeFiles/prio_sim.dir/campaign.cpp.o.d"
+  "CMakeFiles/prio_sim.dir/engine.cpp.o"
+  "CMakeFiles/prio_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/prio_sim.dir/extensions.cpp.o"
+  "CMakeFiles/prio_sim.dir/extensions.cpp.o.d"
+  "CMakeFiles/prio_sim.dir/trace.cpp.o"
+  "CMakeFiles/prio_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/prio_sim.dir/workers.cpp.o"
+  "CMakeFiles/prio_sim.dir/workers.cpp.o.d"
+  "libprio_sim.a"
+  "libprio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/batch.cpp" "src/theory/CMakeFiles/prio_theory.dir/batch.cpp.o" "gcc" "src/theory/CMakeFiles/prio_theory.dir/batch.cpp.o.d"
+  "/root/repo/src/theory/blocks.cpp" "src/theory/CMakeFiles/prio_theory.dir/blocks.cpp.o" "gcc" "src/theory/CMakeFiles/prio_theory.dir/blocks.cpp.o.d"
+  "/root/repo/src/theory/bruteforce.cpp" "src/theory/CMakeFiles/prio_theory.dir/bruteforce.cpp.o" "gcc" "src/theory/CMakeFiles/prio_theory.dir/bruteforce.cpp.o.d"
+  "/root/repo/src/theory/composition.cpp" "src/theory/CMakeFiles/prio_theory.dir/composition.cpp.o" "gcc" "src/theory/CMakeFiles/prio_theory.dir/composition.cpp.o.d"
+  "/root/repo/src/theory/eligibility.cpp" "src/theory/CMakeFiles/prio_theory.dir/eligibility.cpp.o" "gcc" "src/theory/CMakeFiles/prio_theory.dir/eligibility.cpp.o.d"
+  "/root/repo/src/theory/priority.cpp" "src/theory/CMakeFiles/prio_theory.dir/priority.cpp.o" "gcc" "src/theory/CMakeFiles/prio_theory.dir/priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/prio_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

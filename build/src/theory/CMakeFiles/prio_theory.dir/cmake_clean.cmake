@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prio_theory.dir/batch.cpp.o"
+  "CMakeFiles/prio_theory.dir/batch.cpp.o.d"
+  "CMakeFiles/prio_theory.dir/blocks.cpp.o"
+  "CMakeFiles/prio_theory.dir/blocks.cpp.o.d"
+  "CMakeFiles/prio_theory.dir/bruteforce.cpp.o"
+  "CMakeFiles/prio_theory.dir/bruteforce.cpp.o.d"
+  "CMakeFiles/prio_theory.dir/composition.cpp.o"
+  "CMakeFiles/prio_theory.dir/composition.cpp.o.d"
+  "CMakeFiles/prio_theory.dir/eligibility.cpp.o"
+  "CMakeFiles/prio_theory.dir/eligibility.cpp.o.d"
+  "CMakeFiles/prio_theory.dir/priority.cpp.o"
+  "CMakeFiles/prio_theory.dir/priority.cpp.o.d"
+  "libprio_theory.a"
+  "libprio_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prio_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/pegasus.cpp" "src/workloads/CMakeFiles/prio_workloads.dir/pegasus.cpp.o" "gcc" "src/workloads/CMakeFiles/prio_workloads.dir/pegasus.cpp.o.d"
+  "/root/repo/src/workloads/random.cpp" "src/workloads/CMakeFiles/prio_workloads.dir/random.cpp.o" "gcc" "src/workloads/CMakeFiles/prio_workloads.dir/random.cpp.o.d"
+  "/root/repo/src/workloads/scientific.cpp" "src/workloads/CMakeFiles/prio_workloads.dir/scientific.cpp.o" "gcc" "src/workloads/CMakeFiles/prio_workloads.dir/scientific.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/theory/CMakeFiles/prio_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/prio_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prio_workloads.dir/pegasus.cpp.o"
+  "CMakeFiles/prio_workloads.dir/pegasus.cpp.o.d"
+  "CMakeFiles/prio_workloads.dir/random.cpp.o"
+  "CMakeFiles/prio_workloads.dir/random.cpp.o.d"
+  "CMakeFiles/prio_workloads.dir/scientific.cpp.o"
+  "CMakeFiles/prio_workloads.dir/scientific.cpp.o.d"
+  "libprio_workloads.a"
+  "libprio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bruteforce.dir/test_bruteforce.cpp.o"
+  "CMakeFiles/test_bruteforce.dir/test_bruteforce.cpp.o.d"
+  "test_bruteforce"
+  "test_bruteforce.pdb"
+  "test_bruteforce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bruteforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_btree_pq.dir/test_btree_pq.cpp.o"
+  "CMakeFiles/test_btree_pq.dir/test_btree_pq.cpp.o.d"
+  "test_btree_pq"
+  "test_btree_pq.pdb"
+  "test_btree_pq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_btree_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

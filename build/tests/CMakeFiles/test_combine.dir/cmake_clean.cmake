@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combine.dir/test_combine.cpp.o"
+  "CMakeFiles/test_combine.dir/test_combine.cpp.o.d"
+  "test_combine"
+  "test_combine.pdb"
+  "test_combine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

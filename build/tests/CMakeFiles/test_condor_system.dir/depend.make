@@ -1,0 +1,2 @@
+# Empty dependencies file for test_condor_system.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag_algorithms.dir/test_dag_algorithms.cpp.o"
+  "CMakeFiles/test_dag_algorithms.dir/test_dag_algorithms.cpp.o.d"
+  "test_dag_algorithms"
+  "test_dag_algorithms.pdb"
+  "test_dag_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

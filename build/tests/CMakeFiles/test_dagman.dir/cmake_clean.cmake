@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dagman.dir/test_dagman.cpp.o"
+  "CMakeFiles/test_dagman.dir/test_dagman.cpp.o.d"
+  "test_dagman"
+  "test_dagman.pdb"
+  "test_dagman[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dagman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dagman_fuzz.dir/test_dagman_fuzz.cpp.o"
+  "CMakeFiles/test_dagman_fuzz.dir/test_dagman_fuzz.cpp.o.d"
+  "test_dagman_fuzz"
+  "test_dagman_fuzz.pdb"
+  "test_dagman_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dagman_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

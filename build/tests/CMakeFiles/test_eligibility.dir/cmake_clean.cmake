@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eligibility.dir/test_eligibility.cpp.o"
+  "CMakeFiles/test_eligibility.dir/test_eligibility.cpp.o.d"
+  "test_eligibility"
+  "test_eligibility.pdb"
+  "test_eligibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eligibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exhaustive_small_dags.dir/test_exhaustive_small_dags.cpp.o"
+  "CMakeFiles/test_exhaustive_small_dags.dir/test_exhaustive_small_dags.cpp.o.d"
+  "test_exhaustive_small_dags"
+  "test_exhaustive_small_dags.pdb"
+  "test_exhaustive_small_dags[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exhaustive_small_dags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pegasus.cpp" "tests/CMakeFiles/test_pegasus.dir/test_pegasus.cpp.o" "gcc" "tests/CMakeFiles/test_pegasus.dir/test_pegasus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/prio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/condor/CMakeFiles/prio_condor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dagman/CMakeFiles/prio_dagman.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/prio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/prio_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/prio_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_recognizer_invariance.dir/test_recognizer_invariance.cpp.o"
+  "CMakeFiles/test_recognizer_invariance.dir/test_recognizer_invariance.cpp.o.d"
+  "test_recognizer_invariance"
+  "test_recognizer_invariance.pdb"
+  "test_recognizer_invariance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_recognizer_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

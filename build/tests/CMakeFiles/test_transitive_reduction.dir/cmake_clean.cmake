@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transitive_reduction.dir/test_transitive_reduction.cpp.o"
+  "CMakeFiles/test_transitive_reduction.dir/test_transitive_reduction.cpp.o.d"
+  "test_transitive_reduction"
+  "test_transitive_reduction.pdb"
+  "test_transitive_reduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transitive_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
