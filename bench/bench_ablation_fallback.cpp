@@ -53,7 +53,7 @@ int main() {
               "t_greedy");
 
   long long wins = 0, ties = 0, losses = 0;
-  for (const auto [sources, sinks] :
+  for (const auto& [sources, sinks] :
        std::vector<std::pair<std::size_t, std::size_t>>{
            {20, 40}, {50, 100}, {100, 300}, {200, 800}}) {
     for (int trial = 0; trial < 3; ++trial) {

@@ -19,7 +19,8 @@ constexpr double kPerfectEps = 1e-12;
 // Lazily computed, memoized priority(class a over class b) matrix.
 class PairPriorityCache {
  public:
-  PairPriorityCache(const std::vector<std::vector<std::size_t>>& profiles)
+  explicit PairPriorityCache(
+      const std::vector<std::vector<std::size_t>>& profiles)
       : profiles_(profiles),
         n_(profiles.size()),
         value_(n_ * n_, 0.0),

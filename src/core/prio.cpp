@@ -37,17 +37,28 @@ bool certifyICOptimal(const PrioResult& r) {
 
 PrioResult prioritize(const dag::Digraph& g, const PrioOptions& options) {
   util::Stopwatch total;
-  PrioResult out;
 
   // Step 1: shortcut removal.
   util::Stopwatch phase;
   const dag::Digraph reduced =
       transitiveReduction(g, options.reduction_method);
+  const double reduce_s = phase.elapsedSeconds();
+
+  PrioResult out = prioritizeWithReduction(g, reduced, options);
+  out.timings.reduce_s = reduce_s;
+  out.timings.total_s = total.elapsedSeconds();
+  return out;
+}
+
+PrioResult prioritizeWithReduction(const dag::Digraph& g,
+                                   const dag::Digraph& reduced,
+                                   const PrioOptions& options) {
+  util::Stopwatch total;
+  PrioResult out;
   out.shortcuts_removed = g.numEdges() - reduced.numEdges();
-  out.timings.reduce_s = phase.elapsedSeconds();
 
   // Step 2: decomposition.
-  phase.reset();
+  util::Stopwatch phase;
   DecomposeOptions dopt;
   dopt.bipartite_fast_path = options.bipartite_fast_path;
   out.decomposition = decompose(reduced, dopt);

@@ -73,8 +73,23 @@ struct PrioResult {
 
 /// Runs the prio heuristic on any dag. Throws util::Error when g has a
 /// directed cycle.
+///
+/// Thread safety: re-entrant. All state is per-call; `g` is only read, so
+/// concurrent calls on the same or different dags are safe (this is what
+/// the prioritization service in src/service/ relies on, and what
+/// tests/test_service.cpp exercises under TSan).
 [[nodiscard]] PrioResult prioritize(const dag::Digraph& g,
                                     const PrioOptions& options = {});
+
+/// As prioritize(), but the caller supplies `reduced`, the transitive
+/// reduction of `g`, and step 1 is skipped (timings.reduce_s stays 0).
+/// The service layer computes the reduction once for its structural
+/// fingerprint and reuses it here. Precondition: reduced ==
+/// transitiveReduction(g); violating it yields a schedule for the wrong
+/// dag (caught by verify_schedule when the node sets differ).
+[[nodiscard]] PrioResult prioritizeWithReduction(
+    const dag::Digraph& g, const dag::Digraph& reduced,
+    const PrioOptions& options = {});
 
 /// Convenience: just the schedule.
 [[nodiscard]] std::vector<dag::NodeId> prioSchedule(

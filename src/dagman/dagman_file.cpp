@@ -184,7 +184,10 @@ DagmanJob& DagmanFile::addJob(std::string name, std::string submit_file) {
   PRIO_CHECK_MSG(job_index_.find(name) == job_index_.end(),
                  "duplicate JOB " << name);
   job_index_.emplace(name, jobs_.size());
-  jobs_.push_back(DagmanJob{std::move(name), std::move(submit_file)});
+  DagmanJob job;
+  job.name = std::move(name);
+  job.submit_file = std::move(submit_file);
+  jobs_.push_back(std::move(job));
   return jobs_.back();
 }
 

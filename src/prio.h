@@ -11,13 +11,16 @@
 #include "dag/algorithms.h"   // IWYU pragma: export
 #include "dag/digraph.h"      // IWYU pragma: export
 #include "dag/dot.h"          // IWYU pragma: export
+#include "dag/fingerprint.h"  // IWYU pragma: export
 #include "dag/stats.h"        // IWYU pragma: export
 #include "stats/distributions.h"  // IWYU pragma: export
 #include "stats/rng.h"        // IWYU pragma: export
 #include "stats/sampling.h"   // IWYU pragma: export
 #include "stats/summary.h"    // IWYU pragma: export
+#include "util/bounded_queue.h"  // IWYU pragma: export
 #include "util/btree_pq.h"    // IWYU pragma: export
 #include "util/check.h"       // IWYU pragma: export
+#include "util/thread_pool.h" // IWYU pragma: export
 #include "util/timing.h"      // IWYU pragma: export
 
 // Scheduling theory.
@@ -38,6 +41,11 @@
 #include "dagman/executor.h"     // IWYU pragma: export
 #include "dagman/instrument.h"   // IWYU pragma: export
 #include "dagman/jsdf.h"         // IWYU pragma: export
+
+// The priod prioritization service.
+#include "service/cache.h"    // IWYU pragma: export
+#include "service/metrics.h"  // IWYU pragma: export
+#include "service/service.h"  // IWYU pragma: export
 
 // Workloads, simulation, and the Condor system model.
 #include "condor/system.h"        // IWYU pragma: export

@@ -1,0 +1,74 @@
+// Sharded LRU memo of PrioResults keyed by structural DAG fingerprint.
+//
+// Shard selection hashes the fingerprint, so concurrent lookups of
+// different dags almost never contend on the same mutex; within a shard a
+// classic unordered_map + intrusive LRU list gives O(1) find/insert/evict.
+//
+// Soundness across fingerprint collisions: the structural fingerprint is
+// isomorphism-stable, but a stored result encodes node *ids* — reusing it
+// requires the request's id-layout to match the layout the result was
+// computed from, not mere isomorphism. Every entry therefore carries the
+// layoutHash() of its source dag, and find() only returns entries whose
+// layout matches. A fingerprint match with a layout mismatch (an "alias":
+// id-permuted isomorphic dag, or an astronomically unlikely hash
+// collision) is reported so the service can count it and recompute; both
+// layouts then coexist under the same fingerprint key.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/prio.h"
+
+namespace prio::service {
+
+/// Shared-ownership handle to a memoized result. Replies keep results
+/// alive after eviction, so eviction never invalidates an outstanding
+/// reply.
+using CachedResult = std::shared_ptr<const core::PrioResult>;
+
+class ResultCache {
+ public:
+  struct FindOutcome {
+    CachedResult result;  ///< non-null on a (layout-verified) hit
+    bool alias = false;   ///< fingerprint present but only with other layouts
+  };
+
+  /// `capacity` is the total number of retained results across all
+  /// shards (split evenly, min 1 each); `num_shards` >= 1.
+  ResultCache(std::size_t capacity, std::size_t num_shards);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+  ~ResultCache();
+
+  /// Looks up (fingerprint, layout); a hit refreshes LRU recency.
+  [[nodiscard]] FindOutcome find(std::uint64_t fingerprint,
+                                 std::uint64_t layout);
+
+  /// Inserts (or refreshes) the result for (fingerprint, layout),
+  /// evicting the shard's least-recently-used entry when full.
+  void insert(std::uint64_t fingerprint, std::uint64_t layout,
+              CachedResult result);
+
+  /// Current number of retained results (sums shard sizes; approximate
+  /// under concurrent mutation).
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept;
+  [[nodiscard]] std::size_t numShards() const noexcept;
+  /// Total LRU evictions so far.
+  [[nodiscard]] std::uint64_t evictions() const;
+
+ private:
+  struct Shard;
+  Shard& shardFor(std::uint64_t fingerprint) const;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t per_shard_capacity_ = 0;
+};
+
+}  // namespace prio::service

@@ -1,0 +1,180 @@
+// Service-side observability: atomic request/cache counters and
+// log-bucketed latency histograms, all lock-free on the record path so
+// worker threads never serialize on metrics.
+//
+// The per-phase histograms reuse core::PhaseTimings — every computed
+// (non-cached) request feeds its reduce/decompose/recurse/combine split
+// into one histogram each, so a long-running priod exposes the same
+// phase breakdown the paper's Table 1 reports for single runs.
+//
+// Counter/histogram reads (snapshot(), writeJson()) are monotonic
+// relaxed-atomic reads: values lag in-flight requests by at most one
+// request and need no locks.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/prio.h"
+
+namespace prio::service {
+
+/// Latencies bucketed by power-of-two microseconds: bucket i counts
+/// samples in [2^i, 2^(i+1)) us (bucket 0 also absorbs sub-microsecond
+/// samples; the last bucket absorbs everything above ~2100 s).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 32;
+
+  void record(double seconds) {
+    const double us = seconds * 1e6;
+    const std::uint64_t ticks = us < 1.0 ? 0 : static_cast<std::uint64_t>(us);
+    std::size_t bucket = 0;
+    while (bucket + 1 < kBuckets && (std::uint64_t{1} << (bucket + 1)) <= ticks) {
+      ++bucket;
+    }
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_us_.fetch_add(ticks, std::memory_order_relaxed);
+    // CAS max; relaxed is fine — the value is monotone.
+    std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
+    while (ticks > seen &&
+           !max_us_.compare_exchange_weak(seen, ticks,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double meanSeconds() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0
+                  : static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
+                        (1e6 * static_cast<double>(n));
+  }
+
+  [[nodiscard]] double maxSeconds() const {
+    return static_cast<double>(max_us_.load(std::memory_order_relaxed)) / 1e6;
+  }
+
+  /// Upper bound of the bucket containing the q-quantile (q in [0,1]),
+  /// in seconds. 0 when empty.
+  [[nodiscard]] double quantileSeconds(double q) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    const std::uint64_t rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(n - 1));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      seen += buckets_[b].load(std::memory_order_relaxed);
+      if (seen > rank) {
+        return static_cast<double>(std::uint64_t{1} << (b + 1)) / 1e6;
+      }
+    }
+    return maxSeconds();
+  }
+
+  /// Writes {"count":..,"mean_s":..,"p50_s":..,"p99_s":..,"max_s":..}.
+  void writeJson(std::ostream& out) const {
+    out << "{\"count\":" << count() << ",\"mean_s\":" << meanSeconds()
+        << ",\"p50_s\":" << quantileSeconds(0.50)
+        << ",\"p99_s\":" << quantileSeconds(0.99)
+        << ",\"max_s\":" << maxSeconds() << "}";
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_us_{0};
+  std::atomic<std::uint64_t> max_us_{0};
+};
+
+/// One relaxed counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t get() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// All metrics of one PrioService instance.
+struct ServiceMetrics {
+  // Request lifecycle.
+  Counter requests_submitted;
+  Counter requests_completed;  ///< served OK (computed or cached)
+  Counter requests_rejected;   ///< backpressure: queue full under kReject
+  Counter requests_failed;     ///< parse error, cyclic dag, ...
+  // Cache outcomes (completed requests only).
+  Counter cache_hits;
+  Counter cache_misses;
+  /// Structural-fingerprint hit whose stored result was computed under a
+  /// different node-id layout: sound to detect, unsound to reuse — served
+  /// as a miss (see dag/fingerprint.h).
+  Counter fingerprint_aliases;
+  // Queue depth high-water mark, mirrored from the pool at snapshot time.
+  std::atomic<std::uint64_t> queue_high_water{0};
+
+  // Latency split. End-to-end = submit() to reply (queue wait included).
+  LatencyHistogram latency_total;
+  LatencyHistogram latency_cache_hit;  ///< end-to-end for cache hits
+  LatencyHistogram phase_reduce;
+  LatencyHistogram phase_decompose;
+  LatencyHistogram phase_recurse;
+  LatencyHistogram phase_combine;
+
+  void recordPhases(const core::PhaseTimings& t) {
+    phase_reduce.record(t.reduce_s);
+    phase_decompose.record(t.decompose_s);
+    phase_recurse.record(t.recurse_s);
+    phase_combine.record(t.combine_s);
+  }
+
+  [[nodiscard]] double cacheHitRate() const {
+    const std::uint64_t h = cache_hits.get();
+    const std::uint64_t m = cache_misses.get();
+    return h + m == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+  /// Full JSON object (stable key order; suitable for BENCH_service.json
+  /// and the prio_serve report).
+  void writeJson(std::ostream& out) const {
+    out << "{\"requests_submitted\":" << requests_submitted.get()
+        << ",\"requests_completed\":" << requests_completed.get()
+        << ",\"requests_rejected\":" << requests_rejected.get()
+        << ",\"requests_failed\":" << requests_failed.get()
+        << ",\"cache_hits\":" << cache_hits.get()
+        << ",\"cache_misses\":" << cache_misses.get()
+        << ",\"cache_hit_rate\":" << cacheHitRate()
+        << ",\"fingerprint_aliases\":" << fingerprint_aliases.get()
+        << ",\"queue_high_water\":"
+        << queue_high_water.load(std::memory_order_relaxed)
+        << ",\"latency_total\":";
+    latency_total.writeJson(out);
+    out << ",\"latency_cache_hit\":";
+    latency_cache_hit.writeJson(out);
+    out << ",\"phase_reduce\":";
+    phase_reduce.writeJson(out);
+    out << ",\"phase_decompose\":";
+    phase_decompose.writeJson(out);
+    out << ",\"phase_recurse\":";
+    phase_recurse.writeJson(out);
+    out << ",\"phase_combine\":";
+    phase_combine.writeJson(out);
+    out << "}";
+  }
+};
+
+}  // namespace prio::service

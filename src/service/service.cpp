@@ -1,0 +1,193 @@
+#include "service/service.h"
+
+#include <exception>
+#include <ostream>
+#include <type_traits>
+#include <utility>
+
+#include "dag/fingerprint.h"
+#include "dagman/dagman_file.h"
+#include "dagman/instrument.h"
+#include "util/timing.h"
+
+namespace prio::service {
+
+PrioService::PrioService(const ServiceConfig& config)
+    : config_(config),
+      cache_(config.cache_capacity == 0
+                 ? nullptr
+                 : std::make_unique<ResultCache>(config.cache_capacity,
+                                                config.cache_shards)),
+      pool_(resolveThreads(config.num_threads), config.queue_capacity) {}
+
+PrioService::~PrioService() { shutdown(); }
+
+void PrioService::shutdown() { pool_.shutdown(); }
+
+void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply) {
+  // One reduction pays for both the fingerprint and (on a miss) step 1 of
+  // the heuristic.
+  const dag::Digraph reduced =
+      dag::transitiveReduction(g, config_.prio_options.reduction_method);
+  reply.fingerprint = dag::structuralFingerprintOfReduced(reduced);
+  reply.layout = dag::layoutHash(g);
+
+  if (cache_ != nullptr) {
+    ResultCache::FindOutcome found = cache_->find(reply.fingerprint,
+                                                  reply.layout);
+    if (found.result != nullptr) {
+      reply.result = std::move(found.result);
+      reply.cache_hit = true;
+      metrics_.cache_hits.add();
+      return;
+    }
+    if (found.alias) metrics_.fingerprint_aliases.add();
+  }
+
+  // Every computed request counts as a miss (also with caching disabled),
+  // so hits/(hits+misses) is the true served-from-cache fraction.
+  metrics_.cache_misses.add();
+  auto result = std::make_shared<const core::PrioResult>(
+      core::prioritizeWithReduction(g, reduced, config_.prio_options));
+  metrics_.recordPhases(result->timings);
+  if (cache_ != nullptr) {
+    cache_->insert(reply.fingerprint, reply.layout, result);
+  }
+  reply.result = std::move(result);
+}
+
+void PrioService::serveFile(const FileRequest& request, Reply& reply) {
+  dagman::DagmanFile file = dagman::DagmanFile::parseFile(request.input_path);
+  const dag::Digraph g = file.toDigraph();
+  serveDigraph(g, reply);
+  if (!request.output_path.empty()) {
+    dagman::instrumentDagmanFile(file, reply.result->priority);
+    file.writeFile(request.output_path);
+  }
+}
+
+namespace {
+
+const std::string& sourceOf(const FileRequest& r) { return r.input_path; }
+std::string sourceOf(const dag::Digraph&) { return {}; }
+
+}  // namespace
+
+template <typename Request>
+std::future<Reply> PrioService::enqueue(Request request) {
+  metrics_.requests_submitted.add();
+
+  // std::function must be copyable, so the promise and the request live
+  // behind a shared_ptr. The stopwatch starts here: latency_s includes
+  // queue wait.
+  struct Holder {
+    util::Stopwatch watch;
+    std::promise<Reply> promise;
+    Request request;
+  };
+  auto holder = std::make_shared<Holder>();
+  holder->request = std::move(request);
+  std::future<Reply> future = holder->promise.get_future();
+
+  auto task = [this, holder] {
+    Reply reply;
+    reply.source = sourceOf(holder->request);
+    try {
+      if constexpr (std::is_same_v<Request, FileRequest>) {
+        serveFile(holder->request, reply);
+      } else {
+        serveDigraph(holder->request, reply);
+      }
+      metrics_.requests_completed.add();
+    } catch (const std::exception& e) {
+      reply.result.reset();
+      reply.status = RequestStatus::kFailed;
+      reply.error = e.what();
+      metrics_.requests_failed.add();
+    }
+    reply.latency_s = holder->watch.elapsedSeconds();
+    metrics_.latency_total.record(reply.latency_s);
+    if (reply.cache_hit) metrics_.latency_cache_hit.record(reply.latency_s);
+    holder->promise.set_value(std::move(reply));
+  };
+
+  const bool accepted = config_.backpressure == BackpressurePolicy::kBlock
+                            ? pool_.submit(std::move(task))
+                            : pool_.trySubmit(std::move(task));
+  if (!accepted) {
+    metrics_.requests_rejected.add();
+    Reply reply;
+    reply.status = RequestStatus::kRejected;
+    reply.source = sourceOf(holder->request);
+    reply.latency_s = holder->watch.elapsedSeconds();
+    holder->promise.set_value(std::move(reply));
+  }
+  return future;
+}
+
+std::future<Reply> PrioService::submit(dag::Digraph g) {
+  return enqueue(std::move(g));
+}
+
+std::future<Reply> PrioService::submit(FileRequest request) {
+  return enqueue(std::move(request));
+}
+
+std::vector<std::future<Reply>> PrioService::submitBatch(
+    std::vector<dag::Digraph> dags) {
+  std::vector<std::future<Reply>> futures;
+  futures.reserve(dags.size());
+  for (dag::Digraph& g : dags) futures.push_back(submit(std::move(g)));
+  return futures;
+}
+
+std::vector<std::future<Reply>> PrioService::submitBatch(
+    std::vector<FileRequest> files) {
+  std::vector<std::future<Reply>> futures;
+  futures.reserve(files.size());
+  for (FileRequest& f : files) futures.push_back(submit(std::move(f)));
+  return futures;
+}
+
+Reply PrioService::prioritizeNow(const dag::Digraph& g) {
+  metrics_.requests_submitted.add();
+  util::Stopwatch watch;
+  Reply reply;
+  try {
+    serveDigraph(g, reply);
+    metrics_.requests_completed.add();
+  } catch (const std::exception& e) {
+    reply.result.reset();
+    reply.status = RequestStatus::kFailed;
+    reply.error = e.what();
+    metrics_.requests_failed.add();
+  }
+  reply.latency_s = watch.elapsedSeconds();
+  metrics_.latency_total.record(reply.latency_s);
+  if (reply.cache_hit) metrics_.latency_cache_hit.record(reply.latency_s);
+  return reply;
+}
+
+void PrioService::writeMetricsJson(std::ostream& out) {
+  metrics_.queue_high_water.store(pool_.queueHighWater(),
+                                  std::memory_order_relaxed);
+  out << "{\"threads\":" << pool_.numThreads()
+      << ",\"queue_capacity\":" << pool_.queueCapacity()
+      << ",\"backpressure\":\""
+      << (config_.backpressure == BackpressurePolicy::kBlock ? "block"
+                                                             : "reject")
+      << "\",\"cache\":";
+  if (cache_ != nullptr) {
+    out << "{\"capacity\":" << cache_->capacity()
+        << ",\"shards\":" << cache_->numShards()
+        << ",\"size\":" << cache_->size()
+        << ",\"evictions\":" << cache_->evictions() << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\"metrics\":";
+  metrics_.writeJson(out);
+  out << "}";
+}
+
+}  // namespace prio::service

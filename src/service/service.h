@@ -1,0 +1,158 @@
+// priod — the long-running prioritization service.
+//
+// One PrioService owns a fixed pool of worker threads behind a bounded
+// work queue and a sharded, fingerprint-keyed LRU result cache. Requests
+// (in-memory Digraphs or DAGMan files) are accepted individually or in
+// batches; each returns a std::future<Reply>, so callers overlap
+// submission with completion and drain results in any order.
+//
+// Backpressure: the work queue holds at most queue_capacity pending
+// requests. When it is full, submissions either block the caller until a
+// worker frees a slot (BackpressurePolicy::kBlock — lossless, the
+// default) or complete immediately with RequestStatus::kRejected
+// (kReject — bounded-latency load shedding for interactive front ends).
+// Either way memory stays bounded no matter how fast clients submit.
+//
+// Caching: a worker first transitively reduces the dag and computes its
+// structural fingerprint (dag/fingerprint.h). On a layout-verified cache
+// hit the memoized PrioResult is returned without running the heuristic;
+// on a miss the worker runs prioritizeWithReduction() — reusing the
+// reduction it already paid for — and memoizes the result. Results are
+// held by shared_ptr, so eviction never invalidates an outstanding reply.
+//
+// Failure: a request whose dag is cyclic (or whose DAGMan file is
+// malformed) completes with kFailed and the util::Error message; it never
+// tears down a worker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/prio.h"
+#include "dag/digraph.h"
+#include "service/cache.h"
+#include "service/metrics.h"
+#include "util/thread_pool.h"
+
+namespace prio::service {
+
+enum class BackpressurePolicy {
+  kBlock,   ///< full queue blocks the submitting thread
+  kReject,  ///< full queue completes the request with kRejected
+};
+
+struct ServiceConfig {
+  /// Worker threads (0 = one per hardware thread).
+  std::size_t num_threads = 0;
+  /// Pending-request bound; the backpressure knob.
+  std::size_t queue_capacity = 256;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  /// Result-cache size in entries (0 disables caching entirely).
+  std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 16;
+  /// Options forwarded to every prioritize() run.
+  core::PrioOptions prio_options;
+};
+
+enum class RequestStatus {
+  kOk,
+  kRejected,  ///< shed by kReject backpressure; never entered the queue
+  kFailed,    ///< error while parsing or scheduling; see Reply::error
+};
+
+struct Reply {
+  RequestStatus status = RequestStatus::kOk;
+  /// The full heuristic result (null unless kOk). Shared with the cache.
+  std::shared_ptr<const core::PrioResult> result;
+  bool cache_hit = false;
+  std::uint64_t fingerprint = 0;  ///< structural fingerprint (0 on failure)
+  std::uint64_t layout = 0;       ///< layout hash (0 on failure)
+  /// For file requests: the input path.
+  std::string source;
+  /// Error message when status == kFailed.
+  std::string error;
+  /// Submit-to-completion wall clock (queue wait included).
+  double latency_s = 0.0;
+};
+
+/// A DAGMan-file request: parse `input_path`, prioritize its dag, and —
+/// when `output_path` is non-empty — write the instrumented DAGMan file
+/// (jobpriority VARS, Fig. 3) there. Parsing, scheduling, and writing all
+/// happen on the worker thread.
+struct FileRequest {
+  std::string input_path;
+  std::string output_path;
+};
+
+class PrioService {
+ public:
+  explicit PrioService(const ServiceConfig& config = {});
+
+  PrioService(const PrioService&) = delete;
+  PrioService& operator=(const PrioService&) = delete;
+
+  /// Drains the queue and joins the workers.
+  ~PrioService();
+
+  /// Submits one in-memory dag. Under kBlock this may block; under
+  /// kReject a full queue yields an already-satisfied kRejected future.
+  std::future<Reply> submit(dag::Digraph g);
+
+  /// Submits one DAGMan file request.
+  std::future<Reply> submit(FileRequest request);
+
+  /// Batch submission, in order. Under kBlock the call blocks until the
+  /// whole batch is enqueued; replies complete as workers finish.
+  std::vector<std::future<Reply>> submitBatch(std::vector<dag::Digraph> dags);
+  std::vector<std::future<Reply>> submitBatch(std::vector<FileRequest> files);
+
+  /// Synchronous single-request path: same fingerprint/cache/compute
+  /// pipeline the workers run, on the calling thread. The serial baseline
+  /// in benches and the parity oracle in tests.
+  Reply prioritizeNow(const dag::Digraph& g);
+
+  /// Stops accepting work, drains pending requests, joins workers.
+  /// Idempotent; called by the destructor.
+  void shutdown();
+
+  [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t numThreads() const { return pool_.numThreads(); }
+  [[nodiscard]] std::size_t queueHighWater() const {
+    return pool_.queueHighWater();
+  }
+  [[nodiscard]] const ResultCache* cache() const { return cache_.get(); }
+
+  /// Metrics as a JSON object, queue high-water refreshed.
+  void writeMetricsJson(std::ostream& out);
+
+ private:
+  struct PendingReply;
+
+  static std::size_t resolveThreads(std::size_t requested) {
+    if (requested > 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+
+  /// Fingerprint + cache lookup + compute-on-miss. Fills everything in
+  /// `reply` except latency. Exceptions escape to the caller.
+  void serveDigraph(const dag::Digraph& g, Reply& reply);
+  /// Full file pipeline (parse, serve, instrument, write).
+  void serveFile(const FileRequest& request, Reply& reply);
+
+  template <typename Request>
+  std::future<Reply> enqueue(Request request);
+
+  ServiceConfig config_;
+  ServiceMetrics metrics_;
+  std::unique_ptr<ResultCache> cache_;  ///< null when caching disabled
+  util::ThreadPool pool_;               ///< last member: workers die first
+};
+
+}  // namespace prio::service

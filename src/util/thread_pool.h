@@ -1,0 +1,86 @@
+// A fixed-size worker pool over a BoundedQueue of tasks.
+//
+// The pool owns `numThreads` workers that pop std::function<void()> tasks
+// until the queue closes. Submission exposes the queue's two overload
+// behaviours (see bounded_queue.h): submit() blocks when the queue is
+// full — backpressure propagates to the caller — while trySubmit()
+// rejects. The service layer maps its BackpressurePolicy onto this choice.
+//
+// Tasks must not throw: a worker catches and swallows nothing — an
+// escaped exception terminates the process (fail fast beats silently
+// losing a request). The service layer wraps every job in a try/catch
+// that routes errors into the reply instead.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/bounded_queue.h"
+#include "util/check.h"
+
+namespace prio::util {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (>= 1) over a task queue of the given
+  /// capacity.
+  ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
+      : queue_(queue_capacity) {
+    PRIO_CHECK_MSG(num_threads >= 1, "ThreadPool needs at least one thread");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains and joins. Pending tasks still run; new submissions fail.
+  ~ThreadPool() { shutdown(); }
+
+  /// Blocking submit; false only after shutdown().
+  bool submit(std::function<void()> task) {
+    return queue_.push(std::move(task));
+  }
+
+  /// Non-blocking submit; false when the queue is full or shut down.
+  bool trySubmit(std::function<void()> task) {
+    return queue_.tryPush(std::move(task));
+  }
+
+  /// Closes the queue and joins every worker after the backlog drains.
+  /// Idempotent; called by the destructor.
+  void shutdown() {
+    queue_.close();
+    for (std::thread& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+  }
+
+  [[nodiscard]] std::size_t numThreads() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] std::size_t queueDepth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queueCapacity() const noexcept {
+    return queue_.capacity();
+  }
+  [[nodiscard]] std::size_t queueHighWater() const {
+    return queue_.highWater();
+  }
+
+ private:
+  void workerLoop() {
+    while (auto task = queue_.pop()) {
+      (*task)();
+    }
+  }
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace prio::util
