@@ -21,19 +21,31 @@
 //   --cache N     result-cache capacity in entries (default 1024; 0 = off)
 //   --shards N    cache shards (default 16)
 //   --no-output   prioritize only; skip writing instrumented files
+//   --deadline-ms N        per-request compute deadline; on expiry the
+//                          request degrades to the outdegree-only fallback
+//                          (reply kDegraded) instead of running long
+//   --queue-deadline-ms N  shed requests that waited longer than this in
+//                          the queue (reply kShed)
+//   --retries N   resubmit transient failures (rejected, shed, or
+//                 TransientError) up to N times with seeded exponential
+//                 backoff before counting them as failed
 //
-// Exit status: 0 when every request completed OK, 1 on any failed or
-// rejected request (details on stderr), 2 on usage errors.
+// Exit status: 0 when every request completed OK or degraded, 1 on any
+// request still failed/rejected/shed after retries (details on stderr),
+// 2 on usage errors.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "service/service.h"
+#include "util/atomic_file.h"
+#include "util/retry.h"
 #include "util/timing.h"
 
 namespace fs = std::filesystem;
@@ -49,9 +61,24 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: prio_serve [--threads N] [--queue N] [--reject] "
-               "[--cache N] [--shards N] [--no-output] <dir-or-manifest> "
+               "[--cache N] [--shards N] [--no-output] [--deadline-ms N] "
+               "[--queue-deadline-ms N] [--retries N] <dir-or-manifest> "
                "<output-dir>\n");
   return 2;
+}
+
+/// A reply worth resubmitting: shed by backpressure or queue deadline, or
+/// failed with an error the service marked transient.
+bool isTransient(const Reply& reply) {
+  switch (reply.status) {
+    case RequestStatus::kRejected:
+    case RequestStatus::kShed:
+      return true;
+    case RequestStatus::kFailed:
+      return reply.transient;
+    default:
+      return false;
+  }
 }
 
 std::vector<std::string> collectInputs(const fs::path& input) {
@@ -85,6 +112,7 @@ std::vector<std::string> collectInputs(const fs::path& input) {
 int main(int argc, char** argv) {
   ServiceConfig config;
   bool write_outputs = true;
+  std::size_t max_retries = 0;
   std::vector<std::string> positional;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +128,11 @@ int main(int argc, char** argv) {
       else if (arg == "--cache") config.cache_capacity = std::stoul(next());
       else if (arg == "--shards") config.cache_shards = std::stoul(next());
       else if (arg == "--no-output") write_outputs = false;
+      else if (arg == "--deadline-ms")
+        config.compute_deadline_s = std::stod(next()) / 1e3;
+      else if (arg == "--queue-deadline-ms")
+        config.queue_deadline_s = std::stod(next()) / 1e3;
+      else if (arg == "--retries") max_retries = std::stoul(next());
       else if (arg.rfind("--", 0) == 0) return usage();
       else positional.push_back(arg);
     } catch (const std::exception& e) {
@@ -141,19 +174,41 @@ int main(int argc, char** argv) {
 
     prio::util::Stopwatch wall;
     PrioService service(config);
-    auto futures = service.submitBatch(std::move(requests));
+    auto futures = service.submitBatch(requests);
 
-    std::size_t ok = 0, failed = 0, rejected = 0, cache_hits = 0;
-    for (auto& f : futures) {
-      Reply reply = f.get();
+    // Drain, resubmitting transient outcomes (rejected/shed/transient
+    // failures) with seeded exponential backoff. Deterministic seed so
+    // two runs over the same corpus back off identically.
+    prio::util::ExpBackoff backoff(/*base_seconds=*/0.01, /*cap_seconds=*/1.0,
+                                   /*seed=*/0x9e3779b97f4a7c15ULL);
+    std::size_t ok = 0, degraded = 0, failed = 0, dropped = 0, cache_hits = 0;
+    std::uint64_t retries = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      Reply reply = futures[i].get();
+      std::size_t attempt = 0;
+      while (isTransient(reply) && attempt < max_retries) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            backoff.next(attempt)));
+        ++attempt;
+        ++retries;
+        reply = service.submit(requests[i]).get();
+      }
       switch (reply.status) {
         case RequestStatus::kOk:
           ++ok;
           if (reply.cache_hit) ++cache_hits;
           break;
+        case RequestStatus::kDegraded:
+          ++degraded;
+          break;
         case RequestStatus::kRejected:
-          ++rejected;
+          ++dropped;
           std::fprintf(stderr, "prio_serve: rejected (queue full): %s\n",
+                       reply.source.c_str());
+          break;
+        case RequestStatus::kShed:
+          ++dropped;
+          std::fprintf(stderr, "prio_serve: shed (queue deadline): %s\n",
                        reply.source.c_str());
           break;
         case RequestStatus::kFailed:
@@ -163,26 +218,31 @@ int main(int argc, char** argv) {
           break;
       }
     }
+    service.noteRetries(retries);
     const double elapsed = wall.elapsedSeconds();
 
+    // Crash-safe metrics export: written to a temp sibling and renamed
+    // into place, so readers never observe a torn metrics.json.
     const fs::path metrics_path = out_dir / "metrics.json";
-    {
-      std::ofstream mout(metrics_path);
+    prio::util::atomicWriteFile(metrics_path.string(), [&](std::ostream& mout) {
       mout << "{\"wall_s\":" << elapsed
            << ",\"requests_per_s\":"
            << (elapsed > 0 ? static_cast<double>(futures.size()) / elapsed : 0)
            << ",\"service\":";
       service.writeMetricsJson(mout);
       mout << "}\n";
-    }
+    });
 
     std::printf(
-        "prio_serve: %zu requests (%zu ok, %zu failed, %zu rejected) on %zu "
-        "threads in %.3fs — %.1f req/s, %zu cache hits; metrics: %s\n",
-        futures.size(), ok, failed, rejected, service.numThreads(), elapsed,
+        "prio_serve: %zu requests (%zu ok, %zu degraded, %zu failed, %zu "
+        "dropped, %llu retries) on %zu threads in %.3fs — %.1f req/s, %zu "
+        "cache hits; metrics: %s\n",
+        futures.size(), ok, degraded, failed, dropped,
+        static_cast<unsigned long long>(retries), service.numThreads(),
+        elapsed,
         elapsed > 0 ? static_cast<double>(futures.size()) / elapsed : 0.0,
         cache_hits, metrics_path.string().c_str());
-    return failed == 0 && rejected == 0 ? 0 : 1;
+    return failed == 0 && dropped == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "prio_serve: %s\n", e.what());
     return 2;

@@ -44,8 +44,9 @@ class PairPriorityCache {
 
 // Shared driver state: superdag in-degrees and ready bookkeeping.
 struct Driver {
-  Driver(const Decomposition& d, CombineResult& result)
-      : decomposition(d), out(result) {
+  Driver(const Decomposition& d, CombineResult& result,
+         const util::CancelToken* token)
+      : decomposition(d), out(result), cancel(token) {
     const std::size_t k = d.components.size();
     indeg.resize(k);
     for (std::size_t i = 0; i < k; ++i) {
@@ -55,6 +56,7 @@ struct Driver {
 
   // Pops component i; returns newly ready component indices.
   std::vector<std::size_t> pop(std::size_t i, double p) {
+    if (cancel != nullptr) cancel->throwIfCancelled("combine");
     out.pop_order.push_back(i);
     if (p < 1.0 - kPerfectEps) out.all_pops_perfect = false;
     std::vector<std::size_t> unlocked;
@@ -67,6 +69,7 @@ struct Driver {
 
   const Decomposition& decomposition;
   CombineResult& out;
+  const util::CancelToken* cancel;
   std::vector<std::size_t> indeg;
 };
 
@@ -171,7 +174,8 @@ void runBTree(Driver& driver, const std::vector<std::size_t>& cls,
 
 CombineResult combineGreedy(const Decomposition& decomposition,
                             const std::vector<ComponentSchedule>& schedules,
-                            CombineStrategy strategy) {
+                            CombineStrategy strategy,
+                            const util::CancelToken* cancel) {
   const std::size_t k = decomposition.components.size();
   PRIO_CHECK(schedules.size() == k);
 
@@ -190,7 +194,7 @@ CombineResult combineGreedy(const Decomposition& decomposition,
   }
 
   PairPriorityCache cache(out.class_profiles);
-  Driver driver(decomposition, out);
+  Driver driver(decomposition, out, cancel);
   switch (strategy) {
     case CombineStrategy::kNaiveQuadratic:
       runNaive(driver, out.profile_class, cache);

@@ -19,6 +19,7 @@
 
 #include "core/decompose.h"
 #include "core/schedule.h"
+#include "util/cancellation.h"
 
 namespace prio::core {
 
@@ -41,9 +42,12 @@ struct CombineResult {
   std::vector<std::vector<std::size_t>> class_profiles;
 };
 
+/// `cancel` (optional) is polled once per popped component; raises
+/// util::Cancelled when it fires.
 [[nodiscard]] CombineResult combineGreedy(
     const Decomposition& decomposition,
     const std::vector<ComponentSchedule>& schedules,
-    CombineStrategy strategy = CombineStrategy::kBTreeClasses);
+    CombineStrategy strategy = CombineStrategy::kBTreeClasses,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace prio::core

@@ -202,12 +202,18 @@ Decomposition decompose(const dag::Digraph& g,
   };
 
   while (remnant.aliveCount() > 0) {
+    if (options.cancel != nullptr) {
+      options.cancel->throwIfCancelled("decompose");
+    }
     PRIO_CHECK_MSG(!remnant.sources().empty(),
                    "remnant has live nodes but no sources (cycle?)");
 
     std::vector<NodeId> members;
     if (options.bipartite_fast_path) {
       while (!seed_queue.empty()) {
+        if (options.cancel != nullptr) {
+          options.cancel->throwIfCancelled("decompose");
+        }
         const NodeId s = seed_queue.front();
         seed_queue.pop_front();
         if (!remnant.alive(s)) continue;  // stale entry
@@ -224,6 +230,9 @@ Decomposition decompose(const dag::Digraph& g,
       // and keep a containment-minimal (smallest) closure.
       ++out.general_searches;
       for (NodeId s : remnant.sources()) {
+        if (options.cancel != nullptr) {
+          options.cancel->throwIfCancelled("decompose");
+        }
         auto closure = generalClosure(g, remnant, s);
         if (members.empty() || closure.size() < members.size()) {
           members = std::move(closure);

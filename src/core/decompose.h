@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "dag/digraph.h"
+#include "util/cancellation.h"
 
 namespace prio::core {
 
@@ -60,6 +61,10 @@ struct Decomposition {
 struct DecomposeOptions {
   /// §3.5 fast path: try maximal connected bipartite components first.
   bool bipartite_fast_path = true;
+  /// Optional deadline/cancel token, polled once per detached component
+  /// and per fast-path seed attempt; raises util::Cancelled when it
+  /// fires. Null = never cancel.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Decomposes a shortcut-free dag. Precondition: g is acyclic.

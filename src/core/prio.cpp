@@ -1,9 +1,11 @@
 #include "core/prio.h"
 
 #include <deque>
+#include <queue>
 
 #include "theory/priority.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/timing.h"
 
 namespace prio::core {
@@ -57,24 +59,31 @@ PrioResult prioritizeWithReduction(const dag::Digraph& g,
   PrioResult out;
   out.shortcuts_removed = g.numEdges() - reduced.numEdges();
 
-  // Step 2: decomposition.
+  // Step 2: decomposition. The fault sites inject scheduling delays in
+  // front of each phase (chaos tests push work past its deadline with
+  // them); they cost one relaxed load each when the injector is off.
   util::Stopwatch phase;
+  util::fault::checkpoint("core.decompose");
   DecomposeOptions dopt;
   dopt.bipartite_fast_path = options.bipartite_fast_path;
+  dopt.cancel = options.cancel;
   out.decomposition = decompose(reduced, dopt);
   out.timings.decompose_s = phase.elapsedSeconds();
 
   // Step 3: per-component schedules.
   phase.reset();
+  util::fault::checkpoint("core.schedule");
   ScheduleOptions sopt;
   sopt.greedy_bipartite_fallback = options.greedy_bipartite_fallback;
+  sopt.cancel = options.cancel;
   out.component_schedules = scheduleComponents(out.decomposition, sopt);
   out.timings.recurse_s = phase.elapsedSeconds();
 
   // Steps 4–6: greedy combine over the superdag.
   phase.reset();
+  util::fault::checkpoint("core.combine");
   out.combine = combineGreedy(out.decomposition, out.component_schedules,
-                              options.combine_strategy);
+                              options.combine_strategy, options.cancel);
   out.timings.combine_s = phase.elapsedSeconds();
 
   // Assemble the global schedule: each popped component contributes its
@@ -112,6 +121,48 @@ PrioResult prioritizeWithReduction(const dag::Digraph& g,
 std::vector<dag::NodeId> prioSchedule(const dag::Digraph& g,
                                       const PrioOptions& options) {
   return prioritize(g, options).schedule;
+}
+
+PrioResult fallbackPrioritize(const dag::Digraph& g) {
+  util::Stopwatch total;
+  const std::size_t n = g.numNodes();
+  PrioResult out;
+
+  // Kahn's algorithm with a max-heap keyed (outdegree desc, id asc) —
+  // the same order the per-component fallback uses, applied globally.
+  struct Key {
+    std::size_t outdegree;
+    dag::NodeId job;
+    bool operator<(const Key& o) const {  // max-heap: "worse" is less
+      if (outdegree != o.outdegree) return outdegree < o.outdegree;
+      return job > o.job;
+    }
+  };
+  std::priority_queue<Key> eligible;
+  std::vector<std::size_t> pending(n);
+  for (dag::NodeId u = 0; u < n; ++u) {
+    pending[u] = g.inDegree(u);
+    if (pending[u] == 0) eligible.push({g.outDegree(u), u});
+  }
+  out.schedule.reserve(n);
+  while (!eligible.empty()) {
+    const dag::NodeId u = eligible.top().job;
+    eligible.pop();
+    out.schedule.push_back(u);
+    for (dag::NodeId v : g.children(u)) {
+      if (--pending[v] == 0) eligible.push({g.outDegree(v), v});
+    }
+  }
+  PRIO_CHECK_MSG(out.schedule.size() == n,
+                 "fallbackPrioritize requires a dag");
+
+  out.priority.assign(n, 0);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    out.priority[out.schedule[pos]] = n - pos;
+  }
+  out.certified_ic_optimal = false;
+  out.timings.total_s = total.elapsedSeconds();
+  return out;
 }
 
 std::vector<dag::NodeId> fifoSchedule(const dag::Digraph& g) {

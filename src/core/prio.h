@@ -24,6 +24,7 @@
 #include "core/schedule.h"
 #include "dag/algorithms.h"
 #include "dag/digraph.h"
+#include "util/cancellation.h"
 
 namespace prio::core {
 
@@ -40,6 +41,13 @@ struct PrioOptions {
   /// Validate the final schedule against the input dag (cheap; on by
   /// default).
   bool verify_schedule = true;
+  /// Optional deadline/cancel token threaded through the decompose,
+  /// schedule, and combine phases (polled at phase boundaries and once
+  /// per component inside each phase). When it fires, prioritize()
+  /// raises util::Cancelled; the service layer catches that and falls
+  /// back to fallbackPrioritize(). Null (the default) adds only a
+  /// null-pointer test per check site, leaving results bit-identical.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Wall-clock seconds spent in each phase.
@@ -94,6 +102,15 @@ struct PrioResult {
 /// Convenience: just the schedule.
 [[nodiscard]] std::vector<dag::NodeId> prioSchedule(
     const dag::Digraph& g, const PrioOptions& options = {});
+
+/// Graceful-degradation fallback: the paper's §3.1 component fallback
+/// (precedence-respecting order by outdegree, ties by node id) applied
+/// to the whole dag in one pass, skipping decomposition entirely.
+/// O((n + m) log n), never IC-certified, but always a valid schedule
+/// with Fig. 3 priority semantics — what the service returns with a
+/// kDegraded reply when a compute deadline expires mid-heuristic.
+/// Throws util::Error when g has a directed cycle.
+[[nodiscard]] PrioResult fallbackPrioritize(const dag::Digraph& g);
 
 /// The FIFO baseline order used throughout the paper's evaluation: jobs in
 /// the order they become eligible, where simultaneously eligible jobs are

@@ -38,6 +38,9 @@ std::vector<ComponentSchedule> scheduleComponents(
   std::vector<ComponentSchedule> out;
   out.reserve(decomposition.components.size());
   for (const Component& c : decomposition.components) {
+    if (options.cancel != nullptr) {
+      options.cancel->throwIfCancelled("schedule");
+    }
     out.push_back(scheduleComponent(c, options));
   }
   return out;

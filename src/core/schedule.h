@@ -9,6 +9,7 @@
 
 #include "core/decompose.h"
 #include "theory/blocks.h"
+#include "util/cancellation.h"
 
 namespace prio::core {
 
@@ -17,6 +18,9 @@ struct ScheduleOptions {
   /// greedy schedule for unrecognized bipartite components instead of the
   /// outdegree order. Compared in bench_ablation_fallback.
   bool greedy_bipartite_fallback = false;
+  /// Optional deadline/cancel token, polled once per component; raises
+  /// util::Cancelled when it fires. Null = never cancel.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// A scheduled component.

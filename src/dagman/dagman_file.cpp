@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "dag/algorithms.h"
+#include "util/atomic_file.h"
 #include "util/check.h"
 
 namespace prio::dagman {
@@ -220,6 +221,32 @@ dag::Digraph DagmanFile::toDigraph() const {
   return g;
 }
 
+dag::Digraph DagmanFile::toPendingDigraph(
+    std::vector<std::size_t>* job_of_node) const {
+  dag::Digraph g;
+  if (job_of_node != nullptr) job_of_node->clear();
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    if (jobs_[i].done) continue;
+    g.addNode(jobs_[i].name);
+    if (job_of_node != nullptr) job_of_node->push_back(i);
+  }
+  for (const auto& [p, c] : dependencies_) {
+    const auto pn = g.findNode(p);
+    const auto cn = g.findNode(c);
+    if (pn.has_value() && cn.has_value()) g.addEdge(*pn, *cn);
+  }
+  PRIO_CHECK_MSG(dag::isAcyclic(g),
+                 "DAGMan dependencies contain a directed cycle");
+  return g;
+}
+
+bool DagmanFile::hasDoneJobs() const {
+  for (const DagmanJob& job : jobs_) {
+    if (job.done) return true;
+  }
+  return false;
+}
+
 void DagmanFile::write(std::ostream& out) const {
   for (const DagmanJob& job : jobs_) {
     out << "Job " << job.name << ' ' << job.submit_file;
@@ -241,6 +268,10 @@ void DagmanFile::writeFile(const std::string& path) const {
   std::ofstream out(path);
   PRIO_CHECK_MSG(out.good(), "cannot write DAGMan file " << path);
   write(out);
+}
+
+void DagmanFile::writeFileAtomic(const std::string& path) const {
+  util::atomicWriteFile(path, [this](std::ostream& out) { write(out); });
 }
 
 }  // namespace prio::dagman

@@ -69,10 +69,27 @@ class DagmanFile {
   /// form a cycle.
   [[nodiscard]] dag::Digraph toDigraph() const;
 
+  /// The dag of jobs NOT marked DONE (rescue-dag re-prioritization):
+  /// node ids follow declaration order over pending jobs only, and
+  /// every dependency touching a DONE job is dropped — its constraint
+  /// is already satisfied, so a DONE parent must not make a pending
+  /// child look non-eligible to the heuristic. When `job_of_node` is
+  /// non-null it receives, per node id, the index into jobs() of that
+  /// pending job. With no DONE jobs this is exactly toDigraph().
+  [[nodiscard]] dag::Digraph toPendingDigraph(
+      std::vector<std::size_t>* job_of_node = nullptr) const;
+
+  /// True when any job carries the DONE mark.
+  [[nodiscard]] bool hasDoneJobs() const;
+
   /// Serializes back to DAGMan syntax (JOB lines, VARS lines, PARENT/CHILD
   /// lines, then preserved extras).
   void write(std::ostream& out) const;
   void writeFile(const std::string& path) const;
+  /// As writeFile(), but crash-safe: content lands in a sibling temp
+  /// file first and is rename()d into place, so an interrupted run
+  /// never leaves a torn .dag (see util/atomic_file.h).
+  void writeFileAtomic(const std::string& path) const;
 
  private:
   std::vector<DagmanJob> jobs_;

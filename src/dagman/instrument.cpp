@@ -16,11 +16,24 @@ void instrumentDagmanFile(DagmanFile& file,
   }
 }
 
+void instrumentPendingJobs(DagmanFile& file,
+                           std::span<const std::size_t> priorities,
+                           std::span<const std::size_t> job_of_node) {
+  PRIO_CHECK_MSG(priorities.size() == job_of_node.size(),
+                 "one priority per pending job required");
+  for (std::size_t node = 0; node < job_of_node.size(); ++node) {
+    const std::size_t j = job_of_node[node];
+    PRIO_CHECK_MSG(j < file.jobs().size(), "pending-job index out of range");
+    file.jobs()[j].setVar("jobpriority", std::to_string(priorities[node]));
+  }
+}
+
 core::PrioResult prioritizeDagmanFile(DagmanFile& file,
                                       const core::PrioOptions& options) {
-  const dag::Digraph g = file.toDigraph();
+  std::vector<std::size_t> job_of_node;
+  const dag::Digraph g = file.toPendingDigraph(&job_of_node);
   core::PrioResult result = core::prioritize(g, options);
-  instrumentDagmanFile(file, result.priority);
+  instrumentPendingJobs(file, result.priority, job_of_node);
   return result;
 }
 

@@ -22,8 +22,24 @@ namespace prio::dagman {
 void instrumentDagmanFile(DagmanFile& file,
                           std::span<const std::size_t> priorities);
 
+/// Rescue-dag variant: defines jobpriority only for the jobs listed in
+/// `job_of_node` (the mapping produced by DagmanFile::toPendingDigraph);
+/// `priorities` is indexed by pending-dag node id. Jobs marked DONE are
+/// left untouched — their jobpriority (if any) survives verbatim, since
+/// they will never be submitted again.
+void instrumentPendingJobs(DagmanFile& file,
+                           std::span<const std::size_t> priorities,
+                           std::span<const std::size_t> job_of_node);
+
 /// One-call pipeline: parse the dag out of `file`, run the prio heuristic,
 /// and instrument the file. Returns the full PrioResult for inspection.
+///
+/// Rescue dags: jobs marked DONE are excluded from the scheduling dag
+/// (DagmanFile::toPendingDigraph) and keep whatever jobpriority they
+/// already carry — the heuristic sees exactly the remaining work, so a
+/// resumed run gets priorities computed for the dag it will actually
+/// execute. With no DONE jobs this is the original full-file pipeline;
+/// the returned PrioResult is indexed by pending-dag node ids.
 core::PrioResult prioritizeDagmanFile(DagmanFile& file,
                                       const core::PrioOptions& options = {});
 

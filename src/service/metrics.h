@@ -113,9 +113,14 @@ class Counter {
 struct ServiceMetrics {
   // Request lifecycle.
   Counter requests_submitted;
-  Counter requests_completed;  ///< served OK (computed or cached)
+  Counter requests_completed;  ///< served a valid result (full or degraded)
   Counter requests_rejected;   ///< backpressure: queue full under kReject
   Counter requests_failed;     ///< parse error, cyclic dag, ...
+  // Failure-semantics accounting (see DESIGN.md §8).
+  Counter requests_degraded;   ///< deadline hit; outdegree fallback served
+  Counter requests_deadline_exceeded;  ///< compute deadlines that fired
+  Counter requests_shed;       ///< dropped: queue wait exceeded its deadline
+  Counter retries;             ///< resubmissions by the prio_serve retry loop
   // Cache outcomes (completed requests only).
   Counter cache_hits;
   Counter cache_misses;
@@ -155,6 +160,11 @@ struct ServiceMetrics {
         << ",\"requests_completed\":" << requests_completed.get()
         << ",\"requests_rejected\":" << requests_rejected.get()
         << ",\"requests_failed\":" << requests_failed.get()
+        << ",\"requests_degraded\":" << requests_degraded.get()
+        << ",\"requests_deadline_exceeded\":"
+        << requests_deadline_exceeded.get()
+        << ",\"requests_shed\":" << requests_shed.get()
+        << ",\"retries\":" << retries.get()
         << ",\"cache_hits\":" << cache_hits.get()
         << ",\"cache_misses\":" << cache_misses.get()
         << ",\"cache_hit_rate\":" << cacheHitRate()

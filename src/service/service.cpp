@@ -8,6 +8,8 @@
 #include "dag/fingerprint.h"
 #include "dagman/dagman_file.h"
 #include "dagman/instrument.h"
+#include "util/cancellation.h"
+#include "util/fault_injection.h"
 #include "util/timing.h"
 
 namespace prio::service {
@@ -47,6 +49,33 @@ void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply) {
   // Every computed request counts as a miss (also with caching disabled),
   // so hits/(hits+misses) is the true served-from-cache fraction.
   metrics_.cache_misses.add();
+
+  if (config_.compute_deadline_s > 0.0) {
+    const util::CancelToken token(config_.compute_deadline_s);
+    core::PrioOptions options = config_.prio_options;
+    options.cancel = &token;
+    try {
+      auto result = std::make_shared<const core::PrioResult>(
+          core::prioritizeWithReduction(g, reduced, options));
+      metrics_.recordPhases(result->timings);
+      if (cache_ != nullptr) {
+        cache_->insert(reply.fingerprint, reply.layout, result);
+      }
+      reply.result = std::move(result);
+    } catch (const util::Cancelled&) {
+      // Deadline fired mid-heuristic: serve the §3.1 outdegree-only
+      // fallback instead — a valid, if weaker, priority list. The
+      // degraded result is NOT cached; a later, less pressed request
+      // should compute (and memoize) the real thing.
+      metrics_.requests_deadline_exceeded.add();
+      metrics_.requests_degraded.add();
+      reply.result = std::make_shared<const core::PrioResult>(
+          core::fallbackPrioritize(g));
+      reply.status = RequestStatus::kDegraded;
+    }
+    return;
+  }
+
   auto result = std::make_shared<const core::PrioResult>(
       core::prioritizeWithReduction(g, reduced, config_.prio_options));
   metrics_.recordPhases(result->timings);
@@ -57,12 +86,25 @@ void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply) {
 }
 
 void PrioService::serveFile(const FileRequest& request, Reply& reply) {
+  util::fault::checkpoint("service.parse");
   dagman::DagmanFile file = dagman::DagmanFile::parseFile(request.input_path);
+  if (file.hasDoneJobs()) {
+    // Rescue dag: schedule only the pending jobs; DONE jobs keep their
+    // existing jobpriority (they will never be submitted again).
+    std::vector<std::size_t> job_of_node;
+    const dag::Digraph g = file.toPendingDigraph(&job_of_node);
+    serveDigraph(g, reply);
+    if (!request.output_path.empty()) {
+      dagman::instrumentPendingJobs(file, reply.result->priority, job_of_node);
+      file.writeFileAtomic(request.output_path);
+    }
+    return;
+  }
   const dag::Digraph g = file.toDigraph();
   serveDigraph(g, reply);
   if (!request.output_path.empty()) {
     dagman::instrumentDagmanFile(file, reply.result->priority);
-    file.writeFile(request.output_path);
+    file.writeFileAtomic(request.output_path);
   }
 }
 
@@ -92,6 +134,17 @@ std::future<Reply> PrioService::enqueue(Request request) {
   auto task = [this, holder] {
     Reply reply;
     reply.source = sourceOf(holder->request);
+    // Shed before computing: under overload a request that already
+    // outwaited its queue deadline would deliver a stale answer.
+    if (config_.queue_deadline_s > 0.0 &&
+        holder->watch.elapsedSeconds() > config_.queue_deadline_s) {
+      reply.status = RequestStatus::kShed;
+      metrics_.requests_shed.add();
+      reply.latency_s = holder->watch.elapsedSeconds();
+      metrics_.latency_total.record(reply.latency_s);
+      holder->promise.set_value(std::move(reply));
+      return;
+    }
     try {
       if constexpr (std::is_same_v<Request, FileRequest>) {
         serveFile(holder->request, reply);
@@ -99,6 +152,12 @@ std::future<Reply> PrioService::enqueue(Request request) {
         serveDigraph(holder->request, reply);
       }
       metrics_.requests_completed.add();
+    } catch (const util::TransientError& e) {
+      reply.result.reset();
+      reply.status = RequestStatus::kFailed;
+      reply.error = e.what();
+      reply.transient = true;
+      metrics_.requests_failed.add();
     } catch (const std::exception& e) {
       reply.result.reset();
       reply.status = RequestStatus::kFailed;
@@ -156,6 +215,12 @@ Reply PrioService::prioritizeNow(const dag::Digraph& g) {
   try {
     serveDigraph(g, reply);
     metrics_.requests_completed.add();
+  } catch (const util::TransientError& e) {
+    reply.result.reset();
+    reply.status = RequestStatus::kFailed;
+    reply.error = e.what();
+    reply.transient = true;
+    metrics_.requests_failed.add();
   } catch (const std::exception& e) {
     reply.result.reset();
     reply.status = RequestStatus::kFailed;

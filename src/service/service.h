@@ -23,6 +23,17 @@
 // Failure: a request whose dag is cyclic (or whose DAGMan file is
 // malformed) completes with kFailed and the util::Error message; it never
 // tears down a worker.
+//
+// Deadlines and degradation (DESIGN.md §8): with compute_deadline_s set,
+// a request whose heuristic run outlives the deadline is cancelled
+// mid-phase and re-served with the paper's §3.1 outdegree-only fallback —
+// the reply is kDegraded and still carries a valid priority permutation,
+// so callers get a weaker answer instead of a hung or failed request.
+// With queue_deadline_s set, a request that waited longer than that in
+// the queue is shed (kShed) without computing anything: under overload
+// the result would be stale by the time it arrived. Every request
+// therefore terminates with kOk, kDegraded, kShed, kRejected, or
+// kFailed — never a hang.
 #pragma once
 
 #include <cstddef>
@@ -55,19 +66,30 @@ struct ServiceConfig {
   /// Result-cache size in entries (0 disables caching entirely).
   std::size_t cache_capacity = 1024;
   std::size_t cache_shards = 16;
+  /// Compute deadline per request in seconds (0 = unbounded). When the
+  /// heuristic outlives it, the request degrades to the outdegree-only
+  /// fallback and replies kDegraded.
+  double compute_deadline_s = 0.0;
+  /// Queue-wait deadline in seconds (0 = unbounded). A request that
+  /// waited longer is shed (kShed) without computing.
+  double queue_deadline_s = 0.0;
   /// Options forwarded to every prioritize() run.
   core::PrioOptions prio_options;
 };
 
 enum class RequestStatus {
   kOk,
+  kDegraded,  ///< deadline expired; valid outdegree-fallback priorities
   kRejected,  ///< shed by kReject backpressure; never entered the queue
+  kShed,      ///< dropped after exceeding the queue-wait deadline
   kFailed,    ///< error while parsing or scheduling; see Reply::error
 };
 
 struct Reply {
   RequestStatus status = RequestStatus::kOk;
-  /// The full heuristic result (null unless kOk). Shared with the cache.
+  /// The heuristic result (null unless kOk or kDegraded; kDegraded
+  /// carries the fallback schedule/priorities only). Shared with the
+  /// cache when kOk.
   std::shared_ptr<const core::PrioResult> result;
   bool cache_hit = false;
   std::uint64_t fingerprint = 0;  ///< structural fingerprint (0 on failure)
@@ -76,6 +98,9 @@ struct Reply {
   std::string source;
   /// Error message when status == kFailed.
   std::string error;
+  /// kFailed only: the error was transient (util::TransientError) and a
+  /// resubmission may succeed — what prio_serve's retry loop keys on.
+  bool transient = false;
   /// Submit-to-completion wall clock (queue wait included).
   double latency_s = 0.0;
 };
@@ -119,6 +144,10 @@ class PrioService {
   /// Stops accepting work, drains pending requests, joins workers.
   /// Idempotent; called by the destructor.
   void shutdown();
+
+  /// Records `n` retry resubmissions (called by prio_serve's backoff
+  /// loop so retries land in the same metrics export).
+  void noteRetries(std::uint64_t n) { metrics_.retries.add(n); }
 
   [[nodiscard]] const ServiceMetrics& metrics() const { return metrics_; }
   [[nodiscard]] const ServiceConfig& config() const { return config_; }

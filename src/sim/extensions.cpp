@@ -79,9 +79,13 @@ class EligibleDeque {
 };
 
 struct Completion {
+  enum Kind { kSuccess, kFailure, kEviction };
   double time;
   NodeId job;
-  bool fails;
+  Kind kind;
+  /// Worker time this attempt wastes when it ends (0 for kSuccess; the
+  /// full duration for kFailure; the elapsed fraction for kEviction).
+  double wasted;
   bool operator>(const Completion& o) const { return time > o.time; }
 };
 
@@ -98,6 +102,9 @@ ExtendedRunMetrics simulateExtended(const dag::Digraph& g, Regimen regimen,
   PRIO_CHECK_MSG(model.failure_probability >= 0.0 &&
                      model.failure_probability < 1.0,
                  "failure probability must be in [0, 1)");
+  PRIO_CHECK_MSG(model.eviction_probability >= 0.0 &&
+                     model.eviction_probability < 1.0,
+                 "eviction probability must be in [0, 1)");
 
   ExtendedRunMetrics out;
   if (n == 0) return out;
@@ -151,14 +158,33 @@ ExtendedRunMetrics simulateExtended(const dag::Digraph& g, Regimen regimen,
     const NodeId u = eligible.pop(regimen, model.throttle_window, rng);
     const bool fails = model.failure_probability > 0.0 &&
                        rng.uniform01() < model.failure_probability;
+    // All extension draws are gated on their knob so that with a feature
+    // off the RNG stream is bit-identical to a run without the feature.
+    bool evicted = false;
+    double eviction_point = 0.0;
+    if (model.eviction_probability > 0.0 &&
+        rng.uniform01() < model.eviction_probability) {
+      evicted = true;
+      eviction_point = rng.uniform01();
+    }
     ++out.attempts;
-    if (!fails) {
+    if (!fails && !evicted) {
       PRIO_CHECK(pending_success > 0);
       --pending_success;
     }
     const double duration =
         runtime.sample(rng) * job_multiplier[u] / speed;
-    completions.push({now + duration, u, fails});
+    if (evicted) {
+      // The owner reclaims the worker before the job finishes (or even
+      // before it would have failed): the attempt ends early and its
+      // partial work is lost.
+      completions.push({now + eviction_point * duration, u,
+                        Completion::kEviction, eviction_point * duration});
+    } else if (fails) {
+      completions.push({now + duration, u, Completion::kFailure, duration});
+    } else {
+      completions.push({now + duration, u, Completion::kSuccess, 0.0});
+    }
   };
 
   const auto capture = [&] {
@@ -196,10 +222,13 @@ ExtendedRunMetrics simulateExtended(const dag::Digraph& g, Regimen regimen,
     } else {
       const Completion c = completions.top();
       completions.pop();
-      if (c.fails) {
+      if (c.kind != Completion::kSuccess) {
         // The job bounces back into the eligible pool (re-queued at the
-        // end, like a newly eligible job).
-        ++out.failures;
+        // end, like a newly eligible job). Failed attempts waste their
+        // whole duration; evicted attempts waste the part that ran.
+        if (c.kind == Completion::kFailure) ++out.failures;
+        else ++out.evictions;
+        out.wasted_time += c.wasted;
         eligible.push(c.job);
       } else {
         ++executed;

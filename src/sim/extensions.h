@@ -13,6 +13,12 @@
 //     throttle (the paper's recommended configuration).
 //   - failure_probability: a dispatched job fails with this probability;
 //     failed jobs return to the eligible pool (Condor re-queues them).
+//   - eviction_probability: the worker running a dispatched job is
+//     evicted (preempted by its owner) at a uniform point of the job's
+//     runtime; the partial work is lost and the job re-enters the
+//     eligible pool at the eviction time. Evictions surface earlier than
+//     failures (a failure runs the job to completion first) and are the
+//     grid's dominant fault mode for opportunistic Condor pools.
 //   - runtime_heterogeneity_cv: per-JOB lognormal runtime multipliers
 //     with the given coefficient of variation (the paper assumes all
 //     jobs take ~1 unit; this relaxes "a given dag could contain a very
@@ -42,6 +48,10 @@ struct ExtendedGridModel {
   /// Probability that a dispatched job fails and re-enters the eligible
   /// pool at its completion time.
   double failure_probability = 0.0;
+  /// Probability that the worker is evicted mid-job: the attempt ends at
+  /// a uniform fraction of the job's runtime, the partial work is lost,
+  /// and the job re-enters the eligible pool. 0 = no evictions.
+  double eviction_probability = 0.0;
   /// Coefficient of variation of a per-job lognormal runtime multiplier
   /// (0 = the paper's homogeneous jobs).
   double runtime_heterogeneity_cv = 0.0;
@@ -52,11 +62,16 @@ struct ExtendedGridModel {
   bool rollover_requests = false;
 };
 
-/// Extended metrics: the paper's three plus failure accounting.
+/// Extended metrics: the paper's three plus fault accounting.
 struct ExtendedRunMetrics {
   RunMetrics base;
-  std::uint64_t attempts = 0;  ///< dispatches, including failed ones
+  std::uint64_t attempts = 0;  ///< dispatches, including failed/evicted ones
   std::uint64_t failures = 0;
+  std::uint64_t evictions = 0;  ///< attempts cut short by worker eviction
+  /// Worker time burned on attempts that produced nothing: the full
+  /// duration of every failed attempt plus the elapsed fraction of every
+  /// evicted one.
+  double wasted_time = 0.0;
 };
 
 /// Simulates one run under the extended model. `regimen` and `order` as

@@ -1,0 +1,59 @@
+// Crash-safe file output: write to a temp file in the target directory,
+// flush, then atomically rename() into place. Readers (and an
+// interrupted run) therefore only ever see either the old complete file
+// or the new complete file — never a torn prefix. rename(2) within one
+// directory is atomic on POSIX, which is why the temp file must live
+// next to the target, not in /tmp (a cross-filesystem rename is a
+// copy).
+//
+// The "atomic_file.rename" fault site sits between the flush and the
+// rename — the worst possible crash instant. A simulated crash
+// (util::CrashError) leaves the temp file behind exactly as a killed
+// process would; any other failure cleans it up before rethrowing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "util/check.h"
+#include "util/fault_injection.h"
+
+namespace prio::util {
+
+/// Writes `path` atomically: `writer` streams the content into a
+/// sibling temp file which is then renamed over `path`. Throws
+/// util::Error when the temp file cannot be written or renamed.
+inline void atomicWriteFile(const std::string& path,
+                            const std::function<void(std::ostream&)>& writer) {
+  // Unique per process *and* per call: concurrent service workers may
+  // write distinct targets in one directory, and a retried request may
+  // re-write the same target.
+  static std::atomic<std::uint64_t> sequence{0};
+  const std::string tmp =
+      path + ".tmp." +
+      std::to_string(sequence.fetch_add(1, std::memory_order_relaxed));
+  try {
+    {
+      std::ofstream out(tmp);
+      PRIO_CHECK_MSG(out.good(), "cannot write temp file " << tmp);
+      writer(out);
+      out.flush();
+      PRIO_CHECK_MSG(out.good(), "failed writing temp file " << tmp);
+    }
+    fault::checkpoint("atomic_file.rename");
+    PRIO_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                   "cannot rename " << tmp << " to " << path);
+  } catch (const CrashError&) {
+    // Simulated process death: leave the temp file, like a real crash.
+    throw;
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+}
+
+}  // namespace prio::util

@@ -1,0 +1,107 @@
+// Deadline / cancellation tokens for bounding scheduling time.
+//
+// A CancelToken carries an optional monotonic-clock deadline and a
+// relaxed-atomic cancel flag. The hot-loop entry point is poll(): it
+// always reads the cancel flag (one relaxed load), but consults the
+// clock only every kClockStride calls — steady_clock::now() costs tens
+// of nanoseconds, which would dominate the tight decompose/combine
+// loops it is threaded through. Once a deadline has been observed as
+// expired the outcome is latched, so later polls are flag-load cheap.
+//
+// The token is thread-safe: cancel() may be called from any thread
+// while another thread polls (this is how the service's queue-wait
+// shedding and the chaos tests use it). All state is atomic with
+// relaxed ordering — cancellation is a monotonic one-way signal, and a
+// poll racing a cancel is allowed to win either way; the next poll
+// sees it.
+//
+// Core entry points accept `const CancelToken*` (null = never cancel,
+// the default) and raise Cancelled via throwIfCancelled() at phase
+// boundaries and inside per-iteration loops. With no token set the
+// added cost is one null-pointer test per check site, which keeps
+// prioritize() bit-identical and within noise of the pre-token code
+// (measured by bench_robustness).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace prio::util {
+
+/// Thrown when a CancelToken's deadline expires or cancel() is called.
+/// Derives from Error so generic catch sites keep working; the service
+/// catches it specifically to fall back to a degraded schedule.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Only check the clock every this many polls.
+  static constexpr std::uint64_t kClockStride = 256;
+
+  /// A token with no deadline; fires only on explicit cancel().
+  CancelToken() = default;
+
+  /// A token that expires `deadline_seconds` from now (monotonic clock).
+  /// The atomic members make tokens immovable; construct them where they
+  /// live and hand out pointers.
+  explicit CancelToken(double deadline_seconds)
+      : has_deadline_(true),
+        deadline_(Clock::now() +
+                  std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(deadline_seconds))) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Safe from any thread, idempotent.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True when cancelled or past the deadline. Cheap: a relaxed flag
+  /// load on most calls, a clock read every kClockStride-th call.
+  [[nodiscard]] bool poll() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_) return false;
+    if (polls_.fetch_add(1, std::memory_order_relaxed) % kClockStride != 0) {
+      return false;
+    }
+    return checkClock();
+  }
+
+  /// As poll(), but always consults the clock (phase boundaries).
+  [[nodiscard]] bool expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (!has_deadline_) return false;
+    return checkClock();
+  }
+
+  /// Raises Cancelled when poll() fires. `where` names the phase for
+  /// the error message.
+  void throwIfCancelled(const char* where) const {
+    if (poll()) throw Cancelled(std::string("prio cancelled in ") + where);
+  }
+
+  [[nodiscard]] bool hasDeadline() const noexcept { return has_deadline_; }
+
+ private:
+  bool checkClock() const noexcept {
+    if (Clock::now() < deadline_) return false;
+    // Latch: every later poll() short-circuits on the flag load.
+    cancelled_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<std::uint64_t> polls_{0};
+};
+
+}  // namespace prio::util

@@ -1,0 +1,209 @@
+// Deterministic, seeded fault injection for the robustness tests.
+//
+// Production code marks named fault sites with fault::checkpoint("site");
+// a disarmed injector (the default, and the only state outside tests)
+// makes that a single relaxed atomic load. Tests arm the global injector
+// with a seed and per-site plans, then every checkpoint pass consults
+// the plan deterministically:
+//
+//   kThrowError      throw util::Error          (permanent failure, e.g.
+//                                               a forced parse error)
+//   kThrowTransient  throw util::TransientError (retryable failure)
+//   kDelay           sleep for `delay`          (scheduling delay, to
+//                                               push work past deadlines)
+//   kCrash           throw util::CrashError     (simulated crash point:
+//                                               whatever the process
+//                                               would leave behind at
+//                                               this instruction must be
+//                                               recoverable)
+//
+// Determinism: a site either fires on every Nth pass (every_nth) or
+// with a probability drawn from a per-site splitmix64 stream seeded
+// from (arm seed, site name) — the same seed always yields the same
+// fire pattern regardless of scheduling, because each site's stream
+// advances only with that site's own pass counter. Counters and streams
+// are guarded by a mutex; that cost exists only while armed.
+//
+// The injector is a process-wide singleton on purpose: fault sites sit
+// in library code (parser, atomic writer, core phases) that has no
+// test-context parameter, and tests that arm it are serialized by
+// gtest. fireCount() lets tests assert how often a site actually fired.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace prio::util {
+
+/// A retryable failure: the operation may succeed if repeated (used by
+/// the fault injector and honored by prio_serve's retry loop).
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A simulated crash: the process is assumed to die at the throw site,
+/// so nothing downstream of it may run "cleanup" that a real crash
+/// would skip (the atomic-file writer deliberately leaks its temp file
+/// on this error, exactly like a killed process would).
+class CrashError : public Error {
+ public:
+  explicit CrashError(const std::string& what) : Error(what) {}
+};
+
+namespace fault {
+
+enum class Kind {
+  kThrowError,
+  kThrowTransient,
+  kDelay,
+  kCrash,
+};
+
+struct SitePlan {
+  Kind kind = Kind::kThrowError;
+  /// Fire on passes N, 2N, 3N, ... (1 = every pass). 0 = use probability.
+  std::uint64_t every_nth = 1;
+  /// Chance of firing per pass when every_nth == 0 (seeded, deterministic
+  /// per site).
+  double probability = 0.0;
+  /// Sleep duration for Kind::kDelay.
+  std::chrono::microseconds delay{0};
+};
+
+class Injector {
+ public:
+  static Injector& instance() {
+    static Injector injector;
+    return injector;
+  }
+
+  /// Enables injection with a fresh seed; clears all previous plans and
+  /// counters.
+  void arm(std::uint64_t seed) {
+    std::lock_guard<std::mutex> lock(mu_);
+    seed_ = seed;
+    sites_.clear();
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Disables injection; checkpoint() reverts to one atomic load.
+  void disarm() {
+    std::lock_guard<std::mutex> lock(mu_);
+    armed_.store(false, std::memory_order_relaxed);
+    sites_.clear();
+  }
+
+  /// Installs the plan for one site (replacing any previous plan).
+  void plan(const std::string& site, const SitePlan& plan) {
+    PRIO_CHECK_MSG(plan.every_nth > 0 || plan.probability > 0.0,
+                   "fault plan for " << site << " can never fire");
+    std::lock_guard<std::mutex> lock(mu_);
+    SiteState& s = sites_[site];
+    s.plan = plan;
+    s.passes = 0;
+    s.fires = 0;
+    s.rng_state = seed_ ^ hashName(site);
+  }
+
+  /// Times the site's fault actually fired since plan().
+  [[nodiscard]] std::uint64_t fireCount(const std::string& site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.fires;
+  }
+
+  /// Times the site was passed (fired or not) since plan().
+  [[nodiscard]] std::uint64_t passCount(const std::string& site) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.passes;
+  }
+
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// The per-site hook; called via fault::checkpoint().
+  void pass(const char* site) {
+    std::chrono::microseconds delay{0};
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = sites_.find(site);
+      if (it == sites_.end()) return;
+      SiteState& s = it->second;
+      ++s.passes;
+      bool fire = false;
+      if (s.plan.every_nth > 0) {
+        fire = s.passes % s.plan.every_nth == 0;
+      } else {
+        fire = nextUniform(s.rng_state) < s.plan.probability;
+      }
+      if (!fire) return;
+      ++s.fires;
+      switch (s.plan.kind) {
+        case Kind::kThrowError:
+          throw Error(std::string("injected fault at ") + site);
+        case Kind::kThrowTransient:
+          throw TransientError(std::string("injected transient fault at ") +
+                               site);
+        case Kind::kCrash:
+          throw CrashError(std::string("injected crash at ") + site);
+        case Kind::kDelay:
+          delay = s.plan.delay;
+          break;
+      }
+    }
+    // Sleep outside the lock so delayed sites don't serialize the others.
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+
+ private:
+  struct SiteState {
+    SitePlan plan;
+    std::uint64_t passes = 0;
+    std::uint64_t fires = 0;
+    std::uint64_t rng_state = 0;
+  };
+
+  static std::uint64_t hashName(const std::string& name) noexcept {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    for (const char c : name) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  // splitmix64 step → uniform in [0, 1).
+  static double nextUniform(std::uint64_t& state) noexcept {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  std::atomic<bool> armed_{false};
+  std::mutex mu_;
+  std::uint64_t seed_ = 0;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+/// The site marker production code calls. One relaxed load when the
+/// injector is disarmed.
+inline void checkpoint(const char* site) {
+  Injector& injector = Injector::instance();
+  if (!injector.armed()) return;
+  injector.pass(site);
+}
+
+}  // namespace fault
+}  // namespace prio::util

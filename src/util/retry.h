@@ -1,0 +1,43 @@
+// Bounded retry with exponential backoff and seeded jitter.
+//
+// prio_serve uses this to re-submit transiently failed requests
+// (util::TransientError, queue-full rejections, queue-wait sheds): the
+// k-th retry waits base * 2^k seconds, scaled by a uniform jitter in
+// [0.5, 1.5) and clamped to `cap`. The jitter stream is splitmix64
+// seeded by the caller, so a given (seed, retry budget) always produces
+// the same wait schedule — the chaos tests rely on that.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace prio::util {
+
+class ExpBackoff {
+ public:
+  ExpBackoff(double base_seconds, double cap_seconds, std::uint64_t seed)
+      : base_s_(base_seconds), cap_s_(cap_seconds), state_(seed) {}
+
+  /// Wait before retry attempt `attempt` (0-based), in seconds.
+  [[nodiscard]] double next(std::uint64_t attempt) {
+    double delay = base_s_;
+    for (std::uint64_t i = 0; i < attempt && delay < cap_s_; ++i) delay *= 2.0;
+    const double jitter = 0.5 + nextUniform();
+    return std::min(delay * jitter, cap_s_);
+  }
+
+ private:
+  double nextUniform() noexcept {  // splitmix64 step → [0, 1)
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  double base_s_;
+  double cap_s_;
+  std::uint64_t state_;
+};
+
+}  // namespace prio::util

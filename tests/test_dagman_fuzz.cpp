@@ -106,4 +106,84 @@ TEST_P(RoundTripProperty, StructuredRandomFilesRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
                          ::testing::Range<std::uint64_t>(10, 20));
 
+// ---------------------------------------------------------------------------
+// Targeted malformed-input cases: each must parse cleanly or throw
+// prio::util::Error — never crash, hang, or corrupt the file object.
+
+DagmanFile parseString(const std::string& text) {
+  std::istringstream in(text);
+  return DagmanFile::parse(in);
+}
+
+TEST(ParserHardening, TruncatedLinesThrowOrParse) {
+  const char* cases[] = {
+      "JOB",                      // keyword only
+      "JOB a",                    // missing submit file
+      "PARENT",                   // no jobs at all
+      "JOB a a.sub\nPARENT a",    // PARENT without CHILD
+      "JOB a a.sub\nPARENT CHILD a",   // no parents before CHILD
+      "JOB a a.sub\nPARENT a CHILD",   // no children after CHILD
+      "JOB a a.sub\nVARS",        // VARS without job
+      "JOB a a.sub\nVARS a k=",   // missing quoted value
+      "JOB a a.sub\nVARS a k=\"v",  // unterminated quote
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW((void)parseString(text), prio::util::Error) << text;
+  }
+}
+
+TEST(ParserHardening, CrlfLineEndingsParseIdentically) {
+  const std::string unix_text =
+      "JOB a a.sub\nJOB b b.sub\nPARENT a CHILD b\nVARS a k=\"v\"\n";
+  std::string crlf_text;
+  for (const char c : unix_text) {
+    if (c == '\n') crlf_text += '\r';
+    crlf_text += c;
+  }
+  const auto f1 = parseString(unix_text);
+  const auto f2 = parseString(crlf_text);
+  ASSERT_EQ(f2.jobs().size(), f1.jobs().size());
+  for (std::size_t i = 0; i < f1.jobs().size(); ++i) {
+    EXPECT_EQ(f2.jobs()[i].name, f1.jobs()[i].name);
+    EXPECT_EQ(f2.jobs()[i].submit_file, f1.jobs()[i].submit_file);
+    EXPECT_EQ(f2.jobs()[i].vars, f1.jobs()[i].vars);
+  }
+  EXPECT_EQ(f2.dependencies(), f1.dependencies());
+}
+
+TEST(ParserHardening, DuplicateParentChildEdgesCollapseInDigraph) {
+  const auto f = parseString(
+      "JOB a a.sub\nJOB b b.sub\n"
+      "PARENT a CHILD b\nPARENT a CHILD b\nPARENT a CHILD b b\n");
+  const auto g = f.toDigraph();
+  EXPECT_EQ(g.numNodes(), 2u);
+  EXPECT_EQ(g.numEdges(), 1u);  // Digraph::addEdge dedups
+  // Round trip keeps whatever the file recorded without corruption.
+  std::ostringstream out;
+  f.write(out);
+  std::istringstream in(out.str());
+  const auto f2 = DagmanFile::parse(in);
+  EXPECT_EQ(f2.dependencies(), f.dependencies());
+  EXPECT_EQ(f2.toDigraph().numEdges(), 1u);
+}
+
+TEST(ParserHardening, AbsurdRetryCountsNeverCrash) {
+  // RETRY is a preserved directive; executor-side parsing must survive
+  // overflow, negatives, and garbage counts.
+  const char* cases[] = {
+      "JOB a a.sub\nRETRY a 999999999999999999999999999999\n",
+      "JOB a a.sub\nRETRY a -5\n",
+      "JOB a a.sub\nRETRY a banana\n",
+      "JOB a a.sub\nRETRY\n",
+      "JOB a a.sub\nRETRY nosuchjob 3\n",
+  };
+  for (const char* text : cases) {
+    const auto f = parseString(text);  // extra lines are preserved verbatim
+    EXPECT_EQ(f.jobs().size(), 1u) << text;
+    EXPECT_EQ(f.extraLines().size(), 1u) << text;
+    // And the digraph is still sound.
+    EXPECT_EQ(f.toDigraph().numNodes(), 1u) << text;
+  }
+}
+
 }  // namespace

@@ -326,6 +326,48 @@ TEST(MakeRescueDag, MarksSuccessesDone) {
   EXPECT_EQ(second.executed, 2u);  // b and c only
 }
 
+TEST(MakeRescueDag, RescueRePrioritizationSchedulesOnlyPendingWork) {
+  // The full robustness round trip: instrument, fail mid-run, write a
+  // rescue dag, re-prioritize it, and resume. The re-prioritization must
+  // see only the pending subdag — DONE jobs keep their original
+  // jobpriority values verbatim and never get recomputed ones.
+  std::istringstream in(
+      "Job a a.submit\nJob b b.submit\nJob c c.submit\n"
+      "Job x x.submit\nJob y y.submit\n"
+      "PARENT a CHILD b\nPARENT b CHILD c\nPARENT x CHILD y\n");
+  auto file = DagmanFile::parse(in);
+  (void)prioritizeDagmanFile(file);  // full-dag priorities, values in 1..5
+
+  const auto first = executeDagmanFile(
+      file, [](const std::string& name) { return name != "b"; },
+      {.max_workers = 1});
+  EXPECT_FALSE(first.success);
+  EXPECT_EQ(first.executed, 3u);  // a, x, y
+  EXPECT_EQ(first.skipped, 1u);   // c
+
+  auto rescue = makeRescueDag(file, first);
+  ASSERT_TRUE(rescue.findJob("a")->done);
+  ASSERT_TRUE(rescue.findJob("x")->done);
+  ASSERT_TRUE(rescue.findJob("y")->done);
+  ASSERT_FALSE(rescue.findJob("b")->done);
+  ASSERT_FALSE(rescue.findJob("c")->done);
+  const std::string a_before = *rescue.findJob("a")->var("jobpriority");
+
+  const auto result = prioritizeDagmanFile(rescue);
+  // The heuristic saw exactly the pending chain b -> c.
+  EXPECT_EQ(result.priority.size(), 2u);
+  EXPECT_EQ(*rescue.findJob("b")->var("jobpriority"), "2");
+  EXPECT_EQ(*rescue.findJob("c")->var("jobpriority"), "1");
+  // DONE jobs keep their full-run values untouched.
+  EXPECT_EQ(*rescue.findJob("a")->var("jobpriority"), a_before);
+
+  const auto second = executeDagmanFile(
+      rescue, [](const std::string&) { return true; }, {.max_workers = 1});
+  EXPECT_TRUE(second.success);
+  EXPECT_EQ(second.executed, 2u);  // b then c
+  EXPECT_EQ(second.dispatch_order, (std::vector<std::string>{"b", "c"}));
+}
+
 TEST(ShellAction, RunsRealCommands) {
   namespace fs = std::filesystem;
   const fs::path dir = fs::temp_directory_path() / "prio_shell_test";

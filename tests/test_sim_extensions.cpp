@@ -2,6 +2,7 @@
 // rollover) — including exact degeneration to the paper's base model.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "core/prio.h"
@@ -163,6 +164,66 @@ TEST(Extensions, RolloverNeverWastesRequests) {
   const auto dropped = simulateExtended(g, Regimen::kFifo, {}, drop, b);
   EXPECT_GE(kept.base.utilization, dropped.base.utilization);
   EXPECT_LE(kept.base.makespan, dropped.base.makespan * 1.5);
+}
+
+TEST(Extensions, EvictionsAreRetriedAndWasteWork) {
+  const auto g = chainDag(20);
+  ExtendedGridModel model;
+  model.eviction_probability = 0.3;
+  Rng rng(21);
+  const auto r = simulateExtended(g, Regimen::kFifo, {}, model, rng);
+  // Every attempt is a success, a failure, or an eviction; every job
+  // eventually succeeds exactly once.
+  EXPECT_EQ(r.attempts, g.numNodes() + r.failures + r.evictions);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_GT(r.evictions, 0u);
+  EXPECT_GT(r.wasted_time, 0.0);
+  EXPECT_GT(r.base.makespan, 0.0);
+}
+
+TEST(Extensions, EvictionWastesLessThanFullFailure) {
+  // An evicted attempt loses only its elapsed fraction, so per incident
+  // it wastes strictly less than a failure of the same duration would.
+  prio::dag::Digraph g;
+  for (int i = 0; i < 300; ++i) g.addNode("n" + std::to_string(i));
+  ExtendedGridModel evict, fail;
+  evict.eviction_probability = 0.25;
+  fail.failure_probability = 0.25;
+  Rng a(22), b(22);
+  const auto re = simulateExtended(g, Regimen::kFifo, {}, evict, a);
+  const auto rf = simulateExtended(g, Regimen::kFifo, {}, fail, b);
+  ASSERT_GT(re.evictions, 0u);
+  ASSERT_GT(rf.failures, 0u);
+  const double per_eviction =
+      re.wasted_time / static_cast<double>(re.evictions);
+  const double per_failure =
+      rf.wasted_time / static_cast<double>(rf.failures);
+  EXPECT_LT(per_eviction, per_failure);
+}
+
+TEST(Extensions, EvictionRunsAreSeedDeterministic) {
+  // PRIO vs FIFO under evictions, replayed with the same seeds, must be
+  // bit-identical — the property the fault-injection harness and the
+  // robustness bench depend on.
+  const auto g = prio::workloads::makeAirsn({12, 4});
+  const auto order = prio::core::prioritize(g).schedule;
+  ExtendedGridModel model;
+  model.base.mean_batch_size = 8.0;
+  model.eviction_probability = 0.2;
+  model.failure_probability = 0.1;
+  for (const Regimen regimen : {Regimen::kFifo, Regimen::kOblivious}) {
+    Rng a(23), b(23);
+    const std::span<const NodeId> ord =
+        regimen == Regimen::kOblivious ? std::span<const NodeId>(order)
+                                       : std::span<const NodeId>{};
+    const auto r1 = simulateExtended(g, regimen, ord, model, a);
+    const auto r2 = simulateExtended(g, regimen, ord, model, b);
+    EXPECT_EQ(r1.base.makespan, r2.base.makespan);
+    EXPECT_EQ(r1.attempts, r2.attempts);
+    EXPECT_EQ(r1.failures, r2.failures);
+    EXPECT_EQ(r1.evictions, r2.evictions);
+    EXPECT_EQ(r1.wasted_time, r2.wasted_time);
+  }
 }
 
 TEST(Extensions, RejectsBadParameters) {
