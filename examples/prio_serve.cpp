@@ -16,6 +16,11 @@
 //
 // Options:
 //   --threads N   worker threads (default: hardware concurrency)
+//   --schedule-threads N   workers for each request's schedule phase
+//                 (default 1 = serial; 0 = hardware concurrency). Helpers
+//                 come from the same request pool via non-blocking
+//                 submits, so this never reduces request throughput —
+//                 it uses idle workers to cut single-request latency.
 //   --queue N     pending-request bound (default 256)
 //   --reject      shed load when the queue is full instead of blocking
 //   --cache N     result-cache capacity in entries (default 1024; 0 = off)
@@ -60,7 +65,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: prio_serve [--threads N] [--queue N] [--reject] "
+               "usage: prio_serve [--threads N] [--schedule-threads N] "
+               "[--queue N] [--reject] "
                "[--cache N] [--shards N] [--no-output] [--deadline-ms N] "
                "[--queue-deadline-ms N] [--retries N] <dir-or-manifest> "
                "<output-dir>\n");
@@ -123,6 +129,8 @@ int main(int argc, char** argv) {
     };
     try {
       if (arg == "--threads") config.num_threads = std::stoul(next());
+      else if (arg == "--schedule-threads")
+        config.prio_options.num_threads = std::stoul(next());
       else if (arg == "--queue") config.queue_capacity = std::stoul(next());
       else if (arg == "--reject") config.backpressure = BackpressurePolicy::kReject;
       else if (arg == "--cache") config.cache_capacity = std::stoul(next());

@@ -1,12 +1,14 @@
 // prio_tool — the paper's prio command-line tool (§3.2).
 //
 // Usage:
-//   prio_tool <file.dag> [output.dag]
+//   prio_tool [--threads N] <file.dag> [output.dag]
 //       Parses the DAGMan input file, runs the scheduling heuristic,
 //       defines the `jobpriority` macro for every job, writes the
 //       instrumented file (in place unless an output path is given), and
 //       adds `priority = $(jobpriority)` to every referenced submit
-//       description file found next to the .dag file.
+//       description file found next to the .dag file. --threads N (valid
+//       before any mode) parallelizes the schedule phase; 0 = one worker
+//       per hardware thread. Output is identical for every N.
 //
 //   prio_tool --demo [directory]
 //       Writes the paper's Fig. 3 example (IV.dag plus submit files) into
@@ -88,6 +90,16 @@ int runDemo(const fs::path& dir) {
 
 int main(int argc, char** argv) {
   try {
+    // Global option, valid before any mode: --threads N parallelizes the
+    // heuristic's schedule phase (0 = one worker per hardware thread).
+    // Priorities are bit-identical for every value.
+    prio::core::PrioOptions prio_opts;
+    if (argc >= 3 && std::strcmp(argv[1], "--threads") == 0) {
+      prio_opts.num_threads = std::strtoul(argv[2], nullptr, 10);
+      argv[2] = argv[0];
+      argv += 2;
+      argc -= 2;
+    }
     if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
       return runDemo(argc >= 3 ? fs::path(argv[2]) : fs::path("prio_demo"));
     }
@@ -98,7 +110,7 @@ int main(int argc, char** argv) {
       const std::size_t workers =
           argc >= 4 ? std::strtoul(argv[3], nullptr, 10) : 4;
       auto file = prio::dagman::DagmanFile::parseFile(input.string());
-      (void)prio::dagman::prioritizeDagmanFile(file);
+      (void)prio::dagman::prioritizeDagmanFile(file, prio_opts);
       const std::string dir = input.parent_path().empty()
                                   ? "."
                                   : input.parent_path().string();
@@ -126,7 +138,7 @@ int main(int argc, char** argv) {
       const double mu_bs = argc >= 5 ? std::atof(argv[4]) : 16.0;
       auto file = prio::dagman::DagmanFile::parseFile(input.string());
       const auto g = file.toDigraph();
-      const auto result = prio::core::prioritize(g);
+      const auto result = prio::core::prioritize(g, prio_opts);
       prio::sim::GridModel model;
       model.mean_batch_interarrival = mu_bit;
       model.mean_batch_size = mu_bs;
@@ -156,7 +168,7 @@ int main(int argc, char** argv) {
       const fs::path input(argv[2]);
       auto file = prio::dagman::DagmanFile::parseFile(input.string());
       const auto g = file.toDigraph();
-      const auto result = prio::core::prioritize(g);
+      const auto result = prio::core::prioritize(g, prio_opts);
       std::printf("%s", prio::core::describeResult(g, result).c_str());
       const fs::path super = input.string() + ".super.dot";
       const fs::path pdot = input.string() + ".prio.dot";
@@ -174,7 +186,7 @@ int main(int argc, char** argv) {
     }
     if (argc < 2) {
       std::fprintf(stderr,
-                   "usage: %s <file.dag> [output.dag]\n"
+                   "usage: %s [--threads N] <file.dag> [output.dag]\n"
                    "       %s --demo [directory]\n"
                    "       %s --report <file.dag>\n"
                    "       %s --run <file.dag> [workers]\n"
@@ -187,7 +199,7 @@ int main(int argc, char** argv) {
 
     prio::util::Stopwatch watch;
     auto file = prio::dagman::DagmanFile::parseFile(input.string());
-    const auto result = prio::dagman::prioritizeDagmanFile(file);
+    const auto result = prio::dagman::prioritizeDagmanFile(file, prio_opts);
     file.writeFile(output.string());
     const auto rewritten = prio::dagman::instrumentSubmitFiles(
         file, input.parent_path().empty() ? "."

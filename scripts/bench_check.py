@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Gate a benchmark run against a committed baseline.
+
+Compares the flat "metrics" dict of a bench JSON (e.g. BENCH_core.json
+written by bench_core_hotpath) against a baseline file of the form
+
+    {
+      "default_tolerance": 0.15,
+      "metrics": {
+        "parity_failures": {"value": 0, "better": "lower", "tolerance": 0},
+        "sdss.edges_per_s@t1": {"value": 1.2e6, "better": "higher",
+                                 "tolerance": 0.5},
+        ...
+      }
+    }
+
+A metric regresses when it moves in the "worse" direction by more than
+`tolerance` (relative; absolute when the baseline value is 0). Baseline
+metrics missing from the run are skipped with a warning — machine-
+dependent metrics (thread speedups on boxes with fewer cores, full-scale
+workloads in smoke runs) are expected to be absent sometimes. Run metrics
+missing from the baseline are reported informationally and never fail.
+
+Usage:
+    bench_check.py RUN.json BASELINE.json            # gate, exit 1 on regression
+    bench_check.py RUN.json BASELINE.json --update   # rewrite baseline values
+                                                     # from the run (keeps
+                                                     # tolerances/directions)
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def check(run, baseline):
+    run_metrics = run.get("metrics", {})
+    default_tol = baseline.get("default_tolerance", 0.15)
+    failures = []
+    skipped = []
+    for name, spec in baseline.get("metrics", {}).items():
+        if name not in run_metrics:
+            skipped.append(name)
+            continue
+        base = float(spec["value"])
+        got = float(run_metrics[name])
+        better = spec.get("better", "lower")
+        tol = float(spec.get("tolerance", default_tol))
+        if base == 0.0:
+            # Relative drift is undefined at 0; treat tolerance as absolute.
+            worse = got - base if better == "lower" else base - got
+            regressed = worse > tol
+            drift = worse
+        else:
+            drift = (got - base) / abs(base)
+            if better == "higher":
+                drift = -drift
+            regressed = drift > tol
+        status = "REGRESSED" if regressed else "ok"
+        print(f"  {status:9s} {name}: run={got:g} baseline={base:g} "
+              f"(worse-direction drift {drift:+.1%}, tolerance {tol:.0%})"
+              if base != 0.0 else
+              f"  {status:9s} {name}: run={got:g} baseline={base:g} "
+              f"(absolute drift {drift:+g}, tolerance {tol:g})")
+        if regressed:
+            failures.append(name)
+    for name in skipped:
+        print(f"  skipped   {name}: not in this run "
+              f"(machine- or scale-dependent)")
+    extra = sorted(set(run_metrics) - set(baseline.get("metrics", {})))
+    for name in extra:
+        print(f"  unbaselined {name}: run={run_metrics[name]:g}")
+    return failures
+
+
+def update(run, baseline):
+    run_metrics = run.get("metrics", {})
+    for name, spec in baseline.get("metrics", {}).items():
+        if name in run_metrics:
+            spec["value"] = run_metrics[name]
+    return baseline
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("run")
+    parser.add_argument("baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite baseline values from the run")
+    args = parser.parse_args()
+
+    run = load(args.run)
+    baseline = load(args.baseline)
+
+    if args.update:
+        with open(args.baseline, "w") as f:
+            json.dump(update(run, baseline), f, indent=2)
+            f.write("\n")
+        print(f"updated {args.baseline} from {args.run}")
+        return 0
+
+    print(f"bench_check: {args.run} vs {args.baseline}")
+    failures = check(run, baseline)
+    if failures:
+        print(f"bench_check: {len(failures)} metric(s) regressed: "
+              + ", ".join(failures))
+        return 1
+    print("bench_check: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,16 +5,17 @@
 #include <optional>
 #include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
 #include "dag/algorithms.h"
+#include "dag/csr.h"
 #include "util/check.h"
 
 namespace prio::core {
 
 namespace {
 
+using dag::Csr;
 using dag::Digraph;
 using dag::NodeId;
 
@@ -29,13 +30,14 @@ using dag::NodeId;
 // both are the triggers for retrying parked fast-path seeds (see below).
 class Remnant {
  public:
-  explicit Remnant(const Digraph& g) : g_(g), alive_(g.numNodes(), 1) {
-    live_in_.reserve(g.numNodes());
-    for (NodeId u = 0; u < g.numNodes(); ++u) {
-      live_in_.push_back(g.inDegree(u));
+  explicit Remnant(const Csr& csr)
+      : csr_(csr), alive_(csr.numNodes(), 1) {
+    live_in_.reserve(csr.numNodes());
+    for (NodeId u = 0; u < csr.numNodes(); ++u) {
+      live_in_.push_back(csr.inDegree(u));
       if (live_in_[u] == 0) sources_.insert(u);
     }
-    alive_count_ = g.numNodes();
+    alive_count_ = csr.numNodes();
   }
 
   [[nodiscard]] bool alive(NodeId u) const { return alive_[u] != 0; }
@@ -52,7 +54,7 @@ class Remnant {
     sources_.erase(u);
     --alive_count_;
     removed_events_.push_back(u);
-    for (NodeId v : g_.children(u)) {
+    for (NodeId v : csr_.children(u)) {
       if (!alive_[v]) continue;
       if (--live_in_[v] == 0) {
         sources_.insert(v);
@@ -69,7 +71,7 @@ class Remnant {
   }
 
  private:
-  const Digraph& g_;
+  const Csr& csr_;
   std::vector<char> alive_;
   std::vector<std::size_t> live_in_;
   std::set<NodeId> sources_;
@@ -78,11 +80,30 @@ class Remnant {
   std::size_t alive_count_ = 0;
 };
 
-// Outcome of one fast-path attempt: either the component's members, or
-// the first live non-source parent that ruled the region out.
-struct BipartiteAttempt {
-  std::optional<std::vector<NodeId>> members;
-  NodeId blocker = 0;
+// Reusable per-decompose working memory. The component searches used to
+// allocate fresh unordered_sets and worklists for every attempt of every
+// round, which dominated decompose profiles on wide dags (AIRSN width
+// sweeps); epoch-stamped marker arrays and recycled vectors make a failed
+// attempt cost zero allocations. A node is "in the set" when its stamp
+// equals the current epoch; bumping the epoch clears every set in O(1).
+struct Scratch {
+  explicit Scratch(std::size_t n)
+      : source_mark(n, 0), sink_mark(n, 0), member_mark(n, 0) {}
+
+  void nextEpoch() {
+    // The stamp arrays start at 0, so epoch 0 must never be used.
+    ++epoch;
+    PRIO_CHECK_MSG(epoch != 0, "decompose scratch epoch wrapped");
+  }
+
+  std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> source_mark;
+  std::vector<std::uint32_t> sink_mark;
+  std::vector<std::uint32_t> member_mark;
+  std::vector<NodeId> queue;
+  std::vector<NodeId> members;
+  std::vector<NodeId> source_work;
+  std::vector<NodeId> parent_work;
 };
 
 // §3.5 fast path: grow the maximal connected bipartite subdag seeded at
@@ -92,20 +113,33 @@ struct BipartiteAttempt {
 // removed or becomes a source, so the caller parks the seed under it
 // instead of retrying every round (this replaces a per-round rescan of
 // all sources and is what keeps SDSS-scale decomposition fast).
-BipartiteAttempt tryBipartiteComponent(const Digraph& g,
-                                       const Remnant& remnant, NodeId s) {
-  std::unordered_set<NodeId> source_side{s};
-  std::unordered_set<NodeId> sink_side;
-  std::vector<NodeId> queue{s};
-  while (!queue.empty()) {
-    const NodeId src = queue.back();
-    queue.pop_back();
-    for (NodeId c : g.children(src)) {
-      if (sink_side.count(c) != 0) continue;
+//
+// On success the grown member set is left in scratch.members, sorted.
+// The insertion-order-sensitive state (LIFO queue, first-seen dedupe,
+// blocker tie-breaks) matches the original unordered_set implementation
+// exactly, so attempts are bit-identical to the pre-scratch code.
+struct BipartiteAttempt {
+  bool ok = false;
+  NodeId blocker = 0;
+};
+
+BipartiteAttempt tryBipartiteComponent(const Csr& csr, const Remnant& remnant,
+                                       NodeId s, Scratch& scratch) {
+  scratch.nextEpoch();
+  const std::uint32_t epoch = scratch.epoch;
+  scratch.members.clear();
+  scratch.queue.assign(1, s);
+  scratch.source_mark[s] = epoch;
+  scratch.members.push_back(s);
+  while (!scratch.queue.empty()) {
+    const NodeId src = scratch.queue.back();
+    scratch.queue.pop_back();
+    for (NodeId c : csr.children(src)) {
+      if (scratch.sink_mark[c] == epoch) continue;
       bool blocked = false;
       NodeId blocker = 0;
       std::size_t blocker_live_in = 0;
-      for (NodeId p : g.parents(c)) {
+      for (NodeId p : csr.parents(c)) {
         if (!remnant.alive(p)) continue;
         if (remnant.liveIn(p) != 0) {
           // Among this sink's blocking parents, park under the one likely
@@ -120,62 +154,79 @@ BipartiteAttempt tryBipartiteComponent(const Digraph& g,
           blocked = true;
           continue;
         }
-        if (!blocked && source_side.insert(p).second) queue.push_back(p);
+        if (!blocked && scratch.source_mark[p] != epoch) {
+          scratch.source_mark[p] = epoch;
+          scratch.members.push_back(p);
+          scratch.queue.push_back(p);
+        }
       }
-      if (blocked) return BipartiteAttempt{std::nullopt, blocker};
-      sink_side.insert(c);
+      if (blocked) return BipartiteAttempt{false, blocker};
+      scratch.sink_mark[c] = epoch;
+      scratch.members.push_back(c);
     }
   }
-  std::vector<NodeId> members(source_side.begin(), source_side.end());
-  members.insert(members.end(), sink_side.begin(), sink_side.end());
-  std::sort(members.begin(), members.end());
-  return BipartiteAttempt{std::move(members), 0};
+  std::sort(scratch.members.begin(), scratch.members.end());
+  return BipartiteAttempt{true, 0};
 }
 
 // The general C(s) of §3.1 step 2: the smallest subgraph containing s that
 // contains every child of each member source and every parent of each
-// member. Computed as a fixpoint with two worklists.
-std::vector<NodeId> generalClosure(const Digraph& g, const Remnant& remnant,
-                                   NodeId s) {
-  std::unordered_set<NodeId> members{s};
-  std::vector<NodeId> source_work{s};   // members that are remnant sources
-  std::vector<NodeId> parent_work{s};   // members whose parents to add
+// member. Computed as a fixpoint with two worklists (recycled through
+// scratch); the result is left in scratch.members, sorted.
+void generalClosure(const Csr& csr, const Remnant& remnant, NodeId s,
+                    Scratch& scratch) {
+  scratch.nextEpoch();
+  const std::uint32_t epoch = scratch.epoch;
+  scratch.members.clear();
+  scratch.source_work.clear();
+  scratch.parent_work.clear();
+  scratch.member_mark[s] = epoch;
+  scratch.members.push_back(s);
+  scratch.source_work.push_back(s);
+  scratch.parent_work.push_back(s);
   auto addMember = [&](NodeId u) {
-    if (!members.insert(u).second) return;
-    parent_work.push_back(u);
-    if (remnant.liveIn(u) == 0) source_work.push_back(u);
+    if (scratch.member_mark[u] == epoch) return;
+    scratch.member_mark[u] = epoch;
+    scratch.members.push_back(u);
+    scratch.parent_work.push_back(u);
+    if (remnant.liveIn(u) == 0) scratch.source_work.push_back(u);
   };
-  while (!source_work.empty() || !parent_work.empty()) {
-    if (!source_work.empty()) {
-      const NodeId src = source_work.back();
-      source_work.pop_back();
-      for (NodeId c : g.children(src)) addMember(c);
+  while (!scratch.source_work.empty() || !scratch.parent_work.empty()) {
+    if (!scratch.source_work.empty()) {
+      const NodeId src = scratch.source_work.back();
+      scratch.source_work.pop_back();
+      for (NodeId c : csr.children(src)) addMember(c);
       continue;
     }
-    const NodeId t = parent_work.back();
-    parent_work.pop_back();
-    for (NodeId p : g.parents(t)) {
+    const NodeId t = scratch.parent_work.back();
+    scratch.parent_work.pop_back();
+    for (NodeId p : csr.parents(t)) {
       if (remnant.alive(p)) addMember(p);
     }
   }
-  std::vector<NodeId> out(members.begin(), members.end());
-  std::sort(out.begin(), out.end());
-  return out;
+  std::sort(scratch.members.begin(), scratch.members.end());
 }
 
 }  // namespace
 
 Decomposition decompose(const dag::Digraph& g,
                         const DecomposeOptions& options) {
-  PRIO_CHECK_MSG(dag::isAcyclic(g), "decompose requires a dag");
+  if (options.topo_order != nullptr) {
+    PRIO_CHECK_MSG(dag::isTopologicalOrder(g, *options.topo_order),
+                   "decompose: topo_order is not a topological order of g");
+  } else {
+    PRIO_CHECK_MSG(dag::isAcyclic(g), "decompose requires a dag");
+  }
+  const Csr& csr = g.csr();
 
   Decomposition out;
   out.owner.assign(g.numNodes(), kGlobalSinkOwner);
   for (NodeId u = 0; u < g.numNodes(); ++u) {
-    if (g.isSink(u)) out.global_sinks.push_back(u);
+    if (csr.outDegree(u) == 0) out.global_sinks.push_back(u);
   }
 
-  Remnant remnant(g);
+  Remnant remnant(csr);
+  Scratch scratch(g.numNodes());
 
   // Fast-path seed management: candidate seeds in discovery order, plus
   // seeds parked under the blocker that must change before a retry can
@@ -208,7 +259,7 @@ Decomposition decompose(const dag::Digraph& g,
     PRIO_CHECK_MSG(!remnant.sources().empty(),
                    "remnant has live nodes but no sources (cycle?)");
 
-    std::vector<NodeId> members;
+    bool found = false;
     if (options.bipartite_fast_path) {
       while (!seed_queue.empty()) {
         if (options.cancel != nullptr) {
@@ -217,15 +268,18 @@ Decomposition decompose(const dag::Digraph& g,
         const NodeId s = seed_queue.front();
         seed_queue.pop_front();
         if (!remnant.alive(s)) continue;  // stale entry
-        auto attempt = tryBipartiteComponent(g, remnant, s);
-        if (attempt.members) {
-          members = std::move(*attempt.members);
+        const auto attempt = tryBipartiteComponent(csr, remnant, s, scratch);
+        if (attempt.ok) {
+          found = true;
           break;
         }
         parked[attempt.blocker].push_back(s);
       }
     }
-    if (members.empty()) {
+    std::vector<NodeId> members;
+    if (found) {
+      members = scratch.members;  // copy: scratch is reused next round
+    } else {
       // No bipartite component: run the general search over every source
       // and keep a containment-minimal (smallest) closure.
       ++out.general_searches;
@@ -233,30 +287,64 @@ Decomposition decompose(const dag::Digraph& g,
         if (options.cancel != nullptr) {
           options.cancel->throwIfCancelled("decompose");
         }
-        auto closure = generalClosure(g, remnant, s);
-        if (members.empty() || closure.size() < members.size()) {
-          members = std::move(closure);
+        generalClosure(csr, remnant, s, scratch);
+        if (members.empty() || scratch.members.size() < members.size()) {
+          members = scratch.members;
         }
       }
       PRIO_CHECK(!members.empty());
     }
 
-    // Build the component and detach it.
+    // Build the component and detach it. The non-sink and bipartite flags
+    // are computed straight from the remnant graph and the member set —
+    // a member is a component non-sink iff one of its children is also a
+    // member, and the component is a bipartite dag iff no member has both
+    // a parent and a child inside — so the induced Digraph itself is only
+    // materialized here when the caller wants it now (the schedule phase
+    // builds deferred graphs in parallel).
     Component comp;
-    comp.nodes = members;
-    comp.graph = g.inducedSubgraph(comp.nodes);
-    comp.bipartite = dag::isBipartiteDag(comp.graph);
+    comp.nodes = std::move(members);
+    scratch.nextEpoch();
+    scratch.queue.clear();  // may hold leftovers of a failed seed attempt
+    for (NodeId u : comp.nodes) scratch.member_mark[u] = scratch.epoch;
+    bool bipartite = true;
+    for (NodeId u : comp.nodes) {
+      bool has_child_inside = false;
+      for (NodeId v : csr.children(u)) {
+        if (scratch.member_mark[v] == scratch.epoch) {
+          has_child_inside = true;
+          break;
+        }
+      }
+      if (has_child_inside) {
+        bool has_parent_inside = false;
+        for (NodeId p : csr.parents(u)) {
+          if (scratch.member_mark[p] == scratch.epoch) {
+            has_parent_inside = true;
+            break;
+          }
+        }
+        if (has_parent_inside) bipartite = false;
+      }
+      // Reuse the queue buffer to remember which members are non-sinks
+      // (1 per member, in comp.nodes order) for the detach pass below.
+      scratch.queue.push_back(has_child_inside ? 1 : 0);
+    }
+    comp.bipartite = bipartite;
     if (comp.bipartite) ++out.bipartite_components;
+    if (!options.defer_component_graphs) {
+      comp.graph = g.inducedSubgraph(comp.nodes);
+    }
     const auto comp_index = static_cast<std::uint32_t>(out.components.size());
 
     for (std::size_t local = 0; local < comp.nodes.size(); ++local) {
       const NodeId u = comp.nodes[local];
-      if (comp.graph.outDegree(static_cast<NodeId>(local)) > 0) {
+      if (scratch.queue[local] != 0) {
         // Non-sink of the component: scheduled here, removed from remnant.
         ++comp.num_nonsinks;
         out.owner[u] = comp_index;
         remnant.remove(u);
-      } else if (g.isSink(u)) {
+      } else if (csr.outDegree(u) == 0) {
         // Sink of the component that is a sink of G': detached, scheduled
         // in the global tail (owner stays kGlobalSinkOwner).
         remnant.remove(u);
@@ -264,6 +352,7 @@ Decomposition decompose(const dag::Digraph& g,
       // Other component sinks stay live and become sources of later
       // components.
     }
+    scratch.queue.clear();
     out.components.push_back(std::move(comp));
     drainEvents();
   }
@@ -276,7 +365,7 @@ Decomposition decompose(const dag::Digraph& g,
   }
   for (NodeId u = 0; u < g.numNodes(); ++u) {
     if (out.owner[u] == kGlobalSinkOwner) continue;
-    for (NodeId v : g.children(u)) {
+    for (NodeId v : csr.children(u)) {
       if (out.owner[v] == kGlobalSinkOwner) continue;
       if (out.owner[u] != out.owner[v]) {
         out.superdag.addEdge(out.owner[u], out.owner[v]);

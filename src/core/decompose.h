@@ -32,7 +32,11 @@ struct Component {
   /// Global node ids of all members (non-sinks and sinks); the member's
   /// index in this vector is its local id in `graph`.
   std::vector<dag::NodeId> nodes;
-  /// Induced subgraph on `nodes` (local ids).
+  /// Induced subgraph on `nodes` (local ids). With
+  /// DecomposeOptions::defer_component_graphs this is left empty by
+  /// decompose() and materialized by the schedule phase (in parallel,
+  /// via scheduleComponents(reduced, decomposition, ...)); num_nonsinks
+  /// and bipartite are always filled either way.
   dag::Digraph graph;
   /// Number of members with at least one child inside the component —
   /// exactly the jobs this component schedules.
@@ -65,6 +69,19 @@ struct DecomposeOptions {
   /// and per fast-path seed attempt; raises util::Cancelled when it
   /// fires. Null = never cancel.
   const util::CancelToken* cancel = nullptr;
+  /// Optional precomputed topological order of the input graph. When set,
+  /// decompose() verifies it instead of re-deriving an order for the
+  /// acyclicity precondition — the pipeline computes the order once and
+  /// reuses it across reduction, decomposition, and their checks.
+  const std::vector<dag::NodeId>* topo_order = nullptr;
+  /// Leave Component::graph empty; the schedule phase materializes the
+  /// induced subgraphs (in parallel) via
+  /// scheduleComponents(reduced, decomposition, ...). Building those
+  /// graphs (string-keyed node index + hashed edge set per component) is
+  /// the most expensive part of a detach, and it is embarrassingly
+  /// parallel — deferring it moves the cost into the parallel phase.
+  /// Off by default so direct decompose() callers keep seeing graphs.
+  bool defer_component_graphs = false;
 };
 
 /// Decomposes a shortcut-free dag. Precondition: g is acyclic.

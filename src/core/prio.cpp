@@ -62,21 +62,33 @@ PrioResult prioritizeWithReduction(const dag::Digraph& g,
   // Step 2: decomposition. The fault sites inject scheduling delays in
   // front of each phase (chaos tests push work past its deadline with
   // them); they cost one relaxed load each when the injector is off.
+  // The topological order is derived once here and reused for decompose's
+  // acyclicity precondition (verified, not re-derived). Component graphs
+  // are deferred: building each induced Digraph (string-keyed node index
+  // plus hashed edge set) is the expensive part of a detach and is
+  // embarrassingly parallel, so it runs inside step 3's workers instead.
   util::Stopwatch phase;
   util::fault::checkpoint("core.decompose");
+  const auto topo_order = dag::topologicalOrder(reduced);
+  PRIO_CHECK_MSG(topo_order.has_value(), "decompose requires a dag");
   DecomposeOptions dopt;
   dopt.bipartite_fast_path = options.bipartite_fast_path;
   dopt.cancel = options.cancel;
+  dopt.topo_order = &*topo_order;
+  dopt.defer_component_graphs = true;
   out.decomposition = decompose(reduced, dopt);
   out.timings.decompose_s = phase.elapsedSeconds();
 
-  // Step 3: per-component schedules.
+  // Step 3: per-component schedules (materializes the deferred graphs).
   phase.reset();
   util::fault::checkpoint("core.schedule");
   ScheduleOptions sopt;
   sopt.greedy_bipartite_fallback = options.greedy_bipartite_fallback;
   sopt.cancel = options.cancel;
-  out.component_schedules = scheduleComponents(out.decomposition, sopt);
+  sopt.num_threads = options.num_threads;
+  sopt.pool = options.schedule_pool;
+  out.component_schedules =
+      scheduleComponents(reduced, out.decomposition, sopt);
   out.timings.recurse_s = phase.elapsedSeconds();
 
   // Steps 4–6: greedy combine over the superdag.

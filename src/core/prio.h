@@ -48,6 +48,15 @@ struct PrioOptions {
   /// back to fallbackPrioritize(). Null (the default) adds only a
   /// null-pointer test per check site, leaving results bit-identical.
   const util::CancelToken* cancel = nullptr;
+  /// Worker count for the per-component schedule phase (step 3), which
+  /// also materializes the component subgraphs decompose defers to it.
+  /// 1 (default) = serial, 0 = one per hardware thread. Results are
+  /// bit-identical for every value — see scheduleComponents(reduced, ...).
+  std::size_t num_threads = 1;
+  /// Optional borrowed thread pool for the schedule phase; helpers are
+  /// offered with trySubmit() (never blocks), so the service lends its
+  /// request pool here. Null with num_threads > 1 = transient pool.
+  util::ThreadPool* schedule_pool = nullptr;
 };
 
 /// Wall-clock seconds spent in each phase.

@@ -1,10 +1,13 @@
 #include "core/schedule.h"
 
+#include <algorithm>
 #include <span>
+#include <utility>
 
 #include "dag/algorithms.h"
 #include "theory/eligibility.h"
 #include "util/check.h"
+#include "util/parallel_for.h"
 
 namespace prio::core {
 
@@ -43,6 +46,76 @@ std::vector<ComponentSchedule> scheduleComponents(
     }
     out.push_back(scheduleComponent(c, options));
   }
+  return out;
+}
+
+namespace {
+
+// Materializes a deferred component graph and schedules the component.
+// Shared by the serial and parallel drains of the overload below.
+void materializeAndSchedule(const dag::Digraph& reduced, Component& comp,
+                            ComponentSchedule& slot,
+                            const ScheduleOptions& options) {
+  if (options.cancel != nullptr) {
+    options.cancel->throwIfCancelled("schedule");
+  }
+  if (comp.graph.numNodes() != comp.nodes.size()) {
+    comp.graph = reduced.inducedSubgraph(comp.nodes);
+  }
+  slot = scheduleComponent(comp, options);
+}
+
+}  // namespace
+
+std::vector<ComponentSchedule> scheduleComponents(
+    const dag::Digraph& reduced, Decomposition& decomposition,
+    const ScheduleOptions& options) {
+  auto& comps = decomposition.components;
+  std::vector<ComponentSchedule> out(comps.size());
+
+  std::size_t total_nodes = 0;
+  for (const Component& c : comps) total_nodes += c.nodes.size();
+
+  // Below this size the work fits in one cache-warm pass and thread
+  // startup/handoff dominates; stay serial (output is identical anyway).
+  constexpr std::size_t kParallelMinNodes = 2048;
+  const std::size_t threads = util::resolveNumThreads(options.num_threads);
+  if (threads <= 1 || comps.size() < 2 || total_nodes < kParallelMinNodes) {
+    for (std::size_t i = 0; i < comps.size(); ++i) {
+      materializeAndSchedule(reduced, comps[i], out[i], options);
+    }
+    return out;
+  }
+
+  // Chunk contiguous component ranges into work items of roughly equal
+  // node count — components vary from a handful of nodes to SDSS-size
+  // joins, so count-based chunks would load-balance badly. ~4 items per
+  // thread keeps the tail short without inflating claim traffic.
+  struct Item {
+    std::size_t begin;
+    std::size_t end;
+  };
+  std::vector<Item> items;
+  const std::size_t target =
+      std::max<std::size_t>(1, total_nodes / (threads * 4));
+  std::size_t begin = 0;
+  std::size_t acc = 0;
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    acc += comps[i].nodes.size();
+    if (acc >= target) {
+      items.push_back({begin, i + 1});
+      begin = i + 1;
+      acc = 0;
+    }
+  }
+  if (begin < comps.size()) items.push_back({begin, comps.size()});
+
+  util::parallelClaim(
+      options.pool, threads, items.size(), [&](std::size_t item) {
+        for (std::size_t i = items[item].begin; i < items[item].end; ++i) {
+          materializeAndSchedule(reduced, comps[i], out[i], options);
+        }
+      });
   return out;
 }
 

@@ -10,6 +10,7 @@
 #include "core/decompose.h"
 #include "theory/blocks.h"
 #include "util/cancellation.h"
+#include "util/thread_pool.h"
 
 namespace prio::core {
 
@@ -18,9 +19,21 @@ struct ScheduleOptions {
   /// greedy schedule for unrecognized bipartite components instead of the
   /// outdegree order. Compared in bench_ablation_fallback.
   bool greedy_bipartite_fallback = false;
-  /// Optional deadline/cancel token, polled once per component; raises
+  /// Optional deadline/cancel token, polled once per component (in the
+  /// parallel path: by whichever worker handles the component); raises
   /// util::Cancelled when it fires. Null = never cancel.
   const util::CancelToken* cancel = nullptr;
+  /// Worker count for scheduleComponents(reduced, decomposition, ...).
+  /// 1 (default) = serial; 0 = one per hardware thread. Components are
+  /// independent, so parallel output is bit-identical to serial — results
+  /// land in component-index order regardless of execution order.
+  std::size_t num_threads = 1;
+  /// Optional borrowed pool for the parallel path. Work is offered with
+  /// trySubmit() only (never blocks), so the service can safely lend its
+  /// own request pool; a full pool just means fewer helpers (see
+  /// util/parallel_for.h). Null with num_threads > 1 = a transient pool
+  /// is spun up per call (the CLI path).
+  util::ThreadPool* pool = nullptr;
 };
 
 /// A scheduled component.
@@ -37,8 +50,25 @@ struct ComponentSchedule {
 [[nodiscard]] ComponentSchedule scheduleComponent(
     const Component& component, const ScheduleOptions& options = {});
 
-/// Schedules every component of a decomposition, in order.
+/// Schedules every component of a decomposition, in order. Serial;
+/// requires every Component::graph to be materialized (i.e. decompose()
+/// ran without defer_component_graphs).
 [[nodiscard]] std::vector<ComponentSchedule> scheduleComponents(
     const Decomposition& decomposition, const ScheduleOptions& options = {});
+
+/// As above, parallel over components with options.num_threads workers.
+/// `reduced` must be the graph the decomposition was computed from; any
+/// component whose graph was deferred (DecomposeOptions::
+/// defer_component_graphs) is materialized here via
+/// reduced.inducedSubgraph — inside the workers, which is where the bulk
+/// of the per-component cost lives and why deferring pays. Components are
+/// grouped into contiguous work items by node count and claimed off an
+/// atomic counter; each result is written to its component's slot, so the
+/// returned vector (and the filled-in graphs) are bit-identical to the
+/// serial path for every thread count. util::Cancelled raised by a worker
+/// is rethrown on the calling thread after in-flight items finish.
+[[nodiscard]] std::vector<ComponentSchedule> scheduleComponents(
+    const dag::Digraph& reduced, Decomposition& decomposition,
+    const ScheduleOptions& options = {});
 
 }  // namespace prio::core

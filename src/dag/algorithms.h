@@ -14,8 +14,18 @@
 
 namespace prio::dag {
 
-/// Kahn topological order, or nullopt when the graph has a cycle. Ties are
-/// broken by smallest node id, so the order is deterministic.
+/// Kahn topological order, or nullopt when the graph has a cycle.
+///
+/// Determinism contract: the result is the lexicographically smallest
+/// topological order — at every step the smallest-id ready node runs next
+/// (the order the original min-heap Kahn produced; tests and fingerprints
+/// rely on it being stable). The implementation is an index-ordered
+/// pending scan over the flat CSR view instead of an O(E log V) heap:
+/// when every arc ascends in id (true for all generators here and for
+/// well-formed DAGMan files, detected in O(1) from the CSR), the order is
+/// the identity and costs O(V + E); otherwise a word-scanned ready bitmap
+/// extracts minima at 64 ids per probe word — O(V + E) in practice, with
+/// an O(V^2/64) adversarial worst case far below the old heap's constant.
 [[nodiscard]] std::optional<std::vector<NodeId>> topologicalOrder(
     const Digraph& g);
 
@@ -27,8 +37,19 @@ namespace prio::dag {
                                       std::span<const NodeId> order);
 
 /// Dense descendant matrix: row u has bit v set iff v is reachable from u
-/// by a path of length >= 1. Memory is numNodes()^2 / 8 bytes.
+/// by a path of length >= 1. Memory is numNodes()^2 / 8 bytes. Long rows
+/// are processed in cache-blocked column tiles (util::BitMatrix
+/// orRowRangeInto), which keeps the OR-ed row segments cache-resident on
+/// large dags; the result is bit-identical either way.
 [[nodiscard]] util::BitMatrix descendantMatrix(const Digraph& g);
+
+/// As above with a precomputed topological order of `g` (any valid order;
+/// the result does not depend on which). Skips the internal
+/// topologicalOrder() call — the decompose pipeline computes the order
+/// once and reuses it here, for transitiveReduction, and for decompose's
+/// acyclicity check. Precondition: isTopologicalOrder(g, topo_order).
+[[nodiscard]] util::BitMatrix descendantMatrix(
+    const Digraph& g, std::span<const NodeId> topo_order);
 
 /// How transitiveReduction computes reachability.
 enum class ReductionMethod {
@@ -41,6 +62,13 @@ enum class ReductionMethod {
 /// Precondition: g is acyclic (a dag's transitive reduction is unique).
 [[nodiscard]] Digraph transitiveReduction(
     const Digraph& g, ReductionMethod method = ReductionMethod::kBitset);
+
+/// As above with a precomputed topological order of `g`, so the order is
+/// not recomputed per call (the acyclicity precondition is implied by the
+/// order's existence). Precondition: isTopologicalOrder(g, topo_order).
+[[nodiscard]] Digraph transitiveReduction(const Digraph& g,
+                                          ReductionMethod method,
+                                          std::span<const NodeId> topo_order);
 
 /// Weakly connected components (arc orientation ignored). Returns the
 /// component index of each node; indices are dense starting at 0.

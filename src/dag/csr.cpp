@@ -1,0 +1,30 @@
+#include "dag/csr.h"
+
+#include "dag/digraph.h"
+
+namespace prio::dag {
+
+Csr Csr::build(const Digraph& g) {
+  const std::size_t n = g.numNodes();
+  Csr out;
+  out.child_offsets.resize(n + 1);
+  out.parent_offsets.resize(n + 1);
+  out.child_edges.reserve(g.numEdges());
+  out.parent_edges.reserve(g.numEdges());
+  out.child_offsets[0] = 0;
+  out.parent_offsets[0] = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.children(u)) {
+      out.child_edges.push_back(v);
+      if (v <= u) out.edges_ascend = false;
+    }
+    for (NodeId p : g.parents(u)) out.parent_edges.push_back(p);
+    out.child_offsets[u + 1] = static_cast<std::uint32_t>(
+        out.child_edges.size());
+    out.parent_offsets[u + 1] = static_cast<std::uint32_t>(
+        out.parent_edges.size());
+  }
+  return out;
+}
+
+}  // namespace prio::dag

@@ -1,0 +1,69 @@
+// Flat compressed-sparse-row (CSR) view of a Digraph.
+//
+// The Digraph stores one std::vector per node for each adjacency
+// direction, which is convenient while a graph is being built but costs a
+// pointer indirection (and a likely cache miss) per visited node in the
+// traversal-heavy pipeline phases. The Csr packs both directions into one
+// contiguous edge array plus an offsets array each, so sweeping all
+// adjacencies of all nodes is a single linear scan.
+//
+// Edge order inside a node's slice is exactly the Digraph's insertion
+// order — every algorithm that iterates children(u)/parents(u) therefore
+// sees the same sequence through either view, which is what keeps the
+// CSR-based pipeline bit-identical to the vector-of-vectors one.
+//
+// A Csr is an immutable snapshot: it is built once per Digraph (lazily,
+// via Digraph::csr()) and shared by reference; mutating the Digraph
+// invalidates the cached snapshot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace prio::dag {
+
+using NodeId = std::uint32_t;
+
+class Digraph;
+
+struct Csr {
+  /// child_offsets[u] .. child_offsets[u+1] index child_edges; same for
+  /// parents. Offsets have numNodes()+1 entries (empty graph: one zero).
+  std::vector<std::uint32_t> child_offsets;
+  std::vector<NodeId> child_edges;
+  std::vector<std::uint32_t> parent_offsets;
+  std::vector<NodeId> parent_edges;
+  /// True when every arc u -> v has u < v (node ids ascend along every
+  /// arc). All the repo's generators and well-formed DAGMan files produce
+  /// such graphs; topologicalOrder() uses this for its O(V+E) fast path.
+  bool edges_ascend = true;
+
+  [[nodiscard]] std::size_t numNodes() const noexcept {
+    return child_offsets.empty() ? 0 : child_offsets.size() - 1;
+  }
+  [[nodiscard]] std::size_t numEdges() const noexcept {
+    return child_edges.size();
+  }
+
+  [[nodiscard]] std::span<const NodeId> children(NodeId u) const noexcept {
+    return {child_edges.data() + child_offsets[u],
+            child_edges.data() + child_offsets[u + 1]};
+  }
+  [[nodiscard]] std::span<const NodeId> parents(NodeId u) const noexcept {
+    return {parent_edges.data() + parent_offsets[u],
+            parent_edges.data() + parent_offsets[u + 1]};
+  }
+  [[nodiscard]] std::size_t outDegree(NodeId u) const noexcept {
+    return child_offsets[u + 1] - child_offsets[u];
+  }
+  [[nodiscard]] std::size_t inDegree(NodeId u) const noexcept {
+    return parent_offsets[u + 1] - parent_offsets[u];
+  }
+
+  /// Builds the flat view of `g` in O(V + E).
+  [[nodiscard]] static Csr build(const Digraph& g);
+};
+
+}  // namespace prio::dag

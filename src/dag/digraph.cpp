@@ -2,7 +2,72 @@
 
 #include <utility>
 
+#include "dag/csr.h"
+
 namespace prio::dag {
+
+Digraph::Digraph() = default;
+Digraph::~Digraph() = default;
+
+namespace {
+// Snapshot of another graph's cached CSR (may be null; never forces a
+// build). The snapshot is immutable, so copies can share it.
+std::shared_ptr<const Csr> snapshotCsr(std::mutex& mutex,
+                                       const std::shared_ptr<const Csr>& c) {
+  const std::lock_guard<std::mutex> lock(mutex);
+  return c;
+}
+}  // namespace
+
+Digraph::Digraph(const Digraph& other)
+    : names_(other.names_),
+      children_(other.children_),
+      parents_(other.parents_),
+      name_index_(other.name_index_),
+      edge_set_(other.edge_set_),
+      num_edges_(other.num_edges_),
+      csr_cache_(snapshotCsr(other.csr_mutex_, other.csr_cache_)) {}
+
+Digraph& Digraph::operator=(const Digraph& other) {
+  if (this == &other) return *this;
+  names_ = other.names_;
+  children_ = other.children_;
+  parents_ = other.parents_;
+  name_index_ = other.name_index_;
+  edge_set_ = other.edge_set_;
+  num_edges_ = other.num_edges_;
+  csr_cache_ = snapshotCsr(other.csr_mutex_, other.csr_cache_);
+  return *this;
+}
+
+Digraph::Digraph(Digraph&& other) noexcept
+    : names_(std::move(other.names_)),
+      children_(std::move(other.children_)),
+      parents_(std::move(other.parents_)),
+      name_index_(std::move(other.name_index_)),
+      edge_set_(std::move(other.edge_set_)),
+      num_edges_(std::exchange(other.num_edges_, 0)),
+      csr_cache_(std::move(other.csr_cache_)) {}
+
+Digraph& Digraph::operator=(Digraph&& other) noexcept {
+  if (this == &other) return *this;
+  names_ = std::move(other.names_);
+  children_ = std::move(other.children_);
+  parents_ = std::move(other.parents_);
+  name_index_ = std::move(other.name_index_);
+  edge_set_ = std::move(other.edge_set_);
+  num_edges_ = std::exchange(other.num_edges_, 0);
+  csr_cache_ = std::move(other.csr_cache_);
+  return *this;
+}
+
+const Csr& Digraph::csr() const {
+  const std::lock_guard<std::mutex> lock(csr_mutex_);
+  if (csr_cache_ == nullptr) {
+    csr_cache_ = std::make_shared<const Csr>(Csr::build(*this));
+  }
+  return *csr_cache_;
+}
 
 NodeId Digraph::addNode() {
   return addNode("n" + std::to_string(numNodes()));
@@ -17,6 +82,7 @@ NodeId Digraph::addNode(std::string name) {
   names_.push_back(std::move(name));
   children_.emplace_back();
   parents_.emplace_back();
+  csr_cache_.reset();  // mutation requires exclusive access; no lock needed
   return id;
 }
 
@@ -27,6 +93,7 @@ bool Digraph::addEdge(NodeId u, NodeId v) {
   children_[u].push_back(v);
   parents_[v].push_back(u);
   ++num_edges_;
+  csr_cache_.reset();  // mutation requires exclusive access; no lock needed
   return true;
 }
 

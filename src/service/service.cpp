@@ -50,9 +50,16 @@ void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply) {
   // so hits/(hits+misses) is the true served-from-cache fraction.
   metrics_.cache_misses.add();
 
+  // Parallel schedule phase: lend the request pool itself. Helpers are
+  // offered with trySubmit() only (see util/parallel_for.h), so a pool
+  // saturated with requests simply yields no helpers and the phase runs
+  // serially on this worker — request-level parallelism degrades
+  // intra-request parallelism exactly when the cores are already busy.
+  core::PrioOptions options = config_.prio_options;
+  if (options.num_threads != 1) options.schedule_pool = &pool_;
+
   if (config_.compute_deadline_s > 0.0) {
     const util::CancelToken token(config_.compute_deadline_s);
-    core::PrioOptions options = config_.prio_options;
     options.cancel = &token;
     try {
       auto result = std::make_shared<const core::PrioResult>(
@@ -77,7 +84,7 @@ void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply) {
   }
 
   auto result = std::make_shared<const core::PrioResult>(
-      core::prioritizeWithReduction(g, reduced, config_.prio_options));
+      core::prioritizeWithReduction(g, reduced, options));
   metrics_.recordPhases(result->timings);
   if (cache_ != nullptr) {
     cache_->insert(reply.fingerprint, reply.layout, result);

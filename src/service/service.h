@@ -73,7 +73,11 @@ struct ServiceConfig {
   /// Queue-wait deadline in seconds (0 = unbounded). A request that
   /// waited longer is shed (kShed) without computing.
   double queue_deadline_s = 0.0;
-  /// Options forwarded to every prioritize() run.
+  /// Options forwarded to every prioritize() run. When
+  /// prio_options.num_threads != 1, the service lends its own request
+  /// pool to each run's schedule phase (non-blocking trySubmit helpers):
+  /// an idle service parallelizes a lone request across the workers,
+  /// while a saturated one degrades to serial per-request scheduling.
   core::PrioOptions prio_options;
 };
 

@@ -58,6 +58,22 @@ class BitMatrix {
     for (std::size_t w = 0; w < words_per_row_; ++w) d[w] |= s[w];
   }
 
+  /// dst |= src restricted to the word range [word_begin, word_end) of
+  /// each row — the cache-blocked tile primitive: descendantMatrix
+  /// processes long rows one column tile at a time so the row segments
+  /// being OR-ed together stay resident in cache across the pass.
+  void orRowRangeInto(std::size_t dst, std::size_t src,
+                      std::size_t word_begin, std::size_t word_end) {
+    PRIO_CHECK(dst < rows_ && src < rows_ && word_end <= words_per_row_);
+    std::uint64_t* d = &bits_[dst * words_per_row_];
+    const std::uint64_t* s = &bits_[src * words_per_row_];
+    for (std::size_t w = word_begin; w < word_end; ++w) d[w] |= s[w];
+  }
+
+  [[nodiscard]] std::size_t wordsPerRow() const noexcept {
+    return words_per_row_;
+  }
+
   /// Number of set bits in a row.
   [[nodiscard]] std::size_t rowPopcount(std::size_t r) const {
     PRIO_CHECK(r < rows_);

@@ -1,0 +1,126 @@
+// Claim-based parallel loop over an indexed work list, built for reusing
+// an existing ThreadPool without ever blocking on it.
+//
+// parallelClaim(pool, threads, items, fn) calls fn(i) exactly once for
+// every i in [0, items), from the calling thread and up to threads-1
+// helpers. Work is distributed by an atomic claim counter, so helpers
+// that start late (or never start) cost nothing: the caller participates
+// in the claim loop itself and is always sufficient to finish the work.
+//
+// Two properties make this safe to run *inside* a ThreadPool worker (the
+// priod service schedules per-request component work on its own request
+// pool this way):
+//   - helpers are enqueued with trySubmit(): a full or shutting-down
+//     queue just means fewer helpers, never a blocked submitter;
+//   - the caller waits for completed work items, not for helper tasks:
+//     even if no helper ever runs (all pool workers busy with other
+//     requests), the caller drains the claim loop alone and returns.
+//     A helper that fires after completion claims nothing and touches
+//     only its shared control block (kept alive by shared_ptr).
+// Under a loaded pool this degrades gracefully to the serial loop, which
+// is exactly the right behaviour: request-level parallelism already has
+// the cores busy.
+//
+// The first exception thrown by fn is captured and rethrown on the
+// calling thread after every item has completed; once an exception is
+// recorded, remaining claims return immediately (their fn is skipped).
+// ThreadPool tasks therefore never leak an exception.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/thread_pool.h"
+
+namespace prio::util {
+
+/// Resolves a thread-count request: 0 = one per hardware thread.
+[[nodiscard]] inline std::size_t resolveNumThreads(
+    std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+template <typename Fn>
+void parallelClaim(ThreadPool* pool, std::size_t num_threads,
+                   std::size_t num_items, Fn&& fn) {
+  if (num_items == 0) return;
+  if (num_threads <= 1 || num_items == 1) {
+    for (std::size_t i = 0; i < num_items; ++i) fn(i);
+    return;
+  }
+
+  struct Control {
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> aborted{false};
+    std::mutex mutex;
+    std::condition_variable all_done;
+    std::size_t done = 0;
+    std::size_t total = 0;
+    std::exception_ptr error;  // first exception wins; guarded by mutex
+  };
+  auto control = std::make_shared<Control>();
+  control->total = num_items;
+
+  // The claim loop every participant runs. `fn` and the work items are
+  // only touched behind a successful claim, and every item is claimed
+  // before the caller can observe done == total — a stray helper that
+  // runs after parallelClaim returned claims nothing and reads only the
+  // control block it co-owns.
+  const auto drain = [control, &fn] {
+    for (;;) {
+      const std::size_t i =
+          control->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= control->total) return;
+      if (!control->aborted.load(std::memory_order_relaxed)) {
+        try {
+          fn(i);
+        } catch (...) {
+          control->aborted.store(true, std::memory_order_relaxed);
+          const std::lock_guard<std::mutex> lock(control->mutex);
+          if (control->error == nullptr) {
+            control->error = std::current_exception();
+          }
+        }
+      }
+      const std::lock_guard<std::mutex> lock(control->mutex);
+      if (++control->done == control->total) {
+        control->all_done.notify_all();
+      }
+    }
+  };
+
+  // Helpers reference fn by pointer; that is safe because any claim they
+  // win happens before the caller sees done == total and returns.
+  const std::size_t helpers =
+      std::min(num_threads - 1, num_items - 1);
+  if (pool != nullptr) {
+    for (std::size_t h = 0; h < helpers; ++h) {
+      if (!pool->trySubmit(drain)) break;  // full/closed queue: fewer helpers
+    }
+    drain();
+  } else {
+    // Standalone path (CLI / tests): a transient pool sized for the
+    // helpers; its queue never fills, so submit() cannot block.
+    ThreadPool transient(helpers, helpers);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      transient.submit(drain);
+    }
+    drain();
+    // ~ThreadPool drains and joins, but waiting on item completion below
+    // is still what publishes the helpers' writes to this thread.
+  }
+
+  std::unique_lock<std::mutex> lock(control->mutex);
+  control->all_done.wait(lock, [&] { return control->done == control->total; });
+  if (control->error != nullptr) std::rethrow_exception(control->error);
+}
+
+}  // namespace prio::util

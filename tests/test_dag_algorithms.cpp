@@ -171,4 +171,118 @@ TEST_P(RandomDagAlgorithms, TopoAndReachConsistent) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagAlgorithms,
                          ::testing::Range<std::uint64_t>(1, 11));
 
+// Reference Kahn with an explicit min-scan, the determinism contract
+// topologicalOrder() must honor for any id layout: at every step the
+// smallest-id ready node runs next (the lexicographically smallest
+// topological order).
+std::optional<std::vector<NodeId>> lexMinTopoReference(const Digraph& g) {
+  const std::size_t n = g.numNodes();
+  std::vector<std::size_t> pending(n);
+  std::vector<char> done(n, 0);
+  for (NodeId u = 0; u < n; ++u) pending[u] = g.inDegree(u);
+  std::vector<NodeId> order;
+  for (std::size_t step = 0; step < n; ++step) {
+    NodeId pick = static_cast<NodeId>(n);
+    for (NodeId u = 0; u < n; ++u) {
+      if (!done[u] && pending[u] == 0) {
+        pick = u;
+        break;
+      }
+    }
+    if (pick == n) return std::nullopt;
+    done[pick] = 1;
+    order.push_back(pick);
+    for (NodeId v : g.children(pick)) --pending[v];
+  }
+  return order;
+}
+
+// Relabels g's nodes by a random permutation, producing descending arcs
+// that force topologicalOrder() off its identity fast path and onto the
+// ready-bitmap scan.
+Digraph shuffledIds(const Digraph& g, Rng& rng) {
+  std::vector<NodeId> new_id(g.numNodes());
+  for (NodeId u = 0; u < g.numNodes(); ++u) new_id[u] = u;
+  for (std::size_t i = new_id.size(); i > 1; --i) {
+    std::swap(new_id[i - 1], new_id[rng.below(i)]);
+  }
+  Digraph out;
+  out.reserveNodes(g.numNodes());
+  std::vector<NodeId> old_of_new(g.numNodes());
+  for (NodeId u = 0; u < g.numNodes(); ++u) old_of_new[new_id[u]] = u;
+  for (NodeId nu = 0; nu < g.numNodes(); ++nu) {
+    out.addNode(g.name(old_of_new[nu]));
+  }
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    for (NodeId v : g.children(u)) out.addEdge(new_id[u], new_id[v]);
+  }
+  return out;
+}
+
+TEST(TopologicalOrder, LexMinOnShuffledIds) {
+  Rng rng(424242);
+  for (int i = 0; i < 40; ++i) {
+    const auto base = prio::workloads::randomDag(40, 0.1, rng);
+    const Digraph g = shuffledIds(base, rng);
+    const auto order = topologicalOrder(g);
+    ASSERT_TRUE(order.has_value());
+    EXPECT_EQ(*order, *lexMinTopoReference(g));
+  }
+}
+
+TEST(TopologicalOrder, LexMinOnDescendingChain) {
+  // 4 -> 3 -> 2 -> 1 -> 0: every arc descends, so the only topological
+  // order is the exact reverse of the id order (worst case for the
+  // bitmap cursor, which gets pulled back on every extraction).
+  Digraph g;
+  for (int i = 0; i < 5; ++i) g.addNode("n" + std::to_string(i));
+  for (NodeId u = 4; u > 0; --u) g.addEdge(u, u - 1);
+  const auto order = topologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<NodeId>{4, 3, 2, 1, 0}));
+}
+
+TEST(TopologicalOrder, DetectsCycleWithDescendingArcs) {
+  Digraph g;
+  for (int i = 0; i < 70; ++i) g.addNode("n" + std::to_string(i));
+  g.addEdge(1, 0);  // descending: disables the identity fast path
+  g.addEdge(68, 69);
+  g.addEdge(69, 68);  // cycle far from node 0, beyond the first bitmap word
+  EXPECT_FALSE(topologicalOrder(g).has_value());
+  EXPECT_FALSE(isAcyclic(g));
+}
+
+TEST(DescendantMatrix, PrecomputedOrderMatches) {
+  Rng rng(7);
+  const auto g = prio::workloads::randomDag(50, 0.1, rng);
+  const auto order = topologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  const auto a = descendantMatrix(g);
+  const auto b = descendantMatrix(g, *order);
+  for (NodeId u = 0; u < g.numNodes(); ++u) {
+    EXPECT_EQ(a.rowPopcount(u), b.rowPopcount(u));
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+      EXPECT_EQ(a.test(u, v), b.test(u, v));
+    }
+  }
+}
+
+TEST(TransitiveReduction, PrecomputedOrderMatches) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) {
+    const auto g = prio::workloads::randomDag(40, 0.15, rng);
+    const auto order = topologicalOrder(g);
+    ASSERT_TRUE(order.has_value());
+    const auto a = transitiveReduction(g);
+    const auto b =
+        transitiveReduction(g, ReductionMethod::kBitset, *order);
+    ASSERT_EQ(a.numEdges(), b.numEdges());
+    for (NodeId u = 0; u < g.numNodes(); ++u) {
+      const auto ca = a.children(u);
+      const auto cb = b.children(u);
+      EXPECT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin(), cb.end()));
+    }
+  }
+}
+
 }  // namespace

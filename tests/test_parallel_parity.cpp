@@ -1,0 +1,156 @@
+// Parallel/serial parity: the schedule phase's worker count must never
+// change a single output bit. Serial (num_threads = 1) results are the
+// reference; every assertion here compares the full PrioResult surface
+// (schedule, priorities, decomposition structure, per-component
+// schedules, certification) across thread counts, over seeded random
+// dags, the four paper workload families, and cancellation mid-phase.
+// tests/CMakeLists.txt also builds this file into the TSan suite — the
+// claim-loop handoff in util/parallel_for.h is what it exercises.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/decompose.h"
+#include "core/prio.h"
+#include "core/schedule.h"
+#include "dag/algorithms.h"
+#include "dag/digraph.h"
+#include "stats/rng.h"
+#include "util/cancellation.h"
+#include "workloads/random.h"
+#include "workloads/scientific.h"
+
+namespace {
+
+using namespace prio;
+using core::PrioOptions;
+using core::PrioResult;
+using dag::Digraph;
+
+void expectSameResult(const PrioResult& a, const PrioResult& b) {
+  EXPECT_EQ(a.schedule, b.schedule);
+  EXPECT_EQ(a.priority, b.priority);
+  EXPECT_EQ(a.certified_ic_optimal, b.certified_ic_optimal);
+  EXPECT_EQ(a.shortcuts_removed, b.shortcuts_removed);
+  EXPECT_EQ(a.decomposition.owner, b.decomposition.owner);
+  EXPECT_EQ(a.decomposition.global_sinks, b.decomposition.global_sinks);
+  ASSERT_EQ(a.component_schedules.size(), b.component_schedules.size());
+  for (std::size_t i = 0; i < a.component_schedules.size(); ++i) {
+    EXPECT_EQ(a.component_schedules[i].recognition.schedule,
+              b.component_schedules[i].recognition.schedule)
+        << "component " << i;
+    EXPECT_EQ(a.component_schedules[i].profile,
+              b.component_schedules[i].profile)
+        << "component " << i;
+    EXPECT_EQ(a.decomposition.components[i].nodes,
+              b.decomposition.components[i].nodes)
+        << "component " << i;
+  }
+  EXPECT_EQ(a.combine.pop_order, b.combine.pop_order);
+}
+
+void expectParityAcrossThreads(const Digraph& g) {
+  PrioOptions serial;
+  const PrioResult reference = core::prioritize(g, serial);
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}, std::size_t{0}}) {
+    PrioOptions options;
+    options.num_threads = threads;  // 0 = hardware concurrency
+    expectSameResult(reference, core::prioritize(g, options));
+  }
+}
+
+TEST(ParallelParity, SeededRandomDags) {
+  stats::Rng rng(987654321);
+  for (int i = 0; i < 80; ++i) {
+    const std::size_t n = 10 + rng.below(120);
+    const double p = 0.02 + 0.2 * rng.uniform01();
+    expectParityAcrossThreads(workloads::randomDag(n, p, rng));
+  }
+}
+
+TEST(ParallelParity, SeededLayeredDags) {
+  stats::Rng rng(555555);
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t layers = 2 + rng.below(8);
+    const std::size_t width = 2 + rng.below(30);
+    expectParityAcrossThreads(
+        workloads::layeredRandom(layers, width, 0.05 + 0.3 * rng.uniform01(),
+                                 rng));
+  }
+}
+
+TEST(ParallelParity, SeededComposableDags) {
+  stats::Rng rng(31337);
+  for (int i = 0; i < 60; ++i) {
+    expectParityAcrossThreads(
+        workloads::randomComposable(2 + rng.below(10), rng));
+  }
+}
+
+// Scaled-down instances of all four paper workloads: every Fig. 2 family
+// recognizer and the general C(s) path run under the parallel phase.
+TEST(ParallelParity, PaperWorkloads) {
+  expectParityAcrossThreads(workloads::makeAirsn({40, 7}));
+  expectParityAcrossThreads(workloads::makeInspiral({11, 5}));
+  expectParityAcrossThreads(workloads::makeMontage({6, 10, 23}));
+  expectParityAcrossThreads(workloads::makeSdss({60, 8, 4, 40}));
+}
+
+// A token cancelled before the phase starts must surface util::Cancelled
+// out of the parallel path on the calling thread, exactly like serial.
+TEST(ParallelParity, CancellationPropagatesFromWorkers) {
+  stats::Rng rng(777);
+  const Digraph g = workloads::layeredRandom(6, 40, 0.2, rng);
+  const Digraph reduced = dag::transitiveReduction(g);
+  core::DecomposeOptions dopt;
+  dopt.defer_component_graphs = true;
+  core::Decomposition decomposition = core::decompose(reduced, dopt);
+  ASSERT_GE(decomposition.components.size(), 2u);
+
+  util::CancelToken token;
+  token.cancel();  // fires deterministically on the first worker poll
+  ASSERT_TRUE(token.poll());
+  core::ScheduleOptions sopt;
+  sopt.cancel = &token;
+  sopt.num_threads = 4;
+  EXPECT_THROW(
+      { (void)core::scheduleComponents(reduced, decomposition, sopt); },
+      util::Cancelled);
+}
+
+// The deferred component graphs materialized by the parallel phase must
+// equal the ones decompose() builds eagerly.
+TEST(ParallelParity, DeferredGraphsMatchEager) {
+  stats::Rng rng(2468);
+  for (int i = 0; i < 20; ++i) {
+    const Digraph g = workloads::randomDag(60, 0.08, rng);
+    const Digraph reduced = dag::transitiveReduction(g);
+    const core::Decomposition eager = core::decompose(reduced, {});
+    core::DecomposeOptions dopt;
+    dopt.defer_component_graphs = true;
+    core::Decomposition deferred = core::decompose(reduced, dopt);
+    core::ScheduleOptions sopt;
+    sopt.num_threads = 4;
+    const auto parallel = core::scheduleComponents(reduced, deferred, sopt);
+    const auto serial = core::scheduleComponents(eager);
+    ASSERT_EQ(eager.components.size(), deferred.components.size());
+    for (std::size_t c = 0; c < eager.components.size(); ++c) {
+      const auto& ge = eager.components[c].graph;
+      const auto& gd = deferred.components[c].graph;
+      ASSERT_EQ(ge.numNodes(), gd.numNodes());
+      ASSERT_EQ(ge.numEdges(), gd.numEdges());
+      for (dag::NodeId u = 0; u < ge.numNodes(); ++u) {
+        const auto ce = ge.children(u);
+        const auto cd = gd.children(u);
+        ASSERT_TRUE(std::equal(ce.begin(), ce.end(), cd.begin(), cd.end()));
+        EXPECT_EQ(ge.name(u), gd.name(u));
+      }
+      EXPECT_EQ(serial[c].recognition.schedule,
+                parallel[c].recognition.schedule);
+      EXPECT_EQ(serial[c].profile, parallel[c].profile);
+    }
+  }
+}
+
+}  // namespace
