@@ -28,7 +28,7 @@ int main() {
   for (const std::size_t width :
        {8u, 16u, 32u, 64u, 125u, 250u, 500u, 1000u}) {
     const auto g = workloads::makeAirsn({width, 21});
-    const auto order = core::prioritize(g).schedule;
+    const auto order = core::prioritize(core::PrioRequest(g)).schedule;
     const auto cmp = sim::comparePrioVsFifo(g, order, model, cfg);
     std::printf("%8zu %8zu |    %6.3f [%6.3f, %6.3f]     %10.3f\n", width,
                 g.numNodes(), cmp.time_ratio.median, cmp.time_ratio.ci_low,

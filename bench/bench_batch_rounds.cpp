@@ -16,7 +16,7 @@
 namespace {
 
 void sweep(const char* name, const prio::dag::Digraph& g) {
-  const auto prio_order = prio::core::prioritize(g).schedule;
+  const auto prio_order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   const auto cp_order = prio::sim::criticalPathSchedule(g);
 
   std::printf("%s (%zu jobs, depth %zu):\n", name, g.numNodes(),

@@ -42,7 +42,7 @@ Census run(std::size_t trials, MakeDag&& make) {
   for (std::size_t t = 0; t < trials; ++t) {
     const Digraph g = make(t);
     ++c.total;
-    const auto r = prio::core::prioritize(g);
+    const auto r = prio::core::prioritize(prio::core::PrioRequest(g));
     if (r.certified_ic_optimal) ++c.certified;
     if (g.numNodes() <= 18) {
       if (prio::theory::findICOptimalSchedule(g)) ++c.optimizable;

@@ -74,7 +74,7 @@ struct SweepSummary {
 inline SweepSummary runFigureSweep(const char* figure_name,
                                    const char* dag_name,
                                    const dag::Digraph& g) {
-  const auto prio_order = core::prioritize(g).schedule;
+  const auto prio_order = core::prioritize(core::PrioRequest(g)).schedule;
   const auto cfg = benchCampaignConfig();
 
   std::printf("=== %s: PRIO/FIFO ratios for %s (%zu jobs; p=%zu q=%zu) ===\n",

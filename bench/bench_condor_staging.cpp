@@ -44,7 +44,7 @@ int main() {
   using namespace prio;
 
   const auto g = workloads::makeAirsn({});
-  const auto result = core::prioritize(g);
+  const auto result = core::prioritize(core::PrioRequest(g));
   const std::vector<std::size_t> no_priorities;
   const std::size_t reps =
       bench::envSize("PRIO_BENCH_P", 8);

@@ -5,7 +5,8 @@
 // baseline in bench/baselines/BENCH_core_baseline.json.
 //
 // The transitive reduction is computed once per workload and NOT timed —
-// the timed region is prioritizeWithReduction, i.e. exactly the phases
+// the timed region is prioritize() on a PrioRequest with a precomputed
+// reduction (PrioRequest::reduced), i.e. exactly the phases
 // this PR parallelizes (the service's hot path after its fingerprint
 // reduction). Layered random dags are their own transitive reduction
 // (every arc spans exactly one layer, so no arc is a shortcut) and skip
@@ -30,6 +31,7 @@
 
 #include "core/prio.h"
 #include "dag/algorithms.h"
+#include "obs/trace.h"
 #include "stats/rng.h"
 #include "util/timing.h"
 #include "workloads/random.h"
@@ -38,6 +40,7 @@
 namespace {
 
 using prio::core::PrioOptions;
+using prio::core::PrioRequest;
 using prio::core::PrioResult;
 using prio::dag::Digraph;
 
@@ -127,18 +130,22 @@ int main() {
     // Warmup: builds the graphs' lazy CSR caches and touches every page
     // the timed runs will, so t=1 (measured first) is not penalized with
     // the one-time costs.
-    (void)prio::core::prioritizeWithReduction(w.graph, reduced, {});
+    {
+      PrioRequest warm(w.graph);
+      warm.reduced = &reduced;
+      (void)prio::core::prioritize(warm);
+    }
 
     PrioResult reference;
     double serial_total_p50 = 0.0;
     for (const std::size_t threads : thread_counts) {
-      PrioOptions options;
-      options.num_threads = threads;
+      PrioRequest request(w.graph);
+      request.reduced = &reduced;
+      request.options.schedule_threads = threads;
       std::vector<double> total_s, decompose_s, recurse_s, combine_s;
       for (std::size_t rep = 0; rep < reps; ++rep) {
         prio::util::Stopwatch watch;
-        PrioResult r =
-            prio::core::prioritizeWithReduction(w.graph, reduced, options);
+        PrioResult r = prio::core::prioritize(request);
         total_s.push_back(watch.elapsedSeconds());
         decompose_s.push_back(r.timings.decompose_s);
         recurse_s.push_back(r.timings.recurse_s);
@@ -181,6 +188,38 @@ int main() {
         metric(w.name + ".speedup" + tag,
                p50 > 0.0 ? serial_total_p50 / p50 : 0.0);
       }
+    }
+
+    // Tracing overhead on the smallest paper workload: the traced run
+    // records the full span tree (pipeline + phases + schedule items)
+    // into a Tracer ring, the untraced run takes the disabled-context
+    // branch. The gated metric is the p50 ratio; the baseline pins it
+    // near 1 with a wide tolerance, which is exactly the "near-zero
+    // overhead when disabled" claim — an accidental always-on span or a
+    // lock on the disabled path would blow well past it.
+    if (w.name == "airsn") {
+      auto timed = [&](const prio::obs::TraceContext& trace) {
+        PrioRequest request(w.graph);
+        request.reduced = &reduced;
+        request.options.trace = trace;
+        std::vector<double> runs;
+        const std::size_t overhead_reps = std::max<std::size_t>(reps, 5);
+        for (std::size_t rep = 0; rep < overhead_reps; ++rep) {
+          prio::util::Stopwatch watch;
+          (void)prio::core::prioritize(request);
+          runs.push_back(watch.elapsedSeconds());
+        }
+        return percentile(runs, 0.5);
+      };
+      const double untraced_p50 = timed(prio::obs::TraceContext{});
+      prio::obs::Tracer tracer;
+      const double traced_p50 = timed(tracer.beginTrace());
+      const double ratio =
+          untraced_p50 > 0.0 ? traced_p50 / untraced_p50 : 0.0;
+      std::printf("  trace overhead: untraced p50 %.4fs traced p50 %.4fs "
+                  "(ratio %.3f)\n",
+                  untraced_p50, traced_p50, ratio);
+      metric("airsn.trace_overhead_ratio", ratio);
     }
   }
   metric("parity_failures", static_cast<double>(parity_failures));

@@ -41,7 +41,7 @@ int main() {
   using namespace prio;
 
   const auto g = workloads::makeAirsn({});
-  const auto order = core::prioritize(g).schedule;
+  const auto order = core::prioritize(core::PrioRequest(g)).schedule;
   const std::size_t reps =
       bench::envSize("PRIO_BENCH_P", 8) * bench::envSize("PRIO_BENCH_Q", 4);
 

@@ -21,7 +21,7 @@
 namespace {
 
 void analyze(const char* name, const prio::dag::Digraph& g) {
-  const auto prio_order = prio::core::prioritize(g).schedule;
+  const auto prio_order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   const auto ep = prio::theory::eligibilityProfile(g, prio_order);
   const auto ef =
       prio::theory::eligibilityProfile(g, prio::core::fifoSchedule(g));

@@ -18,7 +18,7 @@ int main() {
 
   const workloads::AirsnParams params;  // width 250, the paper's instance
   const auto g = workloads::makeAirsn(params);
-  const auto result = core::prioritize(g);
+  const auto result = core::prioritize(core::PrioRequest(g));
 
   std::printf("=== Fig. 5: AIRSN(%zu) priorities ===\n", params.width);
   std::printf("%zu jobs; %zu components\n\n", g.numNodes(),
@@ -64,7 +64,7 @@ int main() {
 
   // Emit a readable-width DOT with priorities, like the figure.
   const auto small = workloads::makeAirsn({10, 4});
-  const auto small_result = core::prioritize(small);
+  const auto small_result = core::prioritize(core::PrioRequest(small));
   std::ofstream dot("fig5_airsn_width10.dot");
   dag::DotOptions opts;
   opts.graph_name = "airsn_prioritized";

@@ -99,7 +99,7 @@ int main() {
     prio::util::Stopwatch w1;
     std::vector<prio::core::PrioResult> plain;
     plain.reserve(pool.size());
-    for (const Digraph& g : pool) plain.push_back(prio::core::prioritize(g));
+    for (const Digraph& g : pool) plain.push_back(prio::core::prioritize(prio::core::PrioRequest(g)));
     best_plain = std::min(best_plain, w1.elapsedSeconds());
 
     prio::util::CancelToken token(3600.0);  // never expires
@@ -109,7 +109,7 @@ int main() {
     std::vector<prio::core::PrioResult> bounded;
     bounded.reserve(pool.size());
     for (const Digraph& g : pool) {
-      bounded.push_back(prio::core::prioritize(g, options));
+      bounded.push_back(prio::core::prioritize(prio::core::PrioRequest(g, options)));
     }
     best_token = std::min(best_token, w2.elapsedSeconds());
 

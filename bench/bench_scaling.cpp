@@ -21,7 +21,7 @@ int main() {
     p.fields = fields;
     p.output_files = 50;
     const auto g = workloads::makeSdss(p);
-    const auto r = core::prioritize(g);
+    const auto r = core::prioritize(core::PrioRequest(g));
     std::printf("%8zu %9zu | %8.3fs %8.3fs %8.3fs %8.3fs | %8.3fs %10.2f\n",
                 fields, g.numNodes(), r.timings.reduce_s,
                 r.timings.decompose_s, r.timings.recurse_s,

@@ -141,7 +141,7 @@ int main() {
   std::vector<prio::core::PrioResult> serial;
   serial.reserve(requests.size());
   for (const Digraph& g : requests) {
-    serial.push_back(prio::core::prioritize(g));
+    serial.push_back(prio::core::prioritize(prio::core::PrioRequest(g)));
   }
   const double serial_s = serial_watch.elapsedSeconds();
   std::printf("  serial core::prioritize: %.3fs (%.1f req/s)\n", serial_s,

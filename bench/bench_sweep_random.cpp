@@ -65,7 +65,7 @@ int main() {
               "PRIO", "CP", "RANDOM");
   for (const auto& entry : repertoire) {
     const auto& g = entry.g;
-    const auto prio_order = core::prioritize(g).schedule;
+    const auto prio_order = core::prioritize(core::PrioRequest(g)).schedule;
     const auto cp_order = sim::criticalPathSchedule(g);
     const double r_prio =
         medianRatio(g, sim::Regimen::kOblivious, prio_order, model, cfg);

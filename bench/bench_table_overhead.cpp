@@ -20,7 +20,7 @@ void measure(const char* name, const prio::dag::Digraph& g,
              double paper_seconds, double paper_mb) {
   const std::size_t rss_before = prio::util::currentRssKb();
   prio::util::Stopwatch watch;
-  const auto result = prio::core::prioritize(g);
+  const auto result = prio::core::prioritize(prio::core::PrioRequest(g));
   const double elapsed = watch.elapsedSeconds();
   const std::size_t rss_after = prio::util::peakRssKb();
   const double delta_mb =

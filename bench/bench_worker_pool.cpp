@@ -39,7 +39,7 @@ double meanMakespan(const prio::dag::Digraph& g, prio::sim::Regimen regimen,
 
 void sweep(const char* name, const prio::dag::Digraph& g,
            std::size_t reps) {
-  const auto prio_order = prio::core::prioritize(g).schedule;
+  const auto prio_order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   const auto cp_order = prio::sim::criticalPathSchedule(g);
   std::printf("%s (%zu jobs):\n", name, g.numNodes());
   std::printf("%8s | %10s %10s %10s | %10s\n", "workers", "FIFO",

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   std::printf("AIRSN width %zu: %zu jobs, %zu dependencies\n", params.width,
               g.numNodes(), g.numEdges());
 
-  const auto result = core::prioritize(g);
+  const auto result = core::prioritize(core::PrioRequest(g));
   std::printf("prio: %zu components in %.3fs\n",
               result.decomposition.components.size(),
               result.timings.total_s);

@@ -22,7 +22,7 @@ namespace {
 
 void exportFig4(const fs::path& dir, const char* name,
                 const prio::dag::Digraph& g) {
-  const auto prio_order = prio::core::prioritize(g).schedule;
+  const auto prio_order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   const auto ep = prio::theory::eligibilityProfile(g, prio_order);
   const auto ef =
       prio::theory::eligibilityProfile(g, prio::core::fifoSchedule(g));
@@ -52,7 +52,7 @@ void writeMetric(std::ofstream& out, double mu_bit, double mu_bs,
 void exportGrid(const fs::path& dir, const char* figure, const char* name,
                 const prio::dag::Digraph& g,
                 const prio::sim::CampaignConfig& cfg) {
-  const auto prio_order = prio::core::prioritize(g).schedule;
+  const auto prio_order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   const fs::path path =
       dir / (std::string(figure) + "_" + name + ".csv");
   std::ofstream out(path);

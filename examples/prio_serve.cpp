@@ -34,6 +34,10 @@
 //   --retries N   resubmit transient failures (rejected, shed, or
 //                 TransientError) up to N times with seeded exponential
 //                 backoff before counting them as failed
+//   --metrics-text         also write the metrics snapshot in Prometheus
+//                          text exposition format to
+//                          <output-dir>/metrics.prom (same snapshot API
+//                          as metrics.json; see README "Observability")
 //
 // Exit status: 0 when every request completed OK or degraded, 1 on any
 // request still failed/rejected/shed after retries (details on stderr),
@@ -68,8 +72,8 @@ int usage() {
                "usage: prio_serve [--threads N] [--schedule-threads N] "
                "[--queue N] [--reject] "
                "[--cache N] [--shards N] [--no-output] [--deadline-ms N] "
-               "[--queue-deadline-ms N] [--retries N] <dir-or-manifest> "
-               "<output-dir>\n");
+               "[--queue-deadline-ms N] [--retries N] [--metrics-text] "
+               "<dir-or-manifest> <output-dir>\n");
   return 2;
 }
 
@@ -118,6 +122,7 @@ std::vector<std::string> collectInputs(const fs::path& input) {
 int main(int argc, char** argv) {
   ServiceConfig config;
   bool write_outputs = true;
+  bool metrics_text = false;
   std::size_t max_retries = 0;
   std::vector<std::string> positional;
 
@@ -130,7 +135,7 @@ int main(int argc, char** argv) {
     try {
       if (arg == "--threads") config.num_threads = std::stoul(next());
       else if (arg == "--schedule-threads")
-        config.prio_options.num_threads = std::stoul(next());
+        config.prio_options.schedule_threads = std::stoul(next());
       else if (arg == "--queue") config.queue_capacity = std::stoul(next());
       else if (arg == "--reject") config.backpressure = BackpressurePolicy::kReject;
       else if (arg == "--cache") config.cache_capacity = std::stoul(next());
@@ -141,6 +146,7 @@ int main(int argc, char** argv) {
       else if (arg == "--queue-deadline-ms")
         config.queue_deadline_s = std::stod(next()) / 1e3;
       else if (arg == "--retries") max_retries = std::stoul(next());
+      else if (arg == "--metrics-text") metrics_text = true;
       else if (arg.rfind("--", 0) == 0) return usage();
       else positional.push_back(arg);
     } catch (const std::exception& e) {
@@ -241,6 +247,16 @@ int main(int argc, char** argv) {
       mout << "}\n";
     });
 
+    // Same snapshot, Prometheus text format — scrape-ready without a
+    // JSON-to-exposition bridge.
+    fs::path prom_path;
+    if (metrics_text) {
+      prom_path = out_dir / "metrics.prom";
+      prio::util::atomicWriteFile(prom_path.string(), [&](std::ostream& mout) {
+        service.writePrometheusText(mout);
+      });
+    }
+
     std::printf(
         "prio_serve: %zu requests (%zu ok, %zu degraded, %zu failed, %zu "
         "dropped, %llu retries) on %zu threads in %.3fs — %.1f req/s, %zu "
@@ -250,6 +266,9 @@ int main(int argc, char** argv) {
         elapsed,
         elapsed > 0 ? static_cast<double>(futures.size()) / elapsed : 0.0,
         cache_hits, metrics_path.string().c_str());
+    if (metrics_text) {
+      std::printf("prio_serve: wrote %s\n", prom_path.string().c_str());
+    }
     return failed == 0 && dropped == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "prio_serve: %s\n", e.what());

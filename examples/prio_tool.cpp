@@ -19,6 +19,12 @@
 //       Everything above plus a decomposition report and DOT renderings
 //       (<file>.super.dot for the superdag, <file>.prio.dot for the
 //       prioritized dag) — no files are modified.
+//
+//   prio_tool --trace-out trace.json ...
+//       Global option, valid before any mode: record the pipeline's span
+//       tree and write it as Chrome trace_event JSON (load it at
+//       chrome://tracing or https://ui.perfetto.dev), plus a per-span
+//       summary on stdout. See README "Observability".
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -29,6 +35,7 @@
 
 #include "core/report.h"
 #include "dagman/dagman_file.h"
+#include "obs/trace.h"
 #include "dagman/executor.h"
 #include "dagman/instrument.h"
 #include "dagman/jsdf.h"
@@ -46,7 +53,7 @@ void printFile(const char* heading, const fs::path& path) {
   while (std::getline(in, line)) std::printf("%s\n", line.c_str());
 }
 
-int runDemo(const fs::path& dir) {
+int runDemo(const fs::path& dir, const prio::core::PrioOptions& prio_opts) {
   fs::create_directories(dir);
   const fs::path dag_path = dir / "IV.dag";
   {
@@ -72,7 +79,7 @@ int runDemo(const fs::path& dir) {
   printFile("input", dag_path);
 
   auto file = prio::dagman::DagmanFile::parseFile(dag_path.string());
-  const auto result = prio::dagman::prioritizeDagmanFile(file);
+  const auto result = prio::dagman::prioritizeDagmanFile(file, prio_opts);
   file.writeFile(dag_path.string());
   const auto rewritten =
       prio::dagman::instrumentSubmitFiles(file, dir.string());
@@ -86,22 +93,11 @@ int runDemo(const fs::path& dir) {
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  try {
-    // Global option, valid before any mode: --threads N parallelizes the
-    // heuristic's schedule phase (0 = one worker per hardware thread).
-    // Priorities are bit-identical for every value.
-    prio::core::PrioOptions prio_opts;
-    if (argc >= 3 && std::strcmp(argv[1], "--threads") == 0) {
-      prio_opts.num_threads = std::strtoul(argv[2], nullptr, 10);
-      argv[2] = argv[0];
-      argv += 2;
-      argc -= 2;
-    }
+int runTool(int argc, char** argv,
+            const prio::core::PrioOptions& prio_opts) {
     if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) {
-      return runDemo(argc >= 3 ? fs::path(argv[2]) : fs::path("prio_demo"));
+      return runDemo(argc >= 3 ? fs::path(argv[2]) : fs::path("prio_demo"),
+                     prio_opts);
     }
     if (argc >= 3 && std::strcmp(argv[1], "--run") == 0) {
       // Prioritize and then really execute the workflow: each job's
@@ -138,7 +134,7 @@ int main(int argc, char** argv) {
       const double mu_bs = argc >= 5 ? std::atof(argv[4]) : 16.0;
       auto file = prio::dagman::DagmanFile::parseFile(input.string());
       const auto g = file.toDigraph();
-      const auto result = prio::core::prioritize(g, prio_opts);
+      const auto result = prio::core::prioritize(prio::core::PrioRequest(g, prio_opts));
       prio::sim::GridModel model;
       model.mean_batch_interarrival = mu_bit;
       model.mean_batch_size = mu_bs;
@@ -168,7 +164,7 @@ int main(int argc, char** argv) {
       const fs::path input(argv[2]);
       auto file = prio::dagman::DagmanFile::parseFile(input.string());
       const auto g = file.toDigraph();
-      const auto result = prio::core::prioritize(g, prio_opts);
+      const auto result = prio::core::prioritize(prio::core::PrioRequest(g, prio_opts));
       std::printf("%s", prio::core::describeResult(g, result).c_str());
       const fs::path super = input.string() + ".super.dot";
       const fs::path pdot = input.string() + ".prio.dot";
@@ -186,7 +182,8 @@ int main(int argc, char** argv) {
     }
     if (argc < 2) {
       std::fprintf(stderr,
-                   "usage: %s [--threads N] <file.dag> [output.dag]\n"
+                   "usage: %s [--threads N] [--trace-out FILE] "
+                   "<file.dag> [output.dag]\n"
                    "       %s --demo [directory]\n"
                    "       %s --report <file.dag>\n"
                    "       %s --run <file.dag> [workers]\n"
@@ -218,6 +215,56 @@ int main(int argc, char** argv) {
                 output.string().c_str(), watch.elapsedSeconds(),
                 prio::util::peakRssKb() / 1024);
     return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    // Global options, valid before any mode, in any order:
+    //   --threads N    parallelize the heuristic's schedule phase (0 =
+    //                  one worker per hardware thread; priorities are
+    //                  bit-identical for every value).
+    //   --trace-out F  record the span tree and write Chrome trace_event
+    //                  JSON to F on exit.
+    prio::core::PrioOptions prio_opts;
+    std::string trace_out;
+    prio::obs::Tracer tracer;
+    while (argc >= 3) {
+      if (std::strcmp(argv[1], "--threads") == 0) {
+        prio_opts.schedule_threads = std::strtoul(argv[2], nullptr, 10);
+      } else if (std::strcmp(argv[1], "--trace-out") == 0) {
+        trace_out = argv[2];
+        prio_opts.trace = tracer.beginTrace();
+      } else {
+        break;
+      }
+      argv[2] = argv[0];
+      argv += 2;
+      argc -= 2;
+    }
+
+    const int rc = runTool(argc, argv, prio_opts);
+
+    if (!trace_out.empty()) {
+      const prio::obs::Tracer::Drained drained = tracer.drain();
+      std::ofstream out(trace_out);
+      prio::obs::writeChromeTrace(out, drained.records);
+      out.flush();
+      if (!out) {
+        std::fprintf(stderr, "prio: error: cannot write trace to %s\n",
+                     trace_out.c_str());
+        return rc == 0 ? 1 : rc;
+      }
+      std::printf("\n%s", prio::obs::traceSummary(drained.records).c_str());
+      std::printf("wrote %zu spans to %s%s\n", drained.records.size(),
+                  trace_out.c_str(),
+                  drained.dropped == 0
+                      ? ""
+                      : (" (" + std::to_string(drained.dropped) +
+                         " dropped)").c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "prio: error: %s\n", e.what());
     return 1;

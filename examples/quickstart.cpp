@@ -26,7 +26,7 @@ int main() {
   g.addEdge(c, e);
 
   // 2. Run the scheduling heuristic.
-  const core::PrioResult result = core::prioritize(g);
+  const core::PrioResult result = core::prioritize(core::PrioRequest(g));
 
   std::printf("PRIO schedule :");
   for (const auto u : result.schedule) std::printf(" %s", g.name(u).c_str());

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
               dag_name.c_str(), g.numNodes(), model.mean_batch_interarrival,
               model.mean_batch_size, cfg.p, cfg.q);
 
-  const auto prio_order = core::prioritize(g).schedule;
+  const auto prio_order = core::prioritize(core::PrioRequest(g)).schedule;
   report("PRIO", sim::comparePrioVsFifo(g, prio_order, model, cfg));
 
   const auto cp_order = sim::criticalPathSchedule(g);

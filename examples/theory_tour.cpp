@@ -85,7 +85,7 @@ int main() {
     std::printf("a 2-chain beside K(2,2): exact DP says IC-optimal "
                 "schedule exists? %s\n",
                 theory::findICOptimalSchedule(g) ? "yes" : "no");
-    const auto r = core::prioritize(g);
+    const auto r = core::prioritize(core::PrioRequest(g));
     std::printf("the heuristic still schedules it (IC quality %.3f, "
                 "certified: %s) — that graceful degradation is the "
                 "paper's whole point.\n",

@@ -21,15 +21,24 @@ dependent metrics (thread speedups on boxes with fewer cores, full-scale
 workloads in smoke runs) are expected to be absent sometimes. Run metrics
 missing from the baseline are reported informationally and never fail.
 
+Also validates observability exports against their wire schema, so CI
+catches a renamed counter or a malformed Prometheus exposition before a
+dashboard does:
+
+    bench_check.py --schema metrics-json metrics.json
+    bench_check.py --schema prometheus metrics.prom
+
 Usage:
     bench_check.py RUN.json BASELINE.json            # gate, exit 1 on regression
     bench_check.py RUN.json BASELINE.json --update   # rewrite baseline values
                                                      # from the run (keeps
                                                      # tolerances/directions)
+    bench_check.py --schema {metrics-json,prometheus} FILE
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -86,13 +95,165 @@ def update(run, baseline):
     return baseline
 
 
+# --------------------------------------------------------------- schemas
+
+# Counters/gauges the service's metrics.json must carry (writeJson in
+# src/service/metrics.cpp renders these in a fixed order).
+METRICS_JSON_SCALARS = [
+    "requests_submitted", "requests_completed", "requests_rejected",
+    "requests_failed", "requests_degraded", "requests_deadline_exceeded",
+    "requests_shed", "retries", "cache_hits", "cache_misses",
+    "cache_hit_rate", "fingerprint_aliases", "queue_high_water",
+]
+METRICS_JSON_HISTOGRAMS = [
+    "latency_total", "latency_cache_hit", "phase_reduce", "phase_decompose",
+    "phase_recurse", "phase_combine",
+]
+HISTOGRAM_FIELDS = ["count", "mean_s", "p50_s", "p99_s", "max_s"]
+
+# Metric families the Prometheus dump must expose (histogram ids carry the
+# unit suffix per Prometheus naming conventions).
+PROMETHEUS_FAMILIES = {
+    "prio_requests_submitted": "counter",
+    "prio_requests_completed": "counter",
+    "prio_cache_hits": "counter",
+    "prio_cache_misses": "counter",
+    "prio_queue_high_water": "gauge",
+    "prio_latency_total_seconds": "histogram",
+    "prio_phase_reduce_seconds": "histogram",
+}
+
+
+def is_number(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_metrics_json(path):
+    doc = load(path)
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"top level is {type(doc).__name__}, expected a JSON object"]
+    # Accept both shapes: the bare ServiceMetrics snapshot and prio_serve's
+    # wrapped report ({"wall_s":..,"service":{"metrics":{...}}}).
+    wrapped = doc.get("service", {})
+    if isinstance(wrapped, dict) and isinstance(wrapped.get("metrics"), dict):
+        doc = wrapped["metrics"]
+    for key in METRICS_JSON_SCALARS:
+        if key not in doc:
+            errors.append(f"missing scalar {key!r}")
+        elif not is_number(doc[key]) or doc[key] < 0:
+            errors.append(f"scalar {key!r} is {doc[key]!r}, "
+                          "expected a non-negative number")
+    if is_number(doc.get("cache_hit_rate")) and doc["cache_hit_rate"] > 1:
+        errors.append(f"cache_hit_rate {doc['cache_hit_rate']} > 1")
+    for key in METRICS_JSON_HISTOGRAMS:
+        h = doc.get(key)
+        if not isinstance(h, dict):
+            errors.append(f"missing histogram object {key!r}")
+            continue
+        for field in HISTOGRAM_FIELDS:
+            if not is_number(h.get(field)) or h[field] < 0:
+                errors.append(f"histogram {key!r} field {field!r} is "
+                              f"{h.get(field)!r}, expected a non-negative "
+                              "number")
+    return errors
+
+
+def check_prometheus(path):
+    with open(path) as f:
+        text = f.read()
+    errors = []
+    types = {}       # family -> declared type
+    samples = {}     # family -> [(labels, value)]
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$")
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        m = sample_re.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: unparseable sample {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            value = float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {value!r}")
+            continue
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types:
+                family = name[:-len(suffix)]
+                break
+        if family not in types:
+            errors.append(f"line {lineno}: sample {name!r} has no preceding "
+                          "# TYPE declaration")
+            continue
+        samples.setdefault(family, []).append((name, labels, value))
+
+    for family, kind in types.items():
+        if family not in samples:
+            errors.append(f"family {family!r} declared but has no samples")
+        elif kind == "histogram":
+            rows = samples[family]
+            buckets = [(l, v) for n, l, v in rows if n == family + "_bucket"]
+            counts = [v for n, _, v in rows if n == family + "_count"]
+            sums = [v for n, _, v in rows if n == family + "_sum"]
+            if not buckets or len(counts) != 1 or len(sums) != 1:
+                errors.append(f"histogram {family!r} missing _bucket/_sum/"
+                              "_count series")
+                continue
+            cumulative = [v for _, v in buckets]
+            if cumulative != sorted(cumulative):
+                errors.append(f"histogram {family!r} buckets not cumulative")
+            if 'le="+Inf"' not in buckets[-1][0]:
+                errors.append(f"histogram {family!r} missing +Inf bucket")
+            elif buckets[-1][1] != counts[0]:
+                errors.append(f"histogram {family!r}: +Inf bucket "
+                              f"{buckets[-1][1]:g} != _count {counts[0]:g}")
+
+    for family, kind in PROMETHEUS_FAMILIES.items():
+        if family not in types:
+            errors.append(f"required family {family!r} absent")
+        elif types[family] != kind:
+            errors.append(f"family {family!r} is {types[family]!r}, "
+                          f"expected {kind!r}")
+    return errors
+
+
+def check_schema(kind, path):
+    errors = (check_metrics_json if kind == "metrics-json"
+              else check_prometheus)(path)
+    for e in errors:
+        print(f"  SCHEMA {path}: {e}")
+    if errors:
+        print(f"bench_check: {path} failed {kind} schema "
+              f"({len(errors)} error(s))")
+        return 1
+    print(f"bench_check: {path} conforms to the {kind} schema")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("run")
-    parser.add_argument("baseline")
+    parser.add_argument("baseline", nargs="?")
     parser.add_argument("--update", action="store_true",
                         help="rewrite baseline values from the run")
+    parser.add_argument("--schema", choices=["metrics-json", "prometheus"],
+                        help="validate FILE against an observability export "
+                             "schema instead of gating a bench run")
     args = parser.parse_args()
+
+    if args.schema:
+        return check_schema(args.schema, args.run)
+    if args.baseline is None:
+        parser.error("BASELINE is required unless --schema is given")
 
     run = load(args.run)
     baseline = load(args.baseline)

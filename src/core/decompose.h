@@ -35,8 +35,8 @@ struct Component {
   /// Induced subgraph on `nodes` (local ids). With
   /// DecomposeOptions::defer_component_graphs this is left empty by
   /// decompose() and materialized by the schedule phase (in parallel,
-  /// via scheduleComponents(reduced, decomposition, ...)); num_nonsinks
-  /// and bipartite are always filled either way.
+  /// via scheduleComponents(ScheduleRequest)); num_nonsinks and
+  /// bipartite are always filled either way.
   dag::Digraph graph;
   /// Number of members with at least one child inside the component —
   /// exactly the jobs this component schedules.
@@ -76,7 +76,7 @@ struct DecomposeOptions {
   const std::vector<dag::NodeId>* topo_order = nullptr;
   /// Leave Component::graph empty; the schedule phase materializes the
   /// induced subgraphs (in parallel) via
-  /// scheduleComponents(reduced, decomposition, ...). Building those
+  /// scheduleComponents(ScheduleRequest). Building those
   /// graphs (string-keyed node index + hashed edge set per component) is
   /// the most expensive part of a detach, and it is embarrassingly
   /// parallel — deferring it moves the cost into the parallel phase.

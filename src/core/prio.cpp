@@ -1,6 +1,7 @@
 #include "core/prio.h"
 
 #include <deque>
+#include <optional>
 #include <queue>
 
 #include "theory/priority.h"
@@ -37,69 +38,93 @@ bool certifyICOptimal(const PrioResult& r) {
 
 }  // namespace
 
-PrioResult prioritize(const dag::Digraph& g, const PrioOptions& options) {
+PrioResult prioritize(const PrioRequest& request) {
+  PRIO_CHECK_MSG(request.dag != nullptr, "PrioRequest::dag is required");
+  const dag::Digraph& g = *request.dag;
+  const PrioOptions& options = request.options;
+
   util::Stopwatch total;
+  obs::Span pipeline(options.trace, "prio.pipeline");
+  const obs::TraceContext ctx = pipeline.context();
 
-  // Step 1: shortcut removal.
-  util::Stopwatch phase;
-  const dag::Digraph reduced =
-      transitiveReduction(g, options.reduction_method);
-  const double reduce_s = phase.elapsedSeconds();
+  // Deadline without a caller-managed token: arm one here. An explicit
+  // token wins — it already carries whatever deadline the caller set.
+  std::optional<util::CancelToken> deadline_token;
+  const util::CancelToken* cancel = options.cancel;
+  if (cancel == nullptr && options.deadline_s > 0.0) {
+    deadline_token.emplace(options.deadline_s);
+    cancel = &*deadline_token;
+  }
 
-  PrioResult out = prioritizeWithReduction(g, reduced, options);
-  out.timings.reduce_s = reduce_s;
-  out.timings.total_s = total.elapsedSeconds();
-  return out;
-}
-
-PrioResult prioritizeWithReduction(const dag::Digraph& g,
-                                   const dag::Digraph& reduced,
-                                   const PrioOptions& options) {
-  util::Stopwatch total;
   PrioResult out;
-  out.shortcuts_removed = g.numEdges() - reduced.numEdges();
+
+  // Step 1: shortcut removal — skipped when the caller supplied the
+  // reduction (the service pays for it once during fingerprinting).
+  util::Stopwatch phase;
+  dag::Digraph reduced_storage;
+  const dag::Digraph* reduced = request.reduced;
+  if (reduced == nullptr) {
+    obs::Span span(ctx, "prio.reduce");
+    reduced_storage =
+        transitiveReduction(g, options.reduction_method, span.context());
+    reduced = &reduced_storage;
+    out.timings.reduce_s = phase.elapsedSeconds();
+  }
+  out.shortcuts_removed = g.numEdges() - reduced->numEdges();
 
   // Step 2: decomposition. The fault sites inject scheduling delays in
   // front of each phase (chaos tests push work past its deadline with
   // them); they cost one relaxed load each when the injector is off.
   // The topological order is derived once here and reused for decompose's
   // acyclicity precondition (verified, not re-derived). Component graphs
-  // are deferred: building each induced Digraph (string-keyed node index
-  // plus hashed edge set) is the expensive part of a detach and is
-  // embarrassingly parallel, so it runs inside step 3's workers instead.
-  util::Stopwatch phase;
+  // are deferred (by default): building each induced Digraph is the
+  // expensive part of a detach and is embarrassingly parallel, so it
+  // runs inside step 3's workers instead.
+  phase.reset();
   util::fault::checkpoint("core.decompose");
-  const auto topo_order = dag::topologicalOrder(reduced);
-  PRIO_CHECK_MSG(topo_order.has_value(), "decompose requires a dag");
-  DecomposeOptions dopt;
-  dopt.bipartite_fast_path = options.bipartite_fast_path;
-  dopt.cancel = options.cancel;
-  dopt.topo_order = &*topo_order;
-  dopt.defer_component_graphs = true;
-  out.decomposition = decompose(reduced, dopt);
+  {
+    obs::Span span(ctx, "prio.decompose");
+    const auto topo_order = dag::topologicalOrder(*reduced);
+    PRIO_CHECK_MSG(topo_order.has_value(), "decompose requires a dag");
+    DecomposeOptions dopt;
+    dopt.bipartite_fast_path = options.bipartite_fast_path;
+    dopt.cancel = cancel;
+    dopt.topo_order = &*topo_order;
+    dopt.defer_component_graphs = options.defer_component_graphs;
+    out.decomposition = decompose(*reduced, dopt);
+  }
   out.timings.decompose_s = phase.elapsedSeconds();
 
   // Step 3: per-component schedules (materializes the deferred graphs).
   phase.reset();
   util::fault::checkpoint("core.schedule");
-  ScheduleOptions sopt;
-  sopt.greedy_bipartite_fallback = options.greedy_bipartite_fallback;
-  sopt.cancel = options.cancel;
-  sopt.num_threads = options.num_threads;
-  sopt.pool = options.schedule_pool;
-  out.component_schedules =
-      scheduleComponents(reduced, out.decomposition, sopt);
+  {
+    obs::Span span(ctx, "prio.schedule");
+    ScheduleRequest sreq;
+    sreq.reduced = reduced;
+    sreq.decomposition = &out.decomposition;
+    sreq.options.greedy_bipartite_fallback = options.greedy_bipartite_fallback;
+    sreq.options.cancel = cancel;
+    sreq.options.num_threads = options.schedule_threads;
+    sreq.options.pool = options.schedule_pool;
+    sreq.options.trace = span.context();
+    out.component_schedules = scheduleComponents(sreq);
+  }
   out.timings.recurse_s = phase.elapsedSeconds();
 
   // Steps 4–6: greedy combine over the superdag.
   phase.reset();
   util::fault::checkpoint("core.combine");
-  out.combine = combineGreedy(out.decomposition, out.component_schedules,
-                              options.combine_strategy, options.cancel);
+  {
+    obs::Span span(ctx, "prio.combine");
+    out.combine = combineGreedy(out.decomposition, out.component_schedules,
+                                options.combine_strategy, cancel);
+  }
   out.timings.combine_s = phase.elapsedSeconds();
 
   // Assemble the global schedule: each popped component contributes its
   // non-sinks in its own order; all sinks of G run at the end.
+  obs::Span assemble(ctx, "prio.assemble");
   out.schedule.reserve(g.numNodes());
   for (std::size_t ci : out.combine.pop_order) {
     const Component& comp = out.decomposition.components[ci];
@@ -130,13 +155,27 @@ PrioResult prioritizeWithReduction(const dag::Digraph& g,
   return out;
 }
 
-std::vector<dag::NodeId> prioSchedule(const dag::Digraph& g,
-                                      const PrioOptions& options) {
-  return prioritize(g, options).schedule;
+PrioResult prioritize(const dag::Digraph& g, const PrioOptions& options) {
+  return prioritize(PrioRequest(g, options));
 }
 
-PrioResult fallbackPrioritize(const dag::Digraph& g) {
+PrioResult prioritizeWithReduction(const dag::Digraph& g,
+                                   const dag::Digraph& reduced,
+                                   const PrioOptions& options) {
+  PrioRequest request(g, options);
+  request.reduced = &reduced;
+  return prioritize(request);
+}
+
+std::vector<dag::NodeId> prioSchedule(const dag::Digraph& g,
+                                      const PrioOptions& options) {
+  return prioritize(PrioRequest(g, options)).schedule;
+}
+
+PrioResult fallbackPrioritize(const dag::Digraph& g,
+                              const obs::TraceContext& trace) {
   util::Stopwatch total;
+  obs::Span span(trace, "prio.fallback");
   const std::size_t n = g.numNodes();
   PrioResult out;
 

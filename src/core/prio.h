@@ -14,6 +14,19 @@
 // IC-optimal schedule, the components are linearly prioritizable under ⊵,
 // and the superdag respects ⊵ along its arcs (§2.2 steps 4–5), the
 // produced schedule is IC-optimal and certified_ic_optimal is set.
+//
+// API (since PRIO_API_VERSION 2, see src/prio.h): one request aggregate,
+//
+//   core::PrioRequest request(my_dag);
+//   request.options.schedule_threads = 4;
+//   request.options.trace = tracer.beginTrace();
+//   core::PrioResult result = core::prioritize(request);
+//
+// replaces the accreted parameter-and-overload surface of earlier
+// versions. The old entry points — prioritize(g, options),
+// prioritizeWithReduction(g, reduced, options) — remain as thin
+// deprecated shims with bit-identical output (tests/test_obs.cpp pins
+// the equivalence) and will be removed in a future API version.
 #pragma once
 
 #include <cstddef>
@@ -24,10 +37,13 @@
 #include "core/schedule.h"
 #include "dag/algorithms.h"
 #include "dag/digraph.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 
 namespace prio::core {
 
+/// Every knob of the pipeline in one place. A default-constructed
+/// PrioOptions reproduces the paper's heuristic exactly.
 struct PrioOptions {
   /// Reachability backend for shortcut removal.
   dag::ReductionMethod reduction_method = dag::ReductionMethod::kBitset;
@@ -48,15 +64,52 @@ struct PrioOptions {
   /// back to fallbackPrioritize(). Null (the default) adds only a
   /// null-pointer test per check site, leaving results bit-identical.
   const util::CancelToken* cancel = nullptr;
+  /// Compute deadline in seconds (0 = unbounded). When set and `cancel`
+  /// is null, prioritize() arms an internal CancelToken with this
+  /// deadline — same semantics as passing a token, without the caller
+  /// managing its lifetime. Ignored when `cancel` is non-null (an
+  /// explicit token carries its own deadline).
+  double deadline_s = 0.0;
   /// Worker count for the per-component schedule phase (step 3), which
   /// also materializes the component subgraphs decompose defers to it.
   /// 1 (default) = serial, 0 = one per hardware thread. Results are
-  /// bit-identical for every value — see scheduleComponents(reduced, ...).
-  std::size_t num_threads = 1;
+  /// bit-identical for every value — see ScheduleRequest.
+  std::size_t schedule_threads = 1;
   /// Optional borrowed thread pool for the schedule phase; helpers are
   /// offered with trySubmit() (never blocks), so the service lends its
-  /// request pool here. Null with num_threads > 1 = transient pool.
+  /// request pool here. Null with schedule_threads > 1 = transient pool.
   util::ThreadPool* schedule_pool = nullptr;
+  /// Leave Component::graph construction to the schedule phase's workers
+  /// (the expensive part of a detach, embarrassingly parallel). On by
+  /// default; turn off only to inspect decomposition graphs of a result
+  /// without touching component_schedules.
+  bool defer_component_graphs = true;
+  /// Structured tracing context (disabled by default). When enabled,
+  /// every phase and every parallel schedule work item records an
+  /// obs::Span into the context's Tracer, correctly nested across
+  /// worker threads. Disabled contexts cost one branch per span site.
+  obs::TraceContext trace;
+};
+
+/// One prioritization request: the dag plus every option. The referenced
+/// graphs must outlive the prioritize() call (the request is a view, not
+/// an owner).
+struct PrioRequest {
+  /// The dag to prioritize. Required.
+  const dag::Digraph* dag = nullptr;
+  /// Optional precomputed transitive reduction of `dag`; when set, step 1
+  /// is skipped (timings.reduce_s stays 0). The service computes the
+  /// reduction once for its structural fingerprint and reuses it here.
+  /// Precondition: *reduced == transitiveReduction(*dag); violating it
+  /// yields a schedule for the wrong dag (caught by verify_schedule when
+  /// the node sets differ).
+  const dag::Digraph* reduced = nullptr;
+  PrioOptions options;
+
+  PrioRequest() = default;
+  explicit PrioRequest(const dag::Digraph& g) : dag(&g) {}
+  PrioRequest(const dag::Digraph& g, PrioOptions opt)
+      : dag(&g), options(std::move(opt)) {}
 };
 
 /// Wall-clock seconds spent in each phase.
@@ -88,22 +141,25 @@ struct PrioResult {
   PhaseTimings timings;
 };
 
-/// Runs the prio heuristic on any dag. Throws util::Error when g has a
-/// directed cycle.
+/// Runs the prio heuristic. Throws util::Error when the dag has a
+/// directed cycle, util::Cancelled when the request's cancel token or
+/// deadline fires mid-pipeline.
 ///
-/// Thread safety: re-entrant. All state is per-call; `g` is only read, so
-/// concurrent calls on the same or different dags are safe (this is what
-/// the prioritization service in src/service/ relies on, and what
-/// tests/test_service.cpp exercises under TSan).
+/// Thread safety: re-entrant. All state is per-call; the request's graphs
+/// are only read, so concurrent calls on the same or different dags are
+/// safe (this is what the prioritization service in src/service/ relies
+/// on, and what tests/test_service.cpp exercises under TSan).
+[[nodiscard]] PrioResult prioritize(const PrioRequest& request);
+
+/// DEPRECATED shim (pre-PrioRequest API): prioritize(PrioRequest(g,
+/// options)) verbatim. Scheduled for removal; see PRIO_API_VERSION.
+[[deprecated("build a PrioRequest and call prioritize(request)")]]
 [[nodiscard]] PrioResult prioritize(const dag::Digraph& g,
                                     const PrioOptions& options = {});
 
-/// As prioritize(), but the caller supplies `reduced`, the transitive
-/// reduction of `g`, and step 1 is skipped (timings.reduce_s stays 0).
-/// The service layer computes the reduction once for its structural
-/// fingerprint and reuses it here. Precondition: reduced ==
-/// transitiveReduction(g); violating it yields a schedule for the wrong
-/// dag (caught by verify_schedule when the node sets differ).
+/// DEPRECATED shim: a PrioRequest with `reduced` set. Scheduled for
+/// removal; see PRIO_API_VERSION.
+[[deprecated("set PrioRequest::reduced and call prioritize(request)")]]
 [[nodiscard]] PrioResult prioritizeWithReduction(
     const dag::Digraph& g, const dag::Digraph& reduced,
     const PrioOptions& options = {});
@@ -117,9 +173,12 @@ struct PrioResult {
 /// to the whole dag in one pass, skipping decomposition entirely.
 /// O((n + m) log n), never IC-certified, but always a valid schedule
 /// with Fig. 3 priority semantics — what the service returns with a
-/// kDegraded reply when a compute deadline expires mid-heuristic.
+/// kDegraded reply when a compute deadline expires mid-heuristic. The
+/// optional trace context records one "prio.fallback" span, so degraded
+/// requests stay attributable to their trace id.
 /// Throws util::Error when g has a directed cycle.
-[[nodiscard]] PrioResult fallbackPrioritize(const dag::Digraph& g);
+[[nodiscard]] PrioResult fallbackPrioritize(
+    const dag::Digraph& g, const obs::TraceContext& trace = {});
 
 /// The FIFO baseline order used throughout the paper's evaluation: jobs in
 /// the order they become eligible, where simultaneously eligible jobs are

@@ -68,9 +68,14 @@ void materializeAndSchedule(const dag::Digraph& reduced, Component& comp,
 }  // namespace
 
 std::vector<ComponentSchedule> scheduleComponents(
-    const dag::Digraph& reduced, Decomposition& decomposition,
-    const ScheduleOptions& options) {
-  auto& comps = decomposition.components;
+    const ScheduleRequest& request) {
+  PRIO_CHECK_MSG(request.reduced != nullptr,
+                 "ScheduleRequest::reduced is required");
+  PRIO_CHECK_MSG(request.decomposition != nullptr,
+                 "ScheduleRequest::decomposition is required");
+  const dag::Digraph& reduced = *request.reduced;
+  const ScheduleOptions& options = request.options;
+  auto& comps = request.decomposition->components;
   std::vector<ComponentSchedule> out(comps.size());
 
   std::size_t total_nodes = 0;
@@ -81,6 +86,7 @@ std::vector<ComponentSchedule> scheduleComponents(
   constexpr std::size_t kParallelMinNodes = 2048;
   const std::size_t threads = util::resolveNumThreads(options.num_threads);
   if (threads <= 1 || comps.size() < 2 || total_nodes < kParallelMinNodes) {
+    obs::Span span(options.trace, "schedule.item");
     for (std::size_t i = 0; i < comps.size(); ++i) {
       materializeAndSchedule(reduced, comps[i], out[i], options);
     }
@@ -112,11 +118,26 @@ std::vector<ComponentSchedule> scheduleComponents(
 
   util::parallelClaim(
       options.pool, threads, items.size(), [&](std::size_t item) {
+        // One span per claimed item, recorded from the worker thread into
+        // its own ring; the explicit parent in options.trace keeps the
+        // nesting correct even though this thread never saw the parent
+        // span object.
+        obs::Span span(options.trace, "schedule.item");
         for (std::size_t i = items[item].begin; i < items[item].end; ++i) {
           materializeAndSchedule(reduced, comps[i], out[i], options);
         }
       });
   return out;
+}
+
+std::vector<ComponentSchedule> scheduleComponents(
+    const dag::Digraph& reduced, Decomposition& decomposition,
+    const ScheduleOptions& options) {
+  ScheduleRequest request;
+  request.reduced = &reduced;
+  request.decomposition = &decomposition;
+  request.options = options;
+  return scheduleComponents(request);
 }
 
 }  // namespace prio::core

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/decompose.h"
+#include "obs/trace.h"
 #include "theory/blocks.h"
 #include "util/cancellation.h"
 #include "util/thread_pool.h"
@@ -23,10 +24,10 @@ struct ScheduleOptions {
   /// parallel path: by whichever worker handles the component); raises
   /// util::Cancelled when it fires. Null = never cancel.
   const util::CancelToken* cancel = nullptr;
-  /// Worker count for scheduleComponents(reduced, decomposition, ...).
-  /// 1 (default) = serial; 0 = one per hardware thread. Components are
-  /// independent, so parallel output is bit-identical to serial — results
-  /// land in component-index order regardless of execution order.
+  /// Worker count for scheduleComponents(ScheduleRequest). 1 (default) =
+  /// serial; 0 = one per hardware thread. Components are independent, so
+  /// parallel output is bit-identical to serial — results land in
+  /// component-index order regardless of execution order.
   std::size_t num_threads = 1;
   /// Optional borrowed pool for the parallel path. Work is offered with
   /// trySubmit() only (never blocks), so the service can safely lend its
@@ -34,6 +35,27 @@ struct ScheduleOptions {
   /// util/parallel_for.h). Null with num_threads > 1 = a transient pool
   /// is spun up per call (the CLI path).
   util::ThreadPool* pool = nullptr;
+  /// Tracing context of the enclosing schedule phase. Each parallel work
+  /// item records a "schedule.item" span under it FROM ITS WORKER THREAD
+  /// — the cross-thread nesting tests/test_obs.cpp pins. Disabled by
+  /// default.
+  obs::TraceContext trace;
+};
+
+/// The schedule phase of one pipeline run: materialize every deferred
+/// component graph and schedule every component, in parallel when
+/// options.num_threads allows.
+struct ScheduleRequest {
+  /// The graph the decomposition was computed from; any component whose
+  /// graph was deferred (PrioOptions::defer_component_graphs) is
+  /// materialized from it via inducedSubgraph — inside the workers, which
+  /// is where the bulk of the per-component cost lives and why deferring
+  /// pays. Required.
+  const dag::Digraph* reduced = nullptr;
+  /// Decomposition to schedule; deferred component graphs are filled in
+  /// place. Required.
+  Decomposition* decomposition = nullptr;
+  ScheduleOptions options;
 };
 
 /// A scheduled component.
@@ -56,17 +78,19 @@ struct ComponentSchedule {
 [[nodiscard]] std::vector<ComponentSchedule> scheduleComponents(
     const Decomposition& decomposition, const ScheduleOptions& options = {});
 
-/// As above, parallel over components with options.num_threads workers.
-/// `reduced` must be the graph the decomposition was computed from; any
-/// component whose graph was deferred (DecomposeOptions::
-/// defer_component_graphs) is materialized here via
-/// reduced.inducedSubgraph — inside the workers, which is where the bulk
-/// of the per-component cost lives and why deferring pays. Components are
-/// grouped into contiguous work items by node count and claimed off an
-/// atomic counter; each result is written to its component's slot, so the
-/// returned vector (and the filled-in graphs) are bit-identical to the
-/// serial path for every thread count. util::Cancelled raised by a worker
-/// is rethrown on the calling thread after in-flight items finish.
+/// As above, parallel over components with request.options.num_threads
+/// workers. Components are grouped into contiguous work items by node
+/// count and claimed off an atomic counter; each result is written to its
+/// component's slot, so the returned vector (and the filled-in graphs)
+/// are bit-identical to the serial path for every thread count.
+/// util::Cancelled raised by a worker is rethrown on the calling thread
+/// after in-flight items finish.
+[[nodiscard]] std::vector<ComponentSchedule> scheduleComponents(
+    const ScheduleRequest& request);
+
+/// DEPRECATED shim (pre-ScheduleRequest API): builds a ScheduleRequest
+/// and forwards. Scheduled for removal; see PRIO_API_VERSION.
+[[deprecated("build a ScheduleRequest and call scheduleComponents(request)")]]
 [[nodiscard]] std::vector<ComponentSchedule> scheduleComponents(
     const dag::Digraph& reduced, Decomposition& decomposition,
     const ScheduleOptions& options = {});

@@ -198,6 +198,18 @@ Digraph transitiveReduction(const Digraph& g, ReductionMethod method) {
 }
 
 Digraph transitiveReduction(const Digraph& g, ReductionMethod method,
+                            const obs::TraceContext& trace) {
+  std::optional<std::vector<NodeId>> order;
+  {
+    obs::Span span(trace, "reduce.topo_order");
+    order = topologicalOrder(g);
+  }
+  PRIO_CHECK_MSG(order.has_value(), "transitiveReduction requires a dag");
+  obs::Span span(trace, "reduce.filter");
+  return transitiveReduction(g, method, *order);
+}
+
+Digraph transitiveReduction(const Digraph& g, ReductionMethod method,
                             std::span<const NodeId> topo_order) {
   PRIO_CHECK_MSG(topo_order.size() == g.numNodes(),
                  "transitiveReduction: topo_order must cover every node");

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "dag/digraph.h"
+#include "obs/trace.h"
 #include "util/bitmatrix.h"
 
 namespace prio::dag {
@@ -69,6 +70,13 @@ enum class ReductionMethod {
 [[nodiscard]] Digraph transitiveReduction(const Digraph& g,
                                           ReductionMethod method,
                                           std::span<const NodeId> topo_order);
+
+/// As transitiveReduction(g, method), recording "reduce.topo_order" and
+/// "reduce.filter" sub-spans under `trace` (a disabled context costs one
+/// branch per span site; the result is identical either way).
+[[nodiscard]] Digraph transitiveReduction(const Digraph& g,
+                                          ReductionMethod method,
+                                          const obs::TraceContext& trace);
 
 /// Weakly connected components (arc orientation ignored). Returns the
 /// component index of each node; indices are dense starting at 0.

@@ -32,7 +32,7 @@ core::PrioResult prioritizeDagmanFile(DagmanFile& file,
                                       const core::PrioOptions& options) {
   std::vector<std::size_t> job_of_node;
   const dag::Digraph g = file.toPendingDigraph(&job_of_node);
-  core::PrioResult result = core::prioritize(g, options);
+  core::PrioResult result = core::prioritize(core::PrioRequest(g, options));
   instrumentPendingJobs(file, result.priority, job_of_node);
   return result;
 }

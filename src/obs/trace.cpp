@@ -1,0 +1,145 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace prio::obs {
+
+// Fixed-capacity overwrite-oldest ring. Appends come only from the owner
+// thread; drain() may run concurrently from any thread, so entries are
+// protected by a mutex that the owner holds for a handful of stores —
+// uncontended in steady state (drains are rare), and exactly the
+// synchronization TSan wants to see.
+struct Tracer::Ring {
+  explicit Ring(std::size_t cap) : capacity(cap) { records.reserve(cap); }
+  std::mutex mutex;
+  std::vector<SpanRecord> records;  ///< grows to capacity, then circular
+  std::size_t capacity;
+  std::size_t head = 0;  ///< next overwrite position once full
+  std::size_t dropped = 0;
+};
+
+namespace {
+
+// Process-unique tracer epochs key the thread-local ring cache: an entry
+// for a destroyed tracer can never match a live one, so stale cache
+// entries are inert (never dereferenced).
+std::atomic<std::uint64_t> g_tracer_epochs{1};
+
+struct CachedRing {
+  std::uint64_t epoch;
+  Tracer::Ring* ring;
+};
+thread_local std::vector<CachedRing> t_ring_cache;
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_id_(g_tracer_epochs.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::Ring* Tracer::threadRing() {
+  for (const CachedRing& c : t_ring_cache) {
+    if (c.epoch == epoch_id_) return c.ring;
+  }
+  const std::lock_guard<std::mutex> lock(rings_mutex_);
+  rings_.push_back(std::make_unique<Ring>(ring_capacity_));
+  Ring* ring = rings_.back().get();
+  t_ring_cache.push_back({epoch_id_, ring});
+  return ring;
+}
+
+void Tracer::record(const SpanRecord& r) {
+  Ring* ring = threadRing();
+  const std::lock_guard<std::mutex> lock(ring->mutex);
+  if (ring->records.size() < ring->capacity) {
+    ring->records.push_back(r);
+  } else {
+    ring->records[ring->head] = r;
+    ring->head = (ring->head + 1) % ring->capacity;
+    ++ring->dropped;
+  }
+}
+
+Tracer::Drained Tracer::drain() const {
+  Drained out;
+  const std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  for (std::size_t t = 0; t < rings_.size(); ++t) {
+    Ring* ring = rings_[t].get();
+    const std::lock_guard<std::mutex> lock(ring->mutex);
+    // Oldest-first: the segment after head was written before the one
+    // before it once the ring has wrapped.
+    for (std::size_t i = 0; i < ring->records.size(); ++i) {
+      const std::size_t idx = (ring->head + i) % ring->records.size();
+      SpanRecord r = ring->records[idx];
+      r.tid = static_cast<std::uint32_t>(t);
+      out.records.push_back(r);
+    }
+    out.dropped += ring->dropped;
+  }
+  return out;
+}
+
+void writeChromeTrace(std::ostream& out,
+                      const std::vector<SpanRecord>& records) {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& r : records) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << r.name << "\",\"cat\":\"prio\",\"ph\":\"X\""
+        << ",\"pid\":1,\"tid\":" << r.tid
+        << ",\"ts\":" << static_cast<double>(r.begin_ns) / 1e3
+        << ",\"dur\":" << static_cast<double>(r.end_ns - r.begin_ns) / 1e3
+        << ",\"args\":{\"trace_id\":" << r.trace_id
+        << ",\"span_id\":" << r.span_id << ",\"parent_id\":" << r.parent_id
+        << "}}";
+  }
+  out << "]}\n";
+}
+
+std::string traceSummary(const std::vector<SpanRecord>& records) {
+  struct Agg {
+    std::size_t count = 0;
+    std::uint64_t total_ns = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  std::uint64_t root_ns = 0;
+  for (const SpanRecord& r : records) {
+    Agg& a = by_name[r.name];
+    ++a.count;
+    a.total_ns += r.end_ns - r.begin_ns;
+    if (r.parent_id == 0) root_ns += r.end_ns - r.begin_ns;
+  }
+  std::vector<std::pair<std::string, Agg>> rows(by_name.begin(),
+                                                by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  std::ostringstream out;
+  out << "span                       count     total ms";
+  if (root_ns > 0) out << "   % of roots";
+  out << "\n";
+  for (const auto& [name, agg] : rows) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%-26s %5zu %12.3f", name.c_str(),
+                  agg.count, static_cast<double>(agg.total_ns) / 1e6);
+    out << buf;
+    if (root_ns > 0) {
+      std::snprintf(buf, sizeof buf, " %11.1f%%",
+                    100.0 * static_cast<double>(agg.total_ns) /
+                        static_cast<double>(root_ns));
+      out << buf;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace prio::obs

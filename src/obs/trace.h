@@ -1,0 +1,177 @@
+// Structured tracing: per-request trace contexts, RAII spans, per-thread
+// ring buffers, and Chrome trace_event / human-readable exporters.
+//
+// Model (DESIGN.md §10):
+//   - A Tracer owns the recorded data. Each recording thread appends
+//     completed spans to its own fixed-capacity ring (oldest records are
+//     overwritten once full; `dropped` counts them), so recording never
+//     allocates on the hot path and threads never contend with each
+//     other. Rings are found through an epoch-keyed thread-local cache —
+//     one uncontended mutex acquisition per record keeps drain() and
+//     TSan happy without a lock-free ring protocol.
+//   - A TraceContext is a 24-byte value {tracer, trace id, parent span}.
+//     A default-constructed context is DISABLED: creating a Span against
+//     it is one branch and no stores — the null-context fast path that
+//     keeps tracing-free runs at full speed (gated by
+//     bench_core_hotpath's trace_overhead metric).
+//   - A Span brackets one region: it allocates a span id and timestamps
+//     on construction, records on destruction. Nesting is EXPLICIT:
+//     span.context() returns a child context whose parent is that span,
+//     and that value can cross threads — the schedule phase hands its
+//     span's context to parallelClaim workers, so worker spans nest
+//     correctly under the phase span no matter which thread ran them.
+//
+// Timestamps are steady-clock nanoseconds relative to the Tracer's
+// construction, so traces from one process share a timeline.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace prio::obs {
+
+class Tracer;
+
+/// One completed span. `name` must point at storage outliving the tracer
+/// (string literals; every span name in this codebase is one).
+struct SpanRecord {
+  const char* name = "";
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root span of its trace
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;  ///< recording thread (dense ring index)
+};
+
+/// Value-type handle threaded through the pipeline. Disabled (the
+/// default) or carrying {tracer, trace id, parent span id}.
+class TraceContext {
+ public:
+  /// Disabled context: spans created against it record nothing.
+  constexpr TraceContext() = default;
+  TraceContext(Tracer* tracer, std::uint64_t trace_id,
+               std::uint64_t parent_span = 0)
+      : tracer_(tracer), trace_id_(trace_id), parent_span_(parent_span) {}
+
+  [[nodiscard]] bool enabled() const { return tracer_ != nullptr; }
+  [[nodiscard]] Tracer* tracer() const { return tracer_; }
+  [[nodiscard]] std::uint64_t traceId() const { return trace_id_; }
+  [[nodiscard]] std::uint64_t parentSpan() const { return parent_span_; }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t parent_span_ = 0;
+};
+
+/// Collects spans from any number of threads. Thread-safe throughout.
+class Tracer {
+ public:
+  /// `ring_capacity` caps the retained spans PER RECORDING THREAD;
+  /// overflow overwrites the oldest records (counted, see drain()).
+  explicit Tracer(std::size_t ring_capacity = 1 << 16);
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Starts a new trace: a fresh trace id wrapped in a root context.
+  [[nodiscard]] TraceContext beginTrace() {
+    return TraceContext(this, next_trace_id_.fetch_add(
+                                  1, std::memory_order_relaxed));
+  }
+
+  /// All retained spans, in recording order per thread, and the count of
+  /// records lost to ring overflow. Does not clear — a long-running
+  /// service can export repeatedly.
+  struct Drained {
+    std::vector<SpanRecord> records;
+    std::size_t dropped = 0;
+  };
+  [[nodiscard]] Drained drain() const;
+
+  /// Steady-clock nanoseconds since this tracer was constructed.
+  [[nodiscard]] std::uint64_t nowNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  [[nodiscard]] std::uint64_t newSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Appends to the calling thread's ring (called by ~Span).
+  void record(const SpanRecord& r);
+
+  /// Per-thread storage; opaque outside trace.cpp (public only so the
+  /// thread-local ring cache there can name it).
+  struct Ring;
+
+ private:
+  Ring* threadRing();
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t ring_capacity_;
+  std::uint64_t epoch_id_;  ///< process-unique; keys the thread-local cache
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  std::atomic<std::uint64_t> next_span_id_{1};
+  mutable std::mutex rings_mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span. Construct against a context; destruction records the span
+/// into the context's tracer. On a disabled context every member is a
+/// no-op (one branch, no atomics, no clock reads).
+class Span {
+ public:
+  Span(const TraceContext& ctx, const char* name) {
+    if (!ctx.enabled()) return;
+    tracer_ = ctx.tracer();
+    record_.name = name;
+    record_.trace_id = ctx.traceId();
+    record_.parent_id = ctx.parentSpan();
+    record_.span_id = tracer_->newSpanId();
+    record_.begin_ns = tracer_->nowNs();
+  }
+  ~Span() {
+    if (tracer_ == nullptr) return;
+    record_.end_ns = tracer_->nowNs();
+    tracer_->record(record_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Context for children of this span — pass into callees (possibly on
+  /// other threads) so their spans nest under this one. Disabled when
+  /// this span is.
+  [[nodiscard]] TraceContext context() const {
+    return tracer_ == nullptr
+               ? TraceContext()
+               : TraceContext(tracer_, record_.trace_id, record_.span_id);
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  SpanRecord record_;
+};
+
+/// Chrome trace_event JSON ("Complete" X events; load via chrome://tracing
+/// or https://ui.perfetto.dev). One row per recording thread; parent span
+/// ids are carried in args for cross-thread nesting checks.
+void writeChromeTrace(std::ostream& out,
+                      const std::vector<SpanRecord>& records);
+
+/// Human-readable per-span-name aggregate (count, total ms, share of the
+/// named root span when present), sorted by total time descending.
+[[nodiscard]] std::string traceSummary(const std::vector<SpanRecord>& records);
+
+}  // namespace prio::obs

@@ -1,11 +1,24 @@
 // Umbrella header: the library's entire public API in one include.
 //
 //   #include "prio.h"
-//   auto result = prio::core::prioritize(my_dag);
+//   prio::core::PrioRequest request(my_dag);
+//   prio::core::PrioResult result = prio::core::prioritize(request);
 //
 // Individual subsystem headers remain the preferred includes inside this
 // repository; the umbrella exists for downstream consumers.
+//
+// Stability contract (DESIGN.md §10): everything re-exported here is the
+// public surface. PRIO_API_VERSION bumps when that surface changes
+// incompatibly; entry points marked [[deprecated]] (the pre-PrioRequest
+// overloads of prioritize/scheduleComponents) keep bit-identical
+// behavior for one version and are removed at the next bump.
 #pragma once
+
+/// Public API version. 2 = the PrioRequest/PrioOptions aggregate API plus
+/// the obs observability layer (metrics registry + structured tracing);
+/// 1 = the original loose-overload surface, still available as deprecated
+/// shims.
+#define PRIO_API_VERSION 2
 
 // Substrates.
 #include "dag/algorithms.h"   // IWYU pragma: export
@@ -23,6 +36,11 @@
 #include "util/thread_pool.h" // IWYU pragma: export
 #include "util/timing.h"      // IWYU pragma: export
 
+// Observability: metrics registry + structured tracing (obs::Registry,
+// obs::Counter/Gauge/Histogram, obs::Tracer/TraceContext/Span).
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/trace.h"    // IWYU pragma: export
+
 // Scheduling theory.
 #include "theory/batch.h"        // IWYU pragma: export
 #include "theory/blocks.h"       // IWYU pragma: export
@@ -32,7 +50,7 @@
 #include "theory/eligibility.h"  // IWYU pragma: export
 #include "theory/priority.h"     // IWYU pragma: export
 
-// The prio heuristic.
+// The prio heuristic (core::PrioRequest / core::prioritize).
 #include "core/prio.h"    // IWYU pragma: export
 #include "core/report.h"  // IWYU pragma: export
 

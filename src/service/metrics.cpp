@@ -1,0 +1,72 @@
+#include "service/metrics.h"
+
+#include <string_view>
+
+namespace prio::service {
+
+namespace {
+
+// Renders one histogram from the snapshot in the historical shape:
+// {"count":..,"mean_s":..,"p50_s":..,"p99_s":..,"max_s":..}. Histograms
+// are registered at construction, so the lookup cannot miss; an empty
+// placeholder keeps the shape stable regardless.
+void writeHistogramJson(std::ostream& out, const obs::Snapshot& snap,
+                        std::string_view name) {
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    if (h.name == name) {
+      out << "{\"count\":" << h.count << ",\"mean_s\":" << h.meanSeconds()
+          << ",\"p50_s\":" << h.quantileSeconds(0.50)
+          << ",\"p99_s\":" << h.quantileSeconds(0.99)
+          << ",\"max_s\":" << h.maxSeconds() << "}";
+      return;
+    }
+  }
+  out << "{\"count\":0,\"mean_s\":0,\"p50_s\":0,\"p99_s\":0,\"max_s\":0}";
+}
+
+std::uint64_t gaugeValue(const obs::Snapshot& snap, std::string_view name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void ServiceMetrics::writeJson(std::ostream& out) const {
+  const obs::Snapshot snap = registry.snapshot();
+  const std::uint64_t hits = snap.counterValue("cache_hits");
+  const std::uint64_t misses = snap.counterValue("cache_misses");
+  const double hit_rate =
+      hits + misses == 0
+          ? 0.0
+          : static_cast<double>(hits) / static_cast<double>(hits + misses);
+  out << "{\"requests_submitted\":" << snap.counterValue("requests_submitted")
+      << ",\"requests_completed\":" << snap.counterValue("requests_completed")
+      << ",\"requests_rejected\":" << snap.counterValue("requests_rejected")
+      << ",\"requests_failed\":" << snap.counterValue("requests_failed")
+      << ",\"requests_degraded\":" << snap.counterValue("requests_degraded")
+      << ",\"requests_deadline_exceeded\":"
+      << snap.counterValue("requests_deadline_exceeded")
+      << ",\"requests_shed\":" << snap.counterValue("requests_shed")
+      << ",\"retries\":" << snap.counterValue("retries")
+      << ",\"cache_hits\":" << hits << ",\"cache_misses\":" << misses
+      << ",\"cache_hit_rate\":" << hit_rate
+      << ",\"fingerprint_aliases\":" << snap.counterValue("fingerprint_aliases")
+      << ",\"queue_high_water\":" << gaugeValue(snap, "queue_high_water")
+      << ",\"latency_total\":";
+  writeHistogramJson(out, snap, "latency_total");
+  out << ",\"latency_cache_hit\":";
+  writeHistogramJson(out, snap, "latency_cache_hit");
+  out << ",\"phase_reduce\":";
+  writeHistogramJson(out, snap, "phase_reduce");
+  out << ",\"phase_decompose\":";
+  writeHistogramJson(out, snap, "phase_decompose");
+  out << ",\"phase_recurse\":";
+  writeHistogramJson(out, snap, "phase_recurse");
+  out << ",\"phase_combine\":";
+  writeHistogramJson(out, snap, "phase_combine");
+  out << "}";
+}
+
+}  // namespace prio::service

@@ -1,143 +1,87 @@
-// Service-side observability: atomic request/cache counters and
-// log-bucketed latency histograms, all lock-free on the record path so
-// worker threads never serialize on metrics.
+// Service-side observability, since PRIO_API_VERSION 2 a thin facade over
+// the obs::Registry: every instrument is registered once at construction
+// (named handles; see src/obs/metrics.h) and the record path stays
+// lock-free relaxed atomics, so worker threads never serialize on
+// metrics.
 //
 // The per-phase histograms reuse core::PhaseTimings — every computed
 // (non-cached) request feeds its reduce/decompose/recurse/combine split
 // into one histogram each, so a long-running priod exposes the same
 // phase breakdown the paper's Table 1 reports for single runs.
 //
-// Counter/histogram reads (snapshot(), writeJson()) are monotonic
-// relaxed-atomic reads: values lag in-flight requests by at most one
-// request and need no locks.
+// Both exports render from ONE Registry::snapshot(): writeJson() keeps
+// the historical metrics.json shape (stable key order, nested histogram
+// objects, derived cache_hit_rate), writePrometheus() emits the text
+// exposition format behind `prio_serve --metrics-text`.
 #pragma once
 
-#include <algorithm>
-#include <array>
-#include <atomic>
-#include <cstddef>
 #include <cstdint>
 #include <ostream>
-#include <string>
-#include <vector>
 
 #include "core/prio.h"
+#include "obs/metrics.h"
 
 namespace prio::service {
 
-/// Latencies bucketed by power-of-two microseconds: bucket i counts
-/// samples in [2^i, 2^(i+1)) us (bucket 0 also absorbs sub-microsecond
-/// samples; the last bucket absorbs everything above ~2100 s).
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBuckets = 32;
-
-  void record(double seconds) {
-    const double us = seconds * 1e6;
-    const std::uint64_t ticks = us < 1.0 ? 0 : static_cast<std::uint64_t>(us);
-    std::size_t bucket = 0;
-    while (bucket + 1 < kBuckets && (std::uint64_t{1} << (bucket + 1)) <= ticks) {
-      ++bucket;
-    }
-    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    sum_us_.fetch_add(ticks, std::memory_order_relaxed);
-    // CAS max; relaxed is fine — the value is monotone.
-    std::uint64_t seen = max_us_.load(std::memory_order_relaxed);
-    while (ticks > seen &&
-           !max_us_.compare_exchange_weak(seen, ticks,
-                                          std::memory_order_relaxed)) {
-    }
-  }
-
-  [[nodiscard]] std::uint64_t count() const {
-    return count_.load(std::memory_order_relaxed);
-  }
-
-  [[nodiscard]] double meanSeconds() const {
-    const std::uint64_t n = count();
-    return n == 0 ? 0.0
-                  : static_cast<double>(sum_us_.load(std::memory_order_relaxed)) /
-                        (1e6 * static_cast<double>(n));
-  }
-
-  [[nodiscard]] double maxSeconds() const {
-    return static_cast<double>(max_us_.load(std::memory_order_relaxed)) / 1e6;
-  }
-
-  /// Upper bound of the bucket containing the q-quantile (q in [0,1]),
-  /// in seconds. 0 when empty.
-  [[nodiscard]] double quantileSeconds(double q) const {
-    const std::uint64_t n = count();
-    if (n == 0) return 0.0;
-    const std::uint64_t rank = static_cast<std::uint64_t>(
-        q * static_cast<double>(n - 1));
-    std::uint64_t seen = 0;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-      seen += buckets_[b].load(std::memory_order_relaxed);
-      if (seen > rank) {
-        return static_cast<double>(std::uint64_t{1} << (b + 1)) / 1e6;
-      }
-    }
-    return maxSeconds();
-  }
-
-  /// Writes {"count":..,"mean_s":..,"p50_s":..,"p99_s":..,"max_s":..}.
-  void writeJson(std::ostream& out) const {
-    out << "{\"count\":" << count() << ",\"mean_s\":" << meanSeconds()
-        << ",\"p50_s\":" << quantileSeconds(0.50)
-        << ",\"p99_s\":" << quantileSeconds(0.99)
-        << ",\"max_s\":" << maxSeconds() << "}";
-  }
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_us_{0};
-  std::atomic<std::uint64_t> max_us_{0};
-};
-
-/// One relaxed counter.
-class Counter {
- public:
-  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
-  [[nodiscard]] std::uint64_t get() const {
-    return v_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> v_{0};
-};
-
-/// All metrics of one PrioService instance.
+/// All metrics of one PrioService instance. Owns a private obs::Registry
+/// (each service instance is isolated — tests rely on counts starting at
+/// zero) and exposes stable handles under the historical member names, so
+/// call sites read exactly as before the registry migration:
+/// `service.metrics().cache_hits.get()`.
 struct ServiceMetrics {
+  ServiceMetrics()
+      : requests_submitted(registry.counter("requests_submitted")),
+        requests_completed(registry.counter("requests_completed")),
+        requests_rejected(registry.counter("requests_rejected")),
+        requests_failed(registry.counter("requests_failed")),
+        requests_degraded(registry.counter("requests_degraded")),
+        requests_deadline_exceeded(
+            registry.counter("requests_deadline_exceeded")),
+        requests_shed(registry.counter("requests_shed")),
+        retries(registry.counter("retries")),
+        cache_hits(registry.counter("cache_hits")),
+        cache_misses(registry.counter("cache_misses")),
+        fingerprint_aliases(registry.counter("fingerprint_aliases")),
+        queue_high_water(registry.gauge("queue_high_water")),
+        latency_total(registry.histogram("latency_total")),
+        latency_cache_hit(registry.histogram("latency_cache_hit")),
+        phase_reduce(registry.histogram("phase_reduce")),
+        phase_decompose(registry.histogram("phase_decompose")),
+        phase_recurse(registry.histogram("phase_recurse")),
+        phase_combine(registry.histogram("phase_combine")) {}
+
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  obs::Registry registry;
+
   // Request lifecycle.
-  Counter requests_submitted;
-  Counter requests_completed;  ///< served a valid result (full or degraded)
-  Counter requests_rejected;   ///< backpressure: queue full under kReject
-  Counter requests_failed;     ///< parse error, cyclic dag, ...
+  obs::Counter& requests_submitted;
+  obs::Counter& requests_completed;  ///< served a valid result (full or degraded)
+  obs::Counter& requests_rejected;   ///< backpressure: queue full under kReject
+  obs::Counter& requests_failed;     ///< parse error, cyclic dag, ...
   // Failure-semantics accounting (see DESIGN.md §8).
-  Counter requests_degraded;   ///< deadline hit; outdegree fallback served
-  Counter requests_deadline_exceeded;  ///< compute deadlines that fired
-  Counter requests_shed;       ///< dropped: queue wait exceeded its deadline
-  Counter retries;             ///< resubmissions by the prio_serve retry loop
+  obs::Counter& requests_degraded;   ///< deadline hit; outdegree fallback served
+  obs::Counter& requests_deadline_exceeded;  ///< compute deadlines that fired
+  obs::Counter& requests_shed;  ///< dropped: queue wait exceeded its deadline
+  obs::Counter& retries;  ///< resubmissions by the prio_serve retry loop
   // Cache outcomes (completed requests only).
-  Counter cache_hits;
-  Counter cache_misses;
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
   /// Structural-fingerprint hit whose stored result was computed under a
   /// different node-id layout: sound to detect, unsound to reuse — served
   /// as a miss (see dag/fingerprint.h).
-  Counter fingerprint_aliases;
-  // Queue depth high-water mark, mirrored from the pool at snapshot time.
-  std::atomic<std::uint64_t> queue_high_water{0};
+  obs::Counter& fingerprint_aliases;
+  /// Queue depth high-water mark, mirrored from the pool at snapshot time.
+  obs::Gauge& queue_high_water;
 
   // Latency split. End-to-end = submit() to reply (queue wait included).
-  LatencyHistogram latency_total;
-  LatencyHistogram latency_cache_hit;  ///< end-to-end for cache hits
-  LatencyHistogram phase_reduce;
-  LatencyHistogram phase_decompose;
-  LatencyHistogram phase_recurse;
-  LatencyHistogram phase_combine;
+  obs::Histogram& latency_total;
+  obs::Histogram& latency_cache_hit;  ///< end-to-end for cache hits
+  obs::Histogram& phase_reduce;
+  obs::Histogram& phase_decompose;
+  obs::Histogram& phase_recurse;
+  obs::Histogram& phase_combine;
 
   void recordPhases(const core::PhaseTimings& t) {
     phase_reduce.record(t.reduce_s);
@@ -154,36 +98,12 @@ struct ServiceMetrics {
   }
 
   /// Full JSON object (stable key order; suitable for BENCH_service.json
-  /// and the prio_serve report).
-  void writeJson(std::ostream& out) const {
-    out << "{\"requests_submitted\":" << requests_submitted.get()
-        << ",\"requests_completed\":" << requests_completed.get()
-        << ",\"requests_rejected\":" << requests_rejected.get()
-        << ",\"requests_failed\":" << requests_failed.get()
-        << ",\"requests_degraded\":" << requests_degraded.get()
-        << ",\"requests_deadline_exceeded\":"
-        << requests_deadline_exceeded.get()
-        << ",\"requests_shed\":" << requests_shed.get()
-        << ",\"retries\":" << retries.get()
-        << ",\"cache_hits\":" << cache_hits.get()
-        << ",\"cache_misses\":" << cache_misses.get()
-        << ",\"cache_hit_rate\":" << cacheHitRate()
-        << ",\"fingerprint_aliases\":" << fingerprint_aliases.get()
-        << ",\"queue_high_water\":"
-        << queue_high_water.load(std::memory_order_relaxed)
-        << ",\"latency_total\":";
-    latency_total.writeJson(out);
-    out << ",\"latency_cache_hit\":";
-    latency_cache_hit.writeJson(out);
-    out << ",\"phase_reduce\":";
-    phase_reduce.writeJson(out);
-    out << ",\"phase_decompose\":";
-    phase_decompose.writeJson(out);
-    out << ",\"phase_recurse\":";
-    phase_recurse.writeJson(out);
-    out << ",\"phase_combine\":";
-    phase_combine.writeJson(out);
-    out << "}";
+  /// and the prio_serve report). Rendered from one registry snapshot.
+  void writeJson(std::ostream& out) const;
+
+  /// Prometheus text exposition of the same snapshot (prio_ prefix).
+  void writePrometheus(std::ostream& out) const {
+    registry.snapshot().writePrometheus(out);
   }
 };
 

@@ -26,13 +26,20 @@ PrioService::~PrioService() { shutdown(); }
 
 void PrioService::shutdown() { pool_.shutdown(); }
 
-void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply) {
+void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply,
+                               const obs::TraceContext& trace) {
+  reply.trace_id = trace.traceId();
+
   // One reduction pays for both the fingerprint and (on a miss) step 1 of
   // the heuristic.
-  const dag::Digraph reduced =
-      dag::transitiveReduction(g, config_.prio_options.reduction_method);
-  reply.fingerprint = dag::structuralFingerprintOfReduced(reduced);
-  reply.layout = dag::layoutHash(g);
+  dag::Digraph reduced;
+  {
+    obs::Span span(trace, "service.fingerprint");
+    reduced = dag::transitiveReduction(
+        g, config_.prio_options.reduction_method, span.context());
+    reply.fingerprint = dag::structuralFingerprintOfReduced(reduced);
+    reply.layout = dag::layoutHash(g);
+  }
 
   if (cache_ != nullptr) {
     ResultCache::FindOutcome found = cache_->find(reply.fingerprint,
@@ -50,57 +57,64 @@ void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply) {
   // so hits/(hits+misses) is the true served-from-cache fraction.
   metrics_.cache_misses.add();
 
+  // Build the PrioRequest: the reduction is reused (step 1 already paid
+  // for above), the request's spans nest under this request's trace, and
+  // the compute deadline rides on PrioOptions::deadline_s — prioritize()
+  // arms the token internally.
+  core::PrioRequest request(g, config_.prio_options);
+  request.reduced = &reduced;
+  request.options.trace = trace;
+
   // Parallel schedule phase: lend the request pool itself. Helpers are
   // offered with trySubmit() only (see util/parallel_for.h), so a pool
   // saturated with requests simply yields no helpers and the phase runs
   // serially on this worker — request-level parallelism degrades
   // intra-request parallelism exactly when the cores are already busy.
-  core::PrioOptions options = config_.prio_options;
-  if (options.num_threads != 1) options.schedule_pool = &pool_;
+  if (request.options.schedule_threads != 1) {
+    request.options.schedule_pool = &pool_;
+  }
 
-  if (config_.compute_deadline_s > 0.0) {
-    const util::CancelToken token(config_.compute_deadline_s);
-    options.cancel = &token;
-    try {
-      auto result = std::make_shared<const core::PrioResult>(
-          core::prioritizeWithReduction(g, reduced, options));
-      metrics_.recordPhases(result->timings);
-      if (cache_ != nullptr) {
-        cache_->insert(reply.fingerprint, reply.layout, result);
-      }
-      reply.result = std::move(result);
-    } catch (const util::Cancelled&) {
-      // Deadline fired mid-heuristic: serve the §3.1 outdegree-only
-      // fallback instead — a valid, if weaker, priority list. The
-      // degraded result is NOT cached; a later, less pressed request
-      // should compute (and memoize) the real thing.
-      metrics_.requests_deadline_exceeded.add();
-      metrics_.requests_degraded.add();
-      reply.result = std::make_shared<const core::PrioResult>(
-          core::fallbackPrioritize(g));
-      reply.status = RequestStatus::kDegraded;
+  if (config_.compute_deadline_s > 0.0 &&
+      request.options.cancel == nullptr) {
+    request.options.deadline_s = config_.compute_deadline_s;
+  }
+
+  try {
+    auto result =
+        std::make_shared<const core::PrioResult>(core::prioritize(request));
+    metrics_.recordPhases(result->timings);
+    if (cache_ != nullptr) {
+      cache_->insert(reply.fingerprint, reply.layout, result);
     }
-    return;
+    reply.result = std::move(result);
+  } catch (const util::Cancelled&) {
+    // Deadline fired mid-heuristic: serve the §3.1 outdegree-only
+    // fallback instead — a valid, if weaker, priority list. The
+    // degraded result is NOT cached; a later, less pressed request
+    // should compute (and memoize) the real thing. The fallback span
+    // carries this request's trace id, so degraded requests stay
+    // attributable in the trace export.
+    metrics_.requests_deadline_exceeded.add();
+    metrics_.requests_degraded.add();
+    reply.result = std::make_shared<const core::PrioResult>(
+        core::fallbackPrioritize(g, trace));
+    reply.status = RequestStatus::kDegraded;
   }
-
-  auto result = std::make_shared<const core::PrioResult>(
-      core::prioritizeWithReduction(g, reduced, options));
-  metrics_.recordPhases(result->timings);
-  if (cache_ != nullptr) {
-    cache_->insert(reply.fingerprint, reply.layout, result);
-  }
-  reply.result = std::move(result);
 }
 
-void PrioService::serveFile(const FileRequest& request, Reply& reply) {
+void PrioService::serveFile(const FileRequest& request, Reply& reply,
+                            const obs::TraceContext& trace) {
   util::fault::checkpoint("service.parse");
-  dagman::DagmanFile file = dagman::DagmanFile::parseFile(request.input_path);
+  dagman::DagmanFile file = [&] {
+    obs::Span span(trace, "service.parse");
+    return dagman::DagmanFile::parseFile(request.input_path);
+  }();
   if (file.hasDoneJobs()) {
     // Rescue dag: schedule only the pending jobs; DONE jobs keep their
     // existing jobpriority (they will never be submitted again).
     std::vector<std::size_t> job_of_node;
     const dag::Digraph g = file.toPendingDigraph(&job_of_node);
-    serveDigraph(g, reply);
+    serveDigraph(g, reply, trace);
     if (!request.output_path.empty()) {
       dagman::instrumentPendingJobs(file, reply.result->priority, job_of_node);
       file.writeFileAtomic(request.output_path);
@@ -108,7 +122,7 @@ void PrioService::serveFile(const FileRequest& request, Reply& reply) {
     return;
   }
   const dag::Digraph g = file.toDigraph();
-  serveDigraph(g, reply);
+  serveDigraph(g, reply, trace);
   if (!request.output_path.empty()) {
     dagman::instrumentDagmanFile(file, reply.result->priority);
     file.writeFileAtomic(request.output_path);
@@ -153,10 +167,15 @@ std::future<Reply> PrioService::enqueue(Request request) {
       return;
     }
     try {
+      // One trace per request: a fresh trace id and a "service.request"
+      // root span whose children are the parse/fingerprint/pipeline
+      // spans, recorded from whichever worker thread runs the task.
+      const obs::TraceContext trace = beginRequestTrace();
+      obs::Span span(trace, "service.request");
       if constexpr (std::is_same_v<Request, FileRequest>) {
-        serveFile(holder->request, reply);
+        serveFile(holder->request, reply, span.context());
       } else {
-        serveDigraph(holder->request, reply);
+        serveDigraph(holder->request, reply, span.context());
       }
       metrics_.requests_completed.add();
     } catch (const util::TransientError& e) {
@@ -220,7 +239,9 @@ Reply PrioService::prioritizeNow(const dag::Digraph& g) {
   util::Stopwatch watch;
   Reply reply;
   try {
-    serveDigraph(g, reply);
+    const obs::TraceContext trace = beginRequestTrace();
+    obs::Span span(trace, "service.request");
+    serveDigraph(g, reply, span.context());
     metrics_.requests_completed.add();
   } catch (const util::TransientError& e) {
     reply.result.reset();
@@ -241,8 +262,7 @@ Reply PrioService::prioritizeNow(const dag::Digraph& g) {
 }
 
 void PrioService::writeMetricsJson(std::ostream& out) {
-  metrics_.queue_high_water.store(pool_.queueHighWater(),
-                                  std::memory_order_relaxed);
+  metrics_.queue_high_water.set(pool_.queueHighWater());
   out << "{\"threads\":" << pool_.numThreads()
       << ",\"queue_capacity\":" << pool_.queueCapacity()
       << ",\"backpressure\":\""
@@ -260,6 +280,11 @@ void PrioService::writeMetricsJson(std::ostream& out) {
   out << ",\"metrics\":";
   metrics_.writeJson(out);
   out << "}";
+}
+
+void PrioService::writePrometheusText(std::ostream& out) {
+  metrics_.queue_high_water.set(pool_.queueHighWater());
+  metrics_.writePrometheus(out);
 }
 
 }  // namespace prio::service

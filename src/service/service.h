@@ -16,8 +16,8 @@
 // Caching: a worker first transitively reduces the dag and computes its
 // structural fingerprint (dag/fingerprint.h). On a layout-verified cache
 // hit the memoized PrioResult is returned without running the heuristic;
-// on a miss the worker runs prioritizeWithReduction() — reusing the
-// reduction it already paid for — and memoizes the result. Results are
+// on a miss the worker runs prioritize() with a PrioRequest that carries
+// the reduction it already paid for — and memoizes the result. Results are
 // held by shared_ptr, so eviction never invalidates an outstanding reply.
 //
 // Failure: a request whose dag is cyclic (or whose DAGMan file is
@@ -46,6 +46,7 @@
 
 #include "core/prio.h"
 #include "dag/digraph.h"
+#include "obs/trace.h"
 #include "service/cache.h"
 #include "service/metrics.h"
 #include "util/thread_pool.h"
@@ -74,11 +75,18 @@ struct ServiceConfig {
   /// waited longer is shed (kShed) without computing.
   double queue_deadline_s = 0.0;
   /// Options forwarded to every prioritize() run. When
-  /// prio_options.num_threads != 1, the service lends its own request
-  /// pool to each run's schedule phase (non-blocking trySubmit helpers):
-  /// an idle service parallelizes a lone request across the workers,
-  /// while a saturated one degrades to serial per-request scheduling.
+  /// prio_options.schedule_threads != 1, the service lends its own
+  /// request pool to each run's schedule phase (non-blocking trySubmit
+  /// helpers): an idle service parallelizes a lone request across the
+  /// workers, while a saturated one degrades to serial per-request
+  /// scheduling.
   core::PrioOptions prio_options;
+  /// Optional tracer (borrowed; must outlive the service). When set,
+  /// every request runs under its own trace — a fresh trace id, a
+  /// "service.request" root span, and the full pipeline span tree below
+  /// it, including the "prio.fallback" span of degraded requests. Null
+  /// (the default) keeps the hot path on the disabled-context branch.
+  obs::Tracer* tracer = nullptr;
 };
 
 enum class RequestStatus {
@@ -107,6 +115,10 @@ struct Reply {
   bool transient = false;
   /// Submit-to-completion wall clock (queue wait included).
   double latency_s = 0.0;
+  /// Trace id of this request's span tree (0 when the service runs
+  /// without a tracer) — the join key between a reply and its spans in
+  /// the Chrome trace export.
+  std::uint64_t trace_id = 0;
 };
 
 /// A DAGMan-file request: parse `input_path`, prioritize its dag, and —
@@ -164,6 +176,10 @@ class PrioService {
   /// Metrics as a JSON object, queue high-water refreshed.
   void writeMetricsJson(std::ostream& out);
 
+  /// The same snapshot in Prometheus text exposition format (the body
+  /// behind `prio_serve --metrics-text`), queue high-water refreshed.
+  void writePrometheusText(std::ostream& out);
+
  private:
   struct PendingReply;
 
@@ -173,11 +189,22 @@ class PrioService {
     return hw == 0 ? 1 : hw;
   }
 
+  /// One fresh per-request trace context (a new trace id) when the
+  /// service has a tracer, the disabled context otherwise.
+  [[nodiscard]] obs::TraceContext beginRequestTrace() const {
+    return config_.tracer != nullptr ? config_.tracer->beginTrace()
+                                     : obs::TraceContext{};
+  }
+
   /// Fingerprint + cache lookup + compute-on-miss. Fills everything in
-  /// `reply` except latency. Exceptions escape to the caller.
-  void serveDigraph(const dag::Digraph& g, Reply& reply);
+  /// `reply` except latency. Exceptions escape to the caller. `trace` is
+  /// the request's span context (disabled when the service has no
+  /// tracer).
+  void serveDigraph(const dag::Digraph& g, Reply& reply,
+                    const obs::TraceContext& trace);
   /// Full file pipeline (parse, serve, instrument, write).
-  void serveFile(const FileRequest& request, Reply& reply);
+  void serveFile(const FileRequest& request, Reply& reply,
+                 const obs::TraceContext& trace);
 
   template <typename Request>
   std::future<Reply> enqueue(Request request);

@@ -46,7 +46,7 @@ TEST(Batch, AntichainPacksRounds) {
 
 TEST(Batch, RoundSizesSumToJobCount) {
   const auto g = prio::workloads::makeAirsn({15, 4});
-  const auto order = prio::core::prioritize(g).schedule;
+  const auto order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   for (const std::size_t b : {1u, 3u, 16u, 1000u}) {
     const auto r = batchedExecute(g, order, b);
     const std::size_t total = std::accumulate(
@@ -58,7 +58,7 @@ TEST(Batch, RoundSizesSumToJobCount) {
 
 TEST(Batch, BatchSizeOneIsSequential) {
   const auto g = prio::workloads::makeAirsn({10, 3});
-  const auto order = prio::core::prioritize(g).schedule;
+  const auto order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   const auto r = batchedExecute(g, order, 1);
   EXPECT_EQ(r.rounds, g.numNodes());
 }
@@ -67,14 +67,14 @@ TEST(Batch, HugeBatchGivesLevelOrderDepth) {
   // With batches larger than the dag, rounds = BFS depth (the paper's
   // "execution proceeds step-by-step like a BFS traversal").
   const auto g = prio::workloads::makeAirsn({10, 3});
-  const auto order = prio::core::prioritize(g).schedule;
+  const auto order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   const auto r = batchedExecute(g, order, 1'000'000);
   EXPECT_EQ(r.rounds, longestPathNodes(g));
 }
 
 TEST(Batch, PrioNeverWorseThanFifoOnAirsnMidRange) {
   const auto g = prio::workloads::makeAirsn({});
-  const auto order = prio::core::prioritize(g).schedule;
+  const auto order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   for (const std::size_t b : {4u, 8u, 16u, 32u, 64u}) {
     const auto prio_r = batchedExecute(g, order, b);
     const auto fifo_r = batchedExecuteFifo(g, b);

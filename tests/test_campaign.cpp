@@ -66,7 +66,7 @@ TEST(Campaign, PrioVsFifoHeadlineScenario) {
   // AIRSN(250), mu_BIT = 1, mu_BS = 2^4: the paper reports an expected
   // execution time ratio confidently below ~0.87.
   const auto g = prio::workloads::makeAirsn({});
-  const auto r = prio::core::prioritize(g);
+  const auto r = prio::core::prioritize(prio::core::PrioRequest(g));
   GridModel m;
   m.mean_batch_interarrival = 1.0;
   m.mean_batch_size = 16.0;
@@ -86,7 +86,7 @@ TEST(Campaign, ExtremeRegimesShowNoGain) {
   // Very frequent arrivals (mu_BIT = 1e-3): execution becomes BFS-like
   // and the ratio approaches 1 (paper §4.3, explanation three).
   const auto g = prio::workloads::makeAirsn({30, 4});
-  const auto r = prio::core::prioritize(g);
+  const auto r = prio::core::prioritize(prio::core::PrioRequest(g));
   GridModel m;
   m.mean_batch_interarrival = 1e-3;
   m.mean_batch_size = 16.0;
@@ -103,7 +103,7 @@ TEST(Campaign, StallRatioUndefinedWhenFifoNeverStalls) {
   // paper's rule says: report no confidence interval.
   prio::dag::Digraph g;
   for (int i = 0; i < 40; ++i) g.addNode("n" + std::to_string(i));
-  const auto r = prio::core::prioritize(g);
+  const auto r = prio::core::prioritize(prio::core::PrioRequest(g));
   GridModel m;
   m.mean_batch_interarrival = 1.0;
   m.mean_batch_size = 8.0;

@@ -133,25 +133,25 @@ TEST(Cancellation, PreCancelledTokenStopsPrioritize) {
   token.cancel();
   core::PrioOptions options;
   options.cancel = &token;
-  EXPECT_THROW((void)core::prioritize(g, options), util::Cancelled);
+  EXPECT_THROW((void)core::prioritize(core::PrioRequest(g, options)), util::Cancelled);
 }
 
 TEST(Cancellation, NullTokenMatchesNoTokenBitExactly) {
   const auto g = testDag();
-  const auto plain = core::prioritize(g);
+  const auto plain = core::prioritize(core::PrioRequest(g));
   core::PrioOptions options;  // cancel == nullptr
-  const auto with_null = core::prioritize(g, options);
+  const auto with_null = core::prioritize(core::PrioRequest(g, options));
   EXPECT_EQ(plain.schedule, with_null.schedule);
   EXPECT_EQ(plain.priority, with_null.priority);
 }
 
 TEST(Cancellation, FarDeadlineMatchesNoTokenBitExactly) {
   const auto g = testDag();
-  const auto plain = core::prioritize(g);
+  const auto plain = core::prioritize(core::PrioRequest(g));
   util::CancelToken token(3600.0);
   core::PrioOptions options;
   options.cancel = &token;
-  const auto bounded = core::prioritize(g, options);
+  const auto bounded = core::prioritize(core::PrioRequest(g, options));
   EXPECT_EQ(plain.schedule, bounded.schedule);
   EXPECT_EQ(plain.priority, bounded.priority);
 }
@@ -226,7 +226,7 @@ TEST(ServiceDegradation, DegradedResultsAreNotCached) {
   const Reply full = service.prioritizeNow(g);
   EXPECT_EQ(full.status, RequestStatus::kOk);
   EXPECT_FALSE(full.cache_hit);
-  const auto reference = core::prioritize(g);
+  const auto reference = core::prioritize(core::PrioRequest(g));
   EXPECT_EQ(full.result->priority, reference.priority);
 }
 

@@ -80,7 +80,7 @@ TEST(ChainCompose, RoundTripsThroughDecomposition) {
   // Compose known blocks, run the full pipeline, and check the
   // decomposition recovers blocks of exactly the composed families.
   const auto g = chainCompose({makeW(1, 4), makeM(1, 4)});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const auto census = core::componentCensus(r);
   EXPECT_EQ(census.size(), 2u);
   EXPECT_TRUE(census.count("W(1,4)"));
@@ -91,7 +91,7 @@ TEST(ChainCompose, WThenWDecomposesAndCertifies) {
   // Decreasing fan-outs compose into a dag the theoretical algorithm
   // handles end to end.
   const auto g = chainCompose({makeW(1, 4), makeCompleteBipartite(4, 2)});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   EXPECT_TRUE(dag::isTopologicalOrder(g, r.schedule));
   if (g.numNodes() <= 22) {
     // Whatever the certificate says, the schedule must agree with brute
@@ -107,7 +107,7 @@ TEST(ChainCompose, ComposedProfilesStackCorrectly) {
   // profile under the heuristic must dominate FIFO's everywhere (these
   // are exactly the dags the theory was built for).
   const auto g = chainCompose({makeW(1, 5), makeM(1, 5)});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const auto ep = eligibilityProfile(g, r.schedule);
   const auto ef = eligibilityProfile(g, core::fifoSchedule(g));
   for (std::size_t t = 0; t < ep.size(); ++t) {

@@ -109,7 +109,7 @@ TEST(CondorSystem, UnthrottledPrioBeatsThrottledOnAirsn) {
   // The §3.2 story told inside the system model: prio's priorities help
   // only when DAGMan forwards everything.
   const auto g = workloads::makeAirsn({});
-  const auto result = core::prioritize(g);
+  const auto result = core::prioritize(core::PrioRequest(g));
   CondorOptions opt;
   opt.slots = 16;
   opt.negotiation_period = 1.0;
@@ -136,7 +136,7 @@ TEST(CondorSystem, DagmanQueuePrioritizationRecoversThrottledGain) {
   // forwarding the DAGMan queue by jobpriority recovers (most of) the
   // PRIO advantage that plain FIFO forwarding destroys.
   const auto g = workloads::makeAirsn({});
-  const auto result = core::prioritize(g);
+  const auto result = core::prioritize(core::PrioRequest(g));
   CondorOptions opt;
   opt.slots = 16;
   opt.negotiation_period = 1.0;

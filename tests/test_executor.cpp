@@ -59,7 +59,7 @@ TEST(Executor, RunsAllJobsRespectingDependencies) {
 
 TEST(Executor, SingleWorkerFollowsPrioOrder) {
   const auto g = fig3Dag();
-  const auto result = core::prioritize(g);
+  const auto result = core::prioritize(core::PrioRequest(g));
   Executor exec(g, {.max_workers = 1});
   exec.setPriorities(result.priority);
   const auto report = exec.run(alwaysSucceed());
@@ -72,7 +72,7 @@ TEST(Executor, SingleWorkerFollowsPrioOrder) {
 
 TEST(Executor, FifoModeIgnoresPriorities) {
   const auto g = fig3Dag();
-  const auto result = core::prioritize(g);
+  const auto result = core::prioritize(core::PrioRequest(g));
   Executor exec(g, {.max_workers = 1, .use_priorities = false});
   exec.setPriorities(result.priority);
   const auto report = exec.run(alwaysSucceed());
@@ -85,7 +85,7 @@ TEST(Executor, PrioritiesRaiseReadyCounts) {
   // The point of the whole paper, at the executor level: with PRIO
   // priorities the ready-set stays at least as large on AIRSN.
   const auto g = workloads::makeAirsn({20, 4});
-  const auto result = core::prioritize(g);
+  const auto result = core::prioritize(core::PrioRequest(g));
 
   Executor prio_exec(g, {.max_workers = 1});
   prio_exec.setPriorities(result.priority);
@@ -417,7 +417,7 @@ TEST(ShellAction, MissingSubmitFileFailsTheJob) {
 
 TEST(Executor, StressManyWorkersOnLargeDag) {
   const auto g = workloads::makeInspiral({6, 4});
-  const auto result = core::prioritize(g);
+  const auto result = core::prioritize(core::PrioRequest(g));
   Executor exec(g, {.max_workers = 16});
   exec.setPriorities(result.priority);
   std::atomic<std::size_t> count{0};

@@ -47,7 +47,7 @@ ExhaustiveCounts sweep(std::size_t n) {
     const Digraph g = dagFromMask(n, mask);
     ++counts.total;
 
-    const auto r = core::prioritize(g);
+    const auto r = core::prioritize(core::PrioRequest(g));
     EXPECT_TRUE(dag::isTopologicalOrder(g, r.schedule)) << "mask " << mask;
     const double quality = theory::icQuality(g, r.schedule);
     counts.worst_quality = std::min(counts.worst_quality, quality);

@@ -38,7 +38,7 @@ TEST(Integration, DagmanRoundTripPreservesSchedule) {
   ASSERT_EQ(g2.numNodes(), g.numNodes());
   ASSERT_EQ(g2.numEdges(), g.numEdges());
 
-  const auto r1 = core::prioritize(g);
+  const auto r1 = core::prioritize(core::PrioRequest(g));
   const auto r2 = dagman::prioritizeDagmanFile(parsed);
   // Node ids coincide (same declaration order), so schedules must match.
   EXPECT_EQ(r1.schedule, r2.schedule);
@@ -63,7 +63,7 @@ TEST(Integration, EligibilityDominanceOnScientificDags) {
   cases.push_back({"sdss", workloads::makeSdss({20, 5, 2, 10})});
 
   for (const auto& c : cases) {
-    const auto r = core::prioritize(c.g);
+    const auto r = core::prioritize(core::PrioRequest(c.g));
     ASSERT_TRUE(dag::isTopologicalOrder(c.g, r.schedule)) << c.name;
     const auto ep = theory::eligibilityProfile(c.g, r.schedule);
     const auto ef =
@@ -87,7 +87,7 @@ TEST(Integration, EligibilityDominanceOnScientificDags) {
 TEST(Integration, DecompositionStructureClaims) {
   {
     const auto g = workloads::makeInspiral({8, 4});
-    const auto r = core::prioritize(g);
+    const auto r = core::prioritize(core::PrioRequest(g));
     std::size_t biggest_nonbip = 0;
     for (const auto& c : r.decomposition.components) {
       if (!c.bipartite) {
@@ -98,7 +98,7 @@ TEST(Integration, DecompositionStructureClaims) {
   }
   {
     const auto g = workloads::makeMontage({5, 8, 4});
-    const auto r = core::prioritize(g);
+    const auto r = core::prioritize(core::PrioRequest(g));
     std::size_t biggest_bip = 0;
     for (const auto& c : r.decomposition.components) {
       if (c.bipartite) biggest_bip = std::max(biggest_bip, c.nodes.size());
@@ -108,7 +108,7 @@ TEST(Integration, DecompositionStructureClaims) {
   }
   {
     const auto g = workloads::makeSdss({20, 5, 2, 10});
-    const auto r = core::prioritize(g);
+    const auto r = core::prioritize(core::PrioRequest(g));
     // The W(fields,3) core must be recognized as a W block.
     bool found_w_core = false;
     for (std::size_t i = 0; i < r.component_schedules.size(); ++i) {
@@ -125,7 +125,7 @@ TEST(Integration, DecompositionStructureClaims) {
 // in the mid-range regime.
 TEST(Integration, PrioCompetitiveOnSdssScaled) {
   const auto g = workloads::makeSdss({30, 5, 2, 10});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   sim::GridModel m;
   m.mean_batch_interarrival = 1.0;
   m.mean_batch_size = 32.0;
@@ -141,7 +141,7 @@ TEST(Integration, PrioCompetitiveOnSdssScaled) {
 // well under a second (the paper's number on 2005 hardware).
 TEST(Integration, AirsnOverheadUnderOneSecond) {
   const auto g = workloads::makeAirsn({});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   EXPECT_LT(r.timings.total_s, 1.0);
 }
 

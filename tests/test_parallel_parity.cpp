@@ -51,12 +51,12 @@ void expectSameResult(const PrioResult& a, const PrioResult& b) {
 
 void expectParityAcrossThreads(const Digraph& g) {
   PrioOptions serial;
-  const PrioResult reference = core::prioritize(g, serial);
+  const PrioResult reference = core::prioritize(core::PrioRequest(g, serial));
   for (const std::size_t threads : {std::size_t{2}, std::size_t{4},
                                     std::size_t{8}, std::size_t{0}}) {
     PrioOptions options;
-    options.num_threads = threads;  // 0 = hardware concurrency
-    expectSameResult(reference, core::prioritize(g, options));
+    options.schedule_threads = threads;  // 0 = hardware concurrency
+    expectSameResult(reference, core::prioritize(core::PrioRequest(g, options)));
   }
 }
 
@@ -111,12 +111,12 @@ TEST(ParallelParity, CancellationPropagatesFromWorkers) {
   util::CancelToken token;
   token.cancel();  // fires deterministically on the first worker poll
   ASSERT_TRUE(token.poll());
-  core::ScheduleOptions sopt;
-  sopt.cancel = &token;
-  sopt.num_threads = 4;
-  EXPECT_THROW(
-      { (void)core::scheduleComponents(reduced, decomposition, sopt); },
-      util::Cancelled);
+  core::ScheduleRequest sreq;
+  sreq.reduced = &reduced;
+  sreq.decomposition = &decomposition;
+  sreq.options.cancel = &token;
+  sreq.options.num_threads = 4;
+  EXPECT_THROW({ (void)core::scheduleComponents(sreq); }, util::Cancelled);
 }
 
 // The deferred component graphs materialized by the parallel phase must
@@ -130,9 +130,11 @@ TEST(ParallelParity, DeferredGraphsMatchEager) {
     core::DecomposeOptions dopt;
     dopt.defer_component_graphs = true;
     core::Decomposition deferred = core::decompose(reduced, dopt);
-    core::ScheduleOptions sopt;
-    sopt.num_threads = 4;
-    const auto parallel = core::scheduleComponents(reduced, deferred, sopt);
+    core::ScheduleRequest sreq;
+    sreq.reduced = &reduced;
+    sreq.decomposition = &deferred;
+    sreq.options.num_threads = 4;
+    const auto parallel = core::scheduleComponents(sreq);
     const auto serial = core::scheduleComponents(eager);
     ASSERT_EQ(eager.components.size(), deferred.components.size());
     for (std::size_t c = 0; c < eager.components.size(); ++c) {

@@ -49,7 +49,7 @@ TEST(Epigenomics, StructureAndCounts) {
 TEST(Pegasus, PrioHandlesBothShapes) {
   for (const auto& g :
        {makeCybershake({6, 25}), makeEpigenomics({8, 16})}) {
-    const auto r = core::prioritize(g);
+    const auto r = core::prioritize(core::PrioRequest(g));
     EXPECT_TRUE(dag::isTopologicalOrder(g, r.schedule));
     // PRIO's eligibility never falls below FIFO's on these shapes.
     const auto ep = theory::eligibilityProfile(g, r.schedule);
@@ -61,7 +61,7 @@ TEST(Pegasus, PrioHandlesBothShapes) {
 
 TEST(Cybershake, SynthesisLayerIsSharedParentBipartiteBlock) {
   const auto g = makeCybershake({2, 10});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   // Per site, the {sgt_x, sgt_y} -> synthesis layer must decompose as a
   // complete bipartite K(2,10) block.
   std::size_t k_blocks = 0;

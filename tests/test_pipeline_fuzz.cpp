@@ -18,13 +18,14 @@
 namespace {
 
 using namespace prio;
+using core::PrioRequest;
 using core::prioritize;
 using dag::Digraph;
 using dag::NodeId;
 using stats::Rng;
 
 void expectValid(const Digraph& g, const core::PrioOptions& opt = {}) {
-  const auto r = prioritize(g, opt);
+  const auto r = prioritize(PrioRequest(g, opt));
   ASSERT_EQ(r.schedule.size(), g.numNodes());
   EXPECT_TRUE(dag::isTopologicalOrder(g, r.schedule));
   // Priorities are the inverse permutation of the schedule.
@@ -155,7 +156,7 @@ TEST(CurveComparison, MatchesFig4Workflow) {
   // The helper agrees with the hand-rolled diff logic used on AIRSN.
   Rng rng(55);
   const auto g = workloads::randomComposable(15, rng);
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   const auto ep = theory::eligibilityProfile(g, r.schedule);
   const auto ef = theory::eligibilityProfile(g, core::fifoSchedule(g));
   const auto cmp = theory::compareProfiles(ep, ef);

@@ -28,7 +28,7 @@ TEST(Prioritize, Fig3Example) {
   g.addEdge(a, b);
   g.addEdge(c, d);
   g.addEdge(c, e);
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   // The paper's PRIO schedule for IV.dag is c,a,b,d,e.
   ASSERT_EQ(r.schedule.size(), 5u);
   EXPECT_EQ(r.schedule[0], c);
@@ -42,7 +42,7 @@ TEST(Prioritize, Fig3Example) {
 
 TEST(Prioritize, EmptyDag) {
   Digraph g;
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   EXPECT_TRUE(r.schedule.empty());
   EXPECT_TRUE(r.priority.empty());
 }
@@ -50,7 +50,7 @@ TEST(Prioritize, EmptyDag) {
 TEST(Prioritize, SingleJob) {
   Digraph g;
   g.addNode("only");
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   EXPECT_EQ(r.schedule, (std::vector<NodeId>{0}));
   EXPECT_EQ(r.priority[0], 1u);
   EXPECT_TRUE(r.certified_ic_optimal);
@@ -61,13 +61,13 @@ TEST(Prioritize, RejectsCycles) {
   const NodeId a = g.addNode("a"), b = g.addNode("b");
   g.addEdge(a, b);
   g.addEdge(b, a);
-  EXPECT_THROW((void)prioritize(g), prio::util::Error);
+  EXPECT_THROW((void)prioritize(PrioRequest(g)), prio::util::Error);
 }
 
 TEST(Prioritize, PrioritiesAreInverseOfPositions) {
   Rng rng(21);
   const auto g = prio::workloads::randomDag(25, 0.15, rng);
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   const std::size_t n = g.numNodes();
   for (std::size_t pos = 0; pos < n; ++pos) {
     EXPECT_EQ(r.priority[r.schedule[pos]], n - pos);
@@ -80,7 +80,7 @@ TEST(Prioritize, ShortcutsAreCountedAndHarmless) {
   g.addEdge(a, b);
   g.addEdge(b, c);
   g.addEdge(a, c);  // shortcut
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   EXPECT_EQ(r.shortcuts_removed, 1u);
   EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
   EXPECT_TRUE(r.certified_ic_optimal);  // chain after reduction
@@ -92,7 +92,7 @@ TEST(Prioritize, CertificateImpliesBruteForceOptimal) {
   for (int trial = 0; trial < 40; ++trial) {
     const auto g = prio::workloads::randomComposable(6, rng);
     if (g.numNodes() > 22) continue;  // keep brute force cheap
-    const auto r = prioritize(g);
+    const auto r = prioritize(PrioRequest(g));
     EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
     if (r.certified_ic_optimal) {
       ++certified;
@@ -153,7 +153,7 @@ TEST(Prioritize, CertifiesKnownComposableConstructions) {
   }
 
   for (std::size_t i = 0; i < dags.size(); ++i) {
-    const auto r = prioritize(dags[i]);
+    const auto r = prioritize(PrioRequest(dags[i]));
     EXPECT_TRUE(r.certified_ic_optimal) << "construction " << i;
     EXPECT_TRUE(prio::theory::isICOptimal(dags[i], r.schedule))
         << "construction " << i;
@@ -174,7 +174,7 @@ TEST(Prioritize, GracefulOnDagsWithNoICOptimalSchedule) {
   g.addEdge(d, e);
   g.addEdge(d, f);
   ASSERT_EQ(prio::theory::findICOptimalSchedule(g), std::nullopt);
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
   EXPECT_FALSE(r.certified_ic_optimal);
 }
@@ -187,7 +187,7 @@ TEST(Prioritize, CertificateConsistentWithExactFinder) {
   for (int trial = 0; trial < 60 && checked < 8; ++trial) {
     const auto g = prio::workloads::randomComposable(5, rng);
     if (g.numNodes() > 20) continue;
-    const auto r = prioritize(g);
+    const auto r = prioritize(PrioRequest(g));
     if (!r.certified_ic_optimal) continue;
     ++checked;
     const auto exact = prio::theory::findICOptimalSchedule(g);
@@ -202,7 +202,7 @@ TEST(Prioritize, ValidOnRandomDags) {
   Rng rng(23);
   for (int trial = 0; trial < 15; ++trial) {
     const auto g = prio::workloads::randomDag(40, 0.1, rng);
-    const auto r = prioritize(g);
+    const auto r = prioritize(PrioRequest(g));
     EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
     EXPECT_EQ(r.schedule.size(), g.numNodes());
   }
@@ -212,7 +212,7 @@ TEST(Prioritize, ValidOnLayeredDags) {
   Rng rng(24);
   for (int trial = 0; trial < 10; ++trial) {
     const auto g = prio::workloads::layeredRandom(5, 8, 0.25, rng);
-    const auto r = prioritize(g);
+    const auto r = prioritize(PrioRequest(g));
     EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
   }
 }
@@ -230,7 +230,7 @@ TEST_P(PrioOptionMatrix, AllOptionCombinationsProduceValidSchedules) {
   opt.greedy_bipartite_fallback = (mask & 8) != 0;
   Rng rng(25);
   const auto g = prio::workloads::randomComposable(20, rng);
-  const auto r = prioritize(g, opt);
+  const auto r = prioritize(PrioRequest(g, opt));
   EXPECT_TRUE(isTopologicalOrder(g, r.schedule));
 }
 
@@ -240,21 +240,21 @@ TEST(Prioritize, FullyDeterministic) {
   // Identical inputs must yield byte-identical schedules (ties are broken
   // by ids/classes, never by iteration order of unordered containers).
   const auto g = prio::workloads::makeInspiral({6, 4});
-  const auto r1 = prioritize(g);
-  const auto r2 = prioritize(g);
+  const auto r1 = prioritize(PrioRequest(g));
+  const auto r2 = prioritize(PrioRequest(g));
   EXPECT_EQ(r1.schedule, r2.schedule);
   EXPECT_EQ(r1.combine.pop_order, r2.combine.pop_order);
   Rng rng(123);
   for (int trial = 0; trial < 5; ++trial) {
     const auto h = prio::workloads::randomDag(30, 0.1, rng);
-    EXPECT_EQ(prioritize(h).schedule, prioritize(h).schedule);
+    EXPECT_EQ(prioritize(PrioRequest(h)).schedule, prioritize(PrioRequest(h)).schedule);
   }
 }
 
 TEST(Prioritize, SinksAreScheduledLast) {
   Rng rng(26);
   const auto g = prio::workloads::randomComposable(25, rng);
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   // All global sinks occupy the tail of the schedule.
   const std::size_t num_sinks = g.sinks().size();
   for (std::size_t i = g.numNodes() - num_sinks; i < g.numNodes(); ++i) {
@@ -264,7 +264,7 @@ TEST(Prioritize, SinksAreScheduledLast) {
 
 TEST(Prioritize, EligibilityNeverBelowFifoOnAirsn) {
   const auto g = prio::workloads::makeAirsn({30, 5});
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   const auto prio_profile = prio::theory::eligibilityProfile(g, r.schedule);
   const auto fifo_profile =
       prio::theory::eligibilityProfile(g, fifoSchedule(g));
@@ -294,7 +294,7 @@ TEST(FifoSchedule, RequiresAcyclic) {
 
 TEST(Prioritize, TimingsArePopulated) {
   const auto g = prio::workloads::makeAirsn({20, 3});
-  const auto r = prioritize(g);
+  const auto r = prioritize(PrioRequest(g));
   EXPECT_GE(r.timings.total_s, 0.0);
   EXPECT_LE(r.timings.reduce_s + r.timings.decompose_s +
                 r.timings.recurse_s + r.timings.combine_s,

@@ -11,7 +11,7 @@ using namespace prio;
 
 TEST(Report, ComponentCensusCountsFamilies) {
   const auto g = workloads::makeAirsn({10, 4});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const auto census = core::componentCensus(r);
   // The handle chain peels as W(1,1) pairs.
   ASSERT_TRUE(census.count("W(1,1)"));
@@ -27,7 +27,7 @@ TEST(Report, DescribeMentionsKeyFacts) {
   g.addEdge(a, b);
   g.addEdge(b, c);
   g.addEdge(a, c);  // shortcut
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const std::string text = core::describeResult(g, r);
   EXPECT_NE(text.find("3 jobs"), std::string::npos);
   EXPECT_NE(text.find("shortcut arcs removed : 1"), std::string::npos);
@@ -36,7 +36,7 @@ TEST(Report, DescribeMentionsKeyFacts) {
 
 TEST(Report, SuperdagDotHasOneNodePerComponent) {
   const auto g = workloads::makeAirsn({8, 3});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const std::string dot = core::superdagDot(r);
   std::size_t labels = 0;
   for (std::size_t at = dot.find("pop #"); at != std::string::npos;
@@ -51,7 +51,7 @@ TEST(Report, PrioritizedDotContainsPriorities) {
   dag::Digraph g;
   const auto a = g.addNode("x");
   g.addEdge(a, g.addNode("y"));
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const std::string dot = core::prioritizedDot(g, r);
   EXPECT_NE(dot.find("p=2"), std::string::npos);
   EXPECT_NE(dot.find("p=1"), std::string::npos);

@@ -16,7 +16,7 @@ using namespace prio;
 
 TEST(ScientificCensus, Airsn250) {
   const auto g = workloads::makeAirsn({});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const auto census = core::componentCensus(r);
   // 20 handle pairs, the umbrella block, fork/join M and W blocks.
   EXPECT_EQ(census.at("W(1,1)"), 20u);
@@ -28,7 +28,7 @@ TEST(ScientificCensus, Airsn250) {
 
 TEST(ScientificCensus, Inspiral) {
   const auto g = workloads::makeInspiral({});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const auto census = core::componentCensus(r);
   // Per segment: one W(1,15) datafind fan-out and one tb/cal->inspiral
   // block; the coincidence layer welds into a single generic component.
@@ -47,7 +47,7 @@ TEST(ScientificCensus, Inspiral) {
 
 TEST(ScientificCensus, Montage) {
   const auto g = workloads::makeMontage({});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const auto census = core::componentCensus(r);
   // The project/diff layer is one big unrecognized bipartite block; the
   // correction pipeline contributes fan blocks and chain links.
@@ -60,7 +60,7 @@ TEST(ScientificCensus, Montage) {
 
 TEST(ScientificCensus, Sdss) {
   const auto g = workloads::makeSdss({});
-  const auto r = core::prioritize(g);
+  const auto r = core::prioritize(core::PrioRequest(g));
   const auto census = core::componentCensus(r);
   // The W(1700,3) core, 40,816 chain links, the coadd join and the
   // catalog fan-out.

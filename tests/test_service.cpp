@@ -275,7 +275,7 @@ TEST(PrioService, ConcurrentBatchMatchesSerialExactly) {
   const auto dags = mixedWorkload();
 
   std::vector<prio::core::PrioResult> serial;
-  for (const Digraph& g : dags) serial.push_back(prio::core::prioritize(g));
+  for (const Digraph& g : dags) serial.push_back(prio::core::prioritize(prio::core::PrioRequest(g)));
 
   ServiceConfig config;
   config.num_threads = 4;
@@ -435,7 +435,7 @@ TEST(PrioService, FileRequestInstrumentsOutput) {
 TEST(PrioServiceStress, ConcurrentSubmittersSharedService) {
   const auto pool = mixedWorkload();
   std::vector<prio::core::PrioResult> serial;
-  for (const Digraph& g : pool) serial.push_back(prio::core::prioritize(g));
+  for (const Digraph& g : pool) serial.push_back(prio::core::prioritize(prio::core::PrioRequest(g)));
 
   ServiceConfig config;
   config.num_threads = 4;

@@ -202,7 +202,7 @@ TEST(Baselines, RandomTopologicalOrderIsValidAndVaries) {
 TEST(Simulator, PrioBeatsFifoOnAirsnMidRange) {
   // The paper's headline scenario: mu_BIT = 1, mu_BS = 2^4 on AIRSN.
   const auto g = prio::workloads::makeAirsn({});
-  const auto prio_order = prio::core::prioritize(g).schedule;
+  const auto prio_order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   GridModel m;
   m.mean_batch_interarrival = 1.0;
   m.mean_batch_size = 16.0;

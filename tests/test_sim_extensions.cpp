@@ -45,7 +45,7 @@ TEST(Extensions, DefaultsDegenerateToBaseModelFifo) {
 
 TEST(Extensions, DefaultsDegenerateToBaseModelOblivious) {
   const auto g = prio::workloads::makeAirsn({12, 4});
-  const auto order = prio::core::prioritize(g).schedule;
+  const auto order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   ExtendedGridModel model;
   model.base.mean_batch_size = 8.0;
   Rng a(6), b(6);
@@ -59,7 +59,7 @@ TEST(Extensions, ThrottleWindowOneMakesObliviousFifo) {
   // With -maxjobs 1, only the oldest eligible job is ever visible, so
   // priorities cannot reorder anything: oblivious == FIFO.
   const auto g = prio::workloads::makeAirsn({12, 4});
-  const auto order = prio::core::prioritize(g).schedule;
+  const auto order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   ExtendedGridModel model;
   model.base.mean_batch_size = 8.0;
   model.throttle_window = 1;
@@ -71,7 +71,7 @@ TEST(Extensions, ThrottleWindowOneMakesObliviousFifo) {
 
 TEST(Extensions, WideThrottleEqualsUnthrottled) {
   const auto g = prio::workloads::makeAirsn({12, 4});
-  const auto order = prio::core::prioritize(g).schedule;
+  const auto order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   ExtendedGridModel unthrottled, wide;
   wide.throttle_window = g.numNodes();  // window covers everything
   Rng a(8), b(8);
@@ -206,7 +206,7 @@ TEST(Extensions, EvictionRunsAreSeedDeterministic) {
   // bit-identical — the property the fault-injection harness and the
   // robustness bench depend on.
   const auto g = prio::workloads::makeAirsn({12, 4});
-  const auto order = prio::core::prioritize(g).schedule;
+  const auto order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   ExtendedGridModel model;
   model.base.mean_batch_size = 8.0;
   model.eviction_probability = 0.2;
@@ -243,7 +243,7 @@ TEST(Extensions, ThrottledPrioLosesItsEdge) {
   // low-priority jobs to workers, unaware that high-priority jobs are
   // eligible" — PRIO degrades toward FIFO as the window shrinks.
   const auto g = prio::workloads::makeAirsn({});
-  const auto order = prio::core::prioritize(g).schedule;
+  const auto order = prio::core::prioritize(prio::core::PrioRequest(g)).schedule;
   ExtendedGridModel model;
   model.base.mean_batch_interarrival = 1.0;
   model.base.mean_batch_size = 16.0;

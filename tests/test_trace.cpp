@@ -28,7 +28,7 @@ TEST(Trace, MetricsMatchUntracedRun) {
 
 TEST(Trace, EventStreamIsConsistent) {
   const auto g = workloads::makeAirsn({8, 3});
-  const auto order = core::prioritize(g).schedule;
+  const auto order = core::prioritize(core::PrioRequest(g)).schedule;
   sim::GridModel m;
   stats::Rng rng(7);
   const auto trace = sim::traceRun(g, sim::Regimen::kOblivious, order, m, rng);

@@ -11,7 +11,7 @@ TEST(UmbrellaHeader, ExposesTheWholePipeline) {
   const auto a = g.addNode("a");
   g.addEdge(a, g.addNode("b"));
 
-  const auto result = prio::core::prioritize(g);
+  const auto result = prio::core::prioritize(prio::core::PrioRequest(g));
   EXPECT_TRUE(prio::dag::isTopologicalOrder(g, result.schedule));
   EXPECT_TRUE(prio::theory::isICOptimal(g, result.schedule));
 

@@ -76,7 +76,7 @@ TEST(WorkerPool, PrioCompetitiveWithFifoOnAirsn) {
   // With a fixed mid-size pool, keeping eligibility high keeps workers
   // fed; PRIO should not lose to FIFO on the bottleneck-shaped AIRSN.
   const auto g = workloads::makeAirsn({});
-  const auto order = core::prioritize(g).schedule;
+  const auto order = core::prioritize(core::PrioRequest(g)).schedule;
   GridModel m;
   stats::Rng rng(5);
   double prio_total = 0.0, fifo_total = 0.0;
