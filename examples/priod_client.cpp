@@ -1,0 +1,143 @@
+// priod_client — command-line client for priod_server (src/net/).
+//
+// Usage:
+//   priod_client [options] <file.dag>...
+//   priod_client [options] --metrics
+//
+// Options:
+//   --host ADDR     server address (default 127.0.0.1)
+//   --port N        server port
+//   --port-file F   read the port from F (as written by priod_server
+//                   --port-file; mutually composable with --port 0 setups)
+//   --out DIR       write each instrumented response to DIR/<input
+//                   basename> (default: print a one-line summary only)
+//   --metrics       fetch GET /metrics and print the snapshot to stdout
+//
+// All requests are pipelined over one connection: every frame is sent
+// before the first response is read, and responses are matched back to
+// inputs by request id.
+//
+// Exit status: 0 when every request completed kOk or kDegraded, 1 on any
+// rejected / shed / failed response or transport error, 2 on usage errors.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.h"
+#include "util/check.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: priod_client [--host ADDR] [--port N] [--port-file F] "
+               "[--out DIR] <file.dag>...\n"
+               "       priod_client [--host ADDR] [--port N] [--port-file F] "
+               "--metrics\n");
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PRIO_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string port_file;
+  std::string out_dir;
+  bool metrics = false;
+  std::vector<std::string> inputs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw prio::util::Error("missing value for " + arg);
+      return argv[++i];
+    };
+    try {
+      if (arg == "--host") host = next();
+      else if (arg == "--port")
+        port = static_cast<std::uint16_t>(std::stoul(next()));
+      else if (arg == "--port-file") port_file = next();
+      else if (arg == "--out") out_dir = next();
+      else if (arg == "--metrics") metrics = true;
+      else if (arg.rfind("--", 0) == 0) return usage();
+      else inputs.push_back(arg);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "priod_client: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (!metrics && inputs.empty()) return usage();
+
+  try {
+    if (!port_file.empty()) {
+      std::ifstream in(port_file);
+      unsigned p = 0;
+      PRIO_CHECK_MSG(in >> p, "cannot read port from " << port_file);
+      port = static_cast<std::uint16_t>(p);
+    }
+    PRIO_CHECK_MSG(port != 0, "no server port (--port or --port-file)");
+
+    if (metrics) {
+      std::cout << prio::net::Client::fetchMetrics(host, port);
+      return 0;
+    }
+
+    prio::net::Client client;
+    client.connect(host, port);
+
+    // Pipeline: all requests on the wire before the first response is
+    // read; the echoed request id maps each response back to its input.
+    std::unordered_map<std::uint64_t, std::size_t> input_of_request;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      input_of_request[client.send(slurp(inputs[i]))] = i;
+    }
+
+    if (!out_dir.empty()) fs::create_directories(out_dir);
+    std::size_t failed = 0;
+    for (std::size_t n = 0; n < inputs.size(); ++n) {
+      const prio::net::Response r = client.receive();
+      const auto it = input_of_request.find(r.request_id);
+      PRIO_CHECK_MSG(it != input_of_request.end(),
+                     "unknown request id " << r.request_id);
+      const std::string& input = inputs[it->second];
+      if (!r.hasOutput()) {
+        ++failed;
+        std::fprintf(stderr, "priod_client: %s: %s: %s\n", input.c_str(),
+                     prio::net::statusName(r.status), r.payload.c_str());
+        continue;
+      }
+      if (!out_dir.empty()) {
+        const fs::path out_path = fs::path(out_dir) / fs::path(input).filename();
+        std::ofstream out(out_path, std::ios::binary);
+        out << r.payload;
+        PRIO_CHECK_MSG(out.good(), "cannot write " << out_path.string());
+        std::printf("priod_client: %s -> %s (%s, %zu bytes)\n", input.c_str(),
+                    out_path.string().c_str(), prio::net::statusName(r.status),
+                    r.payload.size());
+      } else {
+        std::printf("priod_client: %s: %s (%zu bytes)\n", input.c_str(),
+                    prio::net::statusName(r.status), r.payload.size());
+      }
+    }
+    return failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "priod_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Loopback end-to-end smoke test for the TCP serving layer (src/net/).
+#
+# Starts priod_server on an ephemeral loopback port, pushes the four
+# paper workloads (AIRSN, Inspiral, Montage, SDSS) through priod_client
+# in one pipelined connection, and asserts each response is BYTE-
+# IDENTICAL to what the offline prio_tool writes for the same input —
+# the wire path must not change the paper's output. Then validates the
+# live GET /metrics endpoint against the Prometheus exposition schema
+# and checks the server drains cleanly on SIGTERM (exit 0).
+#
+# Usage: net_smoke.sh <workdir>
+# Binaries come from $PRIOD_SERVER/$PRIOD_CLIENT/$PRIO_TOOL/
+# $GENERATE_WORKLOADS (set by the example_net_smoke ctest / CI), with
+# build/examples/* fallbacks for manual runs.
+set -euo pipefail
+
+out="${1:?usage: net_smoke.sh <workdir>}"
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+: "${PRIOD_SERVER:=build/examples/priod_server}"
+: "${PRIOD_CLIENT:=build/examples/priod_client}"
+: "${PRIO_TOOL:=build/examples/prio_tool}"
+: "${GENERATE_WORKLOADS:=build/examples/generate_workloads}"
+
+rm -rf "$out"
+mkdir -p "$out/expected" "$out/got"
+
+"$GENERATE_WORKLOADS" "$out/workloads" > /dev/null
+
+workloads=(airsn inspiral montage sdss)
+for w in "${workloads[@]}"; do
+  "$PRIO_TOOL" "$out/workloads/$w.dag" "$out/expected/$w.dag" > /dev/null
+done
+
+"$PRIOD_SERVER" --port 0 --port-file "$out/port" --threads 4 \
+  --metrics-out "$out/metrics_final.prom" > "$out/server.log" 2>&1 &
+server_pid=$!
+cleanup() { kill "$server_pid" 2> /dev/null || true; }
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  [ -s "$out/port" ] && break
+  kill -0 "$server_pid" 2> /dev/null || {
+    echo "net_smoke: server died at startup:" >&2
+    cat "$out/server.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[ -s "$out/port" ] || { echo "net_smoke: server never wrote its port" >&2; exit 1; }
+
+inputs=()
+for w in "${workloads[@]}"; do inputs+=("$out/workloads/$w.dag"); done
+"$PRIOD_CLIENT" --port-file "$out/port" --out "$out/got" "${inputs[@]}"
+
+for w in "${workloads[@]}"; do
+  cmp "$out/expected/$w.dag" "$out/got/$w.dag" || {
+    echo "net_smoke: $w.dag differs between prio_tool and the wire path" >&2
+    exit 1
+  }
+done
+echo "net_smoke: all ${#workloads[@]} workloads byte-identical to prio_tool"
+
+"$PRIOD_CLIENT" --port-file "$out/port" --metrics > "$out/metrics_live.prom"
+python3 "$script_dir/bench_check.py" --schema prometheus "$out/metrics_live.prom"
+
+kill -TERM "$server_pid"
+wait "$server_pid" || {
+  echo "net_smoke: server exited nonzero after SIGTERM" >&2
+  exit 1
+}
+trap - EXIT
+echo "net_smoke: graceful drain ok"

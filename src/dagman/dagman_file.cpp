@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "dag/algorithms.h"
 #include "util/atomic_file.h"
@@ -176,9 +178,18 @@ DagmanFile DagmanFile::parse(std::istream& in) {
 }
 
 DagmanFile DagmanFile::parseFile(const std::string& path) {
+  // A directory (or other non-regular file) "opens" successfully on
+  // Linux and then reads as empty without ever setting badbit — which
+  // used to parse as a valid zero-job dag and report success.
+  std::error_code ec;
+  const auto status = std::filesystem::status(path, ec);
+  PRIO_CHECK_MSG(!ec && std::filesystem::is_regular_file(status),
+                 "not a regular DAGMan file: " << path);
   std::ifstream in(path);
   PRIO_CHECK_MSG(in.good(), "cannot open DAGMan file " << path);
-  return parse(in);
+  DagmanFile out = parse(in);
+  PRIO_CHECK_MSG(!in.bad(), "I/O error while reading DAGMan file " << path);
+  return out;
 }
 
 DagmanJob& DagmanFile::addJob(std::string name, std::string submit_file) {

@@ -1,0 +1,160 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/retry.h"
+
+namespace prio::net {
+
+namespace {
+
+/// One blocking connect() to a numeric IPv4 address. Returns an invalid
+/// fd with errno set on failure.
+util::UniqueFd connectOnce(const std::string& host, std::uint16_t port) {
+  util::UniqueFd fd = util::socketCloexec(AF_INET, SOCK_STREAM, 0);
+  if (!fd.valid()) return {};
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return {};
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) return {};
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+util::UniqueFd connectWithRetry(const std::string& host, std::uint16_t port,
+                                const ClientOptions& options) {
+  util::ExpBackoff backoff(options.backoff_base_s, options.backoff_cap_s,
+                           options.backoff_seed);
+  const std::uint64_t attempts =
+      options.connect_attempts == 0 ? 1 : options.connect_attempts;
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    util::UniqueFd fd = connectOnce(host, port);
+    if (fd.valid()) return fd;
+    // Only "nobody is listening yet" is worth waiting out.
+    const bool retryable = errno == ECONNREFUSED;
+    PRIO_CHECK_MSG(retryable && attempt + 1 < attempts,
+                   "connect " << host << ":" << port << ": "
+                              << std::strerror(errno) << " (attempt "
+                              << (attempt + 1) << "/" << attempts << ")");
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(backoff.next(attempt)));
+  }
+}
+
+}  // namespace
+
+Client::Client(ClientOptions options)
+    : options_(options), decoder_(options.max_payload) {}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = connectWithRetry(host, port, options_);
+}
+
+void Client::close() {
+  fd_.reset();
+  decoder_ = FrameDecoder(options_.max_payload);
+}
+
+std::uint64_t Client::send(const std::string& dag_text,
+                           std::uint64_t trace_id) {
+  PRIO_CHECK_MSG(fd_.valid(), "client is not connected");
+  Frame frame;
+  frame.type = FrameType::kRequest;
+  frame.request_id = next_request_id_++;
+  frame.trace_id = trace_id;
+  frame.payload = dag_text;
+  std::string wire;
+  encodeFrame(frame, wire, options_.max_payload);
+  PRIO_CHECK_MSG(util::writeAll(fd_.get(), wire.data(), wire.size()),
+                 "send to priod failed: " << std::strerror(errno));
+  return frame.request_id;
+}
+
+Response Client::receive() {
+  PRIO_CHECK_MSG(fd_.valid(), "client is not connected");
+  Frame frame;
+  for (;;) {
+    switch (decoder_.next(frame)) {
+      case FrameDecoder::Result::kFrame: {
+        PRIO_CHECK_MSG(frame.type == FrameType::kResponse,
+                       "peer sent a request frame to a client");
+        Response r;
+        r.request_id = frame.request_id;
+        r.status = frame.status;
+        r.trace_id = frame.trace_id;
+        r.payload = std::move(frame.payload);
+        return r;
+      }
+      case FrameDecoder::Result::kError:
+        PRIO_CHECK_MSG(false, "protocol error from priod: "
+                                  << decoder_.error());
+        break;
+      case FrameDecoder::Result::kNeedMore:
+        break;
+    }
+    char buf[64 * 1024];
+    const long r = util::readSome(fd_.get(), buf, sizeof(buf));
+    PRIO_CHECK_MSG(r > 0, (r == 0 ? "priod closed the connection mid-response"
+                                  : std::strerror(errno)));
+    decoder_.feed(buf, static_cast<std::size_t>(r));
+  }
+}
+
+Response Client::call(const std::string& dag_text) {
+  if (options_.tracer == nullptr) {
+    send(dag_text);
+    return receive();
+  }
+  const obs::TraceContext trace = options_.tracer->beginTrace();
+  obs::Span span(trace, "net.request");
+  send(dag_text, trace.traceId());
+  return receive();
+}
+
+std::string Client::fetchMetrics(const std::string& host, std::uint16_t port,
+                                 ClientOptions options) {
+  util::UniqueFd fd = connectWithRetry(host, port, options);
+  const std::string request =
+      "GET /metrics HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  PRIO_CHECK_MSG(util::writeAll(fd.get(), request.data(), request.size()),
+                 "metrics request failed: " << std::strerror(errno));
+  std::string response;
+  char buf[64 * 1024];
+  for (;;) {
+    const long r = util::readSome(fd.get(), buf, sizeof(buf));
+    PRIO_CHECK_MSG(r >= 0, "metrics read failed: " << std::strerror(errno));
+    if (r == 0) break;
+    response.append(buf, static_cast<std::size_t>(r));
+  }
+  const std::size_t header_end = response.find("\r\n\r\n");
+  PRIO_CHECK_MSG(header_end != std::string::npos,
+                 "malformed metrics response (no header terminator)");
+  const std::string status_line = response.substr(0, response.find("\r\n"));
+  PRIO_CHECK_MSG(status_line.find(" 200 ") != std::string::npos,
+                 "metrics endpoint returned: " << status_line);
+  return response.substr(header_end + 4);
+}
+
+}  // namespace prio::net

@@ -1,0 +1,99 @@
+// Blocking client for the priod wire protocol (net/protocol.h).
+//
+// One Client owns one TCP connection. send() writes a request frame and
+// returns immediately with its request id; receive() blocks for the next
+// response frame. Because the two are independent, callers pipeline
+// freely: send k requests back to back, then drain k responses and match
+// them up by the echoed request id (the server preserves per-connection
+// submission order, but matching by id is the contract).
+//
+// connect() retries refused connections with seeded exponential backoff
+// (util/retry.h) — the natural race when a test or script starts the
+// server and client concurrently.
+//
+// Tracing: give ClientOptions a Tracer and every call() runs under a
+// client-side "net.request" span whose trace id rides the frame's
+// trace_id field; the server adopts it for the request's server-side span
+// tree, so one id joins both halves of the distributed trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+#include "obs/trace.h"
+#include "util/socket.h"
+
+namespace prio::net {
+
+struct ClientOptions {
+  /// Connection attempts before giving up (ECONNREFUSED only; other
+  /// errors fail immediately).
+  std::uint64_t connect_attempts = 10;
+  double backoff_base_s = 0.02;
+  double backoff_cap_s = 0.5;
+  std::uint64_t backoff_seed = 1;
+  /// Optional tracer (borrowed; must outlive the client). Enables the
+  /// per-call "net.request" span and wire trace-id propagation.
+  obs::Tracer* tracer = nullptr;
+  /// Payload cap applied to received frames.
+  std::uint32_t max_payload = kMaxPayload;
+};
+
+/// One response, correlated by request id.
+struct Response {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  /// The server-side trace id (the adopted client id when one was sent).
+  std::uint64_t trace_id = 0;
+  /// Instrumented DAGMan text (kOk / kDegraded) or the error message.
+  std::string payload;
+
+  [[nodiscard]] bool ok() const { return status == Status::kOk; }
+  /// kOk or kDegraded: the payload is a valid instrumented dag.
+  [[nodiscard]] bool hasOutput() const {
+    return status == Status::kOk || status == Status::kDegraded;
+  }
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions options = {});
+
+  /// Connects (with backoff on ECONNREFUSED). Throws util::Error when
+  /// every attempt fails. Reconnecting an already-connected client closes
+  /// the old connection first.
+  void connect(const std::string& host, std::uint16_t port);
+
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
+  void close();
+
+  /// Writes one request frame carrying `dag_text`; returns its request
+  /// id. `trace_id` nonzero propagates that id to the server. Throws
+  /// util::Error on I/O failure.
+  std::uint64_t send(const std::string& dag_text, std::uint64_t trace_id = 0);
+
+  /// Blocks for the next response frame. Throws util::Error on protocol
+  /// violations or a connection closed mid-response.
+  Response receive();
+
+  /// send() + receive() under a "net.request" span when the client has a
+  /// tracer (the span's trace id rides the wire). The single-caller
+  /// convenience — pipelining callers use send()/receive() directly.
+  Response call(const std::string& dag_text);
+
+  /// Fetches the server's plaintext metrics snapshot ("GET /metrics")
+  /// over a throwaway connection; returns the body without HTTP headers.
+  /// Throws util::Error on connect failure or a non-200 status.
+  static std::string fetchMetrics(const std::string& host,
+                                  std::uint16_t port,
+                                  ClientOptions options = {});
+
+ private:
+  ClientOptions options_;
+  util::UniqueFd fd_;
+  FrameDecoder decoder_;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace prio::net

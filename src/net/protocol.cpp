@@ -1,0 +1,134 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace prio::net {
+
+namespace {
+
+void putU32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  putU32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  putU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t getU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t getU64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(getU32(p)) |
+         (static_cast<std::uint64_t>(getU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+const char* statusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kDegraded: return "degraded";
+    case Status::kRejected: return "rejected";
+    case Status::kShed: return "shed";
+    case Status::kFailed: return "failed";
+    case Status::kProtocolError: return "protocol_error";
+  }
+  return "unknown";
+}
+
+void encodeFrame(const Frame& frame, std::string& out,
+                 std::uint32_t max_payload) {
+  PRIO_CHECK_MSG(frame.payload.size() <= max_payload,
+                 "frame payload " << frame.payload.size()
+                                  << " bytes exceeds the " << max_payload
+                                  << "-byte cap");
+  out.reserve(out.size() + kHeaderSize + frame.payload.size());
+  putU32(out, kMagic);
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back(static_cast<char>(frame.status));
+  out.push_back(static_cast<char>(frame.flags));
+  putU64(out, frame.request_id);
+  putU64(out, frame.trace_id);
+  putU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  // Compact the consumed prefix before it dominates the buffer; amortized
+  // O(1) per byte.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameDecoder::Result FrameDecoder::next(Frame& out) {
+  if (failed_) return Result::kError;
+  if (buf_.size() - pos_ < kHeaderSize) return Result::kNeedMore;
+
+  const auto* h = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
+  const std::uint32_t magic = getU32(h);
+  if (magic != kMagic) {
+    failed_ = true;
+    error_ = "bad magic";
+    return Result::kError;
+  }
+  const std::uint8_t version = h[4];
+  if (version != kVersion) {
+    failed_ = true;
+    error_ = "unsupported protocol version " + std::to_string(version);
+    return Result::kError;
+  }
+  const std::uint8_t type = h[5];
+  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+    failed_ = true;
+    error_ = "unknown frame type " + std::to_string(type);
+    return Result::kError;
+  }
+  const std::uint8_t status = h[6];
+  if (status > static_cast<std::uint8_t>(Status::kProtocolError)) {
+    failed_ = true;
+    error_ = "unknown status " + std::to_string(status);
+    return Result::kError;
+  }
+  const std::uint8_t flags = h[7];
+  if (flags != 0) {
+    failed_ = true;
+    error_ = "nonzero reserved flags";
+    return Result::kError;
+  }
+  // The length is validated BEFORE waiting for the payload, so a corrupt
+  // prefix fails fast instead of stalling the connection forever.
+  const std::uint32_t len = getU32(h + 24);
+  if (len > max_payload_) {
+    failed_ = true;
+    error_ = "payload of " + std::to_string(len) + " bytes exceeds the " +
+             std::to_string(max_payload_) + "-byte cap";
+    return Result::kError;
+  }
+  if (buf_.size() - pos_ < kHeaderSize + len) return Result::kNeedMore;
+
+  out.type = static_cast<FrameType>(type);
+  out.status = static_cast<Status>(status);
+  out.flags = flags;
+  out.request_id = getU64(h + 8);
+  out.trace_id = getU64(h + 16);
+  out.payload.assign(buf_, pos_ + kHeaderSize, len);
+  pos_ += kHeaderSize + len;
+  return Result::kFrame;
+}
+
+}  // namespace prio::net

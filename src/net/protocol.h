@@ -1,0 +1,110 @@
+// The priod wire protocol: length-prefixed binary frames over TCP.
+//
+// Every frame is a fixed 28-byte little-endian header followed by an
+// opaque payload (DESIGN.md §11 has the full table):
+//
+//   offset  size  field
+//        0     4  magic        0x4F495250 ("PRIO" as ASCII bytes)
+//        4     1  version      kVersion (1)
+//        5     1  type         FrameType (request / response)
+//        6     1  status       Status (responses; 0 on requests)
+//        7     1  flags        reserved, must be 0
+//        8     8  request_id   caller-chosen; echoed verbatim in the
+//                              response so pipelined replies correlate
+//       16     8  trace_id     request: client trace id to adopt (0 =
+//                              none); response: the server-side trace id
+//       24     4  payload_len  bytes of payload following the header
+//
+// Request payloads carry DAGMan input-file text; response payloads carry
+// the instrumented DAGMan text (kOk / kDegraded) or an error message
+// (everything else). Payloads above kMaxPayload are a protocol error —
+// the peer replies Status::kProtocolError and closes, so a corrupt
+// length prefix can never make the server buffer gigabytes.
+//
+// Encoding is explicit byte-at-a-time little-endian, so the wire format
+// is identical across architectures and independent of struct layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace prio::net {
+
+inline constexpr std::uint32_t kMagic = 0x4F495250u;  // "PRIO"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderSize = 28;
+/// Hard payload cap (64 MiB) — larger than any plausible DAGMan file
+/// (SDSS, the paper's biggest dag, serializes to ~4 MiB).
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+enum class FrameType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+/// Response disposition. Mirrors service::RequestStatus plus the
+/// wire-only kProtocolError.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kDegraded = 1,       ///< deadline hit; payload is the fallback schedule
+  kRejected = 2,       ///< shed by admission gate or reject backpressure
+  kShed = 3,           ///< queue-wait deadline exceeded
+  kFailed = 4,         ///< parse/cycle error; payload is the message
+  kProtocolError = 5,  ///< malformed frame; connection closes after this
+};
+
+[[nodiscard]] const char* statusName(Status s);
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  Status status = Status::kOk;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;
+  std::string payload;
+};
+
+/// Appends the encoded frame to `out`. Throws util::Error when the
+/// payload exceeds `max_payload`.
+void encodeFrame(const Frame& frame, std::string& out,
+                 std::uint32_t max_payload = kMaxPayload);
+
+/// Incremental frame parser for a byte stream. Feed bytes as they
+/// arrive; next() yields complete frames without copying the stream
+/// twice. A protocol violation (bad magic, unknown version or type,
+/// nonzero reserved flags, oversized payload) latches the decoder into
+/// the error state — the connection is beyond recovery because frame
+/// boundaries are lost.
+class FrameDecoder {
+ public:
+  enum class Result {
+    kFrame,     ///< one frame extracted into `out`
+    kNeedMore,  ///< no complete frame buffered yet
+    kError,     ///< protocol violation; see error()
+  };
+
+  explicit FrameDecoder(std::uint32_t max_payload = kMaxPayload)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw bytes from the stream.
+  void feed(const char* data, std::size_t n);
+
+  /// Extracts the next complete frame. Call until kNeedMore to drain all
+  /// frames that one feed() completed.
+  [[nodiscard]] Result next(Frame& out);
+
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// Bytes buffered but not yet consumed by next().
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::uint32_t max_payload_;
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted when large
+  std::string error_;
+  bool failed_ = false;
+};
+
+}  // namespace prio::net

@@ -1,0 +1,733 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/socket.h"
+
+namespace prio::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Readiness backend: epoll where available, poll(2) everywhere. Both
+/// are level-triggered, so a handler that leaves bytes unread or
+/// unwritten is simply called again.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+  virtual ~Poller() = default;
+  virtual void add(int fd, bool read, bool write) = 0;
+  virtual void update(int fd, bool read, bool write) = 0;
+  virtual void remove(int fd) = 0;
+  /// Fills `out` with ready fds; blocks up to timeout_ms (-1 = forever).
+  virtual void wait(std::vector<Event>& out, int timeout_ms) = 0;
+};
+
+#ifdef __linux__
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : ep_(::epoll_create1(EPOLL_CLOEXEC)) {
+    PRIO_CHECK_MSG(ep_.valid(), "epoll_create1: " << std::strerror(errno));
+  }
+
+  void add(int fd, bool read, bool write) override { ctl(EPOLL_CTL_ADD, fd, read, write); }
+  void update(int fd, bool read, bool write) override { ctl(EPOLL_CTL_MOD, fd, read, write); }
+  void remove(int fd) override {
+    struct epoll_event ev {};
+    ::epoll_ctl(ep_.get(), EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  void wait(std::vector<Event>& out, int timeout_ms) override {
+    std::array<struct epoll_event, 64> evs;
+    int n;
+    do {
+      n = ::epoll_wait(ep_.get(), evs.data(), static_cast<int>(evs.size()),
+                       timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = evs[static_cast<std::size_t>(i)].data.fd;
+      const std::uint32_t m = evs[static_cast<std::size_t>(i)].events;
+      e.readable = (m & (EPOLLIN | EPOLLHUP)) != 0;
+      e.writable = (m & EPOLLOUT) != 0;
+      e.error = (m & EPOLLERR) != 0;
+      out.push_back(e);
+    }
+  }
+
+ private:
+  void ctl(int op, int fd, bool read, bool write) {
+    struct epoll_event ev {};
+    ev.data.fd = fd;
+    if (read) ev.events |= EPOLLIN;
+    if (write) ev.events |= EPOLLOUT;
+    PRIO_CHECK_MSG(::epoll_ctl(ep_.get(), op, fd, &ev) == 0,
+                   "epoll_ctl: " << std::strerror(errno));
+  }
+
+  util::UniqueFd ep_;
+};
+#endif  // __linux__
+
+class PollPoller final : public Poller {
+ public:
+  void add(int fd, bool read, bool write) override { interest_[fd] = {read, write}; }
+  void update(int fd, bool read, bool write) override { interest_[fd] = {read, write}; }
+  void remove(int fd) override { interest_.erase(fd); }
+
+  void wait(std::vector<Event>& out, int timeout_ms) override {
+    fds_.clear();
+    for (const auto& [fd, want] : interest_) {
+      short ev = 0;
+      if (want.first) ev |= POLLIN;
+      if (want.second) ev |= POLLOUT;
+      fds_.push_back({fd, ev, 0});
+    }
+    int n;
+    do {
+      n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return;
+    for (const struct pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      Event e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out.push_back(e);
+    }
+  }
+
+ private:
+  std::unordered_map<int, std::pair<bool, bool>> interest_;
+  std::vector<struct pollfd> fds_;
+};
+
+Status toWireStatus(service::RequestStatus s) {
+  switch (s) {
+    case service::RequestStatus::kOk: return Status::kOk;
+    case service::RequestStatus::kDegraded: return Status::kDegraded;
+    case service::RequestStatus::kRejected: return Status::kRejected;
+    case service::RequestStatus::kShed: return Status::kShed;
+    case service::RequestStatus::kFailed: return Status::kFailed;
+  }
+  return Status::kFailed;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  struct Connection {
+    std::uint64_t id = 0;
+    util::UniqueFd fd;
+    FrameDecoder decoder;
+    std::string out;
+    std::size_t out_pos = 0;
+    /// Protocol sniffing: kUnknown until the first bytes arrive; "GET "
+    /// selects kHttp, anything else the binary framing.
+    enum class Mode { kUnknown, kFraming, kHttp } mode = Mode::kUnknown;
+    std::string http_buf;
+    std::size_t in_flight = 0;
+    /// One decoded frame parked while the admission gate is full
+    /// (kBlock policy); reads stay paused until it dispatches.
+    std::optional<Frame> parked;
+    bool paused = false;   ///< read interest withdrawn (gate / drain)
+    bool closing = false;  ///< close once `out` flushes
+    Clock::time_point last_activity;
+
+    [[nodiscard]] bool wantWrite() const { return out_pos < out.size(); }
+  };
+
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t request_id = 0;
+    service::Reply reply;
+  };
+
+  explicit Impl(const ServerConfig& config)
+      : config_(config),
+        connections_accepted(net_registry_.counter("connections_accepted")),
+        connections_closed(net_registry_.counter("connections_closed")),
+        connections_idle_closed(
+            net_registry_.counter("connections_idle_closed")),
+        connections_refused(net_registry_.counter("connections_refused")),
+        frames_received(net_registry_.counter("frames_received")),
+        responses_sent(net_registry_.counter("responses_sent")),
+        responses_dropped(net_registry_.counter("responses_dropped")),
+        protocol_errors(net_registry_.counter("protocol_errors")),
+        gate_rejected(net_registry_.counter("gate_rejected")),
+        http_requests(net_registry_.counter("http_requests")),
+        connections_open(net_registry_.gauge("connections_open")),
+        requests_in_flight(net_registry_.gauge("requests_in_flight")),
+        service_(config.service) {
+    // Under kBlock the service's submit() blocks on a full queue; keep
+    // the gate within the queue capacity so the loop thread never can.
+    max_in_flight_ = config_.max_in_flight == 0 ? 1 : config_.max_in_flight;
+    if (config_.service.backpressure == service::BackpressurePolicy::kBlock &&
+        max_in_flight_ > config_.service.queue_capacity) {
+      max_in_flight_ = config_.service.queue_capacity;
+    }
+
+    listen_fd_ = util::socketCloexec(AF_INET, SOCK_STREAM, 0);
+    PRIO_CHECK_MSG(listen_fd_.valid(), "socket: " << std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    struct sockaddr_in addr {};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    PRIO_CHECK_MSG(
+        ::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) ==
+            1,
+        "bad bind address " << config_.bind_address);
+    PRIO_CHECK_MSG(::bind(listen_fd_.get(),
+                          reinterpret_cast<struct sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "bind " << config_.bind_address << ":" << config_.port
+                           << ": " << std::strerror(errno));
+    PRIO_CHECK_MSG(::listen(listen_fd_.get(), 128) == 0,
+                   "listen: " << std::strerror(errno));
+    PRIO_CHECK(util::setNonBlocking(listen_fd_.get()));
+
+    struct sockaddr_in bound {};
+    socklen_t len = sizeof(bound);
+    PRIO_CHECK(::getsockname(listen_fd_.get(),
+                             reinterpret_cast<struct sockaddr*>(&bound),
+                             &len) == 0);
+    bound_port_ = ntohs(bound.sin_port);
+
+    int pipefd[2];
+    PRIO_CHECK_MSG(::pipe(pipefd) == 0, "pipe: " << std::strerror(errno));
+    wake_r_.reset(pipefd[0]);
+    wake_w_.reset(pipefd[1]);
+    PRIO_CHECK(util::setNonBlocking(wake_r_.get()));
+    PRIO_CHECK(util::setNonBlocking(wake_w_.get()));
+    util::setCloexec(wake_r_.get());
+    util::setCloexec(wake_w_.get());
+  }
+
+  // ------------------------------------------------------------- loop
+
+  void run() {
+#ifdef __linux__
+    if (config_.use_epoll) {
+      poller_ = std::make_unique<EpollPoller>();
+    } else {
+      poller_ = std::make_unique<PollPoller>();
+    }
+#else
+    poller_ = std::make_unique<PollPoller>();
+#endif
+    poller_->add(listen_fd_.get(), /*read=*/true, /*write=*/false);
+    poller_->add(wake_r_.get(), /*read=*/true, /*write=*/false);
+
+    std::vector<Poller::Event> events;
+    while (true) {
+      // Finer ticks only when a timer could fire; otherwise wakes come
+      // from sockets and the completion pipe.
+      const int timeout_ms =
+          (config_.idle_timeout_s > 0.0 || draining_) ? 50 : 1000;
+      events.clear();
+      poller_->wait(events, timeout_ms);
+
+      for (const Poller::Event& e : events) {
+        if (e.fd == wake_r_.get()) {
+          drainWakePipe();
+        } else if (e.fd == listen_fd_.get()) {
+          if (!draining_) acceptAll();
+        } else {
+          // The connection may have been closed by an earlier event in
+          // this same batch.
+          auto it = conns_by_fd_.find(e.fd);
+          if (it == conns_by_fd_.end()) continue;
+          Connection* conn = it->second.get();
+          if (e.error) {
+            closeConn(conn);
+            continue;
+          }
+          if (e.writable && !flushConn(conn)) continue;
+          if (e.readable) handleRead(conn);
+        }
+      }
+
+      drainCompletions();
+      if (!draining_) resumePaused();
+      if (config_.idle_timeout_s > 0.0 && !draining_) closeIdle();
+
+      if (stop_requested_.load(std::memory_order_relaxed) && !draining_) {
+        beginDrain();
+      }
+      if (draining_ && drainComplete()) break;
+    }
+
+    // Point-of-no-return cleanup: anything still connected is dropped.
+    for (auto& [fd, conn] : conns_by_fd_) poller_->remove(fd);
+    conns_by_fd_.clear();
+    conns_by_id_.clear();
+    connections_open.set(0);
+    poller_.reset();
+  }
+
+  void requestStop() noexcept {
+    stop_requested_.store(true, std::memory_order_relaxed);
+    const char byte = 1;
+    // Async-signal-safe wake; EAGAIN means a wake is already pending.
+    (void)!::write(wake_w_.get(), &byte, 1);
+  }
+
+  // ------------------------------------------------------ connections
+
+  void acceptAll() {
+    for (;;) {
+      const int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
+      if (raw < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or transient accept failure: try next round
+      }
+      util::UniqueFd fd(raw);
+      if (conns_by_fd_.size() >= config_.max_connections) {
+        connections_refused.add();
+        continue;  // fd closes on scope exit
+      }
+      util::setCloexec(fd.get());
+      if (!util::setNonBlocking(fd.get())) {
+        connections_refused.add();
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+      auto conn = std::make_unique<Connection>();
+      conn->id = next_conn_id_++;
+      conn->fd = std::move(fd);
+      conn->decoder = FrameDecoder(config_.max_payload);
+      conn->last_activity = Clock::now();
+      poller_->add(conn->fd.get(), /*read=*/true, /*write=*/false);
+      connections_accepted.add();
+      conns_by_id_[conn->id] = conn.get();
+      conns_by_fd_[conn->fd.get()] = std::move(conn);
+      connections_open.set(conns_by_fd_.size());
+    }
+  }
+
+  void closeConn(Connection* conn) {
+    poller_->remove(conn->fd.get());
+    conns_by_id_.erase(conn->id);
+    connections_closed.add();
+    conns_by_fd_.erase(conn->fd.get());  // destroys conn, closes fd
+    connections_open.set(conns_by_fd_.size());
+  }
+
+  void updateInterest(Connection* conn) {
+    const bool read = !conn->paused && !conn->closing && !draining_;
+    poller_->update(conn->fd.get(), read, conn->wantWrite());
+  }
+
+  /// Flushes buffered output. False when the connection was closed.
+  bool flushConn(Connection* conn) {
+    while (conn->wantWrite()) {
+      const long w =
+          util::writeSome(conn->fd.get(), conn->out.data() + conn->out_pos,
+                          conn->out.size() - conn->out_pos);
+      if (w < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          updateInterest(conn);
+          return true;
+        }
+        closeConn(conn);
+        return false;
+      }
+      conn->out_pos += static_cast<std::size_t>(w);
+      conn->last_activity = Clock::now();
+    }
+    conn->out.clear();
+    conn->out_pos = 0;
+    if (conn->closing) {
+      closeConn(conn);
+      return false;
+    }
+    updateInterest(conn);
+    return true;
+  }
+
+  void handleRead(Connection* conn) {
+    char buf[kReadChunk];
+    for (;;) {
+      const long r = util::readSome(conn->fd.get(), buf, sizeof(buf));
+      if (r < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        closeConn(conn);
+        return;
+      }
+      if (r == 0) {
+        // EOF. Any in-flight replies have nowhere to go; dropping the
+        // connection now makes their completions no-ops.
+        closeConn(conn);
+        return;
+      }
+      conn->last_activity = Clock::now();
+      if (conn->mode == Connection::Mode::kUnknown) {
+        sniffProtocol(conn, buf, static_cast<std::size_t>(r));
+      }
+      if (conn->mode == Connection::Mode::kHttp) {
+        conn->http_buf.append(buf, static_cast<std::size_t>(r));
+        if (!maybeServeHttp(conn)) return;
+      } else {
+        conn->decoder.feed(buf, static_cast<std::size_t>(r));
+        if (!processFrames(conn)) return;
+        if (conn->paused) return;  // gate full: leave the rest unread
+      }
+    }
+  }
+
+  void sniffProtocol(Connection* conn, const char* data, std::size_t n) {
+    // Enough bytes always arrive at once in practice; a frame's first
+    // byte is 0x50 ('P'), so a 1-byte "G" prefix is also decisive.
+    conn->mode = (n > 0 && data[0] == 'G') ? Connection::Mode::kHttp
+                                           : Connection::Mode::kFraming;
+  }
+
+  /// Serves the /metrics snapshot once the request head is complete.
+  /// False when the connection was closed.
+  bool maybeServeHttp(Connection* conn) {
+    if (conn->http_buf.find("\r\n\r\n") == std::string::npos &&
+        conn->http_buf.find("\n\n") == std::string::npos) {
+      if (conn->http_buf.size() > 64 * 1024) {
+        closeConn(conn);
+        return false;
+      }
+      return true;
+    }
+    http_requests.add();
+    std::istringstream head(conn->http_buf);
+    std::string method, path;
+    head >> method >> path;
+    std::string body;
+    const char* status_line;
+    if (method == "GET" && (path == "/metrics" || path == "/metrics/")) {
+      std::ostringstream out;
+      writeMetricsText(out);
+      body = std::move(out).str();
+      status_line = "HTTP/1.0 200 OK";
+    } else {
+      body = "only GET /metrics is served here\n";
+      status_line = "HTTP/1.0 404 Not Found";
+    }
+    conn->out.append(status_line);
+    conn->out.append(
+        "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
+        "\r\nContent-Length: " +
+        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n");
+    conn->out.append(body);
+    conn->closing = true;
+    conn->paused = true;
+    updateInterest(conn);
+    return flushConn(conn);
+  }
+
+  /// Decodes and dispatches frames until the buffer runs dry, the gate
+  /// pauses the connection, or a protocol error ends it. False when the
+  /// connection was closed.
+  bool processFrames(Connection* conn) {
+    while (!conn->paused && !draining_) {
+      Frame frame;
+      switch (conn->decoder.next(frame)) {
+        case FrameDecoder::Result::kNeedMore:
+          return true;
+        case FrameDecoder::Result::kError: {
+          protocol_errors.add();
+          Frame err;
+          err.type = FrameType::kResponse;
+          err.status = Status::kProtocolError;
+          err.payload = conn->decoder.error();
+          encodeFrame(err, conn->out, config_.max_payload);
+          conn->closing = true;
+          conn->paused = true;
+          updateInterest(conn);
+          return flushConn(conn);
+        }
+        case FrameDecoder::Result::kFrame:
+          break;
+      }
+      if (frame.type != FrameType::kRequest) {
+        protocol_errors.add();
+        Frame err;
+        err.type = FrameType::kResponse;
+        err.status = Status::kProtocolError;
+        err.request_id = frame.request_id;
+        err.payload = "expected a request frame";
+        encodeFrame(err, conn->out, config_.max_payload);
+        conn->closing = true;
+        conn->paused = true;
+        updateInterest(conn);
+        return flushConn(conn);
+      }
+      frames_received.add();
+      if (in_flight_ >= max_in_flight_) {
+        if (config_.service.backpressure ==
+            service::BackpressurePolicy::kReject) {
+          gate_rejected.add();
+          Frame rej;
+          rej.type = FrameType::kResponse;
+          rej.status = Status::kRejected;
+          rej.request_id = frame.request_id;
+          rej.payload = "admission gate full";
+          encodeFrame(rej, conn->out, config_.max_payload);
+          if (!flushConn(conn)) return false;
+          continue;
+        }
+        // kBlock: park the frame and stop reading this connection; the
+        // unread bytes stay in the kernel buffer and TCP flow control
+        // pushes back on the client.
+        conn->parked = std::move(frame);
+        conn->paused = true;
+        updateInterest(conn);
+        return true;
+      }
+      dispatch(conn, std::move(frame));
+    }
+    return true;
+  }
+
+  void dispatch(Connection* conn, Frame frame) {
+    ++in_flight_;
+    ++conn->in_flight;
+    requests_in_flight.set(in_flight_);
+    service::TextRequest request;
+    request.dag_text = std::move(frame.payload);
+    request.trace_id = frame.trace_id;
+    service_.submitCallback(
+        std::move(request),
+        [this, conn_id = conn->id,
+         request_id = frame.request_id](service::Reply reply) {
+          {
+            std::lock_guard<std::mutex> lock(completions_mu_);
+            completions_.push_back(
+                Completion{conn_id, request_id, std::move(reply)});
+          }
+          const char byte = 1;
+          (void)!::write(wake_w_.get(), &byte, 1);
+        });
+  }
+
+  void drainWakePipe() {
+    char buf[256];
+    while (util::readSome(wake_r_.get(), buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void drainCompletions() {
+    std::vector<Completion> batch;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      batch.swap(completions_);
+    }
+    for (Completion& c : batch) {
+      --in_flight_;
+      auto it = conns_by_id_.find(c.conn_id);
+      if (it == conns_by_id_.end()) {
+        responses_dropped.add();
+        continue;
+      }
+      Connection* conn = it->second;
+      --conn->in_flight;
+      Frame resp;
+      resp.type = FrameType::kResponse;
+      resp.status = toWireStatus(c.reply.status);
+      resp.request_id = c.request_id;
+      resp.trace_id = c.reply.trace_id;
+      resp.payload = (c.reply.status == service::RequestStatus::kOk ||
+                      c.reply.status == service::RequestStatus::kDegraded)
+                         ? std::move(c.reply.output)
+                         : (c.reply.error.empty()
+                                ? std::string(statusName(resp.status))
+                                : std::move(c.reply.error));
+      encodeFrame(resp, conn->out, config_.max_payload);
+      responses_sent.add();
+      flushConn(conn);
+    }
+    requests_in_flight.set(in_flight_);
+  }
+
+  /// Re-opens gated connections while the gate has room: the parked
+  /// frame dispatches first, then buffered frames, then socket reads.
+  void resumePaused() {
+    if (in_flight_ >= max_in_flight_) return;
+    // Ids, not iterators: processFrames() can close connections, which
+    // erases from the map being walked.
+    std::vector<std::uint64_t> paused;
+    for (const auto& [fd, conn] : conns_by_fd_) {
+      if (conn->paused && !conn->closing) paused.push_back(conn->id);
+    }
+    for (const std::uint64_t id : paused) {
+      auto it = conns_by_id_.find(id);
+      if (it == conns_by_id_.end()) continue;
+      Connection* conn = it->second;
+      if (conn->parked.has_value()) {
+        if (in_flight_ >= max_in_flight_) return;
+        Frame frame = std::move(*conn->parked);
+        conn->parked.reset();
+        dispatch(conn, std::move(frame));
+      }
+      conn->paused = false;
+      updateInterest(conn);
+      processFrames(conn);
+    }
+  }
+
+  void closeIdle() {
+    const auto cutoff =
+        Clock::now() - std::chrono::duration<double>(config_.idle_timeout_s);
+    std::vector<Connection*> idle;
+    for (auto& [fd, conn] : conns_by_fd_) {
+      if (conn->in_flight == 0 && !conn->wantWrite() &&
+          conn->last_activity < std::chrono::time_point_cast<Clock::duration>(
+                                    cutoff)) {
+        idle.push_back(conn.get());
+      }
+    }
+    for (Connection* conn : idle) {
+      connections_idle_closed.add();
+      closeConn(conn);
+    }
+  }
+
+  void beginDrain() {
+    draining_ = true;
+    drain_deadline_ = Clock::now() +
+                      std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(
+                              config_.drain_timeout_s));
+    poller_->remove(listen_fd_.get());
+    for (auto& [fd, conn] : conns_by_fd_) updateInterest(conn.get());
+  }
+
+  [[nodiscard]] bool drainComplete() {
+    if (Clock::now() >= drain_deadline_) return true;
+    if (in_flight_ != 0) return false;
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      if (!completions_.empty()) return false;
+    }
+    for (const auto& [fd, conn] : conns_by_fd_) {
+      if (conn->wantWrite()) return false;
+    }
+    return true;
+  }
+
+  void writeMetricsText(std::ostream& out) {
+    service_.writePrometheusText(out);
+    net_registry_.snapshot().writePrometheus(out, "prio_net_");
+  }
+
+  // ------------------------------------------------------------ state
+
+  ServerConfig config_;
+  obs::Registry net_registry_;
+  obs::Counter& connections_accepted;
+  obs::Counter& connections_closed;
+  obs::Counter& connections_idle_closed;
+  obs::Counter& connections_refused;
+  obs::Counter& frames_received;
+  obs::Counter& responses_sent;
+  obs::Counter& responses_dropped;
+  obs::Counter& protocol_errors;
+  obs::Counter& gate_rejected;
+  obs::Counter& http_requests;
+  obs::Gauge& connections_open;
+  obs::Gauge& requests_in_flight;
+
+  std::size_t max_in_flight_ = 1;
+  util::UniqueFd listen_fd_;
+  util::UniqueFd wake_r_;
+  util::UniqueFd wake_w_;
+  std::uint16_t bound_port_ = 0;
+  std::unique_ptr<Poller> poller_;
+
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns_by_fd_;
+  std::unordered_map<std::uint64_t, Connection*> conns_by_id_;
+  std::size_t in_flight_ = 0;  ///< loop-thread only
+
+  std::atomic<bool> stop_requested_{false};
+  bool draining_ = false;
+  Clock::time_point drain_deadline_{};
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  /// Declared last so it is destroyed first: the destructor joins the
+  /// workers while the wake pipe their completion callbacks write to is
+  /// still open.
+  service::PrioService service_;
+};
+
+Server::Server(const ServerConfig& config)
+    : impl_(std::make_unique<Impl>(config)) {}
+
+Server::~Server() = default;
+
+std::uint16_t Server::port() const { return impl_->bound_port_; }
+
+void Server::run() { impl_->run(); }
+
+void Server::requestStop() noexcept { impl_->requestStop(); }
+
+service::PrioService& Server::service() { return impl_->service_; }
+const service::PrioService& Server::service() const {
+  return impl_->service_;
+}
+
+void Server::writeMetricsText(std::ostream& out) {
+  impl_->writeMetricsText(out);
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections_accepted = impl_->connections_accepted.get();
+  s.connections_closed = impl_->connections_closed.get();
+  s.connections_idle_closed = impl_->connections_idle_closed.get();
+  s.connections_refused = impl_->connections_refused.get();
+  s.frames_received = impl_->frames_received.get();
+  s.responses_sent = impl_->responses_sent.get();
+  s.responses_dropped = impl_->responses_dropped.get();
+  s.protocol_errors = impl_->protocol_errors.get();
+  s.gate_rejected = impl_->gate_rejected.get();
+  s.http_requests = impl_->http_requests.get();
+  return s;
+}
+
+}  // namespace net

@@ -1,0 +1,118 @@
+// The priod TCP server: a single-threaded, non-blocking event loop that
+// exposes a PrioService over the framed wire protocol (net/protocol.h).
+//
+// Architecture (DESIGN.md §11):
+//   - One event-loop thread owns every socket. It accepts connections,
+//     decodes request frames, and submits them to the PrioService via
+//     submitCallback(); worker threads push completed Replies onto a
+//     completion queue and wake the loop through a self-pipe, so replies
+//     are serialized back onto their connection without any socket ever
+//     being touched from two threads.
+//   - Readiness comes from epoll on Linux (level-triggered) with a
+//     portable poll(2) backend behind the same interface; ServerConfig::
+//     use_epoll=false forces the fallback (both are exercised in tests).
+//   - Per-connection state machine: FRAMING connections run the binary
+//     protocol; a connection whose first bytes are "GET " flips to HTTP
+//     mode and is served one plaintext Prometheus snapshot ("GET
+//     /metrics"), then closed. Reads and writes are fully buffered —
+//     a slow client never blocks the loop.
+//   - Admission gate: at most max_in_flight requests may be inside the
+//     service at once, mapping the service's backpressure policy onto
+//     the socket: under kBlock a full gate pauses reading from the
+//     connection (TCP backpressure reaches the client); under kReject
+//     the request is answered Status::kRejected immediately. Requests
+//     that make it past the gate inherit the service's queue-wait
+//     shedding (kShed) and compute-deadline degradation (kDegraded, via
+//     the CancelToken armed by ServiceConfig::compute_deadline_s).
+//   - Graceful drain: requestStop() (async-signal-safe; call it from a
+//     SIGTERM handler) closes the listener, stops decoding new frames,
+//     lets in-flight requests finish and flushes their responses, then
+//     returns from run(). drain_timeout_s bounds how long a stuck client
+//     can hold the process up.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "net/protocol.h"
+#include "service/service.h"
+
+namespace prio::net {
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the choice back with Server::port().
+  std::uint16_t port = 0;
+  /// Configuration of the owned PrioService (threads, queue, cache,
+  /// deadlines, backpressure policy — which also selects the gate's
+  /// pause-vs-reject behaviour).
+  service::ServiceConfig service;
+  /// Hard cap on simultaneous connections; extras are accepted and
+  /// immediately closed.
+  std::size_t max_connections = 1024;
+  /// Admission gate: requests in flight inside the service across all
+  /// connections. Under kBlock backpressure the effective gate is capped
+  /// at the service queue capacity so submissions never block the loop.
+  std::size_t max_in_flight = 256;
+  /// Close connections with no traffic and no pending work for this
+  /// long (0 = never).
+  double idle_timeout_s = 0.0;
+  /// Upper bound on the graceful-drain phase of run().
+  double drain_timeout_s = 5.0;
+  /// Per-frame payload cap (protocol error beyond it).
+  std::uint32_t max_payload = kMaxPayload;
+  /// False forces the poll(2) backend even where epoll is available.
+  bool use_epoll = true;
+};
+
+class Server {
+ public:
+  /// Binds and listens (throws util::Error on failure) but does not
+  /// serve until run().
+  explicit Server(const ServerConfig& config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (the ephemeral choice when config.port was 0).
+  [[nodiscard]] std::uint16_t port() const;
+
+  /// Serves until requestStop(); returns after the graceful drain.
+  /// Call from exactly one thread.
+  void run();
+
+  /// Initiates shutdown. Async-signal-safe and idempotent; callable from
+  /// any thread or from a signal handler.
+  void requestStop() noexcept;
+
+  /// The backing service (metrics, cache introspection).
+  [[nodiscard]] service::PrioService& service();
+  [[nodiscard]] const service::PrioService& service() const;
+
+  /// The body of the HTTP /metrics endpoint: the service's Prometheus
+  /// snapshot followed by the server's own prio_net_* series.
+  void writeMetricsText(std::ostream& out);
+
+  /// Server-side counters, readable from any thread.
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_closed = 0;
+    std::uint64_t connections_idle_closed = 0;
+    std::uint64_t connections_refused = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t responses_sent = 0;
+    std::uint64_t responses_dropped = 0;  ///< connection died before reply
+    std::uint64_t protocol_errors = 0;
+    std::uint64_t gate_rejected = 0;  ///< admission gate, kReject policy
+    std::uint64_t http_requests = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace prio::net

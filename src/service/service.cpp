@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <ostream>
+#include <sstream>
 #include <type_traits>
 #include <utility>
 
@@ -129,28 +130,57 @@ void PrioService::serveFile(const FileRequest& request, Reply& reply,
   }
 }
 
+void PrioService::serveText(const TextRequest& request, Reply& reply,
+                            const obs::TraceContext& trace) {
+  util::fault::checkpoint("service.parse");
+  dagman::DagmanFile file = [&] {
+    obs::Span span(trace, "service.parse");
+    std::istringstream in(request.dag_text);
+    return dagman::DagmanFile::parse(in);
+  }();
+  if (file.hasDoneJobs()) {
+    std::vector<std::size_t> job_of_node;
+    const dag::Digraph g = file.toPendingDigraph(&job_of_node);
+    serveDigraph(g, reply, trace);
+    dagman::instrumentPendingJobs(file, reply.result->priority, job_of_node);
+  } else {
+    const dag::Digraph g = file.toDigraph();
+    serveDigraph(g, reply, trace);
+    dagman::instrumentDagmanFile(file, reply.result->priority);
+  }
+  std::ostringstream out;
+  file.write(out);
+  reply.output = std::move(out).str();
+}
+
 namespace {
 
 const std::string& sourceOf(const FileRequest& r) { return r.input_path; }
 std::string sourceOf(const dag::Digraph&) { return {}; }
+std::string sourceOf(const TextRequest&) { return {}; }
+
+std::uint64_t adoptedTraceId(const FileRequest&) { return 0; }
+std::uint64_t adoptedTraceId(const dag::Digraph&) { return 0; }
+std::uint64_t adoptedTraceId(const TextRequest& r) { return r.trace_id; }
 
 }  // namespace
 
 template <typename Request>
-std::future<Reply> PrioService::enqueue(Request request) {
+void PrioService::enqueueWith(Request request,
+                              std::function<void(Reply)> complete) {
   metrics_.requests_submitted.add();
 
-  // std::function must be copyable, so the promise and the request live
-  // behind a shared_ptr. The stopwatch starts here: latency_s includes
-  // queue wait.
+  // std::function must be copyable, so the completion and the request
+  // live behind a shared_ptr. The stopwatch starts here: latency_s
+  // includes queue wait.
   struct Holder {
     util::Stopwatch watch;
-    std::promise<Reply> promise;
+    std::function<void(Reply)> complete;
     Request request;
   };
   auto holder = std::make_shared<Holder>();
   holder->request = std::move(request);
-  std::future<Reply> future = holder->promise.get_future();
+  holder->complete = std::move(complete);
 
   auto task = [this, holder] {
     Reply reply;
@@ -163,17 +193,21 @@ std::future<Reply> PrioService::enqueue(Request request) {
       metrics_.requests_shed.add();
       reply.latency_s = holder->watch.elapsedSeconds();
       metrics_.latency_total.record(reply.latency_s);
-      holder->promise.set_value(std::move(reply));
+      holder->complete(std::move(reply));
       return;
     }
     try {
-      // One trace per request: a fresh trace id and a "service.request"
-      // root span whose children are the parse/fingerprint/pipeline
-      // spans, recorded from whichever worker thread runs the task.
-      const obs::TraceContext trace = beginRequestTrace();
+      // One trace per request: a fresh trace id (or the wire-propagated
+      // one for text requests) and a "service.request" root span whose
+      // children are the parse/fingerprint/pipeline spans, recorded from
+      // whichever worker thread runs the task.
+      const obs::TraceContext trace =
+          beginRequestTrace(adoptedTraceId(holder->request));
       obs::Span span(trace, "service.request");
       if constexpr (std::is_same_v<Request, FileRequest>) {
         serveFile(holder->request, reply, span.context());
+      } else if constexpr (std::is_same_v<Request, TextRequest>) {
+        serveText(holder->request, reply, span.context());
       } else {
         serveDigraph(holder->request, reply, span.context());
       }
@@ -193,7 +227,7 @@ std::future<Reply> PrioService::enqueue(Request request) {
     reply.latency_s = holder->watch.elapsedSeconds();
     metrics_.latency_total.record(reply.latency_s);
     if (reply.cache_hit) metrics_.latency_cache_hit.record(reply.latency_s);
-    holder->promise.set_value(std::move(reply));
+    holder->complete(std::move(reply));
   };
 
   const bool accepted = config_.backpressure == BackpressurePolicy::kBlock
@@ -205,8 +239,17 @@ std::future<Reply> PrioService::enqueue(Request request) {
     reply.status = RequestStatus::kRejected;
     reply.source = sourceOf(holder->request);
     reply.latency_s = holder->watch.elapsedSeconds();
-    holder->promise.set_value(std::move(reply));
+    holder->complete(std::move(reply));
   }
+}
+
+template <typename Request>
+std::future<Reply> PrioService::enqueue(Request request) {
+  auto promise = std::make_shared<std::promise<Reply>>();
+  std::future<Reply> future = promise->get_future();
+  enqueueWith(std::move(request), [promise](Reply reply) {
+    promise->set_value(std::move(reply));
+  });
   return future;
 }
 
@@ -216,6 +259,15 @@ std::future<Reply> PrioService::submit(dag::Digraph g) {
 
 std::future<Reply> PrioService::submit(FileRequest request) {
   return enqueue(std::move(request));
+}
+
+std::future<Reply> PrioService::submit(TextRequest request) {
+  return enqueue(std::move(request));
+}
+
+void PrioService::submitCallback(TextRequest request,
+                                 std::function<void(Reply)> done) {
+  enqueueWith(std::move(request), std::move(done));
 }
 
 std::vector<std::future<Reply>> PrioService::submitBatch(

@@ -38,6 +38,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -110,6 +111,9 @@ struct Reply {
   std::string source;
   /// Error message when status == kFailed.
   std::string error;
+  /// For text requests (the wire-protocol path): the instrumented DAGMan
+  /// file serialized back to text. Empty for digraph/file requests.
+  std::string output;
   /// kFailed only: the error was transient (util::TransientError) and a
   /// resubmission may succeed — what prio_serve's retry loop keys on.
   bool transient = false;
@@ -130,6 +134,18 @@ struct FileRequest {
   std::string output_path;
 };
 
+/// An in-memory DAGMan-text request — the wire-protocol path (src/net/):
+/// parse `dag_text`, prioritize, and serialize the instrumented file into
+/// Reply::output. Rescue dags (DONE jobs) are handled exactly as in file
+/// requests. No filesystem access on the worker.
+struct TextRequest {
+  std::string dag_text;
+  /// Nonzero adopts this trace id for the request's span tree instead of
+  /// allocating a fresh one — how a client-side trace id propagates
+  /// across the wire into the server's TraceContext.
+  std::uint64_t trace_id = 0;
+};
+
 class PrioService {
  public:
   explicit PrioService(const ServiceConfig& config = {});
@@ -146,6 +162,16 @@ class PrioService {
 
   /// Submits one DAGMan file request.
   std::future<Reply> submit(FileRequest request);
+
+  /// Submits one DAGMan-text request (the wire-protocol path).
+  std::future<Reply> submit(TextRequest request);
+
+  /// Callback flavor of submit(TextRequest) for event-driven callers (the
+  /// net server, which cannot block on futures). `done` runs exactly once:
+  /// on the worker thread that completed the request, or on the calling
+  /// thread when a full queue rejects it under kReject. It must be cheap
+  /// and must not throw — typically it hands the Reply to an event loop.
+  void submitCallback(TextRequest request, std::function<void(Reply)> done);
 
   /// Batch submission, in order. Under kBlock the call blocks until the
   /// whole batch is enqueued; replies complete as workers finish.
@@ -189,11 +215,14 @@ class PrioService {
     return hw == 0 ? 1 : hw;
   }
 
-  /// One fresh per-request trace context (a new trace id) when the
-  /// service has a tracer, the disabled context otherwise.
-  [[nodiscard]] obs::TraceContext beginRequestTrace() const {
-    return config_.tracer != nullptr ? config_.tracer->beginTrace()
-                                     : obs::TraceContext{};
+  /// One per-request trace context when the service has a tracer, the
+  /// disabled context otherwise. `adopt_id` nonzero reuses a caller-
+  /// provided (wire-propagated) trace id instead of allocating fresh.
+  [[nodiscard]] obs::TraceContext beginRequestTrace(
+      std::uint64_t adopt_id = 0) const {
+    if (config_.tracer == nullptr) return obs::TraceContext{};
+    return adopt_id != 0 ? obs::TraceContext(config_.tracer, adopt_id)
+                         : config_.tracer->beginTrace();
   }
 
   /// Fingerprint + cache lookup + compute-on-miss. Fills everything in
@@ -205,6 +234,16 @@ class PrioService {
   /// Full file pipeline (parse, serve, instrument, write).
   void serveFile(const FileRequest& request, Reply& reply,
                  const obs::TraceContext& trace);
+  /// Full text pipeline (parse, serve, instrument, serialize to
+  /// Reply::output).
+  void serveText(const TextRequest& request, Reply& reply,
+                 const obs::TraceContext& trace);
+
+  /// Shared submission path: runs `request` on the pool and delivers the
+  /// Reply through `complete` (worker thread, or the calling thread on
+  /// rejection).
+  template <typename Request>
+  void enqueueWith(Request request, std::function<void(Reply)> complete);
 
   template <typename Request>
   std::future<Reply> enqueue(Request request);

@@ -1,0 +1,158 @@
+// RAII file-descriptor ownership and EINTR-safe I/O helpers for the
+// network layer (src/net/).
+//
+// UniqueFd is to a POSIX fd what unique_ptr is to heap memory: move-only
+// ownership, closed exactly once on destruction. Sockets are created
+// close-on-exec (SOCK_CLOEXEC) so a fork+exec elsewhere in the process
+// never leaks a connection.
+//
+// readSome()/writeSome() wrap read()/write() in the canonical EINTR
+// retry loop: a signal that interrupts the syscall before any bytes move
+// must restart it, not surface a phantom error. Both carry a fault-
+// injection site ("net.read", "net.write" — see util/fault_injection.h):
+// a plan of Kind::kThrowTransient fires as a *synthetic EINTR*, so tests
+// drive the retry loop deterministically without real signals; any other
+// plan kind propagates as usual (a hard injected I/O failure).
+//
+// Close intentionally does NOT retry on EINTR: on Linux the descriptor
+// is released even when close() returns EINTR, and retrying can close a
+// descriptor that another thread has already been handed.
+#pragma once
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+
+#include "util/fault_injection.h"
+
+namespace prio::util {
+
+/// Move-only owner of one POSIX file descriptor.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept {
+    if (fd_ >= 0) ::close(fd_);  // no EINTR retry; see file comment
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// socket(2) with SOCK_CLOEXEC folded in. Invalid UniqueFd on failure
+/// (errno set).
+[[nodiscard]] inline UniqueFd socketCloexec(int domain, int type,
+                                           int protocol) {
+  return UniqueFd(::socket(domain, type | SOCK_CLOEXEC, protocol));
+}
+
+/// Puts `fd` into non-blocking mode. False on failure (errno set).
+inline bool setNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Sets FD_CLOEXEC on `fd` (for descriptors not created *_CLOEXEC, e.g.
+/// accept() on kernels without accept4). False on failure.
+inline bool setCloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+namespace detail {
+
+/// Consults the named fault site; true means "pretend the syscall was
+/// interrupted" (errno = EINTR). Kind::kThrowTransient is the synthetic
+/// EINTR; other armed kinds throw through to the caller.
+inline bool injectedEintr(const char* site) {
+  try {
+    fault::checkpoint(site);
+  } catch (const TransientError&) {
+    errno = EINTR;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// read(2) retried on EINTR (real or injected via site "net.read").
+/// Returns bytes read (0 = EOF) or -1 with errno set (EAGAIN/EWOULDBLOCK
+/// included — non-blocking callers handle those themselves).
+inline long readSome(int fd, void* buf, std::size_t n) {
+  for (;;) {
+    if (detail::injectedEintr("net.read")) continue;
+    const long r = ::read(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+/// write(2) retried on EINTR (real or injected via site "net.write").
+/// Returns bytes written or -1 with errno set.
+inline long writeSome(int fd, const void* buf, std::size_t n) {
+  for (;;) {
+    if (detail::injectedEintr("net.write")) continue;
+    const long r = ::write(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+/// Writes all `n` bytes to a BLOCKING descriptor, absorbing short writes
+/// and EINTR. False on error (errno set).
+inline bool writeAll(int fd, const void* buf, std::size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    const long w = writeSome(fd, p, n);
+    if (w <= 0) return false;
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Reads exactly `n` bytes from a BLOCKING descriptor unless EOF or an
+/// error intervenes. Returns bytes read (< n means EOF), or -1 on error.
+inline long readFull(int fd, void* buf, std::size_t n) {
+  char* p = static_cast<char*>(buf);
+  std::size_t got = 0;
+  while (got < n) {
+    const long r = readSome(fd, p + got, n - got);
+    if (r < 0) return -1;
+    if (r == 0) break;
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<long>(got);
+}
+
+}  // namespace prio::util

@@ -235,4 +235,22 @@ TEST(DagmanFile, FileRoundTripOnDisk) {
   fs::remove_all(dir);
 }
 
+// A directory "opens" fine on Linux and reads as empty without setting
+// badbit; parseFile used to return a zero-job dag for it (and prio_serve
+// reported success for a manifest entry naming a directory). It must be
+// a parse failure.
+TEST(DagmanFile, ParseFileRejectsDirectory) {
+  const fs::path dir = fs::temp_directory_path() / "prio_test_dag_dir";
+  fs::create_directories(dir);
+  EXPECT_THROW(DagmanFile::parseFile(dir.string()), prio::util::Error);
+  fs::remove_all(dir);
+}
+
+TEST(DagmanFile, ParseFileRejectsMissingPath) {
+  EXPECT_THROW(
+      DagmanFile::parseFile((fs::temp_directory_path() /
+                             "prio_test_no_such_file.dag").string()),
+      prio::util::Error);
+}
+
 }  // namespace
