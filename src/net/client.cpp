@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -31,11 +32,29 @@ util::UniqueFd connectOnce(const std::string& host, std::uint16_t port) {
     errno = EINVAL;
     return {};
   }
-  int rc;
-  do {
-    rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
-                   sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
+  int rc = ::connect(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINTR) {
+    // A connect interrupted by a signal keeps going asynchronously, and
+    // re-calling connect() reports EALREADY rather than the outcome.
+    // Wait for writability and harvest the result from SO_ERROR.
+    struct pollfd pfd {fd.get(), POLLOUT, 0};
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, -1);
+    } while (pr < 0 && errno == EINTR);
+    if (pr <= 0) return {};
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      return {};
+    }
+    if (err != 0) {
+      errno = err;
+      return {};
+    }
+    rc = 0;
+  }
   if (rc != 0) return {};
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -186,6 +186,7 @@ struct Server::Impl {
         frames_received(net_registry_.counter("frames_received")),
         responses_sent(net_registry_.counter("responses_sent")),
         responses_dropped(net_registry_.counter("responses_dropped")),
+        responses_oversized(net_registry_.counter("responses_oversized")),
         protocol_errors(net_registry_.counter("protocol_errors")),
         gate_rejected(net_registry_.counter("gate_rejected")),
         http_requests(net_registry_.counter("http_requests")),
@@ -408,8 +409,10 @@ struct Server::Impl {
       } else {
         conn->decoder.feed(buf, static_cast<std::size_t>(r));
         if (!processFrames(conn)) return;
-        if (conn->paused) return;  // gate full: leave the rest unread
       }
+      // Gate full, or a one-shot (HTTP / protocol-error) response is
+      // queued: leave the rest unread so it cannot re-trigger handling.
+      if (conn->paused) return;
     }
   }
 
@@ -575,6 +578,20 @@ struct Server::Impl {
                          : (c.reply.error.empty()
                                 ? std::string(statusName(resp.status))
                                 : std::move(c.reply.error));
+      if (resp.payload.size() > config_.max_payload) {
+        // The instrumented output always outgrows its input, so a valid
+        // request near the cap can yield an unencodable reply; answer
+        // kFailed instead of letting encodeFrame throw out of run().
+        responses_oversized.add();
+        resp.status = Status::kFailed;
+        resp.payload = "response of " + std::to_string(resp.payload.size()) +
+                       " bytes exceeds the " +
+                       std::to_string(config_.max_payload) +
+                       "-byte frame cap";
+        if (resp.payload.size() > config_.max_payload) {
+          resp.payload.resize(config_.max_payload);
+        }
+      }
       encodeFrame(resp, conn->out, config_.max_payload);
       responses_sent.add();
       flushConn(conn);
@@ -613,7 +630,10 @@ struct Server::Impl {
         Clock::now() - std::chrono::duration<double>(config_.idle_timeout_s);
     std::vector<Connection*> idle;
     for (auto& [fd, conn] : conns_by_fd_) {
-      if (conn->in_flight == 0 && !conn->wantWrite() &&
+      // A paused connection is waiting on us, not on the client: its
+      // reads are off so last_activity cannot refresh, and the kBlock
+      // gate may have a frame parked that must not be dropped.
+      if (!conn->paused && conn->in_flight == 0 && !conn->wantWrite() &&
           conn->last_activity < std::chrono::time_point_cast<Clock::duration>(
                                     cutoff)) {
         idle.push_back(conn.get());
@@ -664,6 +684,7 @@ struct Server::Impl {
   obs::Counter& frames_received;
   obs::Counter& responses_sent;
   obs::Counter& responses_dropped;
+  obs::Counter& responses_oversized;
   obs::Counter& protocol_errors;
   obs::Counter& gate_rejected;
   obs::Counter& http_requests;
@@ -724,6 +745,7 @@ Server::Stats Server::stats() const {
   s.frames_received = impl_->frames_received.get();
   s.responses_sent = impl_->responses_sent.get();
   s.responses_dropped = impl_->responses_dropped.get();
+  s.responses_oversized = impl_->responses_oversized.get();
   s.protocol_errors = impl_->protocol_errors.get();
   s.gate_rejected = impl_->gate_rejected.get();
   s.http_requests = impl_->http_requests.get();

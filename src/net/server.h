@@ -104,6 +104,7 @@ class Server {
     std::uint64_t frames_received = 0;
     std::uint64_t responses_sent = 0;
     std::uint64_t responses_dropped = 0;  ///< connection died before reply
+    std::uint64_t responses_oversized = 0;  ///< reply downgraded to kFailed
     std::uint64_t protocol_errors = 0;
     std::uint64_t gate_rejected = 0;  ///< admission gate, kReject policy
     std::uint64_t http_requests = 0;

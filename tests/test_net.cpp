@@ -12,6 +12,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -471,6 +472,30 @@ TEST(NetServer, OversizedFrameIsProtocolError) {
   EXPECT_NE(r.payload.find("cap"), std::string::npos);
 }
 
+TEST(NetServer, OversizedResponseAnswersFailedWithoutCrashing) {
+  // The instrumented output always outgrows its input, so a request
+  // under the cap can produce a response over it; the server must answer
+  // kFailed, not throw out of the event loop.
+  const std::string expected = offlineInstrument(kFig3);
+  ASSERT_GT(expected.size(), std::strlen(kFig3));
+  net::ServerConfig config;
+  config.max_payload = static_cast<std::uint32_t>(expected.size() - 1);
+  ASSERT_GT(config.max_payload, std::strlen(kFig3));
+  ServerFixture fixture(config);
+  net::Client client;  // client-side cap stays at the default
+  client.connect("127.0.0.1", fixture.port());
+
+  const net::Response r = client.call(kFig3);
+  EXPECT_EQ(r.status, Status::kFailed);
+  EXPECT_NE(r.payload.find("frame cap"), std::string::npos) << r.payload;
+
+  // The loop survived and the connection is still serviced.
+  const net::Response again = client.call(kFig3);
+  EXPECT_EQ(again.status, Status::kFailed);
+  EXPECT_EQ(fixture.server().stats().responses_oversized, 2u);
+  EXPECT_EQ(fixture.server().stats().responses_sent, 2u);
+}
+
 TEST(NetServer, RejectBackpressureAnswersRejected) {
   FaultGuard guard;
   auto& injector = util::fault::Injector::instance();
@@ -532,6 +557,35 @@ TEST(NetServer, BlockBackpressureLosesNothing) {
   EXPECT_EQ(fixture.server().stats().gate_rejected, 0u);
 }
 
+TEST(NetServer, BlockGateParkedConnectionSurvivesIdleTimeout) {
+  FaultGuard guard;
+  auto& injector = util::fault::Injector::instance();
+  injector.arm(/*seed=*/11);
+  injector.plan("service.parse",
+                {util::fault::Kind::kDelay, /*every_nth=*/1, 0.0,
+                 std::chrono::microseconds(150000)});
+
+  // Connection b's frame parks behind a full kBlock gate with reads
+  // paused, so its last_activity cannot refresh. The idle reaper must
+  // not mistake that wait for idleness and drop the parked request.
+  net::ServerConfig config;
+  config.service.num_threads = 1;
+  config.max_in_flight = 1;
+  config.idle_timeout_s = 0.05;
+  ServerFixture fixture(config);
+  net::Client a;
+  a.connect("127.0.0.1", fixture.port());
+  net::Client b;
+  b.connect("127.0.0.1", fixture.port());
+
+  a.send(kFig3);
+  // Let a's frame claim the gate before b's arrives and parks.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  b.send(kFig3);
+  EXPECT_EQ(a.receive().status, Status::kOk);
+  EXPECT_EQ(b.receive().status, Status::kOk);
+}
+
 TEST(NetServer, QueueDeadlineShedsOverTheWire) {
   net::ServerConfig config;
   config.service.num_threads = 1;
@@ -588,6 +642,42 @@ TEST(NetServer, MetricsEndpointServesPrometheusText) {
   // The framing connection still works after an HTTP connection came and
   // went on the same port.
   EXPECT_EQ(client.call(kFig3).status, Status::kOk);
+}
+
+TEST(NetServer, HttpExtraBytesGetExactlyOneResponse) {
+  ServerFixture fixture;
+  int raw = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(raw, 0);
+  util::UniqueFd sock(raw);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fixture.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(sock.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  // Two pipelined requests: the server serves the /metrics snapshot
+  // once and closes, never appending a second response to the same
+  // connection however the bytes are segmented across reads.
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  const std::string two = request + request;
+  ASSERT_TRUE(util::writeAll(sock.get(), two.data(), two.size()));
+
+  std::string got;
+  char buf[64 * 1024];
+  for (;;) {
+    const long r = util::readSome(sock.get(), buf, sizeof(buf));
+    if (r <= 0) break;
+    got.append(buf, static_cast<std::size_t>(r));
+  }
+  std::size_t statuses = 0;
+  for (std::size_t p = got.find("HTTP/1.0"); p != std::string::npos;
+       p = got.find("HTTP/1.0", p + 1)) {
+    ++statuses;
+  }
+  EXPECT_EQ(statuses, 1u) << got;
+  EXPECT_EQ(fixture.server().stats().http_requests, 1u);
 }
 
 TEST(NetServer, IdleConnectionsAreClosed) {
