@@ -3,6 +3,7 @@
 // Usage:
 //   priod_client [options] <file.dag>...
 //   priod_client [options] --metrics
+//   priod_client [options] --tenants
 //
 // Options:
 //   --host ADDR     server address (default 127.0.0.1)
@@ -11,14 +12,20 @@
 //                   --port-file; mutually composable with --port 0 setups)
 //   --out DIR       write each instrumented response to DIR/<input
 //                   basename> (default: print a one-line summary only)
+//   --tenant N      bill every request to tenant N (default 0): selects
+//                   the server-side fair-queue lane, quota, and
+//                   accounting row (DESIGN.md §12)
 //   --metrics       fetch GET /metrics and print the snapshot to stdout
+//   --tenants       fetch GET /tenants and print the per-tenant JSON
 //
 // All requests are pipelined over one connection: every frame is sent
 // before the first response is read, and responses are matched back to
 // inputs by request id.
 //
-// Exit status: 0 when every request completed kOk or kDegraded, 1 on any
-// rejected / shed / failed response or transport error, 2 on usage errors.
+// Exit status: 0 when every request completed with a usable result (kOk,
+// or kDegraded with non-empty output), 1 on any rejected / shed / failed
+// / empty-degraded response or transport error, 2 on usage errors. Every
+// non-usable response prints a one-line stderr diagnostic.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -38,9 +45,11 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: priod_client [--host ADDR] [--port N] [--port-file F] "
-               "[--out DIR] <file.dag>...\n"
+               "[--out DIR] [--tenant N] <file.dag>...\n"
                "       priod_client [--host ADDR] [--port N] [--port-file F] "
-               "--metrics\n");
+               "--metrics\n"
+               "       priod_client [--host ADDR] [--port N] [--port-file F] "
+               "--tenants\n");
   return 2;
 }
 
@@ -60,6 +69,8 @@ int main(int argc, char** argv) {
   std::string port_file;
   std::string out_dir;
   bool metrics = false;
+  bool tenants = false;
+  std::uint32_t tenant = 0;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -74,7 +85,10 @@ int main(int argc, char** argv) {
         port = static_cast<std::uint16_t>(std::stoul(next()));
       else if (arg == "--port-file") port_file = next();
       else if (arg == "--out") out_dir = next();
+      else if (arg == "--tenant")
+        tenant = static_cast<std::uint32_t>(std::stoul(next()));
       else if (arg == "--metrics") metrics = true;
+      else if (arg == "--tenants") tenants = true;
       else if (arg.rfind("--", 0) == 0) return usage();
       else inputs.push_back(arg);
     } catch (const std::exception& e) {
@@ -82,7 +96,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!metrics && inputs.empty()) return usage();
+  if (!metrics && !tenants && inputs.empty()) return usage();
 
   try {
     if (!port_file.empty()) {
@@ -97,8 +111,14 @@ int main(int argc, char** argv) {
       std::cout << prio::net::Client::fetchMetrics(host, port);
       return 0;
     }
+    if (tenants) {
+      std::cout << prio::net::Client::fetchTenants(host, port) << "\n";
+      return 0;
+    }
 
-    prio::net::Client client;
+    prio::net::ClientOptions options;
+    options.tenant = tenant;
+    prio::net::Client client(options);
     client.connect(host, port);
 
     // Pipeline: all requests on the wire before the first response is
@@ -116,10 +136,14 @@ int main(int argc, char** argv) {
       PRIO_CHECK_MSG(it != input_of_request.end(),
                      "unknown request id " << r.request_id);
       const std::string& input = inputs[it->second];
-      if (!r.hasOutput()) {
+      // usableOutput, not hasOutput: a kDegraded reply with an empty
+      // payload would otherwise "succeed" by writing an empty file.
+      if (!r.usableOutput()) {
         ++failed;
         std::fprintf(stderr, "priod_client: %s: %s: %s\n", input.c_str(),
-                     prio::net::statusName(r.status), r.payload.c_str());
+                     prio::net::statusName(r.status),
+                     r.payload.empty() ? "empty response payload"
+                                       : r.payload.c_str());
         continue;
       }
       if (!out_dir.empty()) {

@@ -22,6 +22,12 @@
 //   --drain-timeout-ms N   bound on graceful drain (default 5000)
 //   --metrics-out F  write the final Prometheus metrics snapshot to F on
 //                    shutdown (the live snapshot is always at GET /metrics)
+//   --tenant SPEC   configure one tenant; repeatable. SPEC is
+//                   ID[:WEIGHT[:RATE_PER_S[:BURST[:MAX_IN_FLIGHT]]]]
+//                   (weight drives the fair queue's service share; a
+//                   nonzero rate meters admission with a token bucket;
+//                   see DESIGN.md §12). Unlisted tenants use defaults
+//                   (weight 1, unmetered).
 //   --poll          force the poll(2) backend instead of epoll
 //   --trace         enable per-request tracing (trace ids join client and
 //                   server spans; see README "Serving over TCP")
@@ -34,6 +40,8 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/server.h"
 #include "obs/trace.h"
@@ -54,8 +62,36 @@ int usage() {
       "[--threads N] [--queue N] [--reject] [--cache N] "
       "[--max-in-flight N] [--max-connections N] [--deadline-ms N] "
       "[--queue-deadline-ms N] [--idle-timeout-ms N] [--drain-timeout-ms N] "
-      "[--metrics-out F] [--poll] [--trace]\n");
+      "[--metrics-out F] [--tenant ID[:WEIGHT[:RATE[:BURST[:MAXINFL]]]]]... "
+      "[--poll] [--trace]\n");
   return 2;
+}
+
+/// Parses a --tenant SPEC (colon-separated, trailing fields optional).
+std::pair<std::uint32_t, prio::tenant::TenantConfig> parseTenantSpec(
+    const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.empty() || parts.size() > 5 || parts[0].empty()) {
+    throw prio::util::Error("bad --tenant spec: " + spec);
+  }
+  const std::uint32_t id = static_cast<std::uint32_t>(std::stoul(parts[0]));
+  prio::tenant::TenantConfig tc;
+  if (parts.size() > 1 && !parts[1].empty()) {
+    tc.weight = static_cast<std::uint32_t>(std::stoul(parts[1]));
+  }
+  if (parts.size() > 2 && !parts[2].empty()) tc.rate_per_s = std::stod(parts[2]);
+  if (parts.size() > 3 && !parts[3].empty()) tc.burst = std::stod(parts[3]);
+  if (parts.size() > 4 && !parts[4].empty()) {
+    tc.max_in_flight = std::stoul(parts[4]);
+  }
+  return {id, tc};
 }
 
 }  // namespace
@@ -99,6 +135,8 @@ int main(int argc, char** argv) {
       else if (arg == "--drain-timeout-ms")
         config.drain_timeout_s = std::stod(next()) / 1e3;
       else if (arg == "--metrics-out") metrics_out = next();
+      else if (arg == "--tenant")
+        config.tenants.push_back(parseTenantSpec(next()));
       else if (arg == "--poll") config.use_epoll = false;
       else if (arg == "--trace") trace = true;
       else return usage();

@@ -27,13 +27,14 @@ dashboard does:
 
     bench_check.py --schema metrics-json metrics.json
     bench_check.py --schema prometheus metrics.prom
+    bench_check.py --schema tenants-json tenants.json
 
 Usage:
     bench_check.py RUN.json BASELINE.json            # gate, exit 1 on regression
     bench_check.py RUN.json BASELINE.json --update   # rewrite baseline values
                                                      # from the run (keeps
                                                      # tolerances/directions)
-    bench_check.py --schema {metrics-json,prometheus} FILE
+    bench_check.py --schema {metrics-json,prometheus,tenants-json} FILE
 """
 
 import argparse
@@ -159,6 +160,61 @@ def check_metrics_json(path):
     return errors
 
 
+# Per-tenant fields the GET /tenants document must carry for every
+# tenant (writeTenantsJson in src/tenant/registry.cpp).
+TENANTS_JSON_COUNTERS = [
+    "weight", "rate_per_s", "burst", "max_in_flight", "tokens", "queued",
+    "in_flight", "admitted", "rejected", "shed", "completed", "degraded",
+    "failed", "cache_hits", "cache_misses", "cache_hit_rate",
+    "latency_count", "latency_mean_s", "latency_p50_s", "latency_p99_s",
+    "latency_max_s",
+]
+
+
+def check_tenants_json(path):
+    doc = load(path)
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"top level is {type(doc).__name__}, expected a JSON object"]
+    tenants = doc.get("tenants")
+    if not isinstance(tenants, list):
+        return ["missing 'tenants' array"]
+    if not tenants:
+        errors.append("'tenants' array is empty (the default tenant "
+                      "always exists)")
+    seen_ids = set()
+    for i, t in enumerate(tenants):
+        if not isinstance(t, dict):
+            errors.append(f"tenants[{i}] is {type(t).__name__}, "
+                          "expected an object")
+            continue
+        tid = t.get("id")
+        if not is_number(tid) or tid < 0 or tid != int(tid):
+            errors.append(f"tenants[{i}].id is {tid!r}, expected a "
+                          "non-negative integer")
+        elif tid in seen_ids:
+            errors.append(f"duplicate tenant id {int(tid)}")
+        else:
+            seen_ids.add(tid)
+        if not isinstance(t.get("name"), str) or not t.get("name"):
+            errors.append(f"tenants[{i}].name is {t.get('name')!r}, "
+                          "expected a non-empty string")
+        for key in TENANTS_JSON_COUNTERS:
+            if not is_number(t.get(key)) or t[key] < 0:
+                errors.append(f"tenants[{i}].{key} is {t.get(key)!r}, "
+                              "expected a non-negative number")
+        if is_number(t.get("cache_hit_rate")) and t["cache_hit_rate"] > 1:
+            errors.append(f"tenants[{i}].cache_hit_rate "
+                          f"{t['cache_hit_rate']} > 1")
+        if (is_number(t.get("completed")) and is_number(t.get("admitted"))
+                and t["completed"] > t["admitted"]):
+            errors.append(f"tenants[{i}]: completed {t['completed']:g} > "
+                          f"admitted {t['admitted']:g}")
+    if 0 not in seen_ids:
+        errors.append("default tenant (id 0) absent")
+    return errors
+
+
 def check_prometheus(path):
     with open(path) as f:
         text = f.read()
@@ -227,8 +283,12 @@ def check_prometheus(path):
 
 
 def check_schema(kind, path):
-    errors = (check_metrics_json if kind == "metrics-json"
-              else check_prometheus)(path)
+    checkers = {
+        "metrics-json": check_metrics_json,
+        "prometheus": check_prometheus,
+        "tenants-json": check_tenants_json,
+    }
+    errors = checkers[kind](path)
     for e in errors:
         print(f"  SCHEMA {path}: {e}")
     if errors:
@@ -245,7 +305,9 @@ def main():
     parser.add_argument("baseline", nargs="?")
     parser.add_argument("--update", action="store_true",
                         help="rewrite baseline values from the run")
-    parser.add_argument("--schema", choices=["metrics-json", "prometheus"],
+    parser.add_argument("--schema",
+                        choices=["metrics-json", "prometheus",
+                                 "tenants-json"],
                         help="validate FILE against an observability export "
                              "schema instead of gating a bench run")
     args = parser.parse_args()

@@ -5,9 +5,12 @@
 # paper workloads (AIRSN, Inspiral, Montage, SDSS) through priod_client
 # in one pipelined connection, and asserts each response is BYTE-
 # IDENTICAL to what the offline prio_tool writes for the same input —
-# the wire path must not change the paper's output. Then validates the
-# live GET /metrics endpoint against the Prometheus exposition schema
-# and checks the server drains cleanly on SIGTERM (exit 0).
+# the wire path must not change the paper's output. Then drives two
+# tenants concurrently (--tenant 1 / --tenant 2) and asserts the live
+# GET /tenants document reports both with the right admitted counts,
+# validates it against the tenants-json schema, validates the live
+# GET /metrics endpoint against the Prometheus exposition schema, and
+# checks the server drains cleanly on SIGTERM (exit 0).
 #
 # Usage: net_smoke.sh <workdir>
 # Binaries come from $PRIOD_SERVER/$PRIOD_CLIENT/$PRIO_TOOL/
@@ -33,6 +36,7 @@ for w in "${workloads[@]}"; do
 done
 
 "$PRIOD_SERVER" --port 0 --port-file "$out/port" --threads 4 \
+  --tenant 1:3 --tenant 2:1 \
   --metrics-out "$out/metrics_final.prom" > "$out/server.log" 2>&1 &
 server_pid=$!
 cleanup() { kill "$server_pid" 2> /dev/null || true; }
@@ -61,8 +65,41 @@ for w in "${workloads[@]}"; do
 done
 echo "net_smoke: all ${#workloads[@]} workloads byte-identical to prio_tool"
 
+# Two tenants in concurrent connections; each bills its own requests.
+"$PRIOD_CLIENT" --port-file "$out/port" --tenant 1 \
+  "$out/workloads/airsn.dag" "$out/workloads/montage.dag" \
+  "$out/workloads/sdss.dag" > /dev/null &
+tenant1_pid=$!
+"$PRIOD_CLIENT" --port-file "$out/port" --tenant 2 \
+  "$out/workloads/inspiral.dag" > /dev/null
+wait "$tenant1_pid"
+
+"$PRIOD_CLIENT" --port-file "$out/port" --tenants > "$out/tenants.json"
+python3 "$script_dir/bench_check.py" --schema tenants-json "$out/tenants.json"
+python3 - "$out/tenants.json" << 'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+by_id = {t["id"]: t for t in doc["tenants"]}
+# Tenant 0 carried the initial 4-workload parity batch; tenants 1 and 2
+# billed 3 and 1 requests in the concurrent phase.
+expected = {0: 4, 1: 3, 2: 1}
+for tid, admitted in expected.items():
+    assert tid in by_id, f"tenant {tid} missing from /tenants: {by_id}"
+    got = by_id[tid]["admitted"]
+    assert got == admitted, f"tenant {tid}: admitted {got}, expected {admitted}"
+    assert by_id[tid]["completed"] == admitted, by_id[tid]
+assert by_id[1]["weight"] == 3, by_id[1]
+assert by_id[2]["weight"] == 1, by_id[2]
+print("net_smoke: /tenants reports all %d tenants with correct counts"
+      % len(expected))
+EOF
+
 "$PRIOD_CLIENT" --port-file "$out/port" --metrics > "$out/metrics_live.prom"
 python3 "$script_dir/bench_check.py" --schema prometheus "$out/metrics_live.prom"
+grep -q 'prio_tenant_admitted_total{tenant="1"' "$out/metrics_live.prom" || {
+  echo "net_smoke: /metrics lacks the prio_tenant_* families" >&2
+  exit 1
+}
 
 kill -TERM "$server_pid"
 wait "$server_pid" || {

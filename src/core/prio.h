@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/combine.h"
@@ -105,6 +106,10 @@ struct PrioRequest {
   /// the node sets differ).
   const dag::Digraph* reduced = nullptr;
   PrioOptions options;
+  /// Attribution only: the tenant the request is billed to (0 = default).
+  /// The heuristic ignores it; the service layer threads it through so a
+  /// PrioRequest stays traceable to its tenant (DESIGN.md §12).
+  std::uint32_t tenant = 0;
 
   PrioRequest() = default;
   explicit PrioRequest(const dag::Digraph& g) : dag(&g) {}

@@ -103,6 +103,7 @@ std::uint64_t Client::send(const std::string& dag_text,
   frame.type = FrameType::kRequest;
   frame.request_id = next_request_id_++;
   frame.trace_id = trace_id;
+  frame.tenant = options_.tenant;
   frame.payload = dag_text;
   std::string wire;
   encodeFrame(frame, wire, options_.max_payload);
@@ -123,6 +124,7 @@ Response Client::receive() {
         r.request_id = frame.request_id;
         r.status = frame.status;
         r.trace_id = frame.trace_id;
+        r.tenant = frame.tenant;
         r.payload = std::move(frame.payload);
         return r;
       }
@@ -152,28 +154,44 @@ Response Client::call(const std::string& dag_text) {
   return receive();
 }
 
-std::string Client::fetchMetrics(const std::string& host, std::uint16_t port,
-                                 ClientOptions options) {
+namespace {
+
+/// One throwaway HTTP/1.0 GET against the server's introspection
+/// surface; returns the body without headers.
+std::string fetchHttp(const std::string& host, std::uint16_t port,
+                      const std::string& path, const ClientOptions& options) {
   util::UniqueFd fd = connectWithRetry(host, port, options);
   const std::string request =
-      "GET /metrics HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
   PRIO_CHECK_MSG(util::writeAll(fd.get(), request.data(), request.size()),
-                 "metrics request failed: " << std::strerror(errno));
+                 path << " request failed: " << std::strerror(errno));
   std::string response;
   char buf[64 * 1024];
   for (;;) {
     const long r = util::readSome(fd.get(), buf, sizeof(buf));
-    PRIO_CHECK_MSG(r >= 0, "metrics read failed: " << std::strerror(errno));
+    PRIO_CHECK_MSG(r >= 0, path << " read failed: " << std::strerror(errno));
     if (r == 0) break;
     response.append(buf, static_cast<std::size_t>(r));
   }
   const std::size_t header_end = response.find("\r\n\r\n");
   PRIO_CHECK_MSG(header_end != std::string::npos,
-                 "malformed metrics response (no header terminator)");
+                 "malformed " << path << " response (no header terminator)");
   const std::string status_line = response.substr(0, response.find("\r\n"));
   PRIO_CHECK_MSG(status_line.find(" 200 ") != std::string::npos,
-                 "metrics endpoint returned: " << status_line);
+                 path << " endpoint returned: " << status_line);
   return response.substr(header_end + 4);
+}
+
+}  // namespace
+
+std::string Client::fetchMetrics(const std::string& host, std::uint16_t port,
+                                 ClientOptions options) {
+  return fetchHttp(host, port, "/metrics", options);
+}
+
+std::string Client::fetchTenants(const std::string& host, std::uint16_t port,
+                                 ClientOptions options) {
+  return fetchHttp(host, port, "/tenants", options);
 }
 
 }  // namespace prio::net

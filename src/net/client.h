@@ -38,6 +38,10 @@ struct ClientOptions {
   obs::Tracer* tracer = nullptr;
   /// Payload cap applied to received frames.
   std::uint32_t max_payload = kMaxPayload;
+  /// Tenant id stamped on every request frame (0 = default tenant).
+  /// Selects the server-side fair-queue lane, quota, and accounting row
+  /// (priod_client --tenant).
+  std::uint32_t tenant = 0;
 };
 
 /// One response, correlated by request id.
@@ -46,6 +50,8 @@ struct Response {
   Status status = Status::kOk;
   /// The server-side trace id (the adopted client id when one was sent).
   std::uint64_t trace_id = 0;
+  /// The tenant the request was billed to (echoed; 0 from v1 servers).
+  std::uint32_t tenant = 0;
   /// Instrumented DAGMan text (kOk / kDegraded) or the error message.
   std::string payload;
 
@@ -53,6 +59,14 @@ struct Response {
   /// kOk or kDegraded: the payload is a valid instrumented dag.
   [[nodiscard]] bool hasOutput() const {
     return status == Status::kOk || status == Status::kDegraded;
+  }
+  /// hasOutput() AND the payload is non-empty — what a caller that wants
+  /// to USE the result must check. A kDegraded reply whose fallback
+  /// produced nothing parses as an empty DAGMan file; treating it as
+  /// success silently writes empty output (the priod_client exit-code
+  /// contract keys on this).
+  [[nodiscard]] bool usableOutput() const {
+    return hasOutput() && !payload.empty();
   }
 };
 
@@ -86,6 +100,12 @@ class Client {
   /// over a throwaway connection; returns the body without HTTP headers.
   /// Throws util::Error on connect failure or a non-200 status.
   static std::string fetchMetrics(const std::string& host,
+                                  std::uint16_t port,
+                                  ClientOptions options = {});
+
+  /// Fetches the live per-tenant JSON document ("GET /tenants") the same
+  /// way (priod_client --tenants).
+  static std::string fetchTenants(const std::string& host,
                                   std::uint16_t port,
                                   ClientOptions options = {});
 

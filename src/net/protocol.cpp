@@ -52,14 +52,24 @@ void encodeFrame(const Frame& frame, std::string& out,
                  "frame payload " << frame.payload.size()
                                   << " bytes exceeds the " << max_payload
                                   << "-byte cap");
-  out.reserve(out.size() + kHeaderSize + frame.payload.size());
+  PRIO_CHECK_MSG(
+      frame.version == kVersion || frame.version == kVersionLegacy,
+      "cannot encode unknown protocol version "
+          << static_cast<int>(frame.version));
+  // A v1 frame has no tenant field; silently dropping a nonzero tenant
+  // would mis-bill the request, so it is a caller bug.
+  PRIO_CHECK_MSG(frame.version == kVersion || frame.tenant == 0,
+                 "a v1 frame cannot carry tenant " << frame.tenant);
+  out.reserve(out.size() + headerSizeOf(frame.version) +
+              frame.payload.size());
   putU32(out, kMagic);
-  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(frame.version));
   out.push_back(static_cast<char>(frame.type));
   out.push_back(static_cast<char>(frame.status));
   out.push_back(static_cast<char>(frame.flags));
   putU64(out, frame.request_id);
   putU64(out, frame.trace_id);
+  if (frame.version == kVersion) putU32(out, frame.tenant);
   putU32(out, static_cast<std::uint32_t>(frame.payload.size()));
   out.append(frame.payload);
 }
@@ -76,7 +86,10 @@ void FrameDecoder::feed(const char* data, std::size_t n) {
 
 FrameDecoder::Result FrameDecoder::next(Frame& out) {
   if (failed_) return Result::kError;
-  if (buf_.size() - pos_ < kHeaderSize) return Result::kNeedMore;
+  // The first 28 bytes are common to both versions (v2 appends tenant_id
+  // before payload_len), so the fixed fields validate before the
+  // version-dependent tail is even buffered.
+  if (buf_.size() - pos_ < kHeaderSizeV1) return Result::kNeedMore;
 
   const auto* h = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
   const std::uint32_t magic = getU32(h);
@@ -86,7 +99,7 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
     return Result::kError;
   }
   const std::uint8_t version = h[4];
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionLegacy) {
     failed_ = true;
     error_ = "unsupported protocol version " + std::to_string(version);
     return Result::kError;
@@ -110,24 +123,29 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
     error_ = "nonzero reserved flags";
     return Result::kError;
   }
+  const std::size_t header_size = headerSizeOf(version);
+  if (buf_.size() - pos_ < header_size) return Result::kNeedMore;
   // The length is validated BEFORE waiting for the payload, so a corrupt
   // prefix fails fast instead of stalling the connection forever.
-  const std::uint32_t len = getU32(h + 24);
+  const std::uint32_t len =
+      getU32(h + (version == kVersionLegacy ? 24 : 28));
   if (len > max_payload_) {
     failed_ = true;
     error_ = "payload of " + std::to_string(len) + " bytes exceeds the " +
              std::to_string(max_payload_) + "-byte cap";
     return Result::kError;
   }
-  if (buf_.size() - pos_ < kHeaderSize + len) return Result::kNeedMore;
+  if (buf_.size() - pos_ < header_size + len) return Result::kNeedMore;
 
+  out.version = version;
   out.type = static_cast<FrameType>(type);
   out.status = static_cast<Status>(status);
   out.flags = flags;
   out.request_id = getU64(h + 8);
   out.trace_id = getU64(h + 16);
-  out.payload.assign(buf_, pos_ + kHeaderSize, len);
-  pos_ += kHeaderSize + len;
+  out.tenant = version == kVersionLegacy ? 0 : getU32(h + 24);
+  out.payload.assign(buf_, pos_ + header_size, len);
+  pos_ += header_size + len;
   return Result::kFrame;
 }
 

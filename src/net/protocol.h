@@ -1,11 +1,11 @@
 // The priod wire protocol: length-prefixed binary frames over TCP.
 //
-// Every frame is a fixed 28-byte little-endian header followed by an
-// opaque payload (DESIGN.md §11 has the full table):
+// Version 2 (current) frames are a fixed 32-byte little-endian header
+// followed by an opaque payload (DESIGN.md §11/§12 have the full table):
 //
 //   offset  size  field
 //        0     4  magic        0x4F495250 ("PRIO" as ASCII bytes)
-//        4     1  version      kVersion (1)
+//        4     1  version      2 (kVersion)
 //        5     1  type         FrameType (request / response)
 //        6     1  status       Status (responses; 0 on requests)
 //        7     1  flags        reserved, must be 0
@@ -13,7 +13,16 @@
 //                              response so pipelined replies correlate
 //       16     8  trace_id     request: client trace id to adopt (0 =
 //                              none); response: the server-side trace id
-//       24     4  payload_len  bytes of payload following the header
+//       24     4  tenant_id    tenant the request is billed to (0 =
+//                              default); echoed in the response
+//       28     4  payload_len  bytes of payload following the header
+//
+// Version 1 (pre-tenant) frames are the same layout without the
+// tenant_id field: a 28-byte header with payload_len at offset 24. The
+// decoder accepts both — v1 frames carry tenant 0 — and the encoder
+// emits whichever version Frame::version names, so the server can answer
+// a v1 client with frames its old decoder parses. Only unknown versions
+// are a protocol error.
 //
 // Request payloads carry DAGMan input-file text; response payloads carry
 // the instrumented DAGMan text (kOk / kDegraded) or an error message
@@ -32,11 +41,21 @@
 namespace prio::net {
 
 inline constexpr std::uint32_t kMagic = 0x4F495250u;  // "PRIO"
-inline constexpr std::uint8_t kVersion = 1;
-inline constexpr std::size_t kHeaderSize = 28;
+/// Current protocol version: v2 added the tenant_id header field.
+inline constexpr std::uint8_t kVersion = 2;
+/// The pre-tenant protocol, still fully supported for old clients.
+inline constexpr std::uint8_t kVersionLegacy = 1;
+/// v2 header size; kHeaderSizeV1 is the v1 (28-byte) layout.
+inline constexpr std::size_t kHeaderSize = 32;
+inline constexpr std::size_t kHeaderSizeV1 = 28;
 /// Hard payload cap (64 MiB) — larger than any plausible DAGMan file
 /// (SDSS, the paper's biggest dag, serializes to ~4 MiB).
 inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+/// Header bytes of a frame of this version.
+[[nodiscard]] constexpr std::size_t headerSizeOf(std::uint8_t version) {
+  return version == kVersionLegacy ? kHeaderSizeV1 : kHeaderSize;
+}
 
 enum class FrameType : std::uint8_t {
   kRequest = 1,
@@ -48,7 +67,7 @@ enum class FrameType : std::uint8_t {
 enum class Status : std::uint8_t {
   kOk = 0,
   kDegraded = 1,       ///< deadline hit; payload is the fallback schedule
-  kRejected = 2,       ///< shed by admission gate or reject backpressure
+  kRejected = 2,       ///< shed by admission gate, quota, or backpressure
   kShed = 3,           ///< queue-wait deadline exceeded
   kFailed = 4,         ///< parse/cycle error; payload is the message
   kProtocolError = 5,  ///< malformed frame; connection closes after this
@@ -57,25 +76,34 @@ enum class Status : std::uint8_t {
 [[nodiscard]] const char* statusName(Status s);
 
 struct Frame {
+  /// Wire version this frame was decoded from / will encode to. The
+  /// server echoes the request's version in its response so a v1 client
+  /// never sees a v2 frame.
+  std::uint8_t version = kVersion;
   FrameType type = FrameType::kRequest;
   Status status = Status::kOk;
   std::uint8_t flags = 0;
   std::uint64_t request_id = 0;
   std::uint64_t trace_id = 0;
+  /// v2 only on the wire; a v1 frame decodes to (and must encode from)
+  /// tenant 0.
+  std::uint32_t tenant = 0;
   std::string payload;
 };
 
-/// Appends the encoded frame to `out`. Throws util::Error when the
-/// payload exceeds `max_payload`.
+/// Appends the encoded frame to `out`, in the layout Frame::version
+/// names. Throws util::Error when the payload exceeds `max_payload`,
+/// when the version is unknown, or when a nonzero tenant is encoded
+/// into a v1 frame (which cannot carry it).
 void encodeFrame(const Frame& frame, std::string& out,
                  std::uint32_t max_payload = kMaxPayload);
 
 /// Incremental frame parser for a byte stream. Feed bytes as they
 /// arrive; next() yields complete frames without copying the stream
-/// twice. A protocol violation (bad magic, unknown version or type,
-/// nonzero reserved flags, oversized payload) latches the decoder into
-/// the error state — the connection is beyond recovery because frame
-/// boundaries are lost.
+/// twice. Both protocol versions are accepted, per frame. A protocol
+/// violation (bad magic, unknown version or type, nonzero reserved
+/// flags, oversized payload) latches the decoder into the error state —
+/// the connection is beyond recovery because frame boundaries are lost.
 class FrameDecoder {
  public:
   enum class Result {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "tenant/fair_queue.h"
 #include "util/check.h"
 #include "util/socket.h"
 
@@ -146,6 +147,26 @@ Status toWireStatus(service::RequestStatus s) {
   return Status::kFailed;
 }
 
+tenant::Outcome toTenantOutcome(service::RequestStatus s) {
+  switch (s) {
+    case service::RequestStatus::kOk: return tenant::Outcome::kOk;
+    case service::RequestStatus::kDegraded: return tenant::Outcome::kDegraded;
+    case service::RequestStatus::kRejected: return tenant::Outcome::kRejected;
+    case service::RequestStatus::kShed: return tenant::Outcome::kShed;
+    case service::RequestStatus::kFailed: return tenant::Outcome::kFailed;
+  }
+  return tenant::Outcome::kFailed;
+}
+
+/// The owned service's config with the server's tenant registry patched
+/// in, so the work queue is the weighted-fair queue keyed by frame
+/// tenant ids.
+service::ServiceConfig withTenantRegistry(service::ServiceConfig config,
+                                          tenant::TenantRegistry* registry) {
+  config.tenants = registry;
+  return config;
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -173,6 +194,10 @@ struct Server::Impl {
   struct Completion {
     std::uint64_t conn_id = 0;
     std::uint64_t request_id = 0;
+    /// Echoed from the request frame so the response encodes in a layout
+    /// the client's decoder understands (a v1 client never sees v2).
+    std::uint8_t version = kVersion;
+    std::uint32_t tenant = 0;
     service::Reply reply;
   };
 
@@ -189,10 +214,15 @@ struct Server::Impl {
         responses_oversized(net_registry_.counter("responses_oversized")),
         protocol_errors(net_registry_.counter("protocol_errors")),
         gate_rejected(net_registry_.counter("gate_rejected")),
+        tenant_rejected(net_registry_.counter("tenant_rejected")),
         http_requests(net_registry_.counter("http_requests")),
         connections_open(net_registry_.gauge("connections_open")),
         requests_in_flight(net_registry_.gauge("requests_in_flight")),
-        service_(config.service) {
+        registry_(config.tenant_defaults),
+        service_(withTenantRegistry(config.service, &registry_)) {
+    for (const auto& [id, tenant_config] : config_.tenants) {
+      registry_.configure(id, tenant_config);
+    }
     // Under kBlock the service's submit() blocks on a full queue; keep
     // the gate within the queue capacity so the loop thread never can.
     max_in_flight_ = config_.max_in_flight == 0 ? 1 : config_.max_in_flight;
@@ -258,9 +288,13 @@ struct Server::Impl {
     std::vector<Poller::Event> events;
     while (true) {
       // Finer ticks only when a timer could fire; otherwise wakes come
-      // from sockets and the completion pipe.
+      // from sockets and the completion pipe. A parked frame counts as a
+      // timer: its tenant's token bucket refills with wall time, so the
+      // retry in resumePaused() must not wait for socket traffic.
       const int timeout_ms =
-          (config_.idle_timeout_s > 0.0 || draining_) ? 50 : 1000;
+          (config_.idle_timeout_s > 0.0 || draining_ || parked_frames_ > 0)
+              ? 50
+              : 1000;
       events.clear();
       poller_->wait(events, timeout_ms);
 
@@ -344,7 +378,12 @@ struct Server::Impl {
     }
   }
 
+  [[nodiscard]] double nowSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - epoch_).count();
+  }
+
   void closeConn(Connection* conn) {
+    if (conn->parked.has_value()) --parked_frames_;
     poller_->remove(conn->fd.get());
     conns_by_id_.erase(conn->id);
     connections_closed.add();
@@ -439,21 +478,28 @@ struct Server::Impl {
     std::string method, path;
     head >> method >> path;
     std::string body;
+    std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
     const char* status_line;
     if (method == "GET" && (path == "/metrics" || path == "/metrics/")) {
       std::ostringstream out;
       writeMetricsText(out);
       body = std::move(out).str();
       status_line = "HTTP/1.0 200 OK";
+    } else if (method == "GET" &&
+               (path == "/tenants" || path == "/tenants/")) {
+      std::ostringstream out;
+      writeTenantsJson(out);
+      body = std::move(out).str();
+      content_type = "application/json";
+      status_line = "HTTP/1.0 200 OK";
     } else {
-      body = "only GET /metrics is served here\n";
+      body = "only GET /metrics and GET /tenants are served here\n";
       status_line = "HTTP/1.0 404 Not Found";
     }
     conn->out.append(status_line);
-    conn->out.append(
-        "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8"
-        "\r\nContent-Length: " +
-        std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n");
+    conn->out.append("\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n");
     conn->out.append(body);
     conn->closing = true;
     conn->paused = true;
@@ -473,6 +519,9 @@ struct Server::Impl {
         case FrameDecoder::Result::kError: {
           protocol_errors.add();
           Frame err;
+          // v1 layout: the one error frame EVERY decoder vintage parses
+          // (the sender's version is unknowable once framing is lost).
+          err.version = kVersionLegacy;
           err.type = FrameType::kResponse;
           err.status = Status::kProtocolError;
           err.payload = conn->decoder.error();
@@ -488,6 +537,7 @@ struct Server::Impl {
       if (frame.type != FrameType::kRequest) {
         protocol_errors.add();
         Frame err;
+        err.version = frame.version;
         err.type = FrameType::kResponse;
         err.status = Status::kProtocolError;
         err.request_id = frame.request_id;
@@ -499,24 +549,52 @@ struct Server::Impl {
         return flushConn(conn);
       }
       frames_received.add();
+      // Two-stage admission: the global gate first (it is the cheaper
+      // check and caps total work in the service), then the tenant's
+      // token bucket and in-flight cap. A denial from either maps onto
+      // the same backpressure policy: answer kRejected under kReject,
+      // park the frame under kBlock.
+      const char* deny = nullptr;
+      bool tenant_denied = false;
       if (in_flight_ >= max_in_flight_) {
+        deny = "admission gate full";
+      } else {
+        switch (registry_.tryAdmit(frame.tenant, nowSeconds())) {
+          case tenant::Admission::kAdmit:
+            break;
+          case tenant::Admission::kQuota:
+            deny = "tenant quota exceeded";
+            tenant_denied = true;
+            break;
+          case tenant::Admission::kInFlightCap:
+            deny = "tenant in-flight cap reached";
+            tenant_denied = true;
+            break;
+        }
+      }
+      if (deny != nullptr) {
         if (config_.service.backpressure ==
             service::BackpressurePolicy::kReject) {
-          gate_rejected.add();
+          (tenant_denied ? tenant_rejected : gate_rejected).add();
+          registry_.recordRejected(frame.tenant);
           Frame rej;
+          rej.version = frame.version;
           rej.type = FrameType::kResponse;
           rej.status = Status::kRejected;
           rej.request_id = frame.request_id;
-          rej.payload = "admission gate full";
+          rej.tenant = frame.tenant;
+          rej.payload = deny;
           encodeFrame(rej, conn->out, config_.max_payload);
           if (!flushConn(conn)) return false;
           continue;
         }
         // kBlock: park the frame and stop reading this connection; the
         // unread bytes stay in the kernel buffer and TCP flow control
-        // pushes back on the client.
+        // pushes back on the client. resumePaused() retries admission
+        // every tick — a gate slot or a refilled token unparks it.
         conn->parked = std::move(frame);
         conn->paused = true;
+        ++parked_frames_;
         updateInterest(conn);
         return true;
       }
@@ -525,6 +603,9 @@ struct Server::Impl {
     return true;
   }
 
+  /// Submits an ALREADY-ADMITTED frame (registry_.tryAdmit succeeded) to
+  /// the service; the paired registry_.recordReply runs when the
+  /// completion drains.
   void dispatch(Connection* conn, Frame frame) {
     ++in_flight_;
     ++conn->in_flight;
@@ -532,14 +613,16 @@ struct Server::Impl {
     service::TextRequest request;
     request.dag_text = std::move(frame.payload);
     request.trace_id = frame.trace_id;
+    request.tenant = frame.tenant;
     service_.submitCallback(
         std::move(request),
-        [this, conn_id = conn->id,
-         request_id = frame.request_id](service::Reply reply) {
+        [this, conn_id = conn->id, request_id = frame.request_id,
+         version = frame.version,
+         tenant = frame.tenant](service::Reply reply) {
           {
             std::lock_guard<std::mutex> lock(completions_mu_);
-            completions_.push_back(
-                Completion{conn_id, request_id, std::move(reply)});
+            completions_.push_back(Completion{conn_id, request_id, version,
+                                              tenant, std::move(reply)});
           }
           const char byte = 1;
           (void)!::write(wake_w_.get(), &byte, 1);
@@ -560,6 +643,10 @@ struct Server::Impl {
     }
     for (Completion& c : batch) {
       --in_flight_;
+      // Account the reply to its tenant (and release its in-flight slot)
+      // even when the connection died — the work was done either way.
+      registry_.recordReply(c.tenant, toTenantOutcome(c.reply.status),
+                            c.reply.cache_hit, c.reply.latency_s);
       auto it = conns_by_id_.find(c.conn_id);
       if (it == conns_by_id_.end()) {
         responses_dropped.add();
@@ -568,6 +655,8 @@ struct Server::Impl {
       Connection* conn = it->second;
       --conn->in_flight;
       Frame resp;
+      resp.version = c.version;
+      resp.tenant = c.tenant;
       resp.type = FrameType::kResponse;
       resp.status = toWireStatus(c.reply.status);
       resp.request_id = c.request_id;
@@ -599,10 +688,12 @@ struct Server::Impl {
     requests_in_flight.set(in_flight_);
   }
 
-  /// Re-opens gated connections while the gate has room: the parked
-  /// frame dispatches first, then buffered frames, then socket reads.
+  /// Re-opens gated connections whose parked frame now passes admission:
+  /// the parked frame dispatches first, then buffered frames, then
+  /// socket reads. Checked per connection, not globally — one tenant
+  /// stuck on an empty token bucket must not stall other tenants'
+  /// connections behind it.
   void resumePaused() {
-    if (in_flight_ >= max_in_flight_) return;
     // Ids, not iterators: processFrames() can close connections, which
     // erases from the map being walked.
     std::vector<std::uint64_t> paused;
@@ -614,9 +705,14 @@ struct Server::Impl {
       if (it == conns_by_id_.end()) continue;
       Connection* conn = it->second;
       if (conn->parked.has_value()) {
-        if (in_flight_ >= max_in_flight_) return;
+        if (in_flight_ >= max_in_flight_) continue;
+        if (registry_.tryAdmit(conn->parked->tenant, nowSeconds()) !=
+            tenant::Admission::kAdmit) {
+          continue;  // still over quota / cap; retry next tick
+        }
         Frame frame = std::move(*conn->parked);
         conn->parked.reset();
+        --parked_frames_;
         dispatch(conn, std::move(frame));
       }
       conn->paused = false;
@@ -668,9 +764,24 @@ struct Server::Impl {
     return true;
   }
 
+  /// Registry snapshot with each tenant's live fair-queue depth filled
+  /// in (the registry itself never sees queue contents).
+  [[nodiscard]] std::vector<tenant::TenantSnapshot> tenantSnapshots() {
+    std::vector<tenant::TenantSnapshot> snaps = registry_.snapshot();
+    if (const tenant::FairQueue* fq = service_.fairQueue()) {
+      for (tenant::TenantSnapshot& s : snaps) s.queued = fq->queuedFor(s.id);
+    }
+    return snaps;
+  }
+
   void writeMetricsText(std::ostream& out) {
     service_.writePrometheusText(out);
     net_registry_.snapshot().writePrometheus(out, "prio_net_");
+    tenant::writeTenantsPrometheus(out, tenantSnapshots());
+  }
+
+  void writeTenantsJson(std::ostream& out) {
+    tenant::writeTenantsJson(out, tenantSnapshots());
   }
 
   // ------------------------------------------------------------ state
@@ -687,6 +798,7 @@ struct Server::Impl {
   obs::Counter& responses_oversized;
   obs::Counter& protocol_errors;
   obs::Counter& gate_rejected;
+  obs::Counter& tenant_rejected;
   obs::Counter& http_requests;
   obs::Gauge& connections_open;
   obs::Gauge& requests_in_flight;
@@ -701,7 +813,11 @@ struct Server::Impl {
   std::uint64_t next_conn_id_ = 1;
   std::unordered_map<int, std::unique_ptr<Connection>> conns_by_fd_;
   std::unordered_map<std::uint64_t, Connection*> conns_by_id_;
-  std::size_t in_flight_ = 0;  ///< loop-thread only
+  std::size_t in_flight_ = 0;       ///< loop-thread only
+  std::size_t parked_frames_ = 0;   ///< loop-thread only; forces 50ms
+                                    ///< ticks so quota refills retry
+  /// Epoch for the registry's token-bucket clock (monotonic seconds).
+  const Clock::time_point epoch_ = Clock::now();
 
   std::atomic<bool> stop_requested_{false};
   bool draining_ = false;
@@ -710,6 +826,10 @@ struct Server::Impl {
   std::mutex completions_mu_;
   std::vector<Completion> completions_;
 
+  /// Tenant policies and accounting. Declared before (so destroyed
+  /// after) the service, whose fair queue reads weights from it until
+  /// the workers join.
+  tenant::TenantRegistry registry_;
   /// Declared last so it is destroyed first: the destructor joins the
   /// workers while the wake pipe their completion callbacks write to is
   /// still open.
@@ -736,6 +856,15 @@ void Server::writeMetricsText(std::ostream& out) {
   impl_->writeMetricsText(out);
 }
 
+void Server::writeTenantsJson(std::ostream& out) {
+  impl_->writeTenantsJson(out);
+}
+
+tenant::TenantRegistry& Server::tenants() { return impl_->registry_; }
+const tenant::TenantRegistry& Server::tenants() const {
+  return impl_->registry_;
+}
+
 Server::Stats Server::stats() const {
   Stats s;
   s.connections_accepted = impl_->connections_accepted.get();
@@ -748,6 +877,7 @@ Server::Stats Server::stats() const {
   s.responses_oversized = impl_->responses_oversized.get();
   s.protocol_errors = impl_->protocol_errors.get();
   s.gate_rejected = impl_->gate_rejected.get();
+  s.tenant_rejected = impl_->tenant_rejected.get();
   s.http_requests = impl_->http_requests.get();
   return s;
 }

@@ -13,9 +13,10 @@
 //     use_epoll=false forces the fallback (both are exercised in tests).
 //   - Per-connection state machine: FRAMING connections run the binary
 //     protocol; a connection whose first bytes are "GET " flips to HTTP
-//     mode and is served one plaintext Prometheus snapshot ("GET
-//     /metrics"), then closed. Reads and writes are fully buffered —
-//     a slow client never blocks the loop.
+//     mode and is served one snapshot — "GET /metrics" (plaintext
+//     Prometheus) or "GET /tenants" (per-tenant JSON) — then closed.
+//     Reads and writes are fully buffered — a slow client never blocks
+//     the loop.
 //   - Admission gate: at most max_in_flight requests may be inside the
 //     service at once, mapping the service's backpressure policy onto
 //     the socket: under kBlock a full gate pauses reading from the
@@ -24,6 +25,11 @@
 //     that make it past the gate inherit the service's queue-wait
 //     shedding (kShed) and compute-deadline degradation (kDegraded, via
 //     the CancelToken armed by ServiceConfig::compute_deadline_s).
+//   - Multi-tenant scheduling (DESIGN.md §12): each frame's tenant id is
+//     checked against that tenant's token-bucket quota and in-flight cap
+//     behind the same gate (same pause-vs-reject mapping), and admitted
+//     requests dispatch through the service's deficit-round-robin
+//     weighted-fair queue, so one hog tenant cannot starve the rest.
 //   - Graceful drain: requestStop() (async-signal-safe; call it from a
 //     SIGTERM handler) closes the listener, stops decoding new frames,
 //     lets in-flight requests finish and flushes their responses, then
@@ -35,9 +41,12 @@
 #include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "net/protocol.h"
 #include "service/service.h"
+#include "tenant/registry.h"
 
 namespace prio::net {
 
@@ -65,6 +74,14 @@ struct ServerConfig {
   std::uint32_t max_payload = kMaxPayload;
   /// False forces the poll(2) backend even where epoll is available.
   bool use_epoll = true;
+  /// Tenant policies installed into the server's registry before
+  /// serving: (tenant id, config) pairs — the priod_server --tenant
+  /// flag. Tenants not listed here self-register with default policy
+  /// (weight 1, no quota) on first request.
+  std::vector<std::pair<std::uint32_t, tenant::TenantConfig>> tenants;
+  /// Default policy for tenants that self-register (and for tenant 0
+  /// unless overridden in `tenants`).
+  tenant::TenantConfig tenant_defaults;
 };
 
 class Server {
@@ -92,8 +109,20 @@ class Server {
   [[nodiscard]] const service::PrioService& service() const;
 
   /// The body of the HTTP /metrics endpoint: the service's Prometheus
-  /// snapshot followed by the server's own prio_net_* series.
+  /// snapshot, the server's prio_net_* series, and the per-tenant
+  /// prio_tenant_* families.
   void writeMetricsText(std::ostream& out);
+
+  /// The body of the HTTP /tenants endpoint: live per-tenant JSON
+  /// (config, queue depth, admission counters, latency quantiles) —
+  /// schema `tenants-json` in scripts/bench_check.py.
+  void writeTenantsJson(std::ostream& out);
+
+  /// The server-owned tenant registry (policies and accounting). Safe to
+  /// read from any thread; configure() before run() to install policies
+  /// programmatically.
+  [[nodiscard]] tenant::TenantRegistry& tenants();
+  [[nodiscard]] const tenant::TenantRegistry& tenants() const;
 
   /// Server-side counters, readable from any thread.
   struct Stats {
@@ -107,6 +136,7 @@ class Server {
     std::uint64_t responses_oversized = 0;  ///< reply downgraded to kFailed
     std::uint64_t protocol_errors = 0;
     std::uint64_t gate_rejected = 0;  ///< admission gate, kReject policy
+    std::uint64_t tenant_rejected = 0;  ///< tenant quota / in-flight cap
     std::uint64_t http_requests = 0;
   };
   [[nodiscard]] Stats stats() const;

@@ -9,6 +9,8 @@
 #include "dag/fingerprint.h"
 #include "dagman/dagman_file.h"
 #include "dagman/instrument.h"
+#include "tenant/fair_queue.h"
+#include "tenant/registry.h"
 #include "util/cancellation.h"
 #include "util/fault_injection.h"
 #include "util/timing.h"
@@ -21,7 +23,15 @@ PrioService::PrioService(const ServiceConfig& config)
                  ? nullptr
                  : std::make_unique<ResultCache>(config.cache_capacity,
                                                 config.cache_shards)),
-      pool_(resolveThreads(config.num_threads), config.queue_capacity) {}
+      fair_(config.tenants == nullptr
+                ? nullptr
+                : std::make_shared<tenant::FairQueue>(config.queue_capacity,
+                                                      config.tenants)),
+      pool_(resolveThreads(config.num_threads),
+            fair_ != nullptr
+                ? std::shared_ptr<util::TaskQueue>(fair_)
+                : std::make_shared<util::FifoTaskQueue>(
+                      config.queue_capacity)) {}
 
 PrioService::~PrioService() { shutdown(); }
 
@@ -65,6 +75,7 @@ void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply,
   core::PrioRequest request(g, config_.prio_options);
   request.reduced = &reduced;
   request.options.trace = trace;
+  request.tenant = reply.tenant;
 
   // Parallel schedule phase: lend the request pool itself. Helpers are
   // offered with trySubmit() only (see util/parallel_for.h), so a pool
@@ -163,6 +174,10 @@ std::uint64_t adoptedTraceId(const FileRequest&) { return 0; }
 std::uint64_t adoptedTraceId(const dag::Digraph&) { return 0; }
 std::uint64_t adoptedTraceId(const TextRequest& r) { return r.trace_id; }
 
+std::uint32_t tenantOf(const FileRequest& r) { return r.tenant; }
+std::uint32_t tenantOf(const dag::Digraph&) { return 0; }
+std::uint32_t tenantOf(const TextRequest& r) { return r.tenant; }
+
 }  // namespace
 
 template <typename Request>
@@ -185,6 +200,7 @@ void PrioService::enqueueWith(Request request,
   auto task = [this, holder] {
     Reply reply;
     reply.source = sourceOf(holder->request);
+    reply.tenant = tenantOf(holder->request);
     // Shed before computing: under overload a request that already
     // outwaited its queue deadline would deliver a stale answer.
     if (config_.queue_deadline_s > 0.0 &&
@@ -230,14 +246,18 @@ void PrioService::enqueueWith(Request request,
     holder->complete(std::move(reply));
   };
 
+  // The tenant id routes the task into its fair-queue lane; the FIFO
+  // backend ignores it, so untenanted services keep the PR 1 semantics.
+  const std::uint32_t tenant_id = tenantOf(holder->request);
   const bool accepted = config_.backpressure == BackpressurePolicy::kBlock
-                            ? pool_.submit(std::move(task))
-                            : pool_.trySubmit(std::move(task));
+                            ? pool_.submitFor(tenant_id, std::move(task))
+                            : pool_.trySubmitFor(tenant_id, std::move(task));
   if (!accepted) {
     metrics_.requests_rejected.add();
     Reply reply;
     reply.status = RequestStatus::kRejected;
     reply.source = sourceOf(holder->request);
+    reply.tenant = tenant_id;
     reply.latency_s = holder->watch.elapsedSeconds();
     holder->complete(std::move(reply));
   }

@@ -52,6 +52,11 @@
 #include "service/metrics.h"
 #include "util/thread_pool.h"
 
+namespace prio::tenant {
+class FairQueue;
+class TenantRegistry;
+}  // namespace prio::tenant
+
 namespace prio::service {
 
 enum class BackpressurePolicy {
@@ -88,6 +93,13 @@ struct ServiceConfig {
   /// it, including the "prio.fallback" span of degraded requests. Null
   /// (the default) keeps the hot path on the disabled-context branch.
   obs::Tracer* tracer = nullptr;
+  /// Optional tenant registry (borrowed; must outlive the service).
+  /// When set, the work queue becomes a deficit-round-robin weighted-
+  /// fair queue (tenant/fair_queue.h) keyed by each request's tenant id,
+  /// with per-lane weights read from the registry — DESIGN.md §12. Null
+  /// (the default) keeps the single-FIFO BoundedQueue path, bit-for-bit
+  /// identical to the pre-tenant service.
+  tenant::TenantRegistry* tenants = nullptr;
 };
 
 enum class RequestStatus {
@@ -123,6 +135,8 @@ struct Reply {
   /// without a tracer) — the join key between a reply and its spans in
   /// the Chrome trace export.
   std::uint64_t trace_id = 0;
+  /// The tenant the request was billed to (0 = default).
+  std::uint32_t tenant = 0;
 };
 
 /// A DAGMan-file request: parse `input_path`, prioritize its dag, and —
@@ -132,6 +146,8 @@ struct Reply {
 struct FileRequest {
   std::string input_path;
   std::string output_path;
+  /// Tenant id for fair-queue routing and accounting (0 = default).
+  std::uint32_t tenant = 0;
 };
 
 /// An in-memory DAGMan-text request — the wire-protocol path (src/net/):
@@ -144,6 +160,9 @@ struct TextRequest {
   /// allocating a fresh one — how a client-side trace id propagates
   /// across the wire into the server's TraceContext.
   std::uint64_t trace_id = 0;
+  /// Tenant id carried by the wire frame (0 = default): selects the
+  /// request's fair-queue lane when the service has a tenant registry.
+  std::uint32_t tenant = 0;
 };
 
 class PrioService {
@@ -198,6 +217,11 @@ class PrioService {
     return pool_.queueHighWater();
   }
   [[nodiscard]] const ResultCache* cache() const { return cache_.get(); }
+  /// The fair queue when configured with a tenant registry, else null —
+  /// how the server reads per-tenant queue depths for GET /tenants.
+  [[nodiscard]] const tenant::FairQueue* fairQueue() const {
+    return fair_.get();
+  }
 
   /// Metrics as a JSON object, queue high-water refreshed.
   void writeMetricsJson(std::ostream& out);
@@ -251,7 +275,11 @@ class PrioService {
   ServiceConfig config_;
   ServiceMetrics metrics_;
   std::unique_ptr<ResultCache> cache_;  ///< null when caching disabled
-  util::ThreadPool pool_;               ///< last member: workers die first
+  /// Weighted-fair work queue; null without a tenant registry (the pool
+  /// then owns a plain FIFO). Shared with pool_, which must outlive the
+  /// workers popping from it.
+  std::shared_ptr<tenant::FairQueue> fair_;
+  util::ThreadPool pool_;  ///< last member: workers die first
 };
 
 }  // namespace prio::service

@@ -1,0 +1,118 @@
+#include "tenant/fair_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tenant/registry.h"
+#include "util/check.h"
+
+namespace prio::tenant {
+
+FairQueue::FairQueue(std::size_t capacity, const TenantRegistry* registry)
+    : capacity_(capacity), registry_(registry) {
+  PRIO_CHECK_MSG(capacity >= 1, "FairQueue capacity must be >= 1");
+}
+
+void FairQueue::activateLocked(std::uint32_t tenant, Lane& lane) {
+  if (lane.active) return;
+  // Weight is sampled per activation, not per push: cheap, and a
+  // reconfigured weight applies from the tenant's next backlog on.
+  lane.weight =
+      registry_ == nullptr ? 1 : std::max(1u, registry_->weight(tenant));
+  lane.active = true;
+  ring_.push_back(tenant);
+}
+
+void FairQueue::enqueueLocked(std::uint32_t tenant, Task&& task) {
+  Lane& lane = lanes_[tenant];
+  lane.tasks.push_back(std::move(task));
+  activateLocked(tenant, lane);
+  ++size_;
+  if (size_ > high_water_) high_water_ = size_;
+}
+
+std::optional<FairQueue::Task> FairQueue::dequeueLocked() {
+  if (ring_.empty()) return std::nullopt;
+  const std::uint32_t tenant = ring_.front();
+  Lane& lane = lanes_[tenant];
+  // A fresh visit to the head lane earns `weight` pops before the ring
+  // rotates — the whole DRR algorithm, with every task costing 1.
+  if (head_budget_ == 0) head_budget_ = std::max(1u, lane.weight);
+  Task task = std::move(lane.tasks.front());
+  lane.tasks.pop_front();
+  --size_;
+  --head_budget_;
+  if (lane.tasks.empty()) {
+    // Lane ran dry: leave the ring and forfeit the rest of the budget.
+    lane.active = false;
+    ring_.pop_front();
+    head_budget_ = 0;
+  } else if (head_budget_ == 0) {
+    // Budget spent: rotate to the tail; the next head re-grants lazily.
+    ring_.pop_front();
+    ring_.push_back(tenant);
+  }
+  return task;
+}
+
+bool FairQueue::push(std::uint32_t tenant, Task task) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock, [&] { return size_ < capacity_ || closed_; });
+  if (closed_) return false;
+  enqueueLocked(tenant, std::move(task));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool FairQueue::tryPush(std::uint32_t tenant, Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || size_ == capacity_) return false;
+    enqueueLocked(tenant, std::move(task));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<FairQueue::Task> FairQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return size_ > 0 || closed_; });
+  if (size_ == 0) return std::nullopt;  // closed and drained
+  std::optional<Task> task = dequeueLocked();
+  lock.unlock();
+  not_full_.notify_one();
+  return task;
+}
+
+void FairQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t FairQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return size_;
+}
+
+std::size_t FairQueue::highWater() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return high_water_;
+}
+
+std::size_t FairQueue::queuedFor(std::uint32_t tenant) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? 0 : it->second.tasks.size();
+}
+
+std::size_t FairQueue::numLanes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_.size();
+}
+
+}  // namespace prio::tenant

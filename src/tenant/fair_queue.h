@@ -1,0 +1,96 @@
+// Deficit-round-robin weighted-fair task queue (DESIGN.md §12).
+//
+// A util::TaskQueue backend that replaces the service's single FIFO with
+// one FIFO lane per tenant plus a round-robin ring over the lanes that
+// currently have work. Each time a lane reaches the head of the ring it
+// is granted a budget of `weight` pops (every prioritize() task costs 1 —
+// the classic DRR quantum degenerates to a task count when all packets
+// are the same size); once the budget is spent, or the lane runs dry, the
+// ring rotates. Long-run service share is therefore weight_i / sum of
+// weights over backlogged tenants, and no tenant can be starved: with W
+// the total weight of the other active lanes, a queued task waits at most
+// W pops before its lane is visited again — the bound the starvation test
+// asserts.
+//
+// Parity: a single active tenant always holds the ring head, so pops are
+// exactly its lane's FIFO order — byte-identical behaviour to the PR 1-5
+// BoundedQueue path, which is what keeps untenanted traffic on the old
+// contract.
+//
+// Capacity is GLOBAL (sum over lanes), matching BoundedQueue's bound, so
+// ServiceConfig::queue_capacity keeps its meaning; per-tenant backlog is
+// bounded by admission (token bucket, max_in_flight) in the registry, not
+// here. Weights are read from the registry when a lane activates, so a
+// reconfigured weight takes effect the next time that tenant has work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "util/task_queue.h"
+
+namespace prio::tenant {
+
+class TenantRegistry;
+
+class FairQueue final : public util::TaskQueue {
+ public:
+  /// `registry` (borrowed, may be null, must outlive the queue) supplies
+  /// per-tenant weights; without one every lane weighs 1 (pure
+  /// round-robin).
+  explicit FairQueue(std::size_t capacity,
+                     const TenantRegistry* registry = nullptr);
+
+  bool push(std::uint32_t tenant, Task task) override;
+  bool tryPush(std::uint32_t tenant, Task task) override;
+  std::optional<Task> pop() override;
+  void close() override;
+
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::size_t capacity() const noexcept override {
+    return capacity_;
+  }
+  [[nodiscard]] std::size_t highWater() const override;
+
+  /// Tasks currently queued for one tenant (the `queued` column of
+  /// GET /tenants).
+  [[nodiscard]] std::size_t queuedFor(std::uint32_t tenant) const;
+
+  /// Lanes ever created (tenants seen).
+  [[nodiscard]] std::size_t numLanes() const;
+
+ private:
+  struct Lane {
+    std::deque<Task> tasks;
+    std::uint32_t weight = 1;
+    bool active = false;  ///< somewhere in ring_
+  };
+
+  /// Appends the lane to the ring if it has work but is not queued for
+  /// service yet; refreshes its weight from the registry.
+  void activateLocked(std::uint32_t tenant, Lane& lane);
+  void enqueueLocked(std::uint32_t tenant, Task&& task);
+  std::optional<Task> dequeueLocked();
+
+  const std::size_t capacity_;
+  const TenantRegistry* registry_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::unordered_map<std::uint32_t, Lane> lanes_;
+  std::deque<std::uint32_t> ring_;  ///< active lanes in service order
+  /// Pops left in the ring head's current visit; 0 forces a re-grant
+  /// when the head is next served.
+  std::uint32_t head_budget_ = 0;
+  std::size_t size_ = 0;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace prio::tenant

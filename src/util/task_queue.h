@@ -1,0 +1,71 @@
+// The pluggable work-queue interface under util::ThreadPool.
+//
+// PR 1's pool hard-wired a single BoundedQueue, which fixes the dispatch
+// order to global FIFO. The multi-tenant subsystem (src/tenant/) needs to
+// choose WHICH pending task runs next (deficit-round-robin across
+// tenants), so the pool now pops from this interface instead. Every push
+// carries a small routing key — the tenant id — that FIFO ignores and a
+// fair queue uses to pick a lane.
+//
+// Contract (identical to BoundedQueue, per method):
+//   push()     — block until enqueued; false only once closed;
+//   tryPush()  — false when full or closed, never blocks;
+//   pop()      — block for the next task; nullopt once closed AND drained;
+//   close()    — idempotent; producers start failing, consumers drain.
+// Implementations are multi-producer multi-consumer safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "util/bounded_queue.h"
+
+namespace prio::util {
+
+class TaskQueue {
+ public:
+  using Task = std::function<void()>;
+
+  virtual ~TaskQueue() = default;
+
+  virtual bool push(std::uint32_t key, Task task) = 0;
+  virtual bool tryPush(std::uint32_t key, Task task) = 0;
+  virtual std::optional<Task> pop() = 0;
+  virtual void close() = 0;
+
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual std::size_t capacity() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t highWater() const = 0;
+};
+
+/// The default backend: one global FIFO, routing key ignored. Wraps
+/// BoundedQueue so the PR 1 pool semantics (and its tests) are preserved
+/// bit for bit.
+class FifoTaskQueue final : public TaskQueue {
+ public:
+  explicit FifoTaskQueue(std::size_t capacity) : queue_(capacity) {}
+
+  bool push(std::uint32_t /*key*/, Task task) override {
+    return queue_.push(std::move(task));
+  }
+  bool tryPush(std::uint32_t /*key*/, Task task) override {
+    return queue_.tryPush(std::move(task));
+  }
+  std::optional<Task> pop() override { return queue_.pop(); }
+  void close() override { queue_.close(); }
+
+  [[nodiscard]] std::size_t size() const override { return queue_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept override {
+    return queue_.capacity();
+  }
+  [[nodiscard]] std::size_t highWater() const override {
+    return queue_.highWater();
+  }
+
+ private:
+  BoundedQueue<Task> queue_;
+};
+
+}  // namespace prio::util

@@ -1,10 +1,14 @@
-// A fixed-size worker pool over a BoundedQueue of tasks.
+// A fixed-size worker pool over a pluggable TaskQueue.
 //
 // The pool owns `numThreads` workers that pop std::function<void()> tasks
-// until the queue closes. Submission exposes the queue's two overload
-// behaviours (see bounded_queue.h): submit() blocks when the queue is
-// full — backpressure propagates to the caller — while trySubmit()
-// rejects. The service layer maps its BackpressurePolicy onto this choice.
+// until the queue closes. By default the queue is a single FIFO
+// (FifoTaskQueue over bounded_queue.h); callers that need a different
+// dispatch order — the multi-tenant fair queue in src/tenant/ — inject
+// their own TaskQueue and tag each submission with a routing key.
+// Submission exposes the queue's two overload behaviours: submit() blocks
+// when the queue is full — backpressure propagates to the caller — while
+// trySubmit() rejects. The service layer maps its BackpressurePolicy onto
+// this choice.
 //
 // Tasks must not throw: a worker catches and swallows nothing — an
 // escaped exception terminates the process (fail fast beats silently
@@ -13,23 +17,32 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
 
-#include "util/bounded_queue.h"
 #include "util/check.h"
+#include "util/task_queue.h"
 
 namespace prio::util {
 
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (>= 1) over a task queue of the given
-  /// capacity.
+  /// Starts `num_threads` workers (>= 1) over a FIFO task queue of the
+  /// given capacity — the PR 1 behaviour.
   ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
-      : queue_(queue_capacity) {
+      : ThreadPool(num_threads,
+                   std::make_shared<FifoTaskQueue>(queue_capacity)) {}
+
+  /// Starts `num_threads` workers over a caller-provided queue. The pool
+  /// shares ownership: the queue outlives every worker.
+  ThreadPool(std::size_t num_threads, std::shared_ptr<TaskQueue> queue)
+      : queue_(std::move(queue)) {
     PRIO_CHECK_MSG(num_threads >= 1, "ThreadPool needs at least one thread");
+    PRIO_CHECK_MSG(queue_ != nullptr, "ThreadPool needs a task queue");
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
       workers_.emplace_back([this] { workerLoop(); });
@@ -44,18 +57,29 @@ class ThreadPool {
 
   /// Blocking submit; false only after shutdown().
   bool submit(std::function<void()> task) {
-    return queue_.push(std::move(task));
+    return queue_->push(0, std::move(task));
   }
 
   /// Non-blocking submit; false when the queue is full or shut down.
   bool trySubmit(std::function<void()> task) {
-    return queue_.tryPush(std::move(task));
+    return queue_->tryPush(0, std::move(task));
+  }
+
+  /// submit() with an explicit routing key (tenant id). FIFO queues
+  /// ignore the key; a fair queue enqueues into that tenant's lane.
+  bool submitFor(std::uint32_t key, std::function<void()> task) {
+    return queue_->push(key, std::move(task));
+  }
+
+  /// trySubmit() with an explicit routing key.
+  bool trySubmitFor(std::uint32_t key, std::function<void()> task) {
+    return queue_->tryPush(key, std::move(task));
   }
 
   /// Closes the queue and joins every worker after the backlog drains.
   /// Idempotent; called by the destructor.
   void shutdown() {
-    queue_.close();
+    queue_->close();
     for (std::thread& w : workers_) {
       if (w.joinable()) w.join();
     }
@@ -64,22 +88,22 @@ class ThreadPool {
   [[nodiscard]] std::size_t numThreads() const noexcept {
     return workers_.size();
   }
-  [[nodiscard]] std::size_t queueDepth() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queueDepth() const { return queue_->size(); }
   [[nodiscard]] std::size_t queueCapacity() const noexcept {
-    return queue_.capacity();
+    return queue_->capacity();
   }
   [[nodiscard]] std::size_t queueHighWater() const {
-    return queue_.highWater();
+    return queue_->highWater();
   }
 
  private:
   void workerLoop() {
-    while (auto task = queue_.pop()) {
+    while (auto task = queue_->pop()) {
       (*task)();
     }
   }
 
-  BoundedQueue<std::function<void()>> queue_;
+  std::shared_ptr<TaskQueue> queue_;
   std::vector<std::thread> workers_;
 };
 

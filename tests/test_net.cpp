@@ -23,6 +23,8 @@
 #include "net/client.h"
 #include "net/protocol.h"
 #include "net/server.h"
+#include "tenant/registry.h"
+#include "util/check.h"
 #include "util/fault_injection.h"
 #include "util/socket.h"
 #include "workloads/scientific.h"
@@ -109,6 +111,39 @@ TEST(NetProtocol, GoldenFrameBytes) {
   f.status = Status::kOk;
   f.request_id = 0x0102030405060708ULL;
   f.trace_id = 0x1112131415161718ULL;
+  f.tenant = 0x21222324u;
+  f.payload = "abc";
+  std::string wire;
+  net::encodeFrame(f, wire);
+
+  const std::string expected{
+      'P',    'R',    'I',    'O',          // magic, little-endian
+      '\x02',                               // version
+      '\x01',                               // type = request
+      '\x00',                               // status
+      '\x00',                               // flags
+      '\x08', '\x07', '\x06', '\x05',       // request_id LE
+      '\x04', '\x03', '\x02', '\x01',
+      '\x18', '\x17', '\x16', '\x15',       // trace_id LE
+      '\x14', '\x13', '\x12', '\x11',
+      '\x24', '\x23', '\x22', '\x21',       // tenant_id LE
+      '\x03', '\x00', '\x00', '\x00',       // payload_len LE
+      'a',    'b',    'c'};
+  EXPECT_EQ(wire, expected);
+  EXPECT_EQ(wire.size(), net::kHeaderSize + 3);
+}
+
+// The PR 1-5 layout, byte for byte: a v1 encode must still produce the
+// 28-byte header an old decoder expects, and decoding it must route to
+// the default tenant. This is the compatibility contract that lets old
+// clients talk to new servers (and vice versa for error replies).
+TEST(NetProtocol, GoldenFrameBytesLegacyV1) {
+  Frame f;
+  f.version = net::kVersionLegacy;
+  f.type = FrameType::kRequest;
+  f.status = Status::kOk;
+  f.request_id = 0x0102030405060708ULL;
+  f.trace_id = 0x1112131415161718ULL;
   f.payload = "abc";
   std::string wire;
   net::encodeFrame(f, wire);
@@ -123,10 +158,61 @@ TEST(NetProtocol, GoldenFrameBytes) {
       '\x04', '\x03', '\x02', '\x01',
       '\x18', '\x17', '\x16', '\x15',       // trace_id LE
       '\x14', '\x13', '\x12', '\x11',
-      '\x03', '\x00', '\x00', '\x00',       // payload_len LE
+      '\x03', '\x00', '\x00', '\x00',       // payload_len LE (no tenant)
       'a',    'b',    'c'};
   EXPECT_EQ(wire, expected);
-  EXPECT_EQ(wire.size(), net::kHeaderSize + 3);
+  EXPECT_EQ(wire.size(), net::kHeaderSizeV1 + 3);
+
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.version, net::kVersionLegacy);
+  EXPECT_EQ(out.tenant, 0u);  // v1 frames map to the default tenant
+  EXPECT_EQ(out.request_id, f.request_id);
+  EXPECT_EQ(out.payload, "abc");
+
+  // A nonzero tenant cannot ride a v1 frame: that would silently lose
+  // the billing attribution.
+  Frame bad;
+  bad.version = net::kVersionLegacy;
+  bad.tenant = 7;
+  std::string sink;
+  EXPECT_THROW(net::encodeFrame(bad, sink), util::Error);
+}
+
+TEST(NetProtocol, DecoderHandlesInterleavedVersions) {
+  Frame v2;
+  v2.type = FrameType::kRequest;
+  v2.request_id = 1;
+  v2.tenant = 42;
+  v2.payload = "new";
+  Frame v1;
+  v1.version = net::kVersionLegacy;
+  v1.type = FrameType::kRequest;
+  v1.request_id = 2;
+  v1.payload = "old";
+  std::string wire;
+  net::encodeFrame(v2, wire);
+  net::encodeFrame(v1, wire);
+  net::encodeFrame(v2, wire);
+
+  FrameDecoder dec;
+  // Trickle one byte at a time so every header-size decision is hit.
+  Frame out;
+  std::vector<Frame> got;
+  for (char c : wire) {
+    dec.feed(&c, 1);
+    if (dec.next(out) == FrameDecoder::Result::kFrame) got.push_back(out);
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].version, net::kVersion);
+  EXPECT_EQ(got[0].tenant, 42u);
+  EXPECT_EQ(got[0].payload, "new");
+  EXPECT_EQ(got[1].version, net::kVersionLegacy);
+  EXPECT_EQ(got[1].tenant, 0u);
+  EXPECT_EQ(got[1].payload, "old");
+  EXPECT_EQ(got[2].tenant, 42u);
 }
 
 TEST(NetProtocol, RoundTripAllFields) {
@@ -783,6 +869,270 @@ TEST(NetServer, StatsCountConnections) {
   EXPECT_EQ(stats.connections_accepted, 2u);
   EXPECT_EQ(stats.connections_closed, 2u);
   EXPECT_EQ(stats.responses_sent, 2u);
+}
+
+// ----------------------------------------------------------------- tenants
+
+// Version negotiation end to end: a raw v1 frame (the PR 1-5 wire
+// layout) must be accepted, billed to the default tenant, and answered
+// with a frame an old decoder can parse — i.e. a 28-byte v1 header.
+TEST(NetServer, LegacyV1ClientIsServedWithV1Frames) {
+  ServerFixture fixture;
+
+  Frame f;
+  f.version = net::kVersionLegacy;
+  f.type = FrameType::kRequest;
+  f.request_id = 9;
+  f.payload = kFig3;
+  std::string wire;
+  net::encodeFrame(f, wire);
+  ASSERT_EQ(wire.size(), net::kHeaderSizeV1 + std::strlen(kFig3));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  util::UniqueFd sock(fd);
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fixture.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(sock.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ASSERT_TRUE(util::writeAll(sock.get(), wire.data(), wire.size()));
+
+  // Read the whole response, then parse it the way a v1-only decoder
+  // would: version byte 1, payload_len at offset 24, 28-byte header.
+  std::string got;
+  char buf[64 * 1024];
+  while (got.size() < net::kHeaderSizeV1 ||
+         got.size() < net::kHeaderSizeV1 +
+                          (static_cast<std::uint32_t>(
+                               static_cast<unsigned char>(got[24])) |
+                           (static_cast<std::uint32_t>(
+                                static_cast<unsigned char>(got[25]))
+                            << 8) |
+                           (static_cast<std::uint32_t>(
+                                static_cast<unsigned char>(got[26]))
+                            << 16) |
+                           (static_cast<std::uint32_t>(
+                                static_cast<unsigned char>(got[27]))
+                            << 24))) {
+    const long r = util::readSome(sock.get(), buf, sizeof(buf));
+    ASSERT_GT(r, 0);
+    got.append(buf, static_cast<std::size_t>(r));
+  }
+  ASSERT_EQ(got.substr(0, 4), "PRIO");
+  EXPECT_EQ(got[4], '\x01');  // the reply is a v1 frame
+  EXPECT_EQ(got[5], '\x02');  // type = response
+  EXPECT_EQ(got[6], '\x00');  // status = kOk
+
+  Frame resp;
+  FrameDecoder dec;
+  dec.feed(got.data(), got.size());
+  ASSERT_EQ(dec.next(resp), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(resp.version, net::kVersionLegacy);
+  EXPECT_EQ(resp.request_id, 9u);
+  EXPECT_EQ(resp.tenant, 0u);
+  EXPECT_EQ(resp.payload, offlineInstrument(kFig3));
+
+  // The request was billed to the default tenant.
+  const auto snaps = fixture.server().tenants().snapshot();
+  ASSERT_FALSE(snaps.empty());
+  EXPECT_EQ(snaps[0].id, tenant::kDefaultTenantId);
+  EXPECT_EQ(snaps[0].admitted, 1u);
+  EXPECT_EQ(snaps[0].completed, 1u);
+}
+
+TEST(NetServer, TenantIdRoundTripsAndIsAccounted) {
+  net::ServerConfig config;
+  config.tenants.push_back({1, {.name = "alice", .weight = 3}});
+  config.tenants.push_back({2, {.name = "bob"}});
+  ServerFixture fixture(config);
+
+  net::ClientOptions alice_options;
+  alice_options.tenant = 1;
+  net::Client alice(alice_options);
+  alice.connect("127.0.0.1", fixture.port());
+  net::ClientOptions bob_options;
+  bob_options.tenant = 2;
+  net::Client bob(bob_options);
+  bob.connect("127.0.0.1", fixture.port());
+
+  for (int i = 0; i < 3; ++i) {
+    const net::Response r = alice.call(kFig3);
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_EQ(r.tenant, 1u);  // responses echo the billed tenant
+    EXPECT_EQ(r.payload, offlineInstrument(kFig3));
+  }
+  const net::Response r = bob.call(kFig3);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.tenant, 2u);
+
+  const auto snaps = fixture.server().tenants().snapshot();
+  ASSERT_EQ(snaps.size(), 3u);  // default + alice + bob, ordered by id
+  EXPECT_EQ(snaps[0].id, 0u);
+  EXPECT_EQ(snaps[0].admitted, 0u);
+  EXPECT_EQ(snaps[1].id, 1u);
+  EXPECT_EQ(snaps[1].name, "alice");
+  EXPECT_EQ(snaps[1].weight, 3u);
+  EXPECT_EQ(snaps[1].admitted, 3u);
+  EXPECT_EQ(snaps[1].completed, 3u);
+  EXPECT_EQ(snaps[1].in_flight, 0u);
+  EXPECT_EQ(snaps[2].id, 2u);
+  EXPECT_EQ(snaps[2].admitted, 1u);
+  // Repeated identical dags hit the result cache after the first miss.
+  EXPECT_EQ(snaps[1].cache_hits + snaps[1].cache_misses, 3u);
+}
+
+TEST(NetServer, TenantQuotaRejectsOverBudget) {
+  net::ServerConfig config;
+  config.service.backpressure = service::BackpressurePolicy::kReject;
+  // 1 token of burst, refilled at a rate far slower than the test runs.
+  config.tenants.push_back({1, {.rate_per_s = 0.001, .burst = 1}});
+  ServerFixture fixture(config);
+
+  net::ClientOptions options;
+  options.tenant = 1;
+  net::Client client(options);
+  client.connect("127.0.0.1", fixture.port());
+
+  EXPECT_EQ(client.call(kFig3).status, Status::kOk);
+  const net::Response rejected = client.call(kFig3);
+  EXPECT_EQ(rejected.status, Status::kRejected);
+  EXPECT_NE(rejected.payload.find("quota"), std::string::npos)
+      << rejected.payload;
+  EXPECT_FALSE(rejected.usableOutput());
+
+  // The unmetered default tenant is not affected.
+  net::Client other;
+  other.connect("127.0.0.1", fixture.port());
+  EXPECT_EQ(other.call(kFig3).status, Status::kOk);
+
+  EXPECT_EQ(fixture.server().stats().tenant_rejected, 1u);
+  EXPECT_EQ(fixture.server().stats().gate_rejected, 0u);
+  const auto snaps = fixture.server().tenants().snapshot();
+  EXPECT_EQ(snaps[1].admitted, 1u);
+  EXPECT_EQ(snaps[1].rejected, 1u);
+}
+
+TEST(NetServer, TenantInFlightCapRejects) {
+  FaultGuard guard;
+  auto& injector = util::fault::Injector::instance();
+  injector.arm(/*seed=*/7);
+  injector.plan("service.parse",
+                {util::fault::Kind::kDelay, /*every_nth=*/1, 0.0,
+                 std::chrono::microseconds(100000)});
+
+  net::ServerConfig config;
+  config.service.num_threads = 1;
+  config.service.cache_capacity = 0;
+  config.service.backpressure = service::BackpressurePolicy::kReject;
+  config.tenants.push_back({1, {.max_in_flight = 1}});
+  ServerFixture fixture(config);
+
+  net::ClientOptions options;
+  options.tenant = 1;
+  net::Client client(options);
+  client.connect("127.0.0.1", fixture.port());
+
+  constexpr int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i) client.send(kFig3);
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const net::Response r = client.receive();
+    if (r.status == Status::kOk) ++ok;
+    if (r.status == Status::kRejected) {
+      ++rejected;
+      EXPECT_NE(r.payload.find("in-flight"), std::string::npos) << r.payload;
+    }
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(rejected, 1);
+  EXPECT_EQ(ok + rejected, kRequests);
+  EXPECT_EQ(fixture.server().stats().tenant_rejected,
+            static_cast<std::uint64_t>(rejected));
+}
+
+TEST(NetServer, TenantQuotaBlockParksThenServes) {
+  net::ServerConfig config;
+  config.service.backpressure = service::BackpressurePolicy::kBlock;
+  // 1 burst token, 50/s refill: the second pipelined request must park
+  // ~20ms and then complete — nothing is lost under kBlock.
+  config.tenants.push_back({1, {.rate_per_s = 50, .burst = 1}});
+  ServerFixture fixture(config);
+
+  net::ClientOptions options;
+  options.tenant = 1;
+  net::Client client(options);
+  client.connect("127.0.0.1", fixture.port());
+
+  client.send(kFig3);
+  client.send(kFig3);
+  for (int i = 0; i < 2; ++i) {
+    const net::Response r = client.receive();
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_EQ(r.payload, offlineInstrument(kFig3));
+  }
+  const auto snaps = fixture.server().tenants().snapshot();
+  EXPECT_EQ(snaps[1].admitted, 2u);
+  EXPECT_EQ(snaps[1].rejected, 0u);
+  EXPECT_EQ(fixture.server().stats().tenant_rejected, 0u);
+}
+
+TEST(NetServer, TenantsEndpointServesJson) {
+  net::ServerConfig config;
+  config.tenants.push_back({7, {.name = "batch\"q", .weight = 2}});
+  ServerFixture fixture(config);
+
+  net::ClientOptions options;
+  options.tenant = 7;
+  net::Client client(options);
+  client.connect("127.0.0.1", fixture.port());
+  ASSERT_EQ(client.call(kFig3).status, Status::kOk);
+
+  const std::string body =
+      net::Client::fetchTenants("127.0.0.1", fixture.port());
+  EXPECT_NE(body.find("\"tenants\":["), std::string::npos) << body;
+  EXPECT_NE(body.find("\"id\":0"), std::string::npos);
+  EXPECT_NE(body.find("\"id\":7"), std::string::npos);
+  EXPECT_NE(body.find("\"admitted\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"batch\\\"q\""), std::string::npos)
+      << "names must be JSON-escaped: " << body;
+  EXPECT_NE(body.find("\"latency_p99_s\":"), std::string::npos);
+
+  // The Prometheus families ride the ordinary /metrics endpoint.
+  const std::string metrics =
+      net::Client::fetchMetrics("127.0.0.1", fixture.port());
+  EXPECT_NE(metrics.find("prio_tenant_admitted_total"), std::string::npos);
+  EXPECT_NE(
+      metrics.find(
+          "prio_tenant_completed_total{tenant=\"7\",tenant_name=\"batch\\\"q\"} 1"),
+      std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("prio_tenant_weight{tenant=\"7\""), std::string::npos);
+}
+
+// Satellite: the priod_client exit path keys on usableOutput(), which
+// must stay false for every response a caller cannot use — including a
+// kDegraded reply whose payload is empty.
+TEST(NetClient, UsableOutputRejectsEmptyDegraded) {
+  net::Response r;
+  r.status = Status::kOk;
+  r.payload = "Job a a.submit\n";
+  EXPECT_TRUE(r.usableOutput());
+
+  r.status = Status::kDegraded;
+  EXPECT_TRUE(r.usableOutput());
+  r.payload.clear();
+  EXPECT_TRUE(r.hasOutput());  // the old predicate would pass...
+  EXPECT_FALSE(r.usableOutput());  // ...the fixed one does not
+
+  r.payload = "some diagnostic";
+  for (Status s : {Status::kRejected, Status::kShed, Status::kFailed,
+                   Status::kProtocolError}) {
+    r.status = s;
+    EXPECT_FALSE(r.usableOutput());
+  }
 }
 
 }  // namespace
