@@ -225,6 +225,11 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "prio_serve: shed (queue deadline): %s\n",
                        reply.source.c_str());
           break;
+        case RequestStatus::kExpired:
+          ++dropped;
+          std::fprintf(stderr, "prio_serve: expired (request deadline): %s\n",
+                       reply.source.c_str());
+          break;
         case RequestStatus::kFailed:
           ++failed;
           std::fprintf(stderr, "prio_serve: failed: %s: %s\n",

@@ -4,27 +4,44 @@
 //   priod_client [options] <file.dag>...
 //   priod_client [options] --metrics
 //   priod_client [options] --tenants
+//   priod_client [options] --healthz | --readyz
 //
 // Options:
-//   --host ADDR     server address (default 127.0.0.1)
-//   --port N        server port
-//   --port-file F   read the port from F (as written by priod_server
-//                   --port-file; mutually composable with --port 0 setups)
-//   --out DIR       write each instrumented response to DIR/<input
-//                   basename> (default: print a one-line summary only)
-//   --tenant N      bill every request to tenant N (default 0): selects
-//                   the server-side fair-queue lane, quota, and
-//                   accounting row (DESIGN.md §12)
-//   --metrics       fetch GET /metrics and print the snapshot to stdout
-//   --tenants       fetch GET /tenants and print the per-tenant JSON
+//   --host ADDR      server address (default 127.0.0.1)
+//   --port N         server port
+//   --port-file F    read the port from F (as written by priod_server
+//                    --port-file; mutually composable with --port 0 setups)
+//   --out DIR        write each instrumented response to DIR/<input
+//                    basename> (default: print a one-line summary only)
+//   --tenant N       bill every request to tenant N (default 0): selects
+//                    the server-side fair-queue lane, quota, and
+//                    accounting row (DESIGN.md §12)
+//   --timeout-ms N   bound every read on the connection: a stalled or
+//                    dead server costs a clean "timed out" diagnostic
+//                    after N ms instead of hanging forever (default 0 =
+//                    wait forever, the historical behavior)
+//   --deadline-ms N  stamp an N ms whole-request deadline on each frame;
+//                    the server sheds work it can no longer finish in
+//                    time and answers Status "expired" (DESIGN.md §13)
+//   --retry          recover from connection loss: reconnect with seeded
+//                    backoff and replay unanswered requests under their
+//                    original ids (safe — requests are idempotent), with
+//                    a circuit breaker failing fast when the server
+//                    stays down
+//   --metrics        fetch GET /metrics and print the snapshot to stdout
+//   --tenants        fetch GET /tenants and print the per-tenant JSON
+//   --healthz        probe GET /healthz: exit 0 iff the server is alive
+//   --readyz         probe GET /readyz: exit 0 iff accepting work (503
+//                    while draining or saturated prints the JSON body)
 //
 // All requests are pipelined over one connection: every frame is sent
 // before the first response is read, and responses are matched back to
 // inputs by request id.
 //
 // Exit status: 0 when every request completed with a usable result (kOk,
-// or kDegraded with non-empty output), 1 on any rejected / shed / failed
-// / empty-degraded response or transport error, 2 on usage errors. Every
+// or kDegraded with non-empty output), 1 on any rejected / shed / expired
+// / failed / empty-degraded response or transport error (including a
+// --timeout-ms expiry or an unready probe), 2 on usage errors. Every
 // non-usable response prints a one-line stderr diagnostic.
 #include <cstdio>
 #include <filesystem>
@@ -36,6 +53,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "net/resilient.h"
 #include "util/check.h"
 
 namespace fs = std::filesystem;
@@ -45,11 +63,10 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: priod_client [--host ADDR] [--port N] [--port-file F] "
-               "[--out DIR] [--tenant N] <file.dag>...\n"
+               "[--out DIR] [--tenant N] [--timeout-ms N] [--deadline-ms N] "
+               "[--retry] <file.dag>...\n"
                "       priod_client [--host ADDR] [--port N] [--port-file F] "
-               "--metrics\n"
-               "       priod_client [--host ADDR] [--port N] [--port-file F] "
-               "--tenants\n");
+               "--metrics | --tenants | --healthz | --readyz\n");
   return 2;
 }
 
@@ -70,7 +87,12 @@ int main(int argc, char** argv) {
   std::string out_dir;
   bool metrics = false;
   bool tenants = false;
+  bool healthz = false;
+  bool readyz = false;
+  bool retry = false;
   std::uint32_t tenant = 0;
+  std::uint32_t timeout_ms = 0;
+  std::uint32_t deadline_ms = 0;
   std::vector<std::string> inputs;
 
   for (int i = 1; i < argc; ++i) {
@@ -87,8 +109,15 @@ int main(int argc, char** argv) {
       else if (arg == "--out") out_dir = next();
       else if (arg == "--tenant")
         tenant = static_cast<std::uint32_t>(std::stoul(next()));
+      else if (arg == "--timeout-ms")
+        timeout_ms = static_cast<std::uint32_t>(std::stoul(next()));
+      else if (arg == "--deadline-ms")
+        deadline_ms = static_cast<std::uint32_t>(std::stoul(next()));
+      else if (arg == "--retry") retry = true;
       else if (arg == "--metrics") metrics = true;
       else if (arg == "--tenants") tenants = true;
+      else if (arg == "--healthz") healthz = true;
+      else if (arg == "--readyz") readyz = true;
       else if (arg.rfind("--", 0) == 0) return usage();
       else inputs.push_back(arg);
     } catch (const std::exception& e) {
@@ -96,7 +125,9 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (!metrics && !tenants && inputs.empty()) return usage();
+  if (!metrics && !tenants && !healthz && !readyz && inputs.empty()) {
+    return usage();
+  }
 
   try {
     if (!port_file.empty()) {
@@ -107,31 +138,58 @@ int main(int argc, char** argv) {
     }
     PRIO_CHECK_MSG(port != 0, "no server port (--port or --port-file)");
 
+    prio::net::ClientOptions options;
+    options.tenant = tenant;
+    options.request_timeout_s = timeout_ms / 1e3;
+    options.deadline_ms = deadline_ms;
+
     if (metrics) {
-      std::cout << prio::net::Client::fetchMetrics(host, port);
+      std::cout << prio::net::Client::fetchMetrics(host, port, options);
       return 0;
     }
     if (tenants) {
-      std::cout << prio::net::Client::fetchTenants(host, port) << "\n";
+      std::cout << prio::net::Client::fetchTenants(host, port, options)
+                << "\n";
+      return 0;
+    }
+    if (healthz || readyz) {
+      const std::string path = healthz ? "/healthz" : "/readyz";
+      int status = 0;
+      const std::string body =
+          prio::net::Client::fetchHttp(host, port, path, options, &status);
+      std::printf("priod_client: %s: %d\n", path.c_str(), status);
+      if (status != 200) {
+        std::fprintf(stderr, "priod_client: %s not ok: %s\n", path.c_str(),
+                     body.c_str());
+        return 1;
+      }
       return 0;
     }
 
-    prio::net::ClientOptions options;
-    options.tenant = tenant;
+    // Plain or resilient transport behind one submit/await surface.
     prio::net::Client client(options);
-    client.connect(host, port);
+    prio::net::ResilientOptions ropts;
+    ropts.client = options;
+    prio::net::ResilientClient resilient(host, port, ropts);
+    auto submit = [&](const std::string& text) {
+      return retry ? resilient.submit(text) : client.send(text);
+    };
+    auto await = [&]() {
+      return retry ? resilient.await() : client.receive();
+    };
+    if (!retry) client.connect(host, port);
 
     // Pipeline: all requests on the wire before the first response is
     // read; the echoed request id maps each response back to its input.
     std::unordered_map<std::uint64_t, std::size_t> input_of_request;
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      input_of_request[client.send(slurp(inputs[i]))] = i;
+      input_of_request[submit(slurp(inputs[i]))] = i;
     }
 
     if (!out_dir.empty()) fs::create_directories(out_dir);
     std::size_t failed = 0;
     for (std::size_t n = 0; n < inputs.size(); ++n) {
-      const prio::net::Response r = client.receive();
+      const prio::net::Response r = await();
       const auto it = input_of_request.find(r.request_id);
       PRIO_CHECK_MSG(it != input_of_request.end(),
                      "unknown request id " << r.request_id);

@@ -28,13 +28,14 @@ dashboard does:
     bench_check.py --schema metrics-json metrics.json
     bench_check.py --schema prometheus metrics.prom
     bench_check.py --schema tenants-json tenants.json
+    bench_check.py --schema chaos-json BENCH_chaos.json
 
 Usage:
     bench_check.py RUN.json BASELINE.json            # gate, exit 1 on regression
     bench_check.py RUN.json BASELINE.json --update   # rewrite baseline values
                                                      # from the run (keeps
                                                      # tolerances/directions)
-    bench_check.py --schema {metrics-json,prometheus,tenants-json} FILE
+    bench_check.py --schema {metrics-json,prometheus,tenants-json,chaos-json} FILE
 """
 
 import argparse
@@ -103,8 +104,9 @@ def update(run, baseline):
 METRICS_JSON_SCALARS = [
     "requests_submitted", "requests_completed", "requests_rejected",
     "requests_failed", "requests_degraded", "requests_deadline_exceeded",
-    "requests_shed", "retries", "cache_hits", "cache_misses",
-    "cache_hit_rate", "fingerprint_aliases", "queue_high_water",
+    "requests_shed", "requests_expired", "retries", "cache_hits",
+    "cache_misses", "cache_hit_rate", "fingerprint_aliases",
+    "queue_high_water",
 ]
 METRICS_JSON_HISTOGRAMS = [
     "latency_total", "latency_cache_hit", "phase_reduce", "phase_decompose",
@@ -164,8 +166,8 @@ def check_metrics_json(path):
 # tenant (writeTenantsJson in src/tenant/registry.cpp).
 TENANTS_JSON_COUNTERS = [
     "weight", "rate_per_s", "burst", "max_in_flight", "tokens", "queued",
-    "in_flight", "admitted", "rejected", "shed", "completed", "degraded",
-    "failed", "cache_hits", "cache_misses", "cache_hit_rate",
+    "in_flight", "admitted", "rejected", "shed", "expired", "completed",
+    "degraded", "failed", "cache_hits", "cache_misses", "cache_hit_rate",
     "latency_count", "latency_mean_s", "latency_p50_s", "latency_p99_s",
     "latency_max_s",
 ]
@@ -212,6 +214,46 @@ def check_tenants_json(path):
                           f"admitted {t['admitted']:g}")
     if 0 not in seen_ids:
         errors.append("default tenant (id 0) absent")
+    return errors
+
+
+# Metrics the chaos-recovery bench must report (bench_chaos_recovery.cpp).
+# The zero-valued ones are correctness invariants, not perf numbers: a chaos
+# run that returns a wrong answer or leaves a request unanswered is a bug no
+# tolerance should paper over, so the schema check enforces them directly.
+CHAOS_JSON_REQUIRED = [
+    "chaos.requests", "chaos.wrong_answers", "chaos.unanswered",
+    "chaos.reconnects", "chaos.replays", "chaos.recovery_s",
+]
+CHAOS_RECOVERY_BUDGET_S = 2.0
+
+
+def check_chaos_json(path):
+    doc = load(path)
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"top level is {type(doc).__name__}, expected a JSON object"]
+    if doc.get("bench") != "chaos_recovery":
+        errors.append(f"'bench' is {doc.get('bench')!r}, "
+                      "expected 'chaos_recovery'")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return errors + ["missing 'metrics' object"]
+    for key in CHAOS_JSON_REQUIRED:
+        if key not in metrics:
+            errors.append(f"missing metric {key!r}")
+        elif not is_number(metrics[key]) or metrics[key] < 0:
+            errors.append(f"metric {key!r} is {metrics[key]!r}, "
+                          "expected a non-negative number")
+    for key in ("chaos.wrong_answers", "chaos.unanswered"):
+        if is_number(metrics.get(key)) and metrics[key] != 0:
+            errors.append(f"{key} is {metrics[key]:g}, must be exactly 0")
+    if is_number(metrics.get("chaos.requests")) and metrics["chaos.requests"] <= 0:
+        errors.append("chaos.requests is 0 — the bench drove no traffic")
+    recovery = metrics.get("chaos.recovery_s")
+    if is_number(recovery) and recovery >= CHAOS_RECOVERY_BUDGET_S:
+        errors.append(f"chaos.recovery_s {recovery:g} >= "
+                      f"{CHAOS_RECOVERY_BUDGET_S:g}s recovery budget")
     return errors
 
 
@@ -287,6 +329,7 @@ def check_schema(kind, path):
         "metrics-json": check_metrics_json,
         "prometheus": check_prometheus,
         "tenants-json": check_tenants_json,
+        "chaos-json": check_chaos_json,
     }
     errors = checkers[kind](path)
     for e in errors:
@@ -307,7 +350,7 @@ def main():
                         help="rewrite baseline values from the run")
     parser.add_argument("--schema",
                         choices=["metrics-json", "prometheus",
-                                 "tenants-json"],
+                                 "tenants-json", "chaos-json"],
                         help="validate FILE against an observability export "
                              "schema instead of gating a bench run")
     args = parser.parse_args()

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Chaos/recovery smoke for the fault-tolerant serving stack (DESIGN.md
+# §13), in two parts.
+#
+# Part 1 — liveness and resilient-client flags against a live
+# priod_server: probes GET /healthz and /readyz through priod_client,
+# pushes a workload through --retry --timeout-ms --deadline-ms and
+# asserts the output is byte-identical to offline prio_tool, then
+# points the client at a listener that never answers and asserts
+# --timeout-ms produces a prompt "timed out" diagnostic instead of an
+# infinite hang.
+#
+# Part 2 — crash/recovery bench: runs bench_chaos_recovery (which
+# SIGKILLs its own priod_server child mid-load, restarts it on the same
+# port, and drives traffic through the deterministic seeded chaos
+# proxy), validates BENCH_chaos.json against the chaos-json schema
+# (wrong_answers == 0, unanswered == 0, recovery_s < 2 s), and gates it
+# against bench/baselines/BENCH_chaos_baseline.json.
+#
+# Usage: chaos_smoke.sh <workdir>
+# Binaries come from $PRIOD_SERVER/$PRIOD_CLIENT/$PRIO_TOOL/
+# $GENERATE_WORKLOADS/$BENCH_CHAOS (set by the example_chaos_smoke
+# ctest / CI), with build/* fallbacks for manual runs.
+set -euo pipefail
+
+out="${1:?usage: chaos_smoke.sh <workdir>}"
+script_dir="$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)"
+: "${PRIOD_SERVER:=build/examples/priod_server}"
+: "${PRIOD_CLIENT:=build/examples/priod_client}"
+: "${PRIO_TOOL:=build/examples/prio_tool}"
+: "${GENERATE_WORKLOADS:=build/examples/generate_workloads}"
+: "${BENCH_CHAOS:=build/bench/bench_chaos_recovery}"
+
+# The bench runs inside $out, so every binary path must be absolute.
+abspath() { echo "$(cd "$(dirname "$1")" && pwd)/$(basename "$1")"; }
+PRIOD_SERVER="$(abspath "$PRIOD_SERVER")"
+PRIOD_CLIENT="$(abspath "$PRIOD_CLIENT")"
+PRIO_TOOL="$(abspath "$PRIO_TOOL")"
+GENERATE_WORKLOADS="$(abspath "$GENERATE_WORKLOADS")"
+BENCH_CHAOS="$(abspath "$BENCH_CHAOS")"
+
+rm -rf "$out"
+mkdir -p "$out"
+
+"$GENERATE_WORKLOADS" "$out/workloads" > /dev/null
+"$PRIO_TOOL" "$out/workloads/airsn.dag" "$out/expected_airsn.dag" > /dev/null
+
+"$PRIOD_SERVER" --port 0 --port-file "$out/port" --threads 2 \
+  > "$out/server.log" 2>&1 &
+server_pid=$!
+mute_pid=""
+cleanup() {
+  kill "$server_pid" 2> /dev/null || true
+  [ -n "$mute_pid" ] && kill "$mute_pid" 2> /dev/null || true
+}
+trap cleanup EXIT
+
+for _ in $(seq 1 100); do
+  [ -s "$out/port" ] && break
+  kill -0 "$server_pid" 2> /dev/null || {
+    echo "chaos_smoke: server died at startup:" >&2
+    cat "$out/server.log" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[ -s "$out/port" ] || { echo "chaos_smoke: server never wrote its port" >&2; exit 1; }
+
+# Liveness endpoints answer while the server is healthy and idle.
+"$PRIOD_CLIENT" --port-file "$out/port" --healthz | tee "$out/healthz.log"
+grep -q ": 200" "$out/healthz.log" || {
+  echo "chaos_smoke: /healthz did not answer 200" >&2
+  exit 1
+}
+"$PRIOD_CLIENT" --port-file "$out/port" --readyz | tee "$out/readyz.log"
+grep -q ": 200" "$out/readyz.log" || {
+  echo "chaos_smoke: /readyz did not answer 200 on an idle server" >&2
+  exit 1
+}
+echo "chaos_smoke: /healthz and /readyz answer 200"
+
+# The resilient path (timeout + deadline + retry) must not change the
+# paper's bytes: same output as offline prio_tool.
+mkdir -p "$out/got"
+"$PRIOD_CLIENT" --port-file "$out/port" --retry --timeout-ms 5000 \
+  --deadline-ms 30000 --out "$out/got" "$out/workloads/airsn.dag"
+cmp "$out/expected_airsn.dag" "$out/got/airsn.dag" || {
+  echo "chaos_smoke: airsn.dag differs between prio_tool and --retry wire path" >&2
+  exit 1
+}
+echo "chaos_smoke: --retry --timeout-ms --deadline-ms path byte-identical to prio_tool"
+
+kill -TERM "$server_pid"
+wait "$server_pid" || {
+  echo "chaos_smoke: server exited nonzero after SIGTERM" >&2
+  exit 1
+}
+
+# A peer that accepts but never answers: --timeout-ms must surface a
+# "timed out" diagnostic promptly instead of hanging forever. The
+# listener's accept queue completes the TCP handshake without any
+# application ever reading, which is exactly the pathological peer.
+python3 - "$out/mute_port" << 'EOF' &
+import socket, sys, time
+s = socket.socket()
+s.bind(("127.0.0.1", 0))
+s.listen(8)
+with open(sys.argv[1], "w") as f:
+    f.write(str(s.getsockname()[1]))
+time.sleep(60)
+EOF
+mute_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$out/mute_port" ] && break
+  sleep 0.1
+done
+if timeout 20 "$PRIOD_CLIENT" --port-file "$out/mute_port" --timeout-ms 300 \
+    "$out/workloads/airsn.dag" > "$out/timeout.log" 2>&1; then
+  echo "chaos_smoke: expected the mute-peer request to fail" >&2
+  cat "$out/timeout.log" >&2
+  exit 1
+fi
+grep -qi "timed out" "$out/timeout.log" || {
+  echo "chaos_smoke: mute-peer failure is not a timeout diagnostic:" >&2
+  cat "$out/timeout.log" >&2
+  exit 1
+}
+kill "$mute_pid" 2> /dev/null || true
+mute_pid=""
+echo "chaos_smoke: --timeout-ms turns a mute peer into a prompt diagnostic"
+
+# Part 2: the crash/recovery bench (spawns + SIGKILLs + restarts its
+# own server; traffic goes through the seeded chaos proxy).
+(
+  cd "$out"
+  PRIO_BENCH_CHAOS_SMOKE="${PRIO_BENCH_CHAOS_SMOKE:-1}" \
+  PRIO_BENCH_CHAOS_SEED="${PRIO_BENCH_CHAOS_SEED:-1}" \
+  PRIOD_SERVER="$PRIOD_SERVER" "$BENCH_CHAOS"
+)
+python3 "$script_dir/bench_check.py" --schema chaos-json "$out/BENCH_chaos.json"
+python3 "$script_dir/bench_check.py" "$out/BENCH_chaos.json" \
+  "$script_dir/../bench/baselines/BENCH_chaos_baseline.json"
+
+trap - EXIT
+echo "chaos_smoke: ok"

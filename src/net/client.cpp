@@ -7,8 +7,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <utility>
@@ -81,6 +83,38 @@ util::UniqueFd connectWithRetry(const std::string& host, std::uint16_t port,
   }
 }
 
+/// Reads some bytes, honoring a wall-clock budget measured from `start`
+/// (timeout_s <= 0 blocks forever, the historical behavior). Returns
+/// bytes read or 0 on EOF; throws TimeoutError when the budget runs out
+/// and util::Error on I/O failure.
+long readBudgeted(int fd, char* buf, std::size_t n, double timeout_s,
+                  std::chrono::steady_clock::time_point start,
+                  const char* what) {
+  if (timeout_s <= 0.0) {
+    const long r = util::readSome(fd, buf, n);
+    PRIO_CHECK_MSG(r >= 0, what << " read failed: " << std::strerror(errno));
+    return r;
+  }
+  for (;;) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const double left = timeout_s - elapsed;
+    if (left <= 0.0) {
+      throw TimeoutError(std::string(what) + " timed out after " +
+                         std::to_string(timeout_s) + "s");
+    }
+    // Ceil to whole milliseconds so a sub-ms remainder still polls once
+    // instead of busy-spinning with timeout 0.
+    const int wait_ms = static_cast<int>(
+        std::min(left * 1e3 + 1.0, 3600.0 * 1e3));
+    const long r = util::readSomeTimed(fd, buf, n, wait_ms);
+    if (r == util::kReadTimedOut) continue;  // loop re-checks the budget
+    PRIO_CHECK_MSG(r >= 0, what << " read failed: " << std::strerror(errno));
+    return r;
+  }
+}
+
 }  // namespace
 
 Client::Client(ClientOptions options)
@@ -96,14 +130,15 @@ void Client::close() {
   decoder_ = FrameDecoder(options_.max_payload);
 }
 
-std::uint64_t Client::send(const std::string& dag_text,
-                           std::uint64_t trace_id) {
+std::uint64_t Client::send(const std::string& dag_text, std::uint64_t trace_id,
+                           std::uint64_t request_id) {
   PRIO_CHECK_MSG(fd_.valid(), "client is not connected");
   Frame frame;
   frame.type = FrameType::kRequest;
-  frame.request_id = next_request_id_++;
+  frame.request_id = request_id != 0 ? request_id : next_request_id_++;
   frame.trace_id = trace_id;
   frame.tenant = options_.tenant;
+  frame.deadline_ms = options_.deadline_ms;
   frame.payload = dag_text;
   std::string wire;
   encodeFrame(frame, wire, options_.max_payload);
@@ -114,6 +149,7 @@ std::uint64_t Client::send(const std::string& dag_text,
 
 Response Client::receive() {
   PRIO_CHECK_MSG(fd_.valid(), "client is not connected");
+  const auto start = std::chrono::steady_clock::now();
   Frame frame;
   for (;;) {
     switch (decoder_.next(frame)) {
@@ -136,9 +172,10 @@ Response Client::receive() {
         break;
     }
     char buf[64 * 1024];
-    const long r = util::readSome(fd_.get(), buf, sizeof(buf));
-    PRIO_CHECK_MSG(r > 0, (r == 0 ? "priod closed the connection mid-response"
-                                  : std::strerror(errno)));
+    const long r = readBudgeted(fd_.get(), buf, sizeof(buf),
+                                options_.request_timeout_s, start,
+                                "priod response");
+    PRIO_CHECK_MSG(r > 0, "priod closed the connection mid-response");
     decoder_.feed(buf, static_cast<std::size_t>(r));
   }
 }
@@ -157,19 +194,24 @@ Response Client::call(const std::string& dag_text) {
 namespace {
 
 /// One throwaway HTTP/1.0 GET against the server's introspection
-/// surface; returns the body without headers.
-std::string fetchHttp(const std::string& host, std::uint16_t port,
-                      const std::string& path, const ClientOptions& options) {
+/// surface; returns the body without headers. With `http_status` null
+/// any non-200 status throws; with it set the code is reported and the
+/// body returned regardless.
+std::string fetchHttpImpl(const std::string& host, std::uint16_t port,
+                          const std::string& path,
+                          const ClientOptions& options, int* http_status) {
   util::UniqueFd fd = connectWithRetry(host, port, options);
   const std::string request =
       "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
   PRIO_CHECK_MSG(util::writeAll(fd.get(), request.data(), request.size()),
                  path << " request failed: " << std::strerror(errno));
+  const auto start = std::chrono::steady_clock::now();
   std::string response;
   char buf[64 * 1024];
   for (;;) {
-    const long r = util::readSome(fd.get(), buf, sizeof(buf));
-    PRIO_CHECK_MSG(r >= 0, path << " read failed: " << std::strerror(errno));
+    const long r = readBudgeted(fd.get(), buf, sizeof(buf),
+                                options.request_timeout_s, start,
+                                path.c_str());
     if (r == 0) break;
     response.append(buf, static_cast<std::size_t>(r));
   }
@@ -177,8 +219,17 @@ std::string fetchHttp(const std::string& host, std::uint16_t port,
   PRIO_CHECK_MSG(header_end != std::string::npos,
                  "malformed " << path << " response (no header terminator)");
   const std::string status_line = response.substr(0, response.find("\r\n"));
-  PRIO_CHECK_MSG(status_line.find(" 200 ") != std::string::npos,
-                 path << " endpoint returned: " << status_line);
+  // "HTTP/1.0 200 OK" — the code sits after the first space.
+  int code = 0;
+  const std::size_t sp = status_line.find(' ');
+  if (sp != std::string::npos) {
+    code = std::atoi(status_line.c_str() + sp + 1);
+  }
+  if (http_status != nullptr) {
+    *http_status = code;
+  } else {
+    PRIO_CHECK_MSG(code == 200, path << " endpoint returned: " << status_line);
+  }
   return response.substr(header_end + 4);
 }
 
@@ -186,12 +237,18 @@ std::string fetchHttp(const std::string& host, std::uint16_t port,
 
 std::string Client::fetchMetrics(const std::string& host, std::uint16_t port,
                                  ClientOptions options) {
-  return fetchHttp(host, port, "/metrics", options);
+  return fetchHttpImpl(host, port, "/metrics", options, nullptr);
 }
 
 std::string Client::fetchTenants(const std::string& host, std::uint16_t port,
                                  ClientOptions options) {
-  return fetchHttp(host, port, "/tenants", options);
+  return fetchHttpImpl(host, port, "/tenants", options, nullptr);
+}
+
+std::string Client::fetchHttp(const std::string& host, std::uint16_t port,
+                              const std::string& path, ClientOptions options,
+                              int* http_status) {
+  return fetchHttpImpl(host, port, path, options, http_status);
 }
 
 }  // namespace prio::net

@@ -42,6 +42,23 @@ struct ClientOptions {
   /// Selects the server-side fair-queue lane, quota, and accounting row
   /// (priod_client --tenant).
   std::uint32_t tenant = 0;
+  /// Wall-clock bound on one receive()/fetch (seconds; 0 = wait
+  /// forever, the historical behavior). A stalled or dead peer then
+  /// costs a TimeoutError instead of an infinite hang — the poll-based
+  /// read path behind priod_client --timeout-ms.
+  double request_timeout_s = 0.0;
+  /// Whole-request deadline stamped on every request frame in
+  /// milliseconds (0 = none). Rides the v2 kFlagDeadline field; the
+  /// server sheds the request kExpired once the budget is spent.
+  std::uint32_t deadline_ms = 0;
+};
+
+/// receive()/fetch exceeded ClientOptions::request_timeout_s. Distinct
+/// from util::Error so retry layers can tell "peer is slow or dead"
+/// (reconnect and replay) from "peer answered garbage" (give up).
+class TimeoutError : public util::Error {
+ public:
+  explicit TimeoutError(const std::string& what) : util::Error(what) {}
 };
 
 /// One response, correlated by request id.
@@ -83,12 +100,20 @@ class Client {
   void close();
 
   /// Writes one request frame carrying `dag_text`; returns its request
-  /// id. `trace_id` nonzero propagates that id to the server. Throws
+  /// id. `trace_id` nonzero propagates that id to the server. A nonzero
+  /// `request_id` overrides the client's own id sequence — the hook a
+  /// reconnecting wrapper uses to replay an in-flight request under its
+  /// original id so responses still correlate. Stamps
+  /// ClientOptions::deadline_ms onto the frame when set. Throws
   /// util::Error on I/O failure.
-  std::uint64_t send(const std::string& dag_text, std::uint64_t trace_id = 0);
+  std::uint64_t send(const std::string& dag_text, std::uint64_t trace_id = 0,
+                     std::uint64_t request_id = 0);
 
-  /// Blocks for the next response frame. Throws util::Error on protocol
-  /// violations or a connection closed mid-response.
+  /// Blocks for the next response frame, at most request_timeout_s when
+  /// that is set (TimeoutError past it; the connection is left as-is —
+  /// close() or reconnect to discard the half-read stream). Throws
+  /// util::Error on protocol violations or a connection closed
+  /// mid-response.
   Response receive();
 
   /// send() + receive() under a "net.request" span when the client has a
@@ -108,6 +133,16 @@ class Client {
   static std::string fetchTenants(const std::string& host,
                                   std::uint16_t port,
                                   ClientOptions options = {});
+
+  /// Generic one-shot GET against the introspection surface. With
+  /// `http_status` null any non-200 throws (like fetchMetrics); with it
+  /// non-null the status code is stored and the body returned as-is, so
+  /// probes can distinguish a 503 /readyz from a dead server
+  /// (priod_client --healthz / --readyz).
+  static std::string fetchHttp(const std::string& host, std::uint16_t port,
+                               const std::string& path,
+                               ClientOptions options = {},
+                               int* http_status = nullptr);
 
  private:
   ClientOptions options_;

@@ -42,6 +42,7 @@ const char* statusName(Status s) {
     case Status::kShed: return "shed";
     case Status::kFailed: return "failed";
     case Status::kProtocolError: return "protocol_error";
+    case Status::kExpired: return "expired";
   }
   return "unknown";
 }
@@ -57,20 +58,28 @@ void encodeFrame(const Frame& frame, std::string& out,
       "cannot encode unknown protocol version "
           << static_cast<int>(frame.version));
   // A v1 frame has no tenant field; silently dropping a nonzero tenant
-  // would mis-bill the request, so it is a caller bug.
+  // would mis-bill the request, so it is a caller bug. Same for the
+  // deadline: a v1 peer would treat the budget bytes as payload.
   PRIO_CHECK_MSG(frame.version == kVersion || frame.tenant == 0,
                  "a v1 frame cannot carry tenant " << frame.tenant);
+  PRIO_CHECK_MSG(frame.version == kVersion || frame.deadline_ms == 0,
+                 "a v1 frame cannot carry a deadline");
+  PRIO_CHECK_MSG((frame.flags & ~kKnownFlags) == 0,
+                 "reserved flag bits set: " << static_cast<int>(frame.flags));
+  const std::uint8_t flags =
+      frame.deadline_ms > 0 ? kFlagDeadline : std::uint8_t{0};
   out.reserve(out.size() + headerSizeOf(frame.version) +
-              frame.payload.size());
+              (flags & kFlagDeadline ? 4 : 0) + frame.payload.size());
   putU32(out, kMagic);
   out.push_back(static_cast<char>(frame.version));
   out.push_back(static_cast<char>(frame.type));
   out.push_back(static_cast<char>(frame.status));
-  out.push_back(static_cast<char>(frame.flags));
+  out.push_back(static_cast<char>(flags));
   putU64(out, frame.request_id);
   putU64(out, frame.trace_id);
   if (frame.version == kVersion) putU32(out, frame.tenant);
   putU32(out, static_cast<std::uint32_t>(frame.payload.size()));
+  if (flags & kFlagDeadline) putU32(out, frame.deadline_ms);
   out.append(frame.payload);
 }
 
@@ -112,15 +121,21 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
     return Result::kError;
   }
   const std::uint8_t status = h[6];
-  if (status > static_cast<std::uint8_t>(Status::kProtocolError)) {
+  if (status > static_cast<std::uint8_t>(Status::kExpired)) {
     failed_ = true;
     error_ = "unknown status " + std::to_string(status);
     return Result::kError;
   }
   const std::uint8_t flags = h[7];
-  if (flags != 0) {
+  if ((flags & ~kKnownFlags) != 0) {
     failed_ = true;
     error_ = "nonzero reserved flags";
+    return Result::kError;
+  }
+  if (version == kVersionLegacy && flags != 0) {
+    // v1 predates every flag; an old peer setting bits is corruption.
+    failed_ = true;
+    error_ = "v1 frame with flags set";
     return Result::kError;
   }
   const std::size_t header_size = headerSizeOf(version);
@@ -135,7 +150,8 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
              std::to_string(max_payload_) + "-byte cap";
     return Result::kError;
   }
-  if (buf_.size() - pos_ < header_size + len) return Result::kNeedMore;
+  const std::size_t extra = (flags & kFlagDeadline) ? 4 : 0;
+  if (buf_.size() - pos_ < header_size + extra + len) return Result::kNeedMore;
 
   out.version = version;
   out.type = static_cast<FrameType>(type);
@@ -144,8 +160,9 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
   out.request_id = getU64(h + 8);
   out.trace_id = getU64(h + 16);
   out.tenant = version == kVersionLegacy ? 0 : getU32(h + 24);
-  out.payload.assign(buf_, pos_ + header_size, len);
-  pos_ += header_size + len;
+  out.deadline_ms = (flags & kFlagDeadline) ? getU32(h + header_size) : 0;
+  out.payload.assign(buf_, pos_ + header_size + extra, len);
+  pos_ += header_size + extra + len;
   return Result::kFrame;
 }
 

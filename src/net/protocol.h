@@ -8,7 +8,8 @@
 //        4     1  version      2 (kVersion)
 //        5     1  type         FrameType (request / response)
 //        6     1  status       Status (responses; 0 on requests)
-//        7     1  flags        reserved, must be 0
+//        7     1  flags        bit 0 = kFlagDeadline; other bits reserved,
+//                              must be 0
 //        8     8  request_id   caller-chosen; echoed verbatim in the
 //                              response so pipelined replies correlate
 //       16     8  trace_id     request: client trace id to adopt (0 =
@@ -16,6 +17,14 @@
 //       24     4  tenant_id    tenant the request is billed to (0 =
 //                              default); echoed in the response
 //       28     4  payload_len  bytes of payload following the header
+//
+// When kFlagDeadline is set (v2 requests only), a 4-byte little-endian
+// deadline_ms field follows the 32-byte header, BEFORE the payload: the
+// whole-request budget in milliseconds, measured from the instant the
+// client encoded the frame. The server decrements it by observed queue
+// wait and sheds the request (Status::kExpired) once the budget is gone,
+// so a deadline crosses the process boundary instead of dying at the
+// socket. payload_len still counts only payload bytes.
 //
 // Version 1 (pre-tenant) frames are the same layout without the
 // tenant_id field: a 28-byte header with payload_len at offset 24. The
@@ -51,6 +60,11 @@ inline constexpr std::size_t kHeaderSizeV1 = 28;
 /// Hard payload cap (64 MiB) — larger than any plausible DAGMan file
 /// (SDSS, the paper's biggest dag, serializes to ~4 MiB).
 inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+/// Flag bit: a 4-byte deadline_ms field follows the v2 header.
+inline constexpr std::uint8_t kFlagDeadline = 0x01;
+/// All flag bits the decoder understands; anything else is a protocol
+/// error (reserved bits must be zero until a version assigns them).
+inline constexpr std::uint8_t kKnownFlags = kFlagDeadline;
 
 /// Header bytes of a frame of this version.
 [[nodiscard]] constexpr std::size_t headerSizeOf(std::uint8_t version) {
@@ -71,6 +85,7 @@ enum class Status : std::uint8_t {
   kShed = 3,           ///< queue-wait deadline exceeded
   kFailed = 4,         ///< parse/cycle error; payload is the message
   kProtocolError = 5,  ///< malformed frame; connection closes after this
+  kExpired = 6,        ///< wire deadline spent before compute could start
 };
 
 [[nodiscard]] const char* statusName(Status s);
@@ -88,13 +103,18 @@ struct Frame {
   /// v2 only on the wire; a v1 frame decodes to (and must encode from)
   /// tenant 0.
   std::uint32_t tenant = 0;
+  /// Whole-request budget in milliseconds (0 = none). Rides the wire as
+  /// the optional kFlagDeadline field; v2 only, like tenant.
+  std::uint32_t deadline_ms = 0;
   std::string payload;
 };
 
 /// Appends the encoded frame to `out`, in the layout Frame::version
-/// names. Throws util::Error when the payload exceeds `max_payload`,
-/// when the version is unknown, or when a nonzero tenant is encoded
-/// into a v1 frame (which cannot carry it).
+/// names. The kFlagDeadline bit is derived from deadline_ms — callers
+/// never set `flags` themselves. Throws util::Error when the payload
+/// exceeds `max_payload`, when the version is unknown, when a nonzero
+/// tenant or deadline is encoded into a v1 frame (which cannot carry
+/// them), or when reserved flag bits are set.
 void encodeFrame(const Frame& frame, std::string& out,
                  std::uint32_t max_payload = kMaxPayload);
 

@@ -1,0 +1,206 @@
+#include "net/resilient.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/retry.h"
+
+namespace prio::net {
+
+CircuitBreaker::CircuitBreaker(BreakerOptions options) : options_(options) {
+  if (options_.failure_threshold == 0) options_.failure_threshold = 1;
+  if (options_.half_open_successes == 0) options_.half_open_successes = 1;
+}
+
+bool CircuitBreaker::allow(double now_s) {
+  switch (state(now_s)) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;  // unreachable
+}
+
+void CircuitBreaker::recordSuccess(double now_s) {
+  switch (state(now_s)) {
+    case State::kHalfOpen:
+      probe_in_flight_ = false;
+      if (++half_open_successes_ >= options_.half_open_successes) {
+        state_ = State::kClosed;
+        consecutive_failures_ = 0;
+      }
+      break;
+    case State::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case State::kOpen:
+      // A straggler from before the trip; the cooldown still applies.
+      break;
+  }
+}
+
+void CircuitBreaker::recordFailure(double now_s) {
+  switch (state(now_s)) {
+    case State::kHalfOpen:
+      // The probe failed: re-open and restart the cooldown.
+      probe_in_flight_ = false;
+      state_ = State::kOpen;
+      opened_at_s_ = now_s;
+      ++opened_count_;
+      break;
+    case State::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::kOpen;
+        opened_at_s_ = now_s;
+        ++opened_count_;
+      }
+      break;
+    case State::kOpen:
+      break;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(double now_s) {
+  if (state_ == State::kOpen &&
+      now_s - opened_at_s_ >= options_.open_cooldown_s) {
+    state_ = State::kHalfOpen;
+    probe_in_flight_ = false;
+    half_open_successes_ = 0;
+  }
+  return state_;
+}
+
+ResilientClient::ResilientClient(std::string host, std::uint16_t port,
+                                 ResilientOptions options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      client_(options_.client),
+      breaker_(options_.breaker) {}
+
+double ResilientClient::now() const {
+  if (options_.now_fn) return options_.now_fn();
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void ResilientClient::checkBreaker() {
+  if (breaker_.allow(now())) return;
+  ++stats_.fast_failures;
+  throw BreakerOpenError("circuit breaker open for " + host_ + ":" +
+                         std::to_string(port_) + " (failing fast)");
+}
+
+void ResilientClient::recover() {
+  util::ExpBackoff backoff(options_.reconnect_backoff_base_s,
+                           options_.reconnect_backoff_cap_s,
+                           options_.reconnect_seed);
+  const std::uint32_t rounds =
+      options_.max_reconnects == 0 ? 1 : options_.max_reconnects;
+  std::string last_error = "not connected";
+  for (std::uint32_t round = 0; round < rounds; ++round) {
+    if (round > 0 || reconnect_round_ > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          backoff.next(reconnect_round_ + round)));
+    }
+    try {
+      client_.connect(host_, port_);
+      if (ever_connected_) ++stats_.reconnects;
+      ever_connected_ = true;
+      // Replay every outstanding request under its original id, in
+      // submission order. The server treats these as brand-new requests;
+      // idempotence (and the result cache) makes that safe.
+      for (const auto& [id, text] : in_flight_) {
+        client_.send(text, /*trace_id=*/0, /*request_id=*/id);
+        ++stats_.replays;
+      }
+      reconnect_round_ = 0;
+      breaker_.recordSuccess(now());
+      return;
+    } catch (const util::Error& e) {
+      last_error = e.what();
+      client_.close();
+    }
+  }
+  ++reconnect_round_;
+  breaker_.recordFailure(now());
+  throw util::Error("recovery to " + host_ + ":" + std::to_string(port_) +
+                    " failed after " + std::to_string(rounds) +
+                    " reconnect rounds: " + last_error);
+}
+
+std::uint64_t ResilientClient::submit(const std::string& dag_text) {
+  checkBreaker();
+  if (!client_.connected()) recover();
+  const std::uint64_t id = next_id_++;
+  // Track before sending: if the write itself dies mid-frame the
+  // request is recovered with everything else on the next await().
+  in_flight_.emplace(id, dag_text);
+  try {
+    client_.send(dag_text, /*trace_id=*/0, /*request_id=*/id);
+  } catch (const util::Error&) {
+    client_.close();
+    recover();  // replays this request too (or throws)
+  }
+  return id;
+}
+
+Response ResilientClient::await() {
+  PRIO_CHECK_MSG(!in_flight_.empty(), "await() with no request in flight");
+  const std::uint32_t max_recoveries =
+      options_.max_reconnects == 0 ? 1 : options_.max_reconnects;
+  std::uint32_t recoveries = 0;
+  for (;;) {
+    checkBreaker();
+    if (!client_.connected()) recover();
+    Response r;
+    try {
+      r = client_.receive();
+    } catch (const util::Error&) {
+      // Timeout, EOF, ECONNRESET, or a torn frame: the connection is no
+      // longer trustworthy. Drop it and recover (which replays). Bounded:
+      // an endpoint that accepts connections but never answers (so every
+      // recovery "succeeds" and every receive times out) must eventually
+      // surface the error to the caller, not spin here forever.
+      client_.close();
+      if (++recoveries > max_recoveries) {
+        breaker_.recordFailure(now());
+        throw;
+      }
+      recover();
+      continue;
+    }
+    const auto it = in_flight_.find(r.request_id);
+    // Replies cannot cross connections (the old socket is gone), so an
+    // unknown id is a server bug, not a recovery artifact — surface it
+    // rather than retrying forever.
+    PRIO_CHECK_MSG(it != in_flight_.end(),
+                   "response for unknown request id " << r.request_id);
+    in_flight_.erase(it);
+    breaker_.recordSuccess(now());
+    return r;
+  }
+}
+
+Response ResilientClient::call(const std::string& dag_text) {
+  const std::uint64_t id = submit(dag_text);
+  for (;;) {
+    Response r = await();
+    if (r.request_id == id) return r;
+    // A response to an older pipelined request: the single-request
+    // caller has nowhere to put it, which is a caller contract
+    // violation worth failing loudly on.
+    throw util::Error("call() received response for pipelined request " +
+                      std::to_string(r.request_id) + "; use submit()/await()");
+  }
+}
+
+}  // namespace prio::net

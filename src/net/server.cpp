@@ -11,6 +11,7 @@
 #include <sys/epoll.h>
 #endif
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cerrno>
@@ -143,6 +144,7 @@ Status toWireStatus(service::RequestStatus s) {
     case service::RequestStatus::kRejected: return Status::kRejected;
     case service::RequestStatus::kShed: return Status::kShed;
     case service::RequestStatus::kFailed: return Status::kFailed;
+    case service::RequestStatus::kExpired: return Status::kExpired;
   }
   return Status::kFailed;
 }
@@ -154,6 +156,7 @@ tenant::Outcome toTenantOutcome(service::RequestStatus s) {
     case service::RequestStatus::kRejected: return tenant::Outcome::kRejected;
     case service::RequestStatus::kShed: return tenant::Outcome::kShed;
     case service::RequestStatus::kFailed: return tenant::Outcome::kFailed;
+    case service::RequestStatus::kExpired: return tenant::Outcome::kExpired;
   }
   return tenant::Outcome::kFailed;
 }
@@ -184,6 +187,11 @@ struct Server::Impl {
     /// One decoded frame parked while the admission gate is full
     /// (kBlock policy); reads stay paused until it dispatches.
     std::optional<Frame> parked;
+    /// Absolute expiry of the parked frame's wire deadline on the
+    /// nowSeconds() clock (0 = the frame carries no deadline). A parked
+    /// frame that outlives it is answered kExpired instead of waiting
+    /// for a gate slot its caller no longer wants.
+    double parked_deadline_s = 0.0;
     bool paused = false;   ///< read interest withdrawn (gate / drain)
     bool closing = false;  ///< close once `out` flushes
     Clock::time_point last_activity;
@@ -215,9 +223,11 @@ struct Server::Impl {
         protocol_errors(net_registry_.counter("protocol_errors")),
         gate_rejected(net_registry_.counter("gate_rejected")),
         tenant_rejected(net_registry_.counter("tenant_rejected")),
+        requests_expired(net_registry_.counter("requests_expired")),
         http_requests(net_registry_.counter("http_requests")),
         connections_open(net_registry_.gauge("connections_open")),
         requests_in_flight(net_registry_.gauge("requests_in_flight")),
+        loop_stall_max_us(net_registry_.gauge("loop_stall_max_us")),
         registry_(config.tenant_defaults),
         service_(withTenantRegistry(config.service, &registry_)) {
     for (const auto& [id, tenant_config] : config_.tenants) {
@@ -297,6 +307,7 @@ struct Server::Impl {
               : 1000;
       events.clear();
       poller_->wait(events, timeout_ms);
+      const Clock::time_point wake = Clock::now();
 
       for (const Poller::Event& e : events) {
         if (e.fd == wake_r_.get()) {
@@ -326,6 +337,15 @@ struct Server::Impl {
         beginDrain();
       }
       if (draining_ && drainComplete()) break;
+
+      // Watchdog: how long this iteration kept the loop away from poll.
+      // A stalled loop can't flush replies or accept connections, so the
+      // worst gap is the liveness number an operator should alarm on.
+      const auto stall_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                wake)
+              .count();
+      loop_stall_max_us.setMax(static_cast<std::uint64_t>(stall_us));
     }
 
     // Point-of-no-return cleanup: anything still connected is dropped.
@@ -492,8 +512,30 @@ struct Server::Impl {
       body = std::move(out).str();
       content_type = "application/json";
       status_line = "HTTP/1.0 200 OK";
+    } else if (method == "GET" && (path == "/healthz" || path == "/healthz/")) {
+      // Liveness: answering at all proves the event loop is turning.
+      body = "ok\n";
+      status_line = "HTTP/1.0 200 OK";
+    } else if (method == "GET" && (path == "/readyz" || path == "/readyz/")) {
+      // Readiness: live AND able to admit a request right now. Draining
+      // or a saturated admission gate means new traffic should go
+      // elsewhere, reported 503 so load balancers need no body parsing.
+      const bool gate_full = in_flight_ >= max_in_flight_;
+      const bool ready = !draining_ && !gate_full;
+      std::ostringstream out;
+      out << "{\"ready\":" << (ready ? "true" : "false")
+          << ",\"draining\":" << (draining_ ? "true" : "false")
+          << ",\"in_flight\":" << in_flight_
+          << ",\"max_in_flight\":" << max_in_flight_
+          << ",\"parked\":" << parked_frames_ << "}\n";
+      body = std::move(out).str();
+      content_type = "application/json";
+      status_line =
+          ready ? "HTTP/1.0 200 OK" : "HTTP/1.0 503 Service Unavailable";
     } else {
-      body = "only GET /metrics and GET /tenants are served here\n";
+      body =
+          "only GET /metrics, /tenants, /healthz, and /readyz are served "
+          "here\n";
       status_line = "HTTP/1.0 404 Not Found";
     }
     conn->out.append(status_line);
@@ -591,7 +633,12 @@ struct Server::Impl {
         // kBlock: park the frame and stop reading this connection; the
         // unread bytes stay in the kernel buffer and TCP flow control
         // pushes back on the client. resumePaused() retries admission
-        // every tick — a gate slot or a refilled token unparks it.
+        // every tick — a gate slot or a refilled token unparks it, and
+        // a wire deadline bounds how long the wait may last.
+        conn->parked_deadline_s =
+            frame.deadline_ms > 0
+                ? nowSeconds() + static_cast<double>(frame.deadline_ms) / 1e3
+                : 0.0;
         conn->parked = std::move(frame);
         conn->paused = true;
         ++parked_frames_;
@@ -614,6 +661,13 @@ struct Server::Impl {
     request.dag_text = std::move(frame.payload);
     request.trace_id = frame.trace_id;
     request.tenant = frame.tenant;
+    // The wire budget (already net of parked time) becomes the service-
+    // side budget: spent in the work queue the request answers kExpired,
+    // and the remainder tightens the compute CancelToken.
+    request.deadline_s =
+        frame.deadline_ms > 0
+            ? static_cast<double>(frame.deadline_ms) / 1e3
+            : 0.0;
     service_.submitCallback(
         std::move(request),
         [this, conn_id = conn->id, request_id = frame.request_id,
@@ -654,6 +708,9 @@ struct Server::Impl {
       }
       Connection* conn = it->second;
       --conn->in_flight;
+      if (c.reply.status == service::RequestStatus::kExpired) {
+        requests_expired.add();
+      }
       Frame resp;
       resp.version = c.version;
       resp.tenant = c.tenant;
@@ -705,14 +762,48 @@ struct Server::Impl {
       if (it == conns_by_id_.end()) continue;
       Connection* conn = it->second;
       if (conn->parked.has_value()) {
+        const double now_s = nowSeconds();
+        if (conn->parked_deadline_s > 0.0 &&
+            now_s >= conn->parked_deadline_s) {
+          // The budget died in the parking lot: answer kExpired without
+          // admitting (no token burned, no in-flight slot), then resume
+          // reading — the connection itself is healthy.
+          Frame frame = std::move(*conn->parked);
+          conn->parked.reset();
+          conn->parked_deadline_s = 0.0;
+          --parked_frames_;
+          requests_expired.add();
+          registry_.recordExpired(frame.tenant);
+          Frame resp;
+          resp.version = frame.version;
+          resp.type = FrameType::kResponse;
+          resp.status = Status::kExpired;
+          resp.request_id = frame.request_id;
+          resp.tenant = frame.tenant;
+          resp.payload = "deadline expired before admission";
+          encodeFrame(resp, conn->out, config_.max_payload);
+          responses_sent.add();
+          conn->paused = false;
+          if (!flushConn(conn)) continue;
+          processFrames(conn);
+          continue;
+        }
         if (in_flight_ >= max_in_flight_) continue;
-        if (registry_.tryAdmit(conn->parked->tenant, nowSeconds()) !=
+        if (registry_.tryAdmit(conn->parked->tenant, now_s) !=
             tenant::Admission::kAdmit) {
           continue;  // still over quota / cap; retry next tick
         }
         Frame frame = std::move(*conn->parked);
         conn->parked.reset();
         --parked_frames_;
+        if (conn->parked_deadline_s > 0.0) {
+          // Shrink the budget by the time spent parked, floored at 1 ms
+          // so the service still sees (and expires) a nonzero deadline.
+          const double remaining_s = conn->parked_deadline_s - now_s;
+          frame.deadline_ms = static_cast<std::uint32_t>(
+              std::max(1.0, remaining_s * 1e3));
+          conn->parked_deadline_s = 0.0;
+        }
         dispatch(conn, std::move(frame));
       }
       conn->paused = false;
@@ -799,9 +890,14 @@ struct Server::Impl {
   obs::Counter& protocol_errors;
   obs::Counter& gate_rejected;
   obs::Counter& tenant_rejected;
+  obs::Counter& requests_expired;  ///< answered kExpired on the wire
   obs::Counter& http_requests;
   obs::Gauge& connections_open;
   obs::Gauge& requests_in_flight;
+  /// Event-loop watchdog: the worst observed gap (µs) the loop spent
+  /// away from poll — i.e. how long a reply could sit unserved because
+  /// the loop thread was busy. Exported as prio_net_loop_stall_max_us.
+  obs::Gauge& loop_stall_max_us;
 
   std::size_t max_in_flight_ = 1;
   util::UniqueFd listen_fd_;
@@ -878,7 +974,9 @@ Server::Stats Server::stats() const {
   s.protocol_errors = impl_->protocol_errors.get();
   s.gate_rejected = impl_->gate_rejected.get();
   s.tenant_rejected = impl_->tenant_rejected.get();
+  s.requests_expired = impl_->requests_expired.get();
   s.http_requests = impl_->http_requests.get();
+  s.loop_stall_max_us = impl_->loop_stall_max_us.get();
   return s;
 }
 

@@ -14,9 +14,11 @@
 //   - Per-connection state machine: FRAMING connections run the binary
 //     protocol; a connection whose first bytes are "GET " flips to HTTP
 //     mode and is served one snapshot — "GET /metrics" (plaintext
-//     Prometheus) or "GET /tenants" (per-tenant JSON) — then closed.
-//     Reads and writes are fully buffered — a slow client never blocks
-//     the loop.
+//     Prometheus), "GET /tenants" (per-tenant JSON), "GET /healthz"
+//     (liveness: 200 iff the loop turns), or "GET /readyz" (readiness:
+//     503 while draining or with the admission gate saturated) — then
+//     closed. Reads and writes are fully buffered — a slow client never
+//     blocks the loop.
 //   - Admission gate: at most max_in_flight requests may be inside the
 //     service at once, mapping the service's backpressure policy onto
 //     the socket: under kBlock a full gate pauses reading from the
@@ -137,7 +139,11 @@ class Server {
     std::uint64_t protocol_errors = 0;
     std::uint64_t gate_rejected = 0;  ///< admission gate, kReject policy
     std::uint64_t tenant_rejected = 0;  ///< tenant quota / in-flight cap
+    std::uint64_t requests_expired = 0;  ///< answered kExpired on the wire
     std::uint64_t http_requests = 0;
+    /// Event-loop watchdog: worst observed time (µs) the loop spent away
+    /// from poll in one iteration.
+    std::uint64_t loop_stall_max_us = 0;
   };
   [[nodiscard]] Stats stats() const;
 

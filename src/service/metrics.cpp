@@ -49,6 +49,7 @@ void ServiceMetrics::writeJson(std::ostream& out) const {
       << ",\"requests_deadline_exceeded\":"
       << snap.counterValue("requests_deadline_exceeded")
       << ",\"requests_shed\":" << snap.counterValue("requests_shed")
+      << ",\"requests_expired\":" << snap.counterValue("requests_expired")
       << ",\"retries\":" << snap.counterValue("retries")
       << ",\"cache_hits\":" << hits << ",\"cache_misses\":" << misses
       << ",\"cache_hit_rate\":" << hit_rate

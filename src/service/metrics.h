@@ -38,6 +38,7 @@ struct ServiceMetrics {
         requests_deadline_exceeded(
             registry.counter("requests_deadline_exceeded")),
         requests_shed(registry.counter("requests_shed")),
+        requests_expired(registry.counter("requests_expired")),
         retries(registry.counter("retries")),
         cache_hits(registry.counter("cache_hits")),
         cache_misses(registry.counter("cache_misses")),
@@ -64,6 +65,7 @@ struct ServiceMetrics {
   obs::Counter& requests_degraded;   ///< deadline hit; outdegree fallback served
   obs::Counter& requests_deadline_exceeded;  ///< compute deadlines that fired
   obs::Counter& requests_shed;  ///< dropped: queue wait exceeded its deadline
+  obs::Counter& requests_expired;  ///< caller budget spent before compute
   obs::Counter& retries;  ///< resubmissions by the prio_serve retry loop
   // Cache outcomes (completed requests only).
   obs::Counter& cache_hits;

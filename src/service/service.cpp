@@ -1,5 +1,6 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <exception>
 #include <ostream>
 #include <sstream>
@@ -38,7 +39,8 @@ PrioService::~PrioService() { shutdown(); }
 void PrioService::shutdown() { pool_.shutdown(); }
 
 void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply,
-                               const obs::TraceContext& trace) {
+                               const obs::TraceContext& trace,
+                               double budget_s) {
   reply.trace_id = trace.traceId();
 
   // One reduction pays for both the fingerprint and (on a miss) step 1 of
@@ -86,9 +88,16 @@ void PrioService::serveDigraph(const dag::Digraph& g, Reply& reply,
     request.options.schedule_pool = &pool_;
   }
 
-  if (config_.compute_deadline_s > 0.0 &&
-      request.options.cancel == nullptr) {
-    request.options.deadline_s = config_.compute_deadline_s;
+  // The compute deadline is whichever is tighter: the service-wide
+  // configuration or this request's remaining wire budget. prioritize()
+  // arms the CancelToken from deadline_s internally, so the budget rides
+  // the same machinery as the configured deadline.
+  if (request.options.cancel == nullptr) {
+    double deadline = config_.compute_deadline_s;
+    if (budget_s > 0.0 && (deadline <= 0.0 || budget_s < deadline)) {
+      deadline = budget_s;
+    }
+    if (deadline > 0.0) request.options.deadline_s = deadline;
   }
 
   try {
@@ -142,7 +151,7 @@ void PrioService::serveFile(const FileRequest& request, Reply& reply,
 }
 
 void PrioService::serveText(const TextRequest& request, Reply& reply,
-                            const obs::TraceContext& trace) {
+                            const obs::TraceContext& trace, double budget_s) {
   util::fault::checkpoint("service.parse");
   dagman::DagmanFile file = [&] {
     obs::Span span(trace, "service.parse");
@@ -152,11 +161,11 @@ void PrioService::serveText(const TextRequest& request, Reply& reply,
   if (file.hasDoneJobs()) {
     std::vector<std::size_t> job_of_node;
     const dag::Digraph g = file.toPendingDigraph(&job_of_node);
-    serveDigraph(g, reply, trace);
+    serveDigraph(g, reply, trace, budget_s);
     dagman::instrumentPendingJobs(file, reply.result->priority, job_of_node);
   } else {
     const dag::Digraph g = file.toDigraph();
-    serveDigraph(g, reply, trace);
+    serveDigraph(g, reply, trace, budget_s);
     dagman::instrumentDagmanFile(file, reply.result->priority);
   }
   std::ostringstream out;
@@ -177,6 +186,10 @@ std::uint64_t adoptedTraceId(const TextRequest& r) { return r.trace_id; }
 std::uint32_t tenantOf(const FileRequest& r) { return r.tenant; }
 std::uint32_t tenantOf(const dag::Digraph&) { return 0; }
 std::uint32_t tenantOf(const TextRequest& r) { return r.tenant; }
+
+double deadlineOf(const FileRequest&) { return 0.0; }
+double deadlineOf(const dag::Digraph&) { return 0.0; }
+double deadlineOf(const TextRequest& r) { return r.deadline_s; }
 
 }  // namespace
 
@@ -212,6 +225,17 @@ void PrioService::enqueueWith(Request request,
       holder->complete(std::move(reply));
       return;
     }
+    // Same idea for the request's own budget (the wire deadline): spent
+    // waiting in the queue means the caller has stopped listening.
+    const double budget_s = deadlineOf(holder->request);
+    if (budget_s > 0.0 && holder->watch.elapsedSeconds() >= budget_s) {
+      reply.status = RequestStatus::kExpired;
+      metrics_.requests_expired.add();
+      reply.latency_s = holder->watch.elapsedSeconds();
+      metrics_.latency_total.record(reply.latency_s);
+      holder->complete(std::move(reply));
+      return;
+    }
     try {
       // One trace per request: a fresh trace id (or the wire-propagated
       // one for text requests) and a "service.request" root span whose
@@ -223,7 +247,15 @@ void PrioService::enqueueWith(Request request,
       if constexpr (std::is_same_v<Request, FileRequest>) {
         serveFile(holder->request, reply, span.context());
       } else if constexpr (std::is_same_v<Request, TextRequest>) {
-        serveText(holder->request, reply, span.context());
+        // Whatever budget survived the queue bounds the compute. The
+        // floor keeps a budget that ran out between the expiry check
+        // and here meaningful: the CancelToken fires on its first poll
+        // and the request degrades instead of computing unbounded.
+        const double remaining_s =
+            budget_s > 0.0
+                ? std::max(budget_s - holder->watch.elapsedSeconds(), 1e-6)
+                : 0.0;
+        serveText(holder->request, reply, span.context(), remaining_s);
       } else {
         serveDigraph(holder->request, reply, span.context());
       }

@@ -31,8 +31,11 @@
 // so callers get a weaker answer instead of a hung or failed request.
 // With queue_deadline_s set, a request that waited longer than that in
 // the queue is shed (kShed) without computing anything: under overload
-// the result would be stale by the time it arrived. Every request
-// therefore terminates with kOk, kDegraded, kShed, kRejected, or
+// the result would be stale by the time it arrived. A TextRequest may
+// additionally carry its own whole-request budget (deadline_s, fed from
+// the wire deadline): spent in the queue it completes kExpired, and any
+// remainder tightens the compute deadline. Every request therefore
+// terminates with kOk, kDegraded, kShed, kRejected, kExpired, or
 // kFailed — never a hang.
 #pragma once
 
@@ -108,6 +111,7 @@ enum class RequestStatus {
   kRejected,  ///< shed by kReject backpressure; never entered the queue
   kShed,      ///< dropped after exceeding the queue-wait deadline
   kFailed,    ///< error while parsing or scheduling; see Reply::error
+  kExpired,   ///< caller-supplied budget spent before compute started
 };
 
 struct Reply {
@@ -163,6 +167,14 @@ struct TextRequest {
   /// Tenant id carried by the wire frame (0 = default): selects the
   /// request's fair-queue lane when the service has a tenant registry.
   std::uint32_t tenant = 0;
+  /// Remaining whole-request budget in seconds, measured from submit
+  /// (0 = none). The wire deadline lands here after the server deducts
+  /// the time the frame already spent in flight and parked. A request
+  /// still queued when the budget runs out completes kExpired without
+  /// computing; otherwise the leftover budget tightens the compute
+  /// deadline (CancelToken), so a request can never overrun the budget
+  /// by more than one cancellation poll.
+  double deadline_s = 0.0;
 };
 
 class PrioService {
@@ -252,16 +264,17 @@ class PrioService {
   /// Fingerprint + cache lookup + compute-on-miss. Fills everything in
   /// `reply` except latency. Exceptions escape to the caller. `trace` is
   /// the request's span context (disabled when the service has no
-  /// tracer).
+  /// tracer). `budget_s` > 0 is the remaining whole-request budget; it
+  /// tightens the configured compute deadline when smaller.
   void serveDigraph(const dag::Digraph& g, Reply& reply,
-                    const obs::TraceContext& trace);
+                    const obs::TraceContext& trace, double budget_s = 0.0);
   /// Full file pipeline (parse, serve, instrument, write).
   void serveFile(const FileRequest& request, Reply& reply,
                  const obs::TraceContext& trace);
   /// Full text pipeline (parse, serve, instrument, serialize to
   /// Reply::output).
   void serveText(const TextRequest& request, Reply& reply,
-                 const obs::TraceContext& trace);
+                 const obs::TraceContext& trace, double budget_s = 0.0);
 
   /// Shared submission path: runs `request` on the pool and delivers the
   /// Reply through `complete` (worker thread, or the calling thread on

@@ -146,6 +146,11 @@ void TenantRegistry::recordRejected(std::uint32_t id) {
   ++ensureLocked(id).rejected;
 }
 
+void TenantRegistry::recordExpired(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++ensureLocked(id).expired;
+}
+
 void TenantRegistry::recordReply(std::uint32_t id, Outcome outcome,
                                  bool cache_hit, double latency_s) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -168,6 +173,7 @@ void TenantRegistry::recordReply(std::uint32_t id, Outcome outcome,
     case Outcome::kRejected: ++state.rejected; break;
     case Outcome::kShed: ++state.shed; break;
     case Outcome::kFailed: ++state.failed; break;
+    case Outcome::kExpired: ++state.expired; break;
   }
   std::uint64_t ticks = 0;
   const std::size_t bucket = latencyBucket(latency_s, ticks);
@@ -193,6 +199,7 @@ std::vector<TenantSnapshot> TenantRegistry::snapshot() const {
     s.admitted = state.admitted;
     s.rejected = state.rejected;
     s.shed = state.shed;
+    s.expired = state.expired;
     s.completed = state.completed;
     s.degraded = state.degraded;
     s.failed = state.failed;
@@ -223,6 +230,7 @@ void writeTenantsJson(std::ostream& out,
         << ",\"tokens\":" << t.tokens << ",\"queued\":" << t.queued
         << ",\"in_flight\":" << t.in_flight << ",\"admitted\":" << t.admitted
         << ",\"rejected\":" << t.rejected << ",\"shed\":" << t.shed
+        << ",\"expired\":" << t.expired
         << ",\"completed\":" << t.completed << ",\"degraded\":" << t.degraded
         << ",\"failed\":" << t.failed << ",\"cache_hits\":" << t.cache_hits
         << ",\"cache_misses\":" << t.cache_misses
@@ -264,6 +272,11 @@ void writeTenantsPrometheus(std::ostream& out,
        }},
       {"prio_tenant_shed_total", "counter", "queue-deadline sheds",
        [](const TenantSnapshot& t) { return static_cast<double>(t.shed); }},
+      {"prio_tenant_expired_total", "counter",
+       "wire deadlines spent before compute",
+       [](const TenantSnapshot& t) {
+         return static_cast<double>(t.expired);
+       }},
       {"prio_tenant_completed_total", "counter", "kOk and kDegraded replies",
        [](const TenantSnapshot& t) {
          return static_cast<double>(t.completed);

@@ -75,6 +75,7 @@ enum class Outcome {
   kRejected,
   kShed,
   kFailed,
+  kExpired,  ///< wire deadline spent before compute could start
 };
 
 /// Point-in-time copy of one tenant's config and accounting. `queued` is
@@ -92,6 +93,7 @@ struct TenantSnapshot {
   std::uint64_t admitted = 0;
   std::uint64_t rejected = 0;
   std::uint64_t shed = 0;
+  std::uint64_t expired = 0;  ///< wire deadlines spent before compute
   std::uint64_t completed = 0;  ///< kOk + kDegraded replies
   std::uint64_t degraded = 0;
   std::uint64_t failed = 0;
@@ -139,6 +141,11 @@ class TenantRegistry {
   /// kReject policy). No in-flight slot is held.
   void recordRejected(std::uint32_t id);
 
+  /// Accounts a request whose wire deadline was already spent when the
+  /// server looked at it — shed before admission, so no in-flight slot
+  /// is held and no token was consumed.
+  void recordExpired(std::uint32_t id);
+
   /// Accounts one reply for an admitted request: releases the in-flight
   /// slot, buckets the outcome, and records latency. `cache_hit` only
   /// meaningful for kOk.
@@ -158,6 +165,7 @@ class TenantRegistry {
     std::uint64_t admitted = 0;
     std::uint64_t rejected = 0;
     std::uint64_t shed = 0;
+    std::uint64_t expired = 0;
     std::uint64_t completed = 0;
     std::uint64_t degraded = 0;
     std::uint64_t failed = 0;

@@ -65,6 +65,20 @@ enum class Kind {
   kThrowTransient,
   kDelay,
   kCrash,
+  // Socket-level kinds, consumed by util/socket.h via ioCheckpoint().
+  // At a plain checkpoint() they are inert (the site fires, counted,
+  // but nothing observable happens — non-IO code cannot honor them).
+  kShortIo,  ///< truncate the transfer to 1 byte (short read/write)
+  kEagain,   ///< fail with EAGAIN before the syscall (readiness storm)
+  kReset,    ///< fail with ECONNRESET before the syscall (peer reset)
+};
+
+/// What an IO-aware fault site asks the socket helper to simulate.
+enum class IoFault {
+  kNone,    ///< proceed with the real syscall
+  kShort,   ///< cap the transfer at 1 byte
+  kEagain,  ///< return -1 with errno = EAGAIN
+  kReset,   ///< return -1 with errno = ECONNRESET
 };
 
 struct SitePlan {
@@ -132,12 +146,17 @@ class Injector {
   }
 
   /// The per-site hook; called via fault::checkpoint().
-  void pass(const char* site) {
+  void pass(const char* site) { (void)ioPass(site); }
+
+  /// The IO-aware hook; called via fault::ioCheckpoint() from the socket
+  /// helpers. Throwing kinds throw exactly like pass(); kDelay sleeps;
+  /// the socket kinds return the IoFault for the caller to simulate.
+  [[nodiscard]] IoFault ioPass(const char* site) {
     std::chrono::microseconds delay{0};
     {
       std::lock_guard<std::mutex> lock(mu_);
       const auto it = sites_.find(site);
-      if (it == sites_.end()) return;
+      if (it == sites_.end()) return IoFault::kNone;
       SiteState& s = it->second;
       ++s.passes;
       bool fire = false;
@@ -146,7 +165,7 @@ class Injector {
       } else {
         fire = nextUniform(s.rng_state) < s.plan.probability;
       }
-      if (!fire) return;
+      if (!fire) return IoFault::kNone;
       ++s.fires;
       switch (s.plan.kind) {
         case Kind::kThrowError:
@@ -159,10 +178,14 @@ class Injector {
         case Kind::kDelay:
           delay = s.plan.delay;
           break;
+        case Kind::kShortIo: return IoFault::kShort;
+        case Kind::kEagain: return IoFault::kEagain;
+        case Kind::kReset: return IoFault::kReset;
       }
     }
     // Sleep outside the lock so delayed sites don't serialize the others.
     if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    return IoFault::kNone;
   }
 
  private:
@@ -203,6 +226,15 @@ inline void checkpoint(const char* site) {
   Injector& injector = Injector::instance();
   if (!injector.armed()) return;
   injector.pass(site);
+}
+
+/// The IO-aware site marker the socket helpers call: same fire logic as
+/// checkpoint(), but socket kinds come back as a value instead of being
+/// swallowed. One relaxed load when disarmed.
+[[nodiscard]] inline IoFault ioCheckpoint(const char* site) {
+  Injector& injector = Injector::instance();
+  if (!injector.armed()) return IoFault::kNone;
+  return injector.ioPass(site);
 }
 
 }  // namespace fault

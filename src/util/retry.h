@@ -1,11 +1,19 @@
-// Bounded retry with exponential backoff and seeded jitter.
+// Bounded retry with exponential backoff and seeded full jitter.
 //
 // prio_serve uses this to re-submit transiently failed requests
-// (util::TransientError, queue-full rejections, queue-wait sheds): the
-// k-th retry waits base * 2^k seconds, scaled by a uniform jitter in
-// [0.5, 1.5) and clamped to `cap`. The jitter stream is splitmix64
-// seeded by the caller, so a given (seed, retry budget) always produces
-// the same wait schedule — the chaos tests rely on that.
+// (util::TransientError, queue-full rejections, queue-wait sheds) and
+// the net client uses it to pace reconnects. The k-th retry waits a
+// uniform draw from [0, min(base * 2^k, cap)) seconds — "full jitter"
+// in the AWS-architecture-blog sense. Decorrelating the whole interval
+// matters at fleet scale: the previous multiplicative jitter in
+// [0.5, 1.5) kept every client's k-th retry inside the same narrow
+// band, so a server crash re-synchronized the fleet into reconnect
+// convoys that re-overloaded it on the way back up. A full-range draw
+// spreads the k-th wave across the entire window.
+//
+// The jitter stream is splitmix64 seeded by the caller, so a given
+// (seed, retry budget) always produces the same wait schedule — the
+// chaos tests rely on that determinism.
 #pragma once
 
 #include <algorithm>
@@ -13,31 +21,52 @@
 
 namespace prio::util {
 
-class ExpBackoff {
+/// splitmix64: tiny, seedable, statistically fine for jitter and fault
+/// schedules (NOT crypto). One instance = one deterministic stream.
+class SplitMix64 {
  public:
-  ExpBackoff(double base_seconds, double cap_seconds, std::uint64_t seed)
-      : base_s_(base_seconds), cap_s_(cap_seconds), state_(seed) {}
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
-  /// Wait before retry attempt `attempt` (0-based), in seconds.
-  [[nodiscard]] double next(std::uint64_t attempt) {
-    double delay = base_s_;
-    for (std::uint64_t i = 0; i < attempt && delay < cap_s_; ++i) delay *= 2.0;
-    const double jitter = 0.5 + nextUniform();
-    return std::min(delay * jitter, cap_s_);
-  }
-
- private:
-  double nextUniform() noexcept {  // splitmix64 step → [0, 1)
+  [[nodiscard]] std::uint64_t next() noexcept {
     std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    z ^= z >> 31;
-    return static_cast<double>(z >> 11) * 0x1.0p-53;
+    return z ^ (z >> 31);
   }
 
+  /// Uniform draw from [0, 1).
+  [[nodiscard]] double nextUniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+class ExpBackoff {
+ public:
+  ExpBackoff(double base_seconds, double cap_seconds, std::uint64_t seed)
+      : base_s_(base_seconds), cap_s_(cap_seconds), rng_(seed) {}
+
+  /// Wait before retry attempt `attempt` (0-based), in seconds: a
+  /// uniform draw from [0, window(attempt)) where the window doubles
+  /// each attempt up to `cap`.
+  [[nodiscard]] double next(std::uint64_t attempt) {
+    return rng_.nextUniform() * window(attempt);
+  }
+
+  /// The un-jittered backoff window for attempt `attempt`:
+  /// min(base * 2^attempt, cap).
+  [[nodiscard]] double window(std::uint64_t attempt) const {
+    double w = base_s_;
+    for (std::uint64_t i = 0; i < attempt && w < cap_s_; ++i) w *= 2.0;
+    return std::min(w, cap_s_);
+  }
+
+ private:
   double base_s_;
   double cap_s_;
-  std::uint64_t state_;
+  SplitMix64 rng_;
 };
 
 }  // namespace prio::util

@@ -11,8 +11,14 @@
 // must restart it, not surface a phantom error. Both carry a fault-
 // injection site ("net.read", "net.write" — see util/fault_injection.h):
 // a plan of Kind::kThrowTransient fires as a *synthetic EINTR*, so tests
-// drive the retry loop deterministically without real signals; any other
-// plan kind propagates as usual (a hard injected I/O failure).
+// drive the retry loop deterministically without real signals; the
+// socket kinds simulate a short transfer (kShortIo), a readiness storm
+// (kEagain), or a peer reset (kReset) without touching the descriptor;
+// kDelay stalls the byte stream; any other plan kind propagates as
+// usual (a hard injected I/O failure).
+//
+// waitReadable()/readSomeTimed() are the poll(2)-based bounded variants
+// the client uses so a stalled peer costs a timeout, never a hang.
 //
 // Close intentionally does NOT retry on EINTR: on Linux the descriptor
 // is released even when close() returns EINTR, and retrying can close a
@@ -20,10 +26,12 @@
 #pragma once
 
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstddef>
 
 #include "util/fault_injection.h"
@@ -92,17 +100,31 @@ inline bool setCloexec(int fd) {
 
 namespace detail {
 
-/// Consults the named fault site; true means "pretend the syscall was
-/// interrupted" (errno = EINTR). Kind::kThrowTransient is the synthetic
-/// EINTR; other armed kinds throw through to the caller.
-inline bool injectedEintr(const char* site) {
+/// What one consult of a socket fault site asks the helper to do.
+struct IoOutcome {
+  bool eintr = false;     ///< pretend the syscall was interrupted; retry
+  bool eagain = false;    ///< fail with EAGAIN without the syscall
+  bool reset = false;     ///< fail with ECONNRESET without the syscall
+  bool short_io = false;  ///< cap the transfer at 1 byte
+};
+
+/// Consults the named fault site. Kind::kThrowTransient is the synthetic
+/// EINTR; the socket kinds map onto the flags; kThrowError/kCrash throw
+/// through to the caller (a hard injected I/O failure); kDelay has
+/// already slept inside the checkpoint.
+inline IoOutcome consultFaults(const char* site) {
+  IoOutcome o;
   try {
-    fault::checkpoint(site);
+    switch (fault::ioCheckpoint(site)) {
+      case fault::IoFault::kNone: break;
+      case fault::IoFault::kShort: o.short_io = true; break;
+      case fault::IoFault::kEagain: o.eagain = true; break;
+      case fault::IoFault::kReset: o.reset = true; break;
+    }
   } catch (const TransientError&) {
-    errno = EINTR;
-    return true;
+    o.eintr = true;
   }
-  return false;
+  return o;
 }
 
 }  // namespace detail
@@ -112,8 +134,21 @@ inline bool injectedEintr(const char* site) {
 /// included — non-blocking callers handle those themselves).
 inline long readSome(int fd, void* buf, std::size_t n) {
   for (;;) {
-    if (detail::injectedEintr("net.read")) continue;
-    const long r = ::read(fd, buf, n);
+    const detail::IoOutcome f = detail::consultFaults("net.read");
+    if (f.eintr) {
+      errno = EINTR;
+      continue;
+    }
+    if (f.eagain) {
+      errno = EAGAIN;
+      return -1;
+    }
+    if (f.reset) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    const std::size_t want = f.short_io && n > 1 ? 1 : n;
+    const long r = ::read(fd, buf, want);
     if (r >= 0 || errno != EINTR) return r;
   }
 }
@@ -122,9 +157,83 @@ inline long readSome(int fd, void* buf, std::size_t n) {
 /// Returns bytes written or -1 with errno set.
 inline long writeSome(int fd, const void* buf, std::size_t n) {
   for (;;) {
-    if (detail::injectedEintr("net.write")) continue;
-    const long r = ::write(fd, buf, n);
+    const detail::IoOutcome f = detail::consultFaults("net.write");
+    if (f.eintr) {
+      errno = EINTR;
+      continue;
+    }
+    if (f.eagain) {
+      errno = EAGAIN;
+      return -1;
+    }
+    if (f.reset) {
+      errno = ECONNRESET;
+      return -1;
+    }
+    const std::size_t want = f.short_io && n > 1 ? 1 : n;
+    // MSG_NOSIGNAL: writing to a peer that already reset must surface as
+    // EPIPE for the caller to handle, never as a process-killing SIGPIPE
+    // (the chaos proxy and the crash-recovering client both write into
+    // freshly-dead connections as a matter of course). Non-socket fds
+    // get ENOTSOCK and fall back to plain write().
+    long r = ::send(fd, buf, want, MSG_NOSIGNAL);
+    if (r < 0 && errno == ENOTSOCK) r = ::write(fd, buf, want);
     if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+/// poll(2) for readability with a wall-clock bound. Returns 1 when `fd`
+/// is readable (or has a pending error/EOF to harvest), 0 on timeout,
+/// -1 on poll failure (errno set). EINTR restarts with the remaining
+/// time so a signal can't silently extend the bound. timeout_ms < 0
+/// waits forever (plain blocking semantics).
+inline int waitReadable(int fd, int timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  int remaining = timeout_ms;
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int r = ::poll(&pfd, 1, remaining);
+    if (r >= 0) return r > 0 ? 1 : 0;
+    if (errno != EINTR) return -1;
+    if (timeout_ms < 0) continue;
+    const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    remaining = timeout_ms - static_cast<int>(waited);
+    if (remaining <= 0) return 0;
+  }
+}
+
+/// readSome() bounded by waitReadable(): returns bytes read (0 = EOF),
+/// -1 with errno set on error, or -2 when `timeout_ms` elapsed with no
+/// byte available. For BLOCKING descriptors an injected/real EAGAIN is
+/// treated as "not ready yet" and re-polled until the deadline, so an
+/// EAGAIN storm costs time, not correctness.
+inline constexpr long kReadTimedOut = -2;
+inline long readSomeTimed(int fd, void* buf, std::size_t n, int timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    int remaining = timeout_ms;
+    if (timeout_ms >= 0) {
+      const auto waited =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      remaining = timeout_ms - static_cast<int>(waited);
+      if (remaining < 0) remaining = 0;
+    }
+    const int ready = waitReadable(fd, remaining);
+    if (ready < 0) return -1;
+    if (ready == 0) return kReadTimedOut;
+    const long r = readSome(fd, buf, n);
+    if (r >= 0) return r;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) return -1;
+    // Spurious readiness or an injected EAGAIN storm: poll again with
+    // whatever budget is left.
+    if (timeout_ms == 0) return kReadTimedOut;
   }
 }
 

@@ -426,18 +426,39 @@ TEST(FaultInjector, DisarmedCheckpointIsInert) {
 
 TEST(Backoff, SeededScheduleReplaysAndGrows) {
   util::ExpBackoff a(0.01, 1.0, 7), b(0.01, 1.0, 7);
-  double prev_base = 0.0;
+  double prev_window = 0.0;
   for (std::uint64_t k = 0; k < 8; ++k) {
     const double da = a.next(k), db = b.next(k);
-    EXPECT_EQ(da, db);  // same seed → same jittered schedule
+    EXPECT_EQ(da, db);   // same seed → same jittered schedule
     EXPECT_LE(da, 1.0);  // cap holds
-    // Jitter is in [0.5, 1.5): the un-jittered base doubles each step.
-    const double base = std::min(0.01 * static_cast<double>(1ULL << k), 1.0);
-    EXPECT_GE(da, base * 0.5);
-    EXPECT_LT(da, base * 1.5 + 1e-12);
-    EXPECT_GE(base, prev_base);
-    prev_base = base;
+    // Full jitter: a uniform draw from [0, window) where the window
+    // doubles each step up to the cap.
+    const double window = std::min(0.01 * static_cast<double>(1ULL << k), 1.0);
+    EXPECT_EQ(window, a.window(k));
+    EXPECT_GE(da, 0.0);
+    EXPECT_LT(da, window);
+    EXPECT_GE(window, prev_window);
+    prev_window = window;
   }
+}
+
+TEST(Backoff, FullJitterDecorrelatesDifferentSeeds) {
+  // A fleet of clients with distinct seeds must not retry in lockstep:
+  // with full jitter the k-th waits spread across the whole window
+  // instead of clustering in a narrow multiplicative band.
+  constexpr int kFleet = 32;
+  double lo = 1e9, hi = -1.0;
+  for (int c = 0; c < kFleet; ++c) {
+    util::ExpBackoff bo(0.1, 10.0, 1000 + static_cast<std::uint64_t>(c));
+    const double d = bo.next(4);  // window = 1.6 s
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.6);
+  }
+  // The spread covers most of the window (w.h.p. for 32 uniform draws).
+  EXPECT_LT(lo, 0.4);
+  EXPECT_GT(hi, 1.2);
 }
 
 // ---------------------------------------------------------------------------
@@ -487,6 +508,7 @@ TEST(ChaosStress, EveryRequestTerminatesUnderMixedFaults) {
         break;
       case RequestStatus::kRejected:
       case RequestStatus::kShed:
+      case RequestStatus::kExpired:
       case RequestStatus::kFailed:
         EXPECT_EQ(r.result, nullptr);
         break;

@@ -285,8 +285,24 @@ TEST(NetProtocol, BadVersionIsError) {
   EXPECT_NE(dec.error().find("version"), std::string::npos);
 }
 
-TEST(NetProtocol, NonzeroFlagsAreError) {
+TEST(NetProtocol, ReservedFlagBitsAreError) {
+  // Bit 0 is kFlagDeadline (legal on v2); every other bit is reserved.
   Frame f;
+  std::string wire;
+  net::encodeFrame(f, wire);
+  wire[7] = '\x02';
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  EXPECT_EQ(dec.next(out), FrameDecoder::Result::kError);
+  EXPECT_NE(dec.error().find("flags"), std::string::npos);
+}
+
+TEST(NetProtocol, DeadlineFlagOnV1FrameIsError) {
+  // v1 predates every flag; an old peer setting even the "known" bit is
+  // corruption, not a deadline.
+  Frame f;
+  f.version = net::kVersionLegacy;
   std::string wire;
   net::encodeFrame(f, wire);
   wire[7] = '\x01';
@@ -295,6 +311,153 @@ TEST(NetProtocol, NonzeroFlagsAreError) {
   Frame out;
   EXPECT_EQ(dec.next(out), FrameDecoder::Result::kError);
   EXPECT_NE(dec.error().find("flags"), std::string::npos);
+}
+
+TEST(NetProtocol, GoldenFrameBytesWithDeadline) {
+  // The deadline field sits between the 32-byte v2 header and the
+  // payload; payload_len still counts only the payload, so a deadline-
+  // blind observer that honors flags it doesn't know would misparse —
+  // which is exactly why unknown flag bits are a protocol error.
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.status = Status::kOk;
+  f.request_id = 0x0102030405060708ULL;
+  f.trace_id = 0x1112131415161718ULL;
+  f.tenant = 0x21222324u;
+  f.deadline_ms = 0x000004D2u;  // 1234 ms
+  f.payload = "abc";
+  std::string wire;
+  net::encodeFrame(f, wire);
+
+  const std::string expected{
+      'P',    'R',    'I',    'O',          // magic, little-endian
+      '\x02',                               // version
+      '\x01',                               // type = request
+      '\x00',                               // status
+      '\x01',                               // flags = kFlagDeadline
+      '\x08', '\x07', '\x06', '\x05',       // request_id LE
+      '\x04', '\x03', '\x02', '\x01',
+      '\x18', '\x17', '\x16', '\x15',       // trace_id LE
+      '\x14', '\x13', '\x12', '\x11',
+      '\x24', '\x23', '\x22', '\x21',       // tenant_id LE
+      '\x03', '\x00', '\x00', '\x00',       // payload_len LE (payload only)
+      '\xd2', '\x04', '\x00', '\x00',       // deadline_ms = 1234 LE
+      'a',    'b',    'c'};
+  EXPECT_EQ(wire, expected);
+
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.deadline_ms, 1234u);
+  EXPECT_EQ(out.payload, "abc");
+}
+
+TEST(NetProtocol, ExpiredStatusRoundTrips) {
+  Frame f;
+  f.type = FrameType::kResponse;
+  f.status = Status::kExpired;
+  f.payload = "deadline expired";
+  std::string wire;
+  net::encodeFrame(f, wire);
+  EXPECT_EQ(wire[6], '\x06');  // kExpired on the wire
+
+  FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  Frame out;
+  ASSERT_EQ(dec.next(out), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(out.status, Status::kExpired);
+  EXPECT_STREQ(net::statusName(out.status), "expired");
+
+  // One past kExpired is no longer a valid status byte.
+  wire[6] = '\x07';
+  FrameDecoder strict;
+  strict.feed(wire.data(), wire.size());
+  EXPECT_EQ(strict.next(out), FrameDecoder::Result::kError);
+}
+
+// Property test: a golden stream of interleaved v1/v2/deadline frames
+// must decode identically no matter where the transport splits it. This
+// is the contract the chaos proxy attacks at runtime (max_chunk=1);
+// here every single two-part split AND the all-singleton split are
+// checked exhaustively.
+TEST(NetProtocol, DecoderInvariantUnderEverySplitOffset) {
+  std::vector<Frame> frames;
+  {
+    Frame a;  // v2, no deadline, empty payload
+    a.type = FrameType::kRequest;
+    a.request_id = 1;
+    frames.push_back(a);
+    Frame b;  // v1 legacy
+    b.version = net::kVersionLegacy;
+    b.type = FrameType::kResponse;
+    b.status = Status::kDegraded;
+    b.request_id = 2;
+    b.payload = "legacy";
+    frames.push_back(b);
+    Frame c;  // v2 with deadline and tenant
+    c.type = FrameType::kRequest;
+    c.request_id = 3;
+    c.tenant = 9;
+    c.deadline_ms = 250;
+    c.payload = "Job a a.sub\n";
+    frames.push_back(c);
+    Frame d;  // v2 expired response with deadline echoed
+    d.type = FrameType::kResponse;
+    d.status = Status::kExpired;
+    d.request_id = 4;
+    d.deadline_ms = 1;
+    frames.push_back(d);
+    Frame e;  // v1 after a deadline frame: header size flips back
+    e.version = net::kVersionLegacy;
+    e.type = FrameType::kRequest;
+    e.request_id = 5;
+    e.payload = std::string(257, 'x');
+    frames.push_back(e);
+  }
+  std::string wire;
+  for (const Frame& f : frames) net::encodeFrame(f, wire);
+
+  // Every two-part split of the stream, draining eagerly after each
+  // feed so the kNeedMore resume paths are exercised at every offset.
+  for (std::size_t cut = 0; cut <= wire.size(); ++cut) {
+    FrameDecoder dec;
+    Frame out;
+    std::size_t idx = 0;
+    const auto drain = [&]() {
+      while (dec.next(out) == FrameDecoder::Result::kFrame) {
+        ASSERT_LT(idx, frames.size()) << "split at " << cut;
+        const Frame& want = frames[idx];
+        EXPECT_EQ(out.version, want.version) << cut << "/" << idx;
+        EXPECT_EQ(out.type, want.type) << cut << "/" << idx;
+        EXPECT_EQ(out.status, want.status) << cut << "/" << idx;
+        EXPECT_EQ(out.request_id, want.request_id) << cut << "/" << idx;
+        EXPECT_EQ(out.tenant, want.tenant) << cut << "/" << idx;
+        EXPECT_EQ(out.deadline_ms, want.deadline_ms) << cut << "/" << idx;
+        EXPECT_EQ(out.payload, want.payload) << cut << "/" << idx;
+        ++idx;
+      }
+      ASSERT_FALSE(dec.failed()) << "split at " << cut << ": " << dec.error();
+    };
+    dec.feed(wire.data(), cut);
+    drain();
+    dec.feed(wire.data() + cut, wire.size() - cut);
+    drain();
+    EXPECT_EQ(idx, frames.size()) << "split at " << cut;
+    EXPECT_EQ(dec.buffered(), 0u) << "split at " << cut;
+  }
+
+  // The adversarial all-singleton split: one byte per feed.
+  FrameDecoder trickle;
+  Frame out;
+  std::size_t decoded = 0;
+  for (char ch : wire) {
+    trickle.feed(&ch, 1);
+    while (trickle.next(out) == FrameDecoder::Result::kFrame) ++decoded;
+  }
+  EXPECT_FALSE(trickle.failed()) << trickle.error();
+  EXPECT_EQ(decoded, frames.size());
+  EXPECT_EQ(trickle.buffered(), 0u);
 }
 
 TEST(NetProtocol, OversizedPayloadFailsBeforePayloadArrives) {
@@ -1129,10 +1292,206 @@ TEST(NetClient, UsableOutputRejectsEmptyDegraded) {
 
   r.payload = "some diagnostic";
   for (Status s : {Status::kRejected, Status::kShed, Status::kFailed,
-                   Status::kProtocolError}) {
+                   Status::kProtocolError, Status::kExpired}) {
     r.status = s;
     EXPECT_FALSE(r.usableOutput());
   }
+}
+
+// ------------------------------------------- wire deadlines & liveness
+
+TEST(NetServer, WireDeadlineExpiresInServiceQueue) {
+  FaultGuard guard;
+  auto& injector = util::fault::Injector::instance();
+  injector.arm(/*seed=*/5);
+  // The lone worker sits inside request A long enough that B's 1 ms
+  // budget is gone before B is ever dequeued.
+  injector.plan("service.parse",
+                {util::fault::Kind::kDelay, /*every_nth=*/1, 0.0,
+                 std::chrono::microseconds(60000)});
+
+  net::ServerConfig config;
+  config.service.num_threads = 1;
+  ServerFixture fixture(config);
+
+  net::Client a;  // no deadline: must complete
+  a.connect("127.0.0.1", fixture.port());
+  net::ClientOptions bopts;
+  bopts.deadline_ms = 1;
+  net::Client b(bopts);
+  b.connect("127.0.0.1", fixture.port());
+
+  a.send(kFig3);
+  // Let A claim the worker before B enqueues behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  b.send(kFig3);
+
+  const net::Response ra = a.receive();
+  EXPECT_EQ(ra.status, Status::kOk) << ra.payload;
+  const net::Response rb = b.receive();
+  EXPECT_EQ(rb.status, Status::kExpired) << rb.payload;
+  EXPECT_TRUE(rb.payload.empty() || !rb.ok());
+  EXPECT_FALSE(rb.usableOutput());
+
+  // The expiry is visible on every surface: service JSON counter,
+  // server stats, and the per-tenant ledger.
+  EXPECT_EQ(fixture.server().service().metrics().requests_expired.get(), 1u);
+  EXPECT_EQ(fixture.server().stats().requests_expired, 1u);
+  std::ostringstream tenants;
+  fixture.server().writeTenantsJson(tenants);
+  EXPECT_NE(tenants.str().find("\"expired\":1"), std::string::npos)
+      << tenants.str();
+}
+
+TEST(NetServer, WireDeadlineExpiresWhileGateParked) {
+  FaultGuard guard;
+  auto& injector = util::fault::Injector::instance();
+  injector.arm(/*seed=*/5);
+  injector.plan("service.parse",
+                {util::fault::Kind::kDelay, /*every_nth=*/1, 0.0,
+                 std::chrono::microseconds(200000)});
+
+  // Gate of 1 under kBlock: B's frame parks. Its 1 ms budget dies in
+  // the parking lot, so the tick loop must answer kExpired pre-
+  // admission instead of letting the request wait forever.
+  net::ServerConfig config;
+  config.service.num_threads = 1;
+  config.max_in_flight = 1;
+  ServerFixture fixture(config);
+
+  net::Client a;
+  a.connect("127.0.0.1", fixture.port());
+  net::ClientOptions bopts;
+  bopts.deadline_ms = 1;
+  net::Client b(bopts);
+  b.connect("127.0.0.1", fixture.port());
+
+  a.send(kFig3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  b.send(kFig3);
+
+  const net::Response rb = b.receive();
+  EXPECT_EQ(rb.status, Status::kExpired) << rb.payload;
+  EXPECT_NE(rb.payload.find("before admission"), std::string::npos)
+      << rb.payload;
+  const net::Response ra = a.receive();
+  EXPECT_EQ(ra.status, Status::kOk) << ra.payload;
+
+  // Pre-admission expiry is billed to the tenant but consumes no quota
+  // token and never reaches the service.
+  EXPECT_EQ(fixture.server().stats().requests_expired, 1u);
+  EXPECT_EQ(fixture.server().service().metrics().requests_expired.get(), 0u);
+
+  // The connection survives: B can still be served afterwards (the
+  // worker is free again, so even the 1 ms budget can succeed — but
+  // either way the request terminates).
+  b.send(kFig3);
+  const net::Response again = b.receive();
+  EXPECT_TRUE(again.status == Status::kOk ||
+              again.status == Status::kExpired ||
+              again.status == Status::kDegraded)
+      << net::statusName(again.status);
+}
+
+TEST(NetServer, HealthzAnswersWhileLoopTurns) {
+  ServerFixture fixture;
+  int status = 0;
+  const std::string body = net::Client::fetchHttp(
+      "127.0.0.1", fixture.port(), "/healthz", {}, &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok\n");
+  EXPECT_GE(fixture.server().stats().http_requests, 1u);
+}
+
+TEST(NetServer, ReadyzReportsReadyWhenIdle) {
+  ServerFixture fixture;
+  int status = 0;
+  const std::string body = net::Client::fetchHttp(
+      "127.0.0.1", fixture.port(), "/readyz", {}, &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"ready\":true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"max_in_flight\":"), std::string::npos) << body;
+}
+
+TEST(NetServer, ReadyzGoes503WhenGateSaturated) {
+  FaultGuard guard;
+  auto& injector = util::fault::Injector::instance();
+  injector.arm(/*seed=*/5);
+  injector.plan("service.parse",
+                {util::fault::Kind::kDelay, /*every_nth=*/1, 0.0,
+                 std::chrono::microseconds(300000)});
+
+  net::ServerConfig config;
+  config.service.num_threads = 1;
+  config.max_in_flight = 1;
+  ServerFixture fixture(config);
+  net::Client client;
+  client.connect("127.0.0.1", fixture.port());
+  client.send(kFig3);  // occupies the only gate slot
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+  int status = 0;
+  const std::string body = net::Client::fetchHttp(
+      "127.0.0.1", fixture.port(), "/readyz", {}, &status);
+  EXPECT_EQ(status, 503);
+  EXPECT_NE(body.find("\"ready\":false"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"in_flight\":1"), std::string::npos) << body;
+
+  EXPECT_EQ(client.receive().status, Status::kOk);
+  // Drained again: ready returns.
+  const std::string after = net::Client::fetchHttp(
+      "127.0.0.1", fixture.port(), "/readyz", {}, &status);
+  EXPECT_EQ(status, 200) << after;
+}
+
+TEST(NetServer, LoopStallWatchdogRecordsNonTrivialWork) {
+  ServerFixture fixture;
+  net::Client client;
+  client.connect("127.0.0.1", fixture.port());
+  ASSERT_EQ(client.call(kFig3).status, Status::kOk);
+  // Any served request keeps the loop away from poll for a nonzero
+  // stretch; the gauge must have seen it.
+  EXPECT_GT(fixture.server().stats().loop_stall_max_us, 0u);
+  const std::string metrics =
+      net::Client::fetchMetrics("127.0.0.1", fixture.port());
+  EXPECT_NE(metrics.find("prio_net_loop_stall_max_us"), std::string::npos);
+}
+
+// Satellite: a stalled server must cost the client a clean TimeoutError,
+// not an infinite hang — on both the framed path and the HTTP fetches.
+TEST(NetClient, ReceiveTimesOutInsteadOfHanging) {
+  // A listener that accepts and then never writes a byte.
+  util::UniqueFd listener = util::socketCloexec(AF_INET, SOCK_STREAM, 0);
+  ASSERT_TRUE(listener.valid());
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::bind(listener.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener.get(), 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener.get(),
+                          reinterpret_cast<struct sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  net::ClientOptions options;
+  options.request_timeout_s = 0.05;
+  net::Client client(options);
+  client.connect("127.0.0.1", port);
+  client.send(kFig3);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.receive(), net::TimeoutError);
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(waited, 5.0);  // bounded, not the kernel TCP timeout
+
+  // The HTTP path under the same silence.
+  EXPECT_THROW(net::Client::fetchHttp("127.0.0.1", port, "/metrics", options),
+               net::TimeoutError);
 }
 
 }  // namespace

@@ -1,0 +1,387 @@
+// Fault-tolerant serving tests (DESIGN.md §13): the circuit breaker
+// state machine under an injectable clock, the crash-recovering client
+// (reconnect with backoff, replay of in-flight requests, fail-fast when
+// the endpoint stays down), and the deterministic network-chaos proxy
+// (adversarial byte-at-a-time splits, injected RST, truncation, stalls)
+// driven against a real loopback server with byte-parity checked
+// against the offline pipeline.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "dagman/dagman_file.h"
+#include "dagman/instrument.h"
+#include "net/chaos.h"
+#include "net/client.h"
+#include "net/resilient.h"
+#include "net/server.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+
+namespace {
+
+using namespace prio;
+using net::Status;
+
+constexpr const char* kFig3 =
+    "Job a a.submit\n"
+    "Job b b.submit\n"
+    "Job c c.submit\n"
+    "Job d d.submit\n"
+    "Job e e.submit\n"
+    "PARENT a CHILD b\n"
+    "PARENT c CHILD d e\n";
+
+/// The offline tool's output for the same text: the byte-parity oracle.
+std::string offlineInstrument(const std::string& dag_text) {
+  std::istringstream in(dag_text);
+  auto file = dagman::DagmanFile::parse(in);
+  (void)dagman::prioritizeDagmanFile(file);
+  std::ostringstream out;
+  file.write(out);
+  return std::move(out).str();
+}
+
+/// Server on an ephemeral (or caller-chosen) port, run on a background
+/// thread.
+class ServerHandle {
+ public:
+  explicit ServerHandle(net::ServerConfig config) {
+    server_ = std::make_unique<net::Server>(config);
+    thread_ = std::thread([this] { server_->run(); });
+  }
+  ~ServerHandle() { stop(); }
+  void stop() {
+    if (thread_.joinable()) {
+      server_->requestStop();
+      thread_.join();
+    }
+  }
+  net::Server& server() { return *server_; }
+  [[nodiscard]] std::uint16_t port() const { return server_->port(); }
+
+ private:
+  std::unique_ptr<net::Server> server_;
+  std::thread thread_;
+};
+
+/// ChaosProxy on a background thread.
+class ProxyHandle {
+ public:
+  explicit ProxyHandle(net::ChaosOptions options) {
+    proxy_ = std::make_unique<net::ChaosProxy>(options);
+    thread_ = std::thread([this] { proxy_->run(); });
+  }
+  ~ProxyHandle() { stop(); }
+  void stop() {
+    if (thread_.joinable()) {
+      proxy_->requestStop();
+      thread_.join();
+    }
+  }
+  net::ChaosProxy& proxy() { return *proxy_; }
+  [[nodiscard]] std::uint16_t port() const { return proxy_->port(); }
+
+ private:
+  std::unique_ptr<net::ChaosProxy> proxy_;
+  std::thread thread_;
+};
+
+struct FaultGuard {
+  ~FaultGuard() { util::fault::Injector::instance().disarm(); }
+};
+
+// -------------------------------------------------------- CircuitBreaker
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  net::BreakerOptions opts;
+  opts.failure_threshold = 3;
+  opts.open_cooldown_s = 10.0;
+  net::CircuitBreaker b(opts);
+  double t = 0.0;
+
+  EXPECT_EQ(b.state(t), net::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.allow(t));
+  b.recordFailure(t);
+  b.recordFailure(t);
+  EXPECT_TRUE(b.allow(t));  // under threshold: still closed
+  b.recordFailure(t);
+  EXPECT_EQ(b.state(t), net::CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(b.allow(t));
+  EXPECT_FALSE(b.allow(t + 9.9));  // cooldown not elapsed
+  EXPECT_EQ(b.openedCount(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsTheFailureStreak) {
+  net::BreakerOptions opts;
+  opts.failure_threshold = 3;
+  net::CircuitBreaker b(opts);
+  double t = 0.0;
+  b.recordFailure(t);
+  b.recordFailure(t);
+  b.recordSuccess(t);  // streak broken
+  b.recordFailure(t);
+  b.recordFailure(t);
+  EXPECT_EQ(b.state(t), net::CircuitBreaker::State::kClosed);
+  b.recordFailure(t);
+  EXPECT_EQ(b.state(t), net::CircuitBreaker::State::kOpen);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeClosesOnSuccess) {
+  net::BreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_cooldown_s = 5.0;
+  net::CircuitBreaker b(opts);
+  b.recordFailure(0.0);
+  EXPECT_EQ(b.state(0.0), net::CircuitBreaker::State::kOpen);
+
+  // Cooldown elapsed: exactly one probe may pass at a time.
+  EXPECT_EQ(b.state(5.0), net::CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(b.allow(5.0));
+  EXPECT_FALSE(b.allow(5.0));  // probe outstanding
+  b.recordSuccess(5.1);
+  EXPECT_EQ(b.state(5.1), net::CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(b.allow(5.1));
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopens) {
+  net::BreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_cooldown_s = 5.0;
+  net::CircuitBreaker b(opts);
+  b.recordFailure(0.0);
+  EXPECT_TRUE(b.allow(5.0));  // the probe
+  b.recordFailure(5.1);
+  EXPECT_EQ(b.state(5.1), net::CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(b.allow(6.0));          // fresh cooldown from 5.1
+  EXPECT_TRUE(b.allow(5.1 + 5.0));     // next probe window
+  EXPECT_EQ(b.openedCount(), 2u);
+}
+
+TEST(CircuitBreaker, MultipleHalfOpenSuccessesRequired) {
+  net::BreakerOptions opts;
+  opts.failure_threshold = 1;
+  opts.open_cooldown_s = 1.0;
+  opts.half_open_successes = 2;
+  net::CircuitBreaker b(opts);
+  b.recordFailure(0.0);
+  EXPECT_TRUE(b.allow(1.0));
+  b.recordSuccess(1.0);
+  EXPECT_EQ(b.state(1.0), net::CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(b.allow(1.1));  // second probe
+  b.recordSuccess(1.1);
+  EXPECT_EQ(b.state(1.1), net::CircuitBreaker::State::kClosed);
+}
+
+// ------------------------------------------------------- ResilientClient
+
+TEST(ResilientClient, PlainCallsWorkAndTrackNothingAfterwards) {
+  net::ServerConfig config;
+  ServerHandle server(config);
+  net::ResilientOptions ropts;
+  ropts.client.request_timeout_s = 5.0;
+  net::ResilientClient rc("127.0.0.1", server.port(), ropts);
+
+  const net::Response r = rc.call(kFig3);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.payload, offlineInstrument(kFig3));
+  EXPECT_EQ(rc.inFlight(), 0u);
+  EXPECT_EQ(rc.stats().reconnects, 0u);
+  EXPECT_EQ(rc.stats().replays, 0u);
+}
+
+TEST(ResilientClient, ReplaysInFlightRequestAfterServerRestart) {
+  FaultGuard guard;
+  auto& injector = util::fault::Injector::instance();
+  injector.arm(/*seed=*/9);
+  // Hold the request inside the first server long enough to kill the
+  // server under it.
+  injector.plan("service.parse",
+                {util::fault::Kind::kDelay, /*every_nth=*/1, 0.0,
+                 std::chrono::microseconds(400000)});
+
+  net::ServerConfig config;
+  config.service.num_threads = 1;
+  config.drain_timeout_s = 0.0;  // drop in-flight work on stop
+  auto first = std::make_unique<ServerHandle>(config);
+  const std::uint16_t port = first->port();
+
+  net::ResilientOptions ropts;
+  ropts.client.request_timeout_s = 5.0;
+  net::ResilientClient rc("127.0.0.1", port, ropts);
+  const std::uint64_t id = rc.submit(kFig3);
+  EXPECT_EQ(rc.inFlight(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Kill the server mid-request, then bring a fresh one up on the SAME
+  // port (fast compute this time).
+  first->stop();
+  first.reset();
+  injector.disarm();
+  net::ServerConfig config2 = config;
+  config2.port = port;
+  ServerHandle second(config2);
+
+  // await() sees the dead connection, reconnects, replays, and the
+  // answer still correlates by the original id — byte-identical to the
+  // offline pipeline.
+  const net::Response r = rc.await();
+  EXPECT_EQ(r.request_id, id);
+  EXPECT_EQ(r.status, Status::kOk) << r.payload;
+  EXPECT_EQ(r.payload, offlineInstrument(kFig3));
+  EXPECT_EQ(rc.inFlight(), 0u);
+  EXPECT_GE(rc.stats().reconnects, 1u);
+  EXPECT_GE(rc.stats().replays, 1u);
+
+  // The client keeps working after recovery.
+  EXPECT_EQ(rc.call(kFig3).status, Status::kOk);
+}
+
+TEST(ResilientClient, BreakerFailsFastWhenEndpointStaysDown) {
+  // A bound-but-never-listening port: connect() is refused immediately.
+  net::ResilientOptions ropts;
+  ropts.client.connect_attempts = 1;
+  ropts.max_reconnects = 1;
+  ropts.reconnect_backoff_base_s = 0.0;
+  ropts.reconnect_backoff_cap_s = 0.0;
+  ropts.breaker.failure_threshold = 1;
+  ropts.breaker.open_cooldown_s = 3600.0;
+  double fake_now = 0.0;
+  ropts.now_fn = [&fake_now] { return fake_now; };
+  // Port 1 on loopback: reserved, nothing listens in the test container.
+  net::ResilientClient rc("127.0.0.1", 1, ropts);
+
+  EXPECT_THROW((void)rc.call(kFig3), util::Error);  // recovery exhausted
+  EXPECT_EQ(rc.breaker().state(fake_now), net::CircuitBreaker::State::kOpen);
+  EXPECT_THROW((void)rc.call(kFig3), net::BreakerOpenError);  // no I/O
+  EXPECT_EQ(rc.stats().fast_failures, 1u);
+
+  // After the cooldown the half-open probe is allowed to try again (and
+  // fails again here, re-opening).
+  fake_now = 3600.0;
+  EXPECT_THROW((void)rc.call(kFig3), util::Error);
+  EXPECT_EQ(rc.breaker().state(fake_now), net::CircuitBreaker::State::kOpen);
+  EXPECT_EQ(rc.breaker().openedCount(), 2u);
+}
+
+// ------------------------------------------------------------ ChaosProxy
+
+net::ChaosOptions proxyTo(std::uint16_t upstream_port) {
+  net::ChaosOptions o;
+  o.upstream_port = upstream_port;
+  o.seed = 42;
+  return o;
+}
+
+TEST(ChaosProxy, TransparentRelayPreservesParity) {
+  ServerHandle server(net::ServerConfig{});
+  ProxyHandle proxy(proxyTo(server.port()));
+
+  net::Client client;
+  client.connect("127.0.0.1", proxy.port());
+  const net::Response r = client.call(kFig3);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.payload, offlineInstrument(kFig3));
+  EXPECT_GE(proxy.proxy().stats().connections, 1u);
+  EXPECT_GT(proxy.proxy().stats().bytes_forwarded, 0u);
+}
+
+TEST(ChaosProxy, ByteAtATimeSplitsEveryFrameOffset) {
+  ServerHandle server(net::ServerConfig{});
+  net::ChaosOptions copts = proxyTo(server.port());
+  copts.max_chunk = 1;  // adversarial: every wire byte is its own segment
+  ProxyHandle proxy(copts);
+
+  net::ClientOptions opts;
+  opts.request_timeout_s = 30.0;
+  net::Client client(opts);
+  client.connect("127.0.0.1", proxy.port());
+  // Pipelined pair so split frames interleave with a second request.
+  client.send(kFig3);
+  client.send(kFig3);
+  for (int i = 0; i < 2; ++i) {
+    const net::Response r = client.receive();
+    EXPECT_EQ(r.status, Status::kOk);
+    EXPECT_EQ(r.payload, offlineInstrument(kFig3));
+  }
+  // Chunks ~= bytes: everything crossed the proxy one byte at a time.
+  const net::ChaosProxy::Stats s = proxy.proxy().stats();
+  EXPECT_EQ(s.chunks_forwarded, s.bytes_forwarded);
+}
+
+TEST(ChaosProxy, StallsDelayButDoNotCorrupt) {
+  ServerHandle server(net::ServerConfig{});
+  net::ChaosOptions copts = proxyTo(server.port());
+  copts.delay_prob = 1.0;  // every flush stalls once
+  copts.delay_s = 0.01;
+  ProxyHandle proxy(copts);
+
+  net::ClientOptions opts;
+  opts.request_timeout_s = 30.0;
+  net::Client client(opts);
+  client.connect("127.0.0.1", proxy.port());
+  const net::Response r = client.call(kFig3);
+  EXPECT_EQ(r.status, Status::kOk);
+  EXPECT_EQ(r.payload, offlineInstrument(kFig3));
+  EXPECT_GE(proxy.proxy().stats().delays_injected, 1u);
+}
+
+TEST(ChaosProxy, MidFrameResetSurfacesAsTransportError) {
+  ServerHandle server(net::ServerConfig{});
+  net::ChaosOptions copts = proxyTo(server.port());
+  copts.reset_after_bytes = 10;  // dies inside the request frame header
+  ProxyHandle proxy(copts);
+
+  net::ClientOptions opts;
+  opts.request_timeout_s = 5.0;
+  net::Client client(opts);
+  client.connect("127.0.0.1", proxy.port());
+  client.send(kFig3);
+  // The client must observe a terminating error (reset or EOF), never a
+  // hang and never a corrupted "success".
+  EXPECT_THROW((void)client.receive(), util::Error);
+  EXPECT_GE(proxy.proxy().stats().resets_injected, 1u);
+}
+
+TEST(ChaosProxy, TruncationSurfacesAsCleanEof) {
+  ServerHandle server(net::ServerConfig{});
+  net::ChaosOptions copts = proxyTo(server.port());
+  copts.truncate_after_bytes = 10;
+  ProxyHandle proxy(copts);
+
+  net::ClientOptions opts;
+  opts.request_timeout_s = 5.0;
+  net::Client client(opts);
+  client.connect("127.0.0.1", proxy.port());
+  client.send(kFig3);
+  EXPECT_THROW((void)client.receive(), util::Error);
+  EXPECT_GE(proxy.proxy().stats().truncations_injected, 1u);
+}
+
+TEST(ChaosProxy, ResilientClientSurvivesChaos) {
+  // Chaos that hurts but cannot permanently wedge: byte splitting plus
+  // occasional stalls, with the resilient client's timeout as backstop.
+  ServerHandle server(net::ServerConfig{});
+  net::ChaosOptions copts = proxyTo(server.port());
+  copts.max_chunk = 3;
+  copts.delay_prob = 0.2;
+  copts.delay_s = 0.005;
+  ProxyHandle proxy(copts);
+
+  net::ResilientOptions ropts;
+  ropts.client.request_timeout_s = 10.0;
+  net::ResilientClient rc("127.0.0.1", proxy.port(), ropts);
+  const std::string want = offlineInstrument(kFig3);
+  for (int i = 0; i < 5; ++i) {
+    const net::Response r = rc.call(kFig3);
+    ASSERT_EQ(r.status, Status::kOk) << i;
+    ASSERT_EQ(r.payload, want) << i;
+  }
+  EXPECT_EQ(rc.inFlight(), 0u);
+}
+
+}  // namespace
