@@ -9,6 +9,12 @@
 //   --port-file F   write the bound port (one decimal line) to F once
 //                   listening — how scripts using --port 0 find the server
 //   --threads N     service worker threads (default: hardware concurrency)
+//   --reactors N    reactor shards (event-loop threads; default: half the
+//                   hardware threads, min 1). Each shard owns its own
+//                   epoll loop and connections; with N > 1 on Linux the
+//                   listeners share the port via SO_REUSEPORT
+//   --no-reuseport  distribute connections by accept-and-hand-off instead
+//                   of SO_REUSEPORT (deterministic round-robin placement)
 //   --queue N       pending-request bound (default 256)
 //   --reject        full queue / full gate answers kRejected instead of
 //                   applying TCP backpressure
@@ -59,7 +65,8 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: priod_server [--bind ADDR] [--port N] [--port-file F] "
-      "[--threads N] [--queue N] [--reject] [--cache N] "
+      "[--threads N] [--reactors N] [--no-reuseport] [--queue N] [--reject] "
+      "[--cache N] "
       "[--max-in-flight N] [--max-connections N] [--deadline-ms N] "
       "[--queue-deadline-ms N] [--idle-timeout-ms N] [--drain-timeout-ms N] "
       "[--metrics-out F] [--tenant ID[:WEIGHT[:RATE[:BURST[:MAXINFL]]]]]... "
@@ -115,6 +122,10 @@ int main(int argc, char** argv) {
       else if (arg == "--port-file") port_file = next();
       else if (arg == "--threads")
         config.service.num_threads = std::stoul(next());
+      else if (arg == "--reactors")
+        config.reactors = std::stoul(next());
+      else if (arg == "--no-reuseport")
+        config.use_reuseport = false;
       else if (arg == "--queue")
         config.service.queue_capacity = std::stoul(next());
       else if (arg == "--reject")
@@ -161,9 +172,11 @@ int main(int argc, char** argv) {
         out << server.port() << "\n";
       });
     }
-    std::printf("priod_server: listening on %s:%u (%zu workers)\n",
-                config.bind_address.c_str(), server.port(),
-                server.service().numThreads());
+    std::printf(
+        "priod_server: listening on %s:%u (%zu workers, %zu reactors, %s)\n",
+        config.bind_address.c_str(), server.port(),
+        server.service().numThreads(), server.reactors(),
+        server.usingReuseport() ? "reuseport" : "hand-off");
     std::fflush(stdout);
 
     server.run();

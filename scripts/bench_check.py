@@ -18,8 +18,13 @@ A metric regresses when it moves in the "worse" direction by more than
 `tolerance` (relative; absolute when the baseline value is 0). Baseline
 metrics missing from the run are skipped with a warning — machine-
 dependent metrics (thread speedups on boxes with fewer cores, full-scale
-workloads in smoke runs) are expected to be absent sometimes. Run metrics
-missing from the baseline are reported informationally and never fail.
+workloads in smoke runs) are expected to be absent sometimes. A spec may
+carry "required_if_hw_ge": N to close that escape hatch on big machines:
+when the run JSON's top-level "hardware_concurrency" is >= N, an absent
+metric FAILS the gate instead of skipping (a bench that silently stopped
+sweeping its high-concurrency points would otherwise pass forever). Run
+metrics missing from the baseline are reported informationally and never
+fail.
 
 Also validates observability exports against their wire schema, so CI
 catches a renamed counter or a malformed Prometheus exposition before a
@@ -51,12 +56,20 @@ def load(path):
 
 def check(run, baseline):
     run_metrics = run.get("metrics", {})
+    hw = run.get("hardware_concurrency")
     default_tol = baseline.get("default_tolerance", 0.15)
     failures = []
     skipped = []
     for name, spec in baseline.get("metrics", {}).items():
         if name not in run_metrics:
-            skipped.append(name)
+            need_hw = spec.get("required_if_hw_ge")
+            if need_hw is not None and is_number(hw) and hw >= need_hw:
+                print(f"  MISSING   {name}: absent from this run but "
+                      f"required on machines with >= {need_hw:g} hardware "
+                      f"threads (run reports {hw:g})")
+                failures.append(name)
+            else:
+                skipped.append(name)
             continue
         base = float(spec["value"])
         got = float(run_metrics[name])
@@ -105,8 +118,8 @@ METRICS_JSON_SCALARS = [
     "requests_submitted", "requests_completed", "requests_rejected",
     "requests_failed", "requests_degraded", "requests_deadline_exceeded",
     "requests_shed", "requests_expired", "retries", "cache_hits",
-    "cache_misses", "cache_hit_rate", "fingerprint_aliases",
-    "queue_high_water",
+    "cache_misses", "cache_hit_rate", "text_cache_hits",
+    "fingerprint_aliases", "queue_high_water",
 ]
 METRICS_JSON_HISTOGRAMS = [
     "latency_total", "latency_cache_hit", "phase_reduce", "phase_decompose",

@@ -45,7 +45,7 @@ mkdir -p "$out"
 "$GENERATE_WORKLOADS" "$out/workloads" > /dev/null
 "$PRIO_TOOL" "$out/workloads/airsn.dag" "$out/expected_airsn.dag" > /dev/null
 
-"$PRIOD_SERVER" --port 0 --port-file "$out/port" --threads 2 \
+"$PRIOD_SERVER" --port 0 --port-file "$out/port" --threads 2 --reactors 4 \
   > "$out/server.log" 2>&1 &
 server_pid=$!
 mute_pid=""

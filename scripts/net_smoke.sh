@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Loopback end-to-end smoke test for the TCP serving layer (src/net/).
 #
-# Starts priod_server on an ephemeral loopback port, pushes the four
-# paper workloads (AIRSN, Inspiral, Montage, SDSS) through priod_client
-# in one pipelined connection, and asserts each response is BYTE-
-# IDENTICAL to what the offline prio_tool writes for the same input —
-# the wire path must not change the paper's output. Then drives two
+# Starts priod_server on an ephemeral loopback port with 4 reactor
+# shards (--reactors 4: the multi-reactor path, SO_REUSEPORT where
+# available), pushes the four paper workloads (AIRSN, Inspiral, Montage,
+# SDSS) through priod_client in one pipelined connection, and asserts
+# each response is BYTE-IDENTICAL to what the offline prio_tool writes
+# for the same input — the wire path must not change the paper's output. Then drives two
 # tenants concurrently (--tenant 1 / --tenant 2) and asserts the live
 # GET /tenants document reports both with the right admitted counts,
 # validates it against the tenants-json schema, validates the live
@@ -35,7 +36,7 @@ for w in "${workloads[@]}"; do
   "$PRIO_TOOL" "$out/workloads/$w.dag" "$out/expected/$w.dag" > /dev/null
 done
 
-"$PRIOD_SERVER" --port 0 --port-file "$out/port" --threads 4 \
+"$PRIOD_SERVER" --port 0 --port-file "$out/port" --threads 4 --reactors 4 \
   --tenant 1:3 --tenant 2:1 \
   --metrics-out "$out/metrics_final.prom" > "$out/server.log" 2>&1 &
 server_pid=$!
@@ -98,6 +99,11 @@ EOF
 python3 "$script_dir/bench_check.py" --schema prometheus "$out/metrics_live.prom"
 grep -q 'prio_tenant_admitted_total{tenant="1"' "$out/metrics_live.prom" || {
   echo "net_smoke: /metrics lacks the prio_tenant_* families" >&2
+  exit 1
+}
+# All 4 reactor shards must show up in the per-shard connection gauge.
+grep -q 'prio_net_shard_connections{shard="3"}' "$out/metrics_live.prom" || {
+  echo "net_smoke: /metrics lacks prio_net_shard_connections for shard 3" >&2
   exit 1
 }
 

@@ -3,27 +3,26 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
-#ifdef __linux__
-#include <sys/epoll.h>
-#endif
-
 #include <algorithm>
-#include <array>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <exception>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "net/poller.h"
+#include "net/wakeup.h"
 #include "obs/metrics.h"
 #include "tenant/fair_queue.h"
 #include "util/check.h"
@@ -36,106 +35,7 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 constexpr std::size_t kReadChunk = 64 * 1024;
-
-/// Readiness backend: epoll where available, poll(2) everywhere. Both
-/// are level-triggered, so a handler that leaves bytes unread or
-/// unwritten is simply called again.
-class Poller {
- public:
-  struct Event {
-    int fd = -1;
-    bool readable = false;
-    bool writable = false;
-    bool error = false;
-  };
-  virtual ~Poller() = default;
-  virtual void add(int fd, bool read, bool write) = 0;
-  virtual void update(int fd, bool read, bool write) = 0;
-  virtual void remove(int fd) = 0;
-  /// Fills `out` with ready fds; blocks up to timeout_ms (-1 = forever).
-  virtual void wait(std::vector<Event>& out, int timeout_ms) = 0;
-};
-
-#ifdef __linux__
-class EpollPoller final : public Poller {
- public:
-  EpollPoller() : ep_(::epoll_create1(EPOLL_CLOEXEC)) {
-    PRIO_CHECK_MSG(ep_.valid(), "epoll_create1: " << std::strerror(errno));
-  }
-
-  void add(int fd, bool read, bool write) override { ctl(EPOLL_CTL_ADD, fd, read, write); }
-  void update(int fd, bool read, bool write) override { ctl(EPOLL_CTL_MOD, fd, read, write); }
-  void remove(int fd) override {
-    struct epoll_event ev {};
-    ::epoll_ctl(ep_.get(), EPOLL_CTL_DEL, fd, &ev);
-  }
-
-  void wait(std::vector<Event>& out, int timeout_ms) override {
-    std::array<struct epoll_event, 64> evs;
-    int n;
-    do {
-      n = ::epoll_wait(ep_.get(), evs.data(), static_cast<int>(evs.size()),
-                       timeout_ms);
-    } while (n < 0 && errno == EINTR);
-    for (int i = 0; i < n; ++i) {
-      Event e;
-      e.fd = evs[static_cast<std::size_t>(i)].data.fd;
-      const std::uint32_t m = evs[static_cast<std::size_t>(i)].events;
-      e.readable = (m & (EPOLLIN | EPOLLHUP)) != 0;
-      e.writable = (m & EPOLLOUT) != 0;
-      e.error = (m & EPOLLERR) != 0;
-      out.push_back(e);
-    }
-  }
-
- private:
-  void ctl(int op, int fd, bool read, bool write) {
-    struct epoll_event ev {};
-    ev.data.fd = fd;
-    if (read) ev.events |= EPOLLIN;
-    if (write) ev.events |= EPOLLOUT;
-    PRIO_CHECK_MSG(::epoll_ctl(ep_.get(), op, fd, &ev) == 0,
-                   "epoll_ctl: " << std::strerror(errno));
-  }
-
-  util::UniqueFd ep_;
-};
-#endif  // __linux__
-
-class PollPoller final : public Poller {
- public:
-  void add(int fd, bool read, bool write) override { interest_[fd] = {read, write}; }
-  void update(int fd, bool read, bool write) override { interest_[fd] = {read, write}; }
-  void remove(int fd) override { interest_.erase(fd); }
-
-  void wait(std::vector<Event>& out, int timeout_ms) override {
-    fds_.clear();
-    for (const auto& [fd, want] : interest_) {
-      short ev = 0;
-      if (want.first) ev |= POLLIN;
-      if (want.second) ev |= POLLOUT;
-      fds_.push_back({fd, ev, 0});
-    }
-    int n;
-    do {
-      n = ::poll(fds_.data(), fds_.size(), timeout_ms);
-    } while (n < 0 && errno == EINTR);
-    if (n <= 0) return;
-    for (const struct pollfd& p : fds_) {
-      if (p.revents == 0) continue;
-      Event e;
-      e.fd = p.fd;
-      e.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
-      e.writable = (p.revents & POLLOUT) != 0;
-      e.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
-      out.push_back(e);
-    }
-  }
-
- private:
-  std::unordered_map<int, std::pair<bool, bool>> interest_;
-  std::vector<struct pollfd> fds_;
-};
+constexpr int kListenBacklog = 256;
 
 Status toWireStatus(service::RequestStatus s) {
   switch (s) {
@@ -170,6 +70,56 @@ service::ServiceConfig withTenantRegistry(service::ServiceConfig config,
   return config;
 }
 
+/// ServerConfig::reactors resolved to the shard count actually run.
+std::size_t resolveReactors(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? hw / 2 : 1;
+}
+
+/// A bound, listening, non-blocking IPv4 socket. Throws util::Error on
+/// any failure — including SO_REUSEPORT being refused, which the caller
+/// turns into the hand-off fallback.
+util::UniqueFd makeListener(const std::string& bind_address,
+                            std::uint16_t port, bool reuseport) {
+  util::UniqueFd fd = util::socketCloexec(AF_INET, SOCK_STREAM, 0);
+  PRIO_CHECK_MSG(fd.valid(), "socket: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    PRIO_CHECK_MSG(::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one,
+                                sizeof(one)) == 0,
+                   "setsockopt(SO_REUSEPORT): " << std::strerror(errno));
+#else
+    PRIO_CHECK_MSG(false, "SO_REUSEPORT unavailable on this platform");
+#endif
+  }
+
+  struct sockaddr_in addr {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  PRIO_CHECK_MSG(
+      ::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) == 1,
+      "bad bind address " << bind_address);
+  PRIO_CHECK_MSG(::bind(fd.get(), reinterpret_cast<struct sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "bind " << bind_address << ":" << port << ": "
+                         << std::strerror(errno));
+  PRIO_CHECK_MSG(::listen(fd.get(), kListenBacklog) == 0,
+                 "listen: " << std::strerror(errno));
+  PRIO_CHECK(util::setNonBlocking(fd.get()));
+  return fd;
+}
+
+std::uint16_t localPort(int fd) {
+  struct sockaddr_in bound {};
+  socklen_t len = sizeof(bound);
+  PRIO_CHECK(::getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound),
+                           &len) == 0);
+  return ntohs(bound.sin_port);
+}
+
 }  // namespace
 
 struct Server::Impl {
@@ -195,6 +145,10 @@ struct Server::Impl {
     bool paused = false;   ///< read interest withdrawn (gate / drain)
     bool closing = false;  ///< close once `out` flushes
     Clock::time_point last_activity;
+    /// Position on the owning shard's LRU list (always valid while the
+    /// connection lives): front = least recently active, so the idle
+    /// reaper pops cold connections without scanning warm ones.
+    std::list<Connection*>::iterator lru_it;
 
     [[nodiscard]] bool wantWrite() const { return out_pos < out.size(); }
   };
@@ -207,6 +161,733 @@ struct Server::Impl {
     std::uint8_t version = kVersion;
     std::uint32_t tenant = 0;
     service::Reply reply;
+  };
+
+  /// One reactor: an event-loop thread and everything it owns
+  /// exclusively — poller, listener (or hand-off inbox), connection
+  /// tables, LRU list, buffers, completion queue, wakeup fd. Only
+  /// completions_/inbox_ (mutex) and parked_frames_/accepted_ (atomic)
+  /// are ever touched by another thread.
+  struct Shard {
+    Shard(Impl* impl, std::size_t index)
+        : impl(impl), index(index), next_conn_id_(index + 1) {}
+
+    Impl* impl;
+    std::size_t index = 0;
+    /// Valid on every shard under SO_REUSEPORT; only on shard 0 in
+    /// hand-off mode.
+    util::UniqueFd listen_fd_;
+    Wakeup wake_;
+    std::unique_ptr<Poller> poller_;  ///< created on the loop thread
+
+    /// Ids stride by the shard count so they are unique without
+    /// coordination (shard i mints i+1, i+1+N, ...).
+    std::uint64_t next_conn_id_;
+    std::unordered_map<int, std::unique_ptr<Connection>> conns_by_fd_;
+    std::unordered_map<std::uint64_t, Connection*> conns_by_id_;
+    /// Intrusive LRU: every live connection is on it, coldest first.
+    std::list<Connection*> lru_;
+    /// Requests dispatched by this shard whose completions have not yet
+    /// drained (loop-thread only; includes completions for connections
+    /// that died, which still owe the tenant a recordReply).
+    std::size_t outstanding_ = 0;
+    /// Written by the loop thread; read by sibling shards deciding whom
+    /// to wake and by /readyz.
+    std::atomic<std::size_t> parked_frames_{0};
+    /// Connections adopted by this shard (Stats::shard_connections).
+    std::atomic<std::uint64_t> accepted_{0};
+    /// Hand-off round-robin cursor (used only by the accepting shard).
+    std::size_t rr_next_ = 0;
+
+    bool draining_ = false;
+    Clock::time_point drain_deadline_{};
+
+    std::mutex completions_mu_;
+    std::vector<Completion> completions_;
+
+    /// Descriptors dealt to this shard by the accepting shard (hand-off
+    /// mode only).
+    std::mutex inbox_mu_;
+    std::vector<util::UniqueFd> inbox_;
+
+    // ----------------------------------------------------------- loop
+
+    void loop() {
+      poller_ = makePoller(impl->config_.use_epoll);
+      if (listen_fd_.valid()) {
+        poller_->add(listen_fd_.get(), /*read=*/true, /*write=*/false);
+      }
+      poller_->add(wake_.fd(), /*read=*/true, /*write=*/false);
+
+      std::vector<Poller::Event> events;
+      while (true) {
+        // Finer ticks only when a timer could fire; otherwise wakes
+        // come from sockets and the wakeup fd. A parked frame counts as
+        // a timer: its tenant's token bucket refills with wall time, so
+        // the retry in resumePaused() must not wait for socket traffic.
+        const int timeout_ms =
+            (impl->config_.idle_timeout_s > 0.0 || draining_ ||
+             parked_frames_.load(std::memory_order_relaxed) > 0)
+                ? 50
+                : 1000;
+        events.clear();
+        poller_->wait(events, timeout_ms);
+        const Clock::time_point wake = Clock::now();
+
+        for (const Poller::Event& e : events) {
+          if (e.fd == wake_.fd()) {
+            if (wake_.drain() > 0) impl->wakeups_drained.add();
+          } else if (listen_fd_.valid() && e.fd == listen_fd_.get()) {
+            if (!draining_) acceptAll();
+          } else {
+            // The connection may have been closed by an earlier event
+            // in this same batch.
+            auto it = conns_by_fd_.find(e.fd);
+            if (it == conns_by_fd_.end()) continue;
+            Connection* conn = it->second.get();
+            if (e.error) {
+              closeConn(conn);
+              continue;
+            }
+            if (e.writable && !flushConn(conn)) continue;
+            if (e.readable) handleRead(conn);
+          }
+        }
+
+        adoptInbox();
+        drainCompletions();
+        if (!draining_ &&
+            parked_frames_.load(std::memory_order_relaxed) > 0) {
+          resumePaused();
+        }
+        if (impl->config_.idle_timeout_s > 0.0 && !draining_) closeIdle();
+
+        if (impl->stop_requested_.load(std::memory_order_relaxed) &&
+            !draining_) {
+          beginDrain();
+        }
+        if (draining_ && drainComplete()) break;
+
+        // Watchdog: how long this iteration kept the loop away from
+        // poll. A stalled loop can't flush replies or accept
+        // connections, so the worst gap across shards is the liveness
+        // number an operator should alarm on.
+        const auto stall_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - wake)
+                .count();
+        impl->loop_stall_max_us.setMax(static_cast<std::uint64_t>(stall_us));
+      }
+
+      // Point-of-no-return cleanup: anything still connected is dropped.
+      for (auto& [fd, conn] : conns_by_fd_) poller_->remove(fd);
+      if (!conns_by_fd_.empty()) {
+        impl->open_conns_.fetch_sub(conns_by_fd_.size(),
+                                    std::memory_order_relaxed);
+      }
+      conns_by_fd_.clear();
+      conns_by_id_.clear();
+      lru_.clear();
+      dropInbox();
+      poller_.reset();
+    }
+
+    // ---------------------------------------------------- connections
+
+    void acceptAll() {
+      for (;;) {
+        const int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
+        if (raw < 0) {
+          if (errno == EINTR) continue;
+          return;  // EAGAIN or transient accept failure: try next round
+        }
+        util::UniqueFd fd(raw);
+        // The connection cap is global; the atomic reservation makes it
+        // exact even with every shard accepting at once.
+        if (impl->open_conns_.fetch_add(1, std::memory_order_relaxed) >=
+            impl->config_.max_connections) {
+          impl->open_conns_.fetch_sub(1, std::memory_order_relaxed);
+          impl->connections_refused.add();
+          continue;  // fd closes on scope exit
+        }
+        util::setCloexec(fd.get());
+        if (!util::setNonBlocking(fd.get())) {
+          impl->open_conns_.fetch_sub(1, std::memory_order_relaxed);
+          impl->connections_refused.add();
+          continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        impl->connections_accepted.add();
+
+        if (!impl->reuseport_ && impl->num_shards_ > 1) {
+          // Hand-off fallback: deal round-robin (deterministic — tests
+          // rely on the order), keeping every Nth for ourselves.
+          Shard& target = *impl->shards_[rr_next_++ % impl->num_shards_];
+          if (&target != this) {
+            target.pushHandoff(std::move(fd));
+            continue;
+          }
+        }
+        adopt(std::move(fd));
+      }
+    }
+
+    /// Takes ownership of an accepted, non-blocking descriptor already
+    /// counted in open_conns_.
+    void adopt(util::UniqueFd fd) {
+      auto conn = std::make_unique<Connection>();
+      conn->id = next_conn_id_;
+      next_conn_id_ += impl->num_shards_;
+      conn->fd = std::move(fd);
+      conn->decoder = FrameDecoder(impl->config_.max_payload);
+      conn->last_activity = Clock::now();
+      poller_->add(conn->fd.get(), /*read=*/true, /*write=*/false);
+      conn->lru_it = lru_.insert(lru_.end(), conn.get());
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+      conns_by_id_[conn->id] = conn.get();
+      const int cfd = conn->fd.get();
+      conns_by_fd_[cfd] = std::move(conn);
+      impl->connections_open.set(
+          impl->open_conns_.load(std::memory_order_relaxed));
+    }
+
+    /// Called by the accepting shard's thread.
+    void pushHandoff(util::UniqueFd fd) {
+      {
+        std::lock_guard<std::mutex> lock(inbox_mu_);
+        inbox_.push_back(std::move(fd));
+      }
+      impl->signalShard(*this);
+    }
+
+    void adoptInbox() {
+      std::vector<util::UniqueFd> batch;
+      {
+        std::lock_guard<std::mutex> lock(inbox_mu_);
+        if (inbox_.empty()) return;
+        batch.swap(inbox_);
+      }
+      for (util::UniqueFd& fd : batch) {
+        if (draining_) {
+          // Handed off just as the stop landed: close unserved.
+          impl->open_conns_.fetch_sub(1, std::memory_order_relaxed);
+          impl->connections_closed.add();
+          fd.reset();
+          continue;
+        }
+        adopt(std::move(fd));
+      }
+    }
+
+    void dropInbox() {
+      std::vector<util::UniqueFd> batch;
+      {
+        std::lock_guard<std::mutex> lock(inbox_mu_);
+        batch.swap(inbox_);
+      }
+      for (util::UniqueFd& fd : batch) {
+        impl->open_conns_.fetch_sub(1, std::memory_order_relaxed);
+        impl->connections_closed.add();
+        fd.reset();
+      }
+    }
+
+    /// Refreshes activity and moves the connection to the warm end of
+    /// the LRU list (O(1) splice).
+    void touch(Connection* conn) {
+      conn->last_activity = Clock::now();
+      lru_.splice(lru_.end(), lru_, conn->lru_it);
+    }
+
+    void closeConn(Connection* conn) {
+      if (conn->parked.has_value()) {
+        parked_frames_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      lru_.erase(conn->lru_it);
+      poller_->remove(conn->fd.get());
+      conns_by_id_.erase(conn->id);
+      impl->connections_closed.add();
+      conns_by_fd_.erase(conn->fd.get());  // destroys conn, closes fd
+      impl->open_conns_.fetch_sub(1, std::memory_order_relaxed);
+      impl->connections_open.set(
+          impl->open_conns_.load(std::memory_order_relaxed));
+    }
+
+    void updateInterest(Connection* conn) {
+      const bool read = !conn->paused && !conn->closing && !draining_;
+      poller_->update(conn->fd.get(), read, conn->wantWrite());
+    }
+
+    /// Flushes buffered output. False when the connection was closed.
+    bool flushConn(Connection* conn) {
+      bool progressed = false;
+      while (conn->wantWrite()) {
+        const long w =
+            util::writeSome(conn->fd.get(), conn->out.data() + conn->out_pos,
+                            conn->out.size() - conn->out_pos);
+        if (w < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (progressed) touch(conn);
+            updateInterest(conn);
+            return true;
+          }
+          closeConn(conn);
+          return false;
+        }
+        conn->out_pos += static_cast<std::size_t>(w);
+        progressed = true;
+      }
+      conn->out.clear();
+      conn->out_pos = 0;
+      if (conn->closing) {
+        closeConn(conn);
+        return false;
+      }
+      if (progressed) touch(conn);
+      updateInterest(conn);
+      return true;
+    }
+
+    void handleRead(Connection* conn) {
+      char buf[kReadChunk];
+      for (;;) {
+        const long r = util::readSome(conn->fd.get(), buf, sizeof(buf));
+        if (r < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+          closeConn(conn);
+          return;
+        }
+        if (r == 0) {
+          // EOF. Any in-flight replies have nowhere to go; dropping the
+          // connection now makes their completions no-ops.
+          closeConn(conn);
+          return;
+        }
+        touch(conn);
+        if (conn->mode == Connection::Mode::kUnknown) {
+          sniffProtocol(conn, buf, static_cast<std::size_t>(r));
+        }
+        if (conn->mode == Connection::Mode::kHttp) {
+          conn->http_buf.append(buf, static_cast<std::size_t>(r));
+          if (!maybeServeHttp(conn)) return;
+        } else {
+          conn->decoder.feed(buf, static_cast<std::size_t>(r));
+          if (!processFrames(conn)) return;
+        }
+        // Gate full, or a one-shot (HTTP / protocol-error) response is
+        // queued: leave the rest unread so it cannot re-trigger
+        // handling.
+        if (conn->paused) return;
+      }
+    }
+
+    void sniffProtocol(Connection* conn, const char* data, std::size_t n) {
+      // Enough bytes always arrive at once in practice; a frame's first
+      // byte is 0x50 ('P'), so a 1-byte "G" prefix is also decisive.
+      conn->mode = (n > 0 && data[0] == 'G') ? Connection::Mode::kHttp
+                                             : Connection::Mode::kFraming;
+    }
+
+    /// Serves the /metrics snapshot once the request head is complete.
+    /// False when the connection was closed.
+    bool maybeServeHttp(Connection* conn) {
+      if (conn->http_buf.find("\r\n\r\n") == std::string::npos &&
+          conn->http_buf.find("\n\n") == std::string::npos) {
+        if (conn->http_buf.size() > 64 * 1024) {
+          closeConn(conn);
+          return false;
+        }
+        return true;
+      }
+      impl->http_requests.add();
+      std::istringstream head(conn->http_buf);
+      std::string method, path;
+      head >> method >> path;
+      std::string body;
+      std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
+      const char* status_line;
+      if (method == "GET" && (path == "/metrics" || path == "/metrics/")) {
+        std::ostringstream out;
+        impl->writeMetricsText(out);
+        body = std::move(out).str();
+        status_line = "HTTP/1.0 200 OK";
+      } else if (method == "GET" &&
+                 (path == "/tenants" || path == "/tenants/")) {
+        std::ostringstream out;
+        impl->writeTenantsJson(out);
+        body = std::move(out).str();
+        content_type = "application/json";
+        status_line = "HTTP/1.0 200 OK";
+      } else if (method == "GET" &&
+                 (path == "/healthz" || path == "/healthz/")) {
+        // Liveness: answering at all proves this shard's loop turns.
+        body = "ok\n";
+        status_line = "HTTP/1.0 200 OK";
+      } else if (method == "GET" &&
+                 (path == "/readyz" || path == "/readyz/")) {
+        // Readiness: live AND able to admit a request right now, across
+        // every shard (gate and drain state are global). Reported 503 so
+        // load balancers need no body parsing.
+        const std::size_t in_flight =
+            impl->in_flight_.load(std::memory_order_relaxed);
+        const bool gate_full = in_flight >= impl->max_in_flight_;
+        const bool draining =
+            draining_ || impl->stop_requested_.load(std::memory_order_relaxed);
+        const bool ready = !draining && !gate_full;
+        std::size_t parked = 0;
+        for (const auto& shard : impl->shards_) {
+          parked += shard->parked_frames_.load(std::memory_order_relaxed);
+        }
+        std::ostringstream out;
+        out << "{\"ready\":" << (ready ? "true" : "false")
+            << ",\"draining\":" << (draining ? "true" : "false")
+            << ",\"in_flight\":" << in_flight
+            << ",\"max_in_flight\":" << impl->max_in_flight_
+            << ",\"parked\":" << parked
+            << ",\"reactors\":" << impl->num_shards_ << "}\n";
+        body = std::move(out).str();
+        content_type = "application/json";
+        status_line =
+            ready ? "HTTP/1.0 200 OK" : "HTTP/1.0 503 Service Unavailable";
+      } else {
+        body =
+            "only GET /metrics, /tenants, /healthz, and /readyz are served "
+            "here\n";
+        status_line = "HTTP/1.0 404 Not Found";
+      }
+      conn->out.append(status_line);
+      conn->out.append("\r\nContent-Type: " + content_type +
+                       "\r\nContent-Length: " + std::to_string(body.size()) +
+                       "\r\nConnection: close\r\n\r\n");
+      conn->out.append(body);
+      conn->closing = true;
+      conn->paused = true;
+      updateInterest(conn);
+      return flushConn(conn);
+    }
+
+    /// Decodes and dispatches frames until the buffer runs dry, the
+    /// gate pauses the connection, or a protocol error ends it. False
+    /// when the connection was closed.
+    bool processFrames(Connection* conn) {
+      while (!conn->paused && !draining_) {
+        Frame frame;
+        switch (conn->decoder.next(frame)) {
+          case FrameDecoder::Result::kNeedMore:
+            return true;
+          case FrameDecoder::Result::kError: {
+            impl->protocol_errors.add();
+            Frame err;
+            // v1 layout: the one error frame EVERY decoder vintage
+            // parses (the sender's version is unknowable once framing
+            // is lost).
+            err.version = kVersionLegacy;
+            err.type = FrameType::kResponse;
+            err.status = Status::kProtocolError;
+            err.payload = conn->decoder.error();
+            encodeFrame(err, conn->out, impl->config_.max_payload);
+            conn->closing = true;
+            conn->paused = true;
+            updateInterest(conn);
+            return flushConn(conn);
+          }
+          case FrameDecoder::Result::kFrame:
+            break;
+        }
+        if (frame.type != FrameType::kRequest) {
+          impl->protocol_errors.add();
+          Frame err;
+          err.version = frame.version;
+          err.type = FrameType::kResponse;
+          err.status = Status::kProtocolError;
+          err.request_id = frame.request_id;
+          err.payload = "expected a request frame";
+          encodeFrame(err, conn->out, impl->config_.max_payload);
+          conn->closing = true;
+          conn->paused = true;
+          updateInterest(conn);
+          return flushConn(conn);
+        }
+        impl->frames_received.add();
+        // Two-stage admission: the global gate first (one shared atomic
+        // — the cheaper check, and it caps total work in the service),
+        // then the tenant's token bucket and in-flight cap. A denial
+        // from either maps onto the same backpressure policy: answer
+        // kRejected under kReject, park the frame under kBlock. The
+        // gate slot is released if the tenant stage denies.
+        const char* deny = nullptr;
+        bool tenant_denied = false;
+        if (!impl->tryAcquireGate()) {
+          deny = "admission gate full";
+        } else {
+          switch (impl->registry_.tryAdmit(frame.tenant,
+                                           impl->nowSeconds())) {
+            case tenant::Admission::kAdmit:
+              break;
+            case tenant::Admission::kQuota:
+              deny = "tenant quota exceeded";
+              tenant_denied = true;
+              break;
+            case tenant::Admission::kInFlightCap:
+              deny = "tenant in-flight cap reached";
+              tenant_denied = true;
+              break;
+          }
+          if (deny != nullptr) impl->releaseGate();
+        }
+        if (deny != nullptr) {
+          if (impl->config_.service.backpressure ==
+              service::BackpressurePolicy::kReject) {
+            (tenant_denied ? impl->tenant_rejected : impl->gate_rejected)
+                .add();
+            impl->registry_.recordRejected(frame.tenant);
+            Frame rej;
+            rej.version = frame.version;
+            rej.type = FrameType::kResponse;
+            rej.status = Status::kRejected;
+            rej.request_id = frame.request_id;
+            rej.tenant = frame.tenant;
+            rej.payload = deny;
+            encodeFrame(rej, conn->out, impl->config_.max_payload);
+            if (!flushConn(conn)) return false;
+            continue;
+          }
+          // kBlock: park the frame and stop reading this connection;
+          // the unread bytes stay in the kernel buffer and TCP flow
+          // control pushes back on the client. resumePaused() retries
+          // admission every tick (and whenever a sibling shard frees
+          // gate slots) — a gate slot or a refilled token unparks it,
+          // and a wire deadline bounds how long the wait may last.
+          conn->parked_deadline_s =
+              frame.deadline_ms > 0
+                  ? impl->nowSeconds() +
+                        static_cast<double>(frame.deadline_ms) / 1e3
+                  : 0.0;
+          conn->parked = std::move(frame);
+          conn->paused = true;
+          parked_frames_.fetch_add(1, std::memory_order_relaxed);
+          updateInterest(conn);
+          return true;
+        }
+        dispatch(conn, std::move(frame));
+      }
+      return true;
+    }
+
+    /// Submits an ALREADY-ADMITTED frame (gate slot held and
+    /// registry tryAdmit succeeded) to the service; the paired
+    /// registry recordReply runs when the completion drains.
+    void dispatch(Connection* conn, Frame frame) {
+      ++conn->in_flight;
+      ++outstanding_;
+      impl->requests_in_flight.set(
+          impl->in_flight_.load(std::memory_order_relaxed));
+      service::TextRequest request;
+      request.dag_text = std::move(frame.payload);
+      request.trace_id = frame.trace_id;
+      request.tenant = frame.tenant;
+      // The wire budget (already net of parked time) becomes the
+      // service-side budget: spent in the work queue the request
+      // answers kExpired, and the remainder tightens the compute
+      // CancelToken.
+      request.deadline_s = frame.deadline_ms > 0
+                               ? static_cast<double>(frame.deadline_ms) / 1e3
+                               : 0.0;
+      impl->service_.submitCallback(
+          std::move(request),
+          [shard = this, conn_id = conn->id, request_id = frame.request_id,
+           version = frame.version,
+           tenant = frame.tenant](service::Reply reply) {
+            {
+              std::lock_guard<std::mutex> lock(shard->completions_mu_);
+              shard->completions_.push_back(Completion{
+                  conn_id, request_id, version, tenant, std::move(reply)});
+            }
+            shard->impl->signalShard(*shard);
+          });
+    }
+
+    void drainCompletions() {
+      std::vector<Completion> batch;
+      {
+        std::lock_guard<std::mutex> lock(completions_mu_);
+        batch.swap(completions_);
+      }
+      if (batch.empty()) return;
+      for (Completion& c : batch) {
+        impl->releaseGate();
+        --outstanding_;
+        // Account the reply to its tenant (and release its in-flight
+        // slot) even when the connection died — the work was done
+        // either way.
+        impl->registry_.recordReply(c.tenant, toTenantOutcome(c.reply.status),
+                                    c.reply.cache_hit, c.reply.latency_s);
+        auto it = conns_by_id_.find(c.conn_id);
+        if (it == conns_by_id_.end()) {
+          impl->responses_dropped.add();
+          continue;
+        }
+        Connection* conn = it->second;
+        --conn->in_flight;
+        if (c.reply.status == service::RequestStatus::kExpired) {
+          impl->requests_expired.add();
+        }
+        Frame resp;
+        resp.version = c.version;
+        resp.tenant = c.tenant;
+        resp.type = FrameType::kResponse;
+        resp.status = toWireStatus(c.reply.status);
+        resp.request_id = c.request_id;
+        resp.trace_id = c.reply.trace_id;
+        resp.payload = (c.reply.status == service::RequestStatus::kOk ||
+                        c.reply.status == service::RequestStatus::kDegraded)
+                           ? std::move(c.reply.output)
+                           : (c.reply.error.empty()
+                                  ? std::string(statusName(resp.status))
+                                  : std::move(c.reply.error));
+        if (resp.payload.size() > impl->config_.max_payload) {
+          // The instrumented output always outgrows its input, so a
+          // valid request near the cap can yield an unencodable reply;
+          // answer kFailed instead of letting encodeFrame throw out of
+          // the loop.
+          impl->responses_oversized.add();
+          resp.status = Status::kFailed;
+          resp.payload = "response of " +
+                         std::to_string(resp.payload.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(impl->config_.max_payload) +
+                         "-byte frame cap";
+          if (resp.payload.size() > impl->config_.max_payload) {
+            resp.payload.resize(impl->config_.max_payload);
+          }
+        }
+        encodeFrame(resp, conn->out, impl->config_.max_payload);
+        impl->responses_sent.add();
+        flushConn(conn);
+      }
+      impl->requests_in_flight.set(
+          impl->in_flight_.load(std::memory_order_relaxed));
+      // The slots just released may be exactly what a sibling's parked
+      // frame is waiting for; don't leave the unpark to the 50ms tick.
+      impl->wakeParkedSiblings(this);
+    }
+
+    /// Re-opens gated connections whose parked frame now passes
+    /// admission: the parked frame dispatches first, then buffered
+    /// frames, then socket reads. Checked per connection, not globally
+    /// — one tenant stuck on an empty token bucket must not stall other
+    /// tenants' connections behind it.
+    void resumePaused() {
+      // Ids, not iterators: processFrames() can close connections,
+      // which erases from the map being walked.
+      std::vector<std::uint64_t> paused;
+      for (const auto& [fd, conn] : conns_by_fd_) {
+        if (conn->paused && !conn->closing) paused.push_back(conn->id);
+      }
+      for (const std::uint64_t id : paused) {
+        auto it = conns_by_id_.find(id);
+        if (it == conns_by_id_.end()) continue;
+        Connection* conn = it->second;
+        if (conn->parked.has_value()) {
+          const double now_s = impl->nowSeconds();
+          if (conn->parked_deadline_s > 0.0 &&
+              now_s >= conn->parked_deadline_s) {
+            // The budget died in the parking lot: answer kExpired
+            // without admitting (no token burned, no in-flight slot),
+            // then resume reading — the connection itself is healthy.
+            Frame frame = std::move(*conn->parked);
+            conn->parked.reset();
+            conn->parked_deadline_s = 0.0;
+            parked_frames_.fetch_sub(1, std::memory_order_relaxed);
+            impl->requests_expired.add();
+            impl->registry_.recordExpired(frame.tenant);
+            Frame resp;
+            resp.version = frame.version;
+            resp.type = FrameType::kResponse;
+            resp.status = Status::kExpired;
+            resp.request_id = frame.request_id;
+            resp.tenant = frame.tenant;
+            resp.payload = "deadline expired before admission";
+            encodeFrame(resp, conn->out, impl->config_.max_payload);
+            impl->responses_sent.add();
+            conn->paused = false;
+            if (!flushConn(conn)) continue;
+            processFrames(conn);
+            continue;
+          }
+          if (!impl->tryAcquireGate()) continue;
+          if (impl->registry_.tryAdmit(conn->parked->tenant, now_s) !=
+              tenant::Admission::kAdmit) {
+            impl->releaseGate();
+            continue;  // still over quota / cap; retry next tick
+          }
+          Frame frame = std::move(*conn->parked);
+          conn->parked.reset();
+          parked_frames_.fetch_sub(1, std::memory_order_relaxed);
+          if (conn->parked_deadline_s > 0.0) {
+            // Shrink the budget by the time spent parked, floored at
+            // 1 ms so the service still sees (and expires) a nonzero
+            // deadline.
+            const double remaining_s = conn->parked_deadline_s - now_s;
+            frame.deadline_ms = static_cast<std::uint32_t>(
+                std::max(1.0, remaining_s * 1e3));
+            conn->parked_deadline_s = 0.0;
+          }
+          dispatch(conn, std::move(frame));
+        }
+        conn->paused = false;
+        updateInterest(conn);
+        processFrames(conn);
+      }
+    }
+
+    /// O(expired): pops connections off the cold end of the LRU list
+    /// until one inside the idle window appears. A connection that is
+    /// expired but waiting on the server (paused, in-flight reply,
+    /// unflushed output) is touched instead of closed — server-side
+    /// wait counts as activity, and touching moves it off the cold end
+    /// so it is not rescanned this pass.
+    void closeIdle() {
+      const auto cutoff =
+          Clock::now() - std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 impl->config_.idle_timeout_s));
+      while (!lru_.empty()) {
+        Connection* conn = lru_.front();
+        if (!(conn->last_activity < cutoff)) break;
+        if (conn->paused || conn->in_flight > 0 || conn->wantWrite()) {
+          touch(conn);
+          continue;
+        }
+        impl->connections_idle_closed.add();
+        closeConn(conn);
+      }
+    }
+
+    void beginDrain() {
+      draining_ = true;
+      drain_deadline_ =
+          Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 impl->config_.drain_timeout_s));
+      if (listen_fd_.valid()) poller_->remove(listen_fd_.get());
+      dropInbox();
+      for (auto& [fd, conn] : conns_by_fd_) updateInterest(conn.get());
+    }
+
+    [[nodiscard]] bool drainComplete() {
+      if (Clock::now() >= drain_deadline_) return true;
+      if (outstanding_ != 0) return false;
+      {
+        std::lock_guard<std::mutex> lock(completions_mu_);
+        if (!completions_.empty()) return false;
+      }
+      for (const auto& [fd, conn] : conns_by_fd_) {
+        if (conn->wantWrite()) return false;
+      }
+      return true;
+    }
   };
 
   explicit Impl(const ServerConfig& config)
@@ -225,6 +906,8 @@ struct Server::Impl {
         tenant_rejected(net_registry_.counter("tenant_rejected")),
         requests_expired(net_registry_.counter("requests_expired")),
         http_requests(net_registry_.counter("http_requests")),
+        wakeups_signaled(net_registry_.counter("wakeups_signaled")),
+        wakeups_drained(net_registry_.counter("wakeups_drained")),
         connections_open(net_registry_.gauge("connections_open")),
         requests_in_flight(net_registry_.gauge("requests_in_flight")),
         loop_stall_max_us(net_registry_.gauge("loop_stall_max_us")),
@@ -234,167 +917,112 @@ struct Server::Impl {
       registry_.configure(id, tenant_config);
     }
     // Under kBlock the service's submit() blocks on a full queue; keep
-    // the gate within the queue capacity so the loop thread never can.
+    // the gate within the queue capacity so a loop thread never can.
     max_in_flight_ = config_.max_in_flight == 0 ? 1 : config_.max_in_flight;
     if (config_.service.backpressure == service::BackpressurePolicy::kBlock &&
         max_in_flight_ > config_.service.queue_capacity) {
       max_in_flight_ = config_.service.queue_capacity;
     }
 
-    listen_fd_ = util::socketCloexec(AF_INET, SOCK_STREAM, 0);
-    PRIO_CHECK_MSG(listen_fd_.valid(), "socket: " << std::strerror(errno));
-    const int one = 1;
-    ::setsockopt(listen_fd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
+    num_shards_ = resolveReactors(config_.reactors);
+    shards_.reserve(num_shards_);
+    for (std::size_t i = 0; i < num_shards_; ++i) {
+      shards_.push_back(std::make_unique<Shard>(this, i));
+    }
 
-    struct sockaddr_in addr {};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(config_.port);
-    PRIO_CHECK_MSG(
-        ::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) ==
-            1,
-        "bad bind address " << config_.bind_address);
-    PRIO_CHECK_MSG(::bind(listen_fd_.get(),
-                          reinterpret_cast<struct sockaddr*>(&addr),
-                          sizeof(addr)) == 0,
-                   "bind " << config_.bind_address << ":" << config_.port
-                           << ": " << std::strerror(errno));
-    PRIO_CHECK_MSG(::listen(listen_fd_.get(), 128) == 0,
-                   "listen: " << std::strerror(errno));
-    PRIO_CHECK(util::setNonBlocking(listen_fd_.get()));
-
-    struct sockaddr_in bound {};
-    socklen_t len = sizeof(bound);
-    PRIO_CHECK(::getsockname(listen_fd_.get(),
-                             reinterpret_cast<struct sockaddr*>(&bound),
-                             &len) == 0);
-    bound_port_ = ntohs(bound.sin_port);
-
-    int pipefd[2];
-    PRIO_CHECK_MSG(::pipe(pipefd) == 0, "pipe: " << std::strerror(errno));
-    wake_r_.reset(pipefd[0]);
-    wake_w_.reset(pipefd[1]);
-    PRIO_CHECK(util::setNonBlocking(wake_r_.get()));
-    PRIO_CHECK(util::setNonBlocking(wake_w_.get()));
-    util::setCloexec(wake_r_.get());
-    util::setCloexec(wake_w_.get());
+    // Listener-per-shard via SO_REUSEPORT when asked and possible;
+    // otherwise one listener on shard 0 and the hand-off deal.
+    reuseport_ = config_.use_reuseport && num_shards_ > 1;
+    if (reuseport_) {
+      try {
+        shards_[0]->listen_fd_ =
+            makeListener(config_.bind_address, config_.port, true);
+        bound_port_ = localPort(shards_[0]->listen_fd_.get());
+        for (std::size_t i = 1; i < num_shards_; ++i) {
+          shards_[i]->listen_fd_ =
+              makeListener(config_.bind_address, bound_port_, true);
+        }
+      } catch (const util::Error&) {
+        for (auto& shard : shards_) shard->listen_fd_.reset();
+        reuseport_ = false;
+      }
+    }
+    if (!reuseport_) {
+      shards_[0]->listen_fd_ =
+          makeListener(config_.bind_address, config_.port, false);
+      bound_port_ = localPort(shards_[0]->listen_fd_.get());
+    }
   }
 
-  // ------------------------------------------------------------- loop
+  // ------------------------------------------------------------- run
 
   void run() {
-#ifdef __linux__
-    if (config_.use_epoll) {
-      poller_ = std::make_unique<EpollPoller>();
-    } else {
-      poller_ = std::make_unique<PollPoller>();
+    std::vector<std::thread> threads;
+    threads.reserve(num_shards_ - 1);
+    for (std::size_t i = 1; i < num_shards_; ++i) {
+      threads.emplace_back([this, i] { runShard(*shards_[i]); });
     }
-#else
-    poller_ = std::make_unique<PollPoller>();
-#endif
-    poller_->add(listen_fd_.get(), /*read=*/true, /*write=*/false);
-    poller_->add(wake_r_.get(), /*read=*/true, /*write=*/false);
-
-    std::vector<Poller::Event> events;
-    while (true) {
-      // Finer ticks only when a timer could fire; otherwise wakes come
-      // from sockets and the completion pipe. A parked frame counts as a
-      // timer: its tenant's token bucket refills with wall time, so the
-      // retry in resumePaused() must not wait for socket traffic.
-      const int timeout_ms =
-          (config_.idle_timeout_s > 0.0 || draining_ || parked_frames_ > 0)
-              ? 50
-              : 1000;
-      events.clear();
-      poller_->wait(events, timeout_ms);
-      const Clock::time_point wake = Clock::now();
-
-      for (const Poller::Event& e : events) {
-        if (e.fd == wake_r_.get()) {
-          drainWakePipe();
-        } else if (e.fd == listen_fd_.get()) {
-          if (!draining_) acceptAll();
-        } else {
-          // The connection may have been closed by an earlier event in
-          // this same batch.
-          auto it = conns_by_fd_.find(e.fd);
-          if (it == conns_by_fd_.end()) continue;
-          Connection* conn = it->second.get();
-          if (e.error) {
-            closeConn(conn);
-            continue;
-          }
-          if (e.writable && !flushConn(conn)) continue;
-          if (e.readable) handleRead(conn);
-        }
-      }
-
-      drainCompletions();
-      if (!draining_) resumePaused();
-      if (config_.idle_timeout_s > 0.0 && !draining_) closeIdle();
-
-      if (stop_requested_.load(std::memory_order_relaxed) && !draining_) {
-        beginDrain();
-      }
-      if (draining_ && drainComplete()) break;
-
-      // Watchdog: how long this iteration kept the loop away from poll.
-      // A stalled loop can't flush replies or accept connections, so the
-      // worst gap is the liveness number an operator should alarm on.
-      const auto stall_us =
-          std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
-                                                                wake)
-              .count();
-      loop_stall_max_us.setMax(static_cast<std::uint64_t>(stall_us));
-    }
-
-    // Point-of-no-return cleanup: anything still connected is dropped.
-    for (auto& [fd, conn] : conns_by_fd_) poller_->remove(fd);
-    conns_by_fd_.clear();
-    conns_by_id_.clear();
+    runShard(*shards_[0]);
+    for (std::thread& t : threads) t.join();
     connections_open.set(0);
-    poller_.reset();
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lock(run_error_mu_);
+      err = run_error_;
+      run_error_ = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  void runShard(Shard& shard) {
+    try {
+      shard.loop();
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(run_error_mu_);
+        if (!run_error_) run_error_ = std::current_exception();
+      }
+      requestStop();  // tear the sibling shards down gracefully
+    }
   }
 
   void requestStop() noexcept {
     stop_requested_.store(true, std::memory_order_relaxed);
-    const char byte = 1;
-    // Async-signal-safe wake; EAGAIN means a wake is already pending.
-    (void)!::write(wake_w_.get(), &byte, 1);
+    // Async-signal-safe: one non-blocking write per shard on
+    // pre-opened fds (plus lock-free counter bumps).
+    for (const auto& shard : shards_) signalShard(*shard);
   }
 
-  // ------------------------------------------------------ connections
+  // ------------------------------------------------------------ gate
 
-  void acceptAll() {
-    for (;;) {
-      const int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
-      if (raw < 0) {
-        if (errno == EINTR) continue;
-        return;  // EAGAIN or transient accept failure: try next round
+  /// Claims one of the max_in_flight_ global gate slots. Lock-free;
+  /// called from every shard.
+  [[nodiscard]] bool tryAcquireGate() {
+    std::size_t cur = in_flight_.load(std::memory_order_relaxed);
+    while (cur < max_in_flight_) {
+      if (in_flight_.compare_exchange_weak(cur, cur + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        return true;
       }
-      util::UniqueFd fd(raw);
-      if (conns_by_fd_.size() >= config_.max_connections) {
-        connections_refused.add();
-        continue;  // fd closes on scope exit
-      }
-      util::setCloexec(fd.get());
-      if (!util::setNonBlocking(fd.get())) {
-        connections_refused.add();
-        continue;
-      }
-      const int one = 1;
-      ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return false;
+  }
 
-      auto conn = std::make_unique<Connection>();
-      conn->id = next_conn_id_++;
-      conn->fd = std::move(fd);
-      conn->decoder = FrameDecoder(config_.max_payload);
-      conn->last_activity = Clock::now();
-      poller_->add(conn->fd.get(), /*read=*/true, /*write=*/false);
-      connections_accepted.add();
-      conns_by_id_[conn->id] = conn.get();
-      conns_by_fd_[conn->fd.get()] = std::move(conn);
-      connections_open.set(conns_by_fd_.size());
+  void releaseGate() { in_flight_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  void signalShard(Shard& shard) noexcept {
+    wakeups_signaled.add();
+    shard.wake_.signal();
+  }
+
+  void wakeParkedSiblings(Shard* self) {
+    if (num_shards_ == 1) return;
+    for (const auto& shard : shards_) {
+      if (shard.get() == self) continue;
+      if (shard->parked_frames_.load(std::memory_order_relaxed) > 0) {
+        signalShard(*shard);
+      }
     }
   }
 
@@ -402,458 +1030,7 @@ struct Server::Impl {
     return std::chrono::duration<double>(Clock::now() - epoch_).count();
   }
 
-  void closeConn(Connection* conn) {
-    if (conn->parked.has_value()) --parked_frames_;
-    poller_->remove(conn->fd.get());
-    conns_by_id_.erase(conn->id);
-    connections_closed.add();
-    conns_by_fd_.erase(conn->fd.get());  // destroys conn, closes fd
-    connections_open.set(conns_by_fd_.size());
-  }
-
-  void updateInterest(Connection* conn) {
-    const bool read = !conn->paused && !conn->closing && !draining_;
-    poller_->update(conn->fd.get(), read, conn->wantWrite());
-  }
-
-  /// Flushes buffered output. False when the connection was closed.
-  bool flushConn(Connection* conn) {
-    while (conn->wantWrite()) {
-      const long w =
-          util::writeSome(conn->fd.get(), conn->out.data() + conn->out_pos,
-                          conn->out.size() - conn->out_pos);
-      if (w < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK) {
-          updateInterest(conn);
-          return true;
-        }
-        closeConn(conn);
-        return false;
-      }
-      conn->out_pos += static_cast<std::size_t>(w);
-      conn->last_activity = Clock::now();
-    }
-    conn->out.clear();
-    conn->out_pos = 0;
-    if (conn->closing) {
-      closeConn(conn);
-      return false;
-    }
-    updateInterest(conn);
-    return true;
-  }
-
-  void handleRead(Connection* conn) {
-    char buf[kReadChunk];
-    for (;;) {
-      const long r = util::readSome(conn->fd.get(), buf, sizeof(buf));
-      if (r < 0) {
-        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-        closeConn(conn);
-        return;
-      }
-      if (r == 0) {
-        // EOF. Any in-flight replies have nowhere to go; dropping the
-        // connection now makes their completions no-ops.
-        closeConn(conn);
-        return;
-      }
-      conn->last_activity = Clock::now();
-      if (conn->mode == Connection::Mode::kUnknown) {
-        sniffProtocol(conn, buf, static_cast<std::size_t>(r));
-      }
-      if (conn->mode == Connection::Mode::kHttp) {
-        conn->http_buf.append(buf, static_cast<std::size_t>(r));
-        if (!maybeServeHttp(conn)) return;
-      } else {
-        conn->decoder.feed(buf, static_cast<std::size_t>(r));
-        if (!processFrames(conn)) return;
-      }
-      // Gate full, or a one-shot (HTTP / protocol-error) response is
-      // queued: leave the rest unread so it cannot re-trigger handling.
-      if (conn->paused) return;
-    }
-  }
-
-  void sniffProtocol(Connection* conn, const char* data, std::size_t n) {
-    // Enough bytes always arrive at once in practice; a frame's first
-    // byte is 0x50 ('P'), so a 1-byte "G" prefix is also decisive.
-    conn->mode = (n > 0 && data[0] == 'G') ? Connection::Mode::kHttp
-                                           : Connection::Mode::kFraming;
-  }
-
-  /// Serves the /metrics snapshot once the request head is complete.
-  /// False when the connection was closed.
-  bool maybeServeHttp(Connection* conn) {
-    if (conn->http_buf.find("\r\n\r\n") == std::string::npos &&
-        conn->http_buf.find("\n\n") == std::string::npos) {
-      if (conn->http_buf.size() > 64 * 1024) {
-        closeConn(conn);
-        return false;
-      }
-      return true;
-    }
-    http_requests.add();
-    std::istringstream head(conn->http_buf);
-    std::string method, path;
-    head >> method >> path;
-    std::string body;
-    std::string content_type = "text/plain; version=0.0.4; charset=utf-8";
-    const char* status_line;
-    if (method == "GET" && (path == "/metrics" || path == "/metrics/")) {
-      std::ostringstream out;
-      writeMetricsText(out);
-      body = std::move(out).str();
-      status_line = "HTTP/1.0 200 OK";
-    } else if (method == "GET" &&
-               (path == "/tenants" || path == "/tenants/")) {
-      std::ostringstream out;
-      writeTenantsJson(out);
-      body = std::move(out).str();
-      content_type = "application/json";
-      status_line = "HTTP/1.0 200 OK";
-    } else if (method == "GET" && (path == "/healthz" || path == "/healthz/")) {
-      // Liveness: answering at all proves the event loop is turning.
-      body = "ok\n";
-      status_line = "HTTP/1.0 200 OK";
-    } else if (method == "GET" && (path == "/readyz" || path == "/readyz/")) {
-      // Readiness: live AND able to admit a request right now. Draining
-      // or a saturated admission gate means new traffic should go
-      // elsewhere, reported 503 so load balancers need no body parsing.
-      const bool gate_full = in_flight_ >= max_in_flight_;
-      const bool ready = !draining_ && !gate_full;
-      std::ostringstream out;
-      out << "{\"ready\":" << (ready ? "true" : "false")
-          << ",\"draining\":" << (draining_ ? "true" : "false")
-          << ",\"in_flight\":" << in_flight_
-          << ",\"max_in_flight\":" << max_in_flight_
-          << ",\"parked\":" << parked_frames_ << "}\n";
-      body = std::move(out).str();
-      content_type = "application/json";
-      status_line =
-          ready ? "HTTP/1.0 200 OK" : "HTTP/1.0 503 Service Unavailable";
-    } else {
-      body =
-          "only GET /metrics, /tenants, /healthz, and /readyz are served "
-          "here\n";
-      status_line = "HTTP/1.0 404 Not Found";
-    }
-    conn->out.append(status_line);
-    conn->out.append("\r\nContent-Type: " + content_type +
-                     "\r\nContent-Length: " + std::to_string(body.size()) +
-                     "\r\nConnection: close\r\n\r\n");
-    conn->out.append(body);
-    conn->closing = true;
-    conn->paused = true;
-    updateInterest(conn);
-    return flushConn(conn);
-  }
-
-  /// Decodes and dispatches frames until the buffer runs dry, the gate
-  /// pauses the connection, or a protocol error ends it. False when the
-  /// connection was closed.
-  bool processFrames(Connection* conn) {
-    while (!conn->paused && !draining_) {
-      Frame frame;
-      switch (conn->decoder.next(frame)) {
-        case FrameDecoder::Result::kNeedMore:
-          return true;
-        case FrameDecoder::Result::kError: {
-          protocol_errors.add();
-          Frame err;
-          // v1 layout: the one error frame EVERY decoder vintage parses
-          // (the sender's version is unknowable once framing is lost).
-          err.version = kVersionLegacy;
-          err.type = FrameType::kResponse;
-          err.status = Status::kProtocolError;
-          err.payload = conn->decoder.error();
-          encodeFrame(err, conn->out, config_.max_payload);
-          conn->closing = true;
-          conn->paused = true;
-          updateInterest(conn);
-          return flushConn(conn);
-        }
-        case FrameDecoder::Result::kFrame:
-          break;
-      }
-      if (frame.type != FrameType::kRequest) {
-        protocol_errors.add();
-        Frame err;
-        err.version = frame.version;
-        err.type = FrameType::kResponse;
-        err.status = Status::kProtocolError;
-        err.request_id = frame.request_id;
-        err.payload = "expected a request frame";
-        encodeFrame(err, conn->out, config_.max_payload);
-        conn->closing = true;
-        conn->paused = true;
-        updateInterest(conn);
-        return flushConn(conn);
-      }
-      frames_received.add();
-      // Two-stage admission: the global gate first (it is the cheaper
-      // check and caps total work in the service), then the tenant's
-      // token bucket and in-flight cap. A denial from either maps onto
-      // the same backpressure policy: answer kRejected under kReject,
-      // park the frame under kBlock.
-      const char* deny = nullptr;
-      bool tenant_denied = false;
-      if (in_flight_ >= max_in_flight_) {
-        deny = "admission gate full";
-      } else {
-        switch (registry_.tryAdmit(frame.tenant, nowSeconds())) {
-          case tenant::Admission::kAdmit:
-            break;
-          case tenant::Admission::kQuota:
-            deny = "tenant quota exceeded";
-            tenant_denied = true;
-            break;
-          case tenant::Admission::kInFlightCap:
-            deny = "tenant in-flight cap reached";
-            tenant_denied = true;
-            break;
-        }
-      }
-      if (deny != nullptr) {
-        if (config_.service.backpressure ==
-            service::BackpressurePolicy::kReject) {
-          (tenant_denied ? tenant_rejected : gate_rejected).add();
-          registry_.recordRejected(frame.tenant);
-          Frame rej;
-          rej.version = frame.version;
-          rej.type = FrameType::kResponse;
-          rej.status = Status::kRejected;
-          rej.request_id = frame.request_id;
-          rej.tenant = frame.tenant;
-          rej.payload = deny;
-          encodeFrame(rej, conn->out, config_.max_payload);
-          if (!flushConn(conn)) return false;
-          continue;
-        }
-        // kBlock: park the frame and stop reading this connection; the
-        // unread bytes stay in the kernel buffer and TCP flow control
-        // pushes back on the client. resumePaused() retries admission
-        // every tick — a gate slot or a refilled token unparks it, and
-        // a wire deadline bounds how long the wait may last.
-        conn->parked_deadline_s =
-            frame.deadline_ms > 0
-                ? nowSeconds() + static_cast<double>(frame.deadline_ms) / 1e3
-                : 0.0;
-        conn->parked = std::move(frame);
-        conn->paused = true;
-        ++parked_frames_;
-        updateInterest(conn);
-        return true;
-      }
-      dispatch(conn, std::move(frame));
-    }
-    return true;
-  }
-
-  /// Submits an ALREADY-ADMITTED frame (registry_.tryAdmit succeeded) to
-  /// the service; the paired registry_.recordReply runs when the
-  /// completion drains.
-  void dispatch(Connection* conn, Frame frame) {
-    ++in_flight_;
-    ++conn->in_flight;
-    requests_in_flight.set(in_flight_);
-    service::TextRequest request;
-    request.dag_text = std::move(frame.payload);
-    request.trace_id = frame.trace_id;
-    request.tenant = frame.tenant;
-    // The wire budget (already net of parked time) becomes the service-
-    // side budget: spent in the work queue the request answers kExpired,
-    // and the remainder tightens the compute CancelToken.
-    request.deadline_s =
-        frame.deadline_ms > 0
-            ? static_cast<double>(frame.deadline_ms) / 1e3
-            : 0.0;
-    service_.submitCallback(
-        std::move(request),
-        [this, conn_id = conn->id, request_id = frame.request_id,
-         version = frame.version,
-         tenant = frame.tenant](service::Reply reply) {
-          {
-            std::lock_guard<std::mutex> lock(completions_mu_);
-            completions_.push_back(Completion{conn_id, request_id, version,
-                                              tenant, std::move(reply)});
-          }
-          const char byte = 1;
-          (void)!::write(wake_w_.get(), &byte, 1);
-        });
-  }
-
-  void drainWakePipe() {
-    char buf[256];
-    while (util::readSome(wake_r_.get(), buf, sizeof(buf)) > 0) {
-    }
-  }
-
-  void drainCompletions() {
-    std::vector<Completion> batch;
-    {
-      std::lock_guard<std::mutex> lock(completions_mu_);
-      batch.swap(completions_);
-    }
-    for (Completion& c : batch) {
-      --in_flight_;
-      // Account the reply to its tenant (and release its in-flight slot)
-      // even when the connection died — the work was done either way.
-      registry_.recordReply(c.tenant, toTenantOutcome(c.reply.status),
-                            c.reply.cache_hit, c.reply.latency_s);
-      auto it = conns_by_id_.find(c.conn_id);
-      if (it == conns_by_id_.end()) {
-        responses_dropped.add();
-        continue;
-      }
-      Connection* conn = it->second;
-      --conn->in_flight;
-      if (c.reply.status == service::RequestStatus::kExpired) {
-        requests_expired.add();
-      }
-      Frame resp;
-      resp.version = c.version;
-      resp.tenant = c.tenant;
-      resp.type = FrameType::kResponse;
-      resp.status = toWireStatus(c.reply.status);
-      resp.request_id = c.request_id;
-      resp.trace_id = c.reply.trace_id;
-      resp.payload = (c.reply.status == service::RequestStatus::kOk ||
-                      c.reply.status == service::RequestStatus::kDegraded)
-                         ? std::move(c.reply.output)
-                         : (c.reply.error.empty()
-                                ? std::string(statusName(resp.status))
-                                : std::move(c.reply.error));
-      if (resp.payload.size() > config_.max_payload) {
-        // The instrumented output always outgrows its input, so a valid
-        // request near the cap can yield an unencodable reply; answer
-        // kFailed instead of letting encodeFrame throw out of run().
-        responses_oversized.add();
-        resp.status = Status::kFailed;
-        resp.payload = "response of " + std::to_string(resp.payload.size()) +
-                       " bytes exceeds the " +
-                       std::to_string(config_.max_payload) +
-                       "-byte frame cap";
-        if (resp.payload.size() > config_.max_payload) {
-          resp.payload.resize(config_.max_payload);
-        }
-      }
-      encodeFrame(resp, conn->out, config_.max_payload);
-      responses_sent.add();
-      flushConn(conn);
-    }
-    requests_in_flight.set(in_flight_);
-  }
-
-  /// Re-opens gated connections whose parked frame now passes admission:
-  /// the parked frame dispatches first, then buffered frames, then
-  /// socket reads. Checked per connection, not globally — one tenant
-  /// stuck on an empty token bucket must not stall other tenants'
-  /// connections behind it.
-  void resumePaused() {
-    // Ids, not iterators: processFrames() can close connections, which
-    // erases from the map being walked.
-    std::vector<std::uint64_t> paused;
-    for (const auto& [fd, conn] : conns_by_fd_) {
-      if (conn->paused && !conn->closing) paused.push_back(conn->id);
-    }
-    for (const std::uint64_t id : paused) {
-      auto it = conns_by_id_.find(id);
-      if (it == conns_by_id_.end()) continue;
-      Connection* conn = it->second;
-      if (conn->parked.has_value()) {
-        const double now_s = nowSeconds();
-        if (conn->parked_deadline_s > 0.0 &&
-            now_s >= conn->parked_deadline_s) {
-          // The budget died in the parking lot: answer kExpired without
-          // admitting (no token burned, no in-flight slot), then resume
-          // reading — the connection itself is healthy.
-          Frame frame = std::move(*conn->parked);
-          conn->parked.reset();
-          conn->parked_deadline_s = 0.0;
-          --parked_frames_;
-          requests_expired.add();
-          registry_.recordExpired(frame.tenant);
-          Frame resp;
-          resp.version = frame.version;
-          resp.type = FrameType::kResponse;
-          resp.status = Status::kExpired;
-          resp.request_id = frame.request_id;
-          resp.tenant = frame.tenant;
-          resp.payload = "deadline expired before admission";
-          encodeFrame(resp, conn->out, config_.max_payload);
-          responses_sent.add();
-          conn->paused = false;
-          if (!flushConn(conn)) continue;
-          processFrames(conn);
-          continue;
-        }
-        if (in_flight_ >= max_in_flight_) continue;
-        if (registry_.tryAdmit(conn->parked->tenant, now_s) !=
-            tenant::Admission::kAdmit) {
-          continue;  // still over quota / cap; retry next tick
-        }
-        Frame frame = std::move(*conn->parked);
-        conn->parked.reset();
-        --parked_frames_;
-        if (conn->parked_deadline_s > 0.0) {
-          // Shrink the budget by the time spent parked, floored at 1 ms
-          // so the service still sees (and expires) a nonzero deadline.
-          const double remaining_s = conn->parked_deadline_s - now_s;
-          frame.deadline_ms = static_cast<std::uint32_t>(
-              std::max(1.0, remaining_s * 1e3));
-          conn->parked_deadline_s = 0.0;
-        }
-        dispatch(conn, std::move(frame));
-      }
-      conn->paused = false;
-      updateInterest(conn);
-      processFrames(conn);
-    }
-  }
-
-  void closeIdle() {
-    const auto cutoff =
-        Clock::now() - std::chrono::duration<double>(config_.idle_timeout_s);
-    std::vector<Connection*> idle;
-    for (auto& [fd, conn] : conns_by_fd_) {
-      // A paused connection is waiting on us, not on the client: its
-      // reads are off so last_activity cannot refresh, and the kBlock
-      // gate may have a frame parked that must not be dropped.
-      if (!conn->paused && conn->in_flight == 0 && !conn->wantWrite() &&
-          conn->last_activity < std::chrono::time_point_cast<Clock::duration>(
-                                    cutoff)) {
-        idle.push_back(conn.get());
-      }
-    }
-    for (Connection* conn : idle) {
-      connections_idle_closed.add();
-      closeConn(conn);
-    }
-  }
-
-  void beginDrain() {
-    draining_ = true;
-    drain_deadline_ = Clock::now() +
-                      std::chrono::duration_cast<Clock::duration>(
-                          std::chrono::duration<double>(
-                              config_.drain_timeout_s));
-    poller_->remove(listen_fd_.get());
-    for (auto& [fd, conn] : conns_by_fd_) updateInterest(conn.get());
-  }
-
-  [[nodiscard]] bool drainComplete() {
-    if (Clock::now() >= drain_deadline_) return true;
-    if (in_flight_ != 0) return false;
-    {
-      std::lock_guard<std::mutex> lock(completions_mu_);
-      if (!completions_.empty()) return false;
-    }
-    for (const auto& [fd, conn] : conns_by_fd_) {
-      if (conn->wantWrite()) return false;
-    }
-    return true;
-  }
+  // ------------------------------------------------------ inspection
 
   /// Registry snapshot with each tenant's live fair-queue depth filled
   /// in (the registry itself never sees queue contents).
@@ -868,6 +1045,13 @@ struct Server::Impl {
   void writeMetricsText(std::ostream& out) {
     service_.writePrometheusText(out);
     net_registry_.snapshot().writePrometheus(out, "prio_net_");
+    out << "# HELP prio_net_shard_connections Connections adopted per "
+           "reactor shard.\n"
+           "# TYPE prio_net_shard_connections gauge\n";
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      out << "prio_net_shard_connections{shard=\"" << i << "\"} "
+          << shards_[i]->accepted_.load(std::memory_order_relaxed) << "\n";
+    }
     tenant::writeTenantsPrometheus(out, tenantSnapshots());
   }
 
@@ -892,43 +1076,49 @@ struct Server::Impl {
   obs::Counter& tenant_rejected;
   obs::Counter& requests_expired;  ///< answered kExpired on the wire
   obs::Counter& http_requests;
+  obs::Counter& wakeups_signaled;  ///< signal() calls across all shards
+  obs::Counter& wakeups_drained;   ///< drains that consumed >= 1 signal
   obs::Gauge& connections_open;
   obs::Gauge& requests_in_flight;
-  /// Event-loop watchdog: the worst observed gap (µs) the loop spent
-  /// away from poll — i.e. how long a reply could sit unserved because
-  /// the loop thread was busy. Exported as prio_net_loop_stall_max_us.
+  /// Event-loop watchdog: the worst observed gap (µs) any shard's loop
+  /// spent away from poll — i.e. how long a reply could sit unserved
+  /// because a loop thread was busy. Exported as
+  /// prio_net_loop_stall_max_us.
   obs::Gauge& loop_stall_max_us;
 
   std::size_t max_in_flight_ = 1;
-  util::UniqueFd listen_fd_;
-  util::UniqueFd wake_r_;
-  util::UniqueFd wake_w_;
+  std::size_t num_shards_ = 1;
+  bool reuseport_ = false;  ///< mode actually in effect after binding
   std::uint16_t bound_port_ = 0;
-  std::unique_ptr<Poller> poller_;
 
-  std::uint64_t next_conn_id_ = 1;
-  std::unordered_map<int, std::unique_ptr<Connection>> conns_by_fd_;
-  std::unordered_map<std::uint64_t, Connection*> conns_by_id_;
-  std::size_t in_flight_ = 0;       ///< loop-thread only
-  std::size_t parked_frames_ = 0;   ///< loop-thread only; forces 50ms
-                                    ///< ticks so quota refills retry
+  /// The global admission gate: requests inside the service across all
+  /// shards. Shards acquire with a CAS loop, release per completion.
+  std::atomic<std::size_t> in_flight_{0};
+  /// Live connections across all shards (including handed-off fds not
+  /// yet adopted) — the max_connections reservation counter.
+  std::atomic<std::size_t> open_conns_{0};
+  std::atomic<bool> stop_requested_{false};
+
   /// Epoch for the registry's token-bucket clock (monotonic seconds).
   const Clock::time_point epoch_ = Clock::now();
 
-  std::atomic<bool> stop_requested_{false};
-  bool draining_ = false;
-  Clock::time_point drain_deadline_{};
+  std::mutex run_error_mu_;
+  std::exception_ptr run_error_;
 
-  std::mutex completions_mu_;
-  std::vector<Completion> completions_;
+  /// Stable once constructed (unique_ptr contents never move): worker
+  /// completion callbacks and requestStop() hold Shard pointers.
+  /// Declared before service_ so the shards (and their wakeup fds)
+  /// outlive the workers that signal them.
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  /// Tenant policies and accounting. Declared before (so destroyed
-  /// after) the service, whose fair queue reads weights from it until
-  /// the workers join.
+  /// Tenant policies and accounting (internally synchronized — every
+  /// shard admits through it). Declared before (so destroyed after) the
+  /// service, whose fair queue reads weights from it until the workers
+  /// join.
   tenant::TenantRegistry registry_;
   /// Declared last so it is destroyed first: the destructor joins the
-  /// workers while the wake pipe their completion callbacks write to is
-  /// still open.
+  /// workers while the shards their completion callbacks signal are
+  /// still alive.
   service::PrioService service_;
 };
 
@@ -938,6 +1128,10 @@ Server::Server(const ServerConfig& config)
 Server::~Server() = default;
 
 std::uint16_t Server::port() const { return impl_->bound_port_; }
+
+std::size_t Server::reactors() const { return impl_->num_shards_; }
+
+bool Server::usingReuseport() const { return impl_->reuseport_; }
 
 void Server::run() { impl_->run(); }
 
@@ -976,7 +1170,14 @@ Server::Stats Server::stats() const {
   s.tenant_rejected = impl_->tenant_rejected.get();
   s.requests_expired = impl_->requests_expired.get();
   s.http_requests = impl_->http_requests.get();
+  s.wakeups_signaled = impl_->wakeups_signaled.get();
+  s.wakeups_drained = impl_->wakeups_drained.get();
   s.loop_stall_max_us = impl_->loop_stall_max_us.get();
+  s.shard_connections.reserve(impl_->shards_.size());
+  for (const auto& shard : impl_->shards_) {
+    s.shard_connections.push_back(
+        shard->accepted_.load(std::memory_order_relaxed));
+  }
   return s;
 }
 

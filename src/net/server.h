@@ -1,42 +1,52 @@
-// The priod TCP server: a single-threaded, non-blocking event loop that
-// exposes a PrioService over the framed wire protocol (net/protocol.h).
+// The priod TCP server: N sharded, non-blocking event loops ("reactor
+// shards") that expose a PrioService over the framed wire protocol
+// (net/protocol.h).
 //
-// Architecture (DESIGN.md §11):
-//   - One event-loop thread owns every socket. It accepts connections,
-//     decodes request frames, and submits them to the PrioService via
-//     submitCallback(); worker threads push completed Replies onto a
-//     completion queue and wake the loop through a self-pipe, so replies
-//     are serialized back onto their connection without any socket ever
-//     being touched from two threads.
+// Architecture (DESIGN.md §11 single-loop mechanics, §14 sharding):
+//   - Each of the N reactor shards is the single-loop server of §11 in
+//     miniature: it owns its sockets exclusively — accepts connections,
+//     decodes request frames, submits them to the SHARED PrioService via
+//     submitCallback(); worker threads push completed Replies onto the
+//     owning shard's completion queue and wake that shard through its
+//     eventfd (self-pipe fallback), so replies are serialized back onto
+//     their connection without any socket ever being touched from two
+//     threads. No connection, buffer, or poller is ever shared between
+//     shards.
+//   - Connection placement: with SO_REUSEPORT (Linux), every shard binds
+//     its own listener on the same address and the kernel spreads the
+//     handshakes. Where SO_REUSEPORT is unavailable — or with
+//     use_reuseport=false — shard 0 accepts and deals descriptors
+//     round-robin to sibling shards' inboxes (deterministic placement,
+//     which the tests exploit).
 //   - Readiness comes from epoll on Linux (level-triggered) with a
-//     portable poll(2) backend behind the same interface; ServerConfig::
-//     use_epoll=false forces the fallback (both are exercised in tests).
+//     portable poll(2) backend behind the same interface, one instance
+//     per shard; ServerConfig::use_epoll=false forces the fallback.
 //   - Per-connection state machine: FRAMING connections run the binary
 //     protocol; a connection whose first bytes are "GET " flips to HTTP
 //     mode and is served one snapshot — "GET /metrics" (plaintext
 //     Prometheus), "GET /tenants" (per-tenant JSON), "GET /healthz"
-//     (liveness: 200 iff the loop turns), or "GET /readyz" (readiness:
-//     503 while draining or with the admission gate saturated) — then
-//     closed. Reads and writes are fully buffered — a slow client never
-//     blocks the loop.
+//     (liveness), or "GET /readyz" (readiness: 503 while draining or
+//     with the admission gate saturated) — then closed. All counters
+//     live in one shared lock-free registry, so the snapshot any shard
+//     serves aggregates across every shard.
 //   - Admission gate: at most max_in_flight requests may be inside the
-//     service at once, mapping the service's backpressure policy onto
-//     the socket: under kBlock a full gate pauses reading from the
-//     connection (TCP backpressure reaches the client); under kReject
-//     the request is answered Status::kRejected immediately. Requests
-//     that make it past the gate inherit the service's queue-wait
-//     shedding (kShed) and compute-deadline degradation (kDegraded, via
-//     the CancelToken armed by ServiceConfig::compute_deadline_s).
-//   - Multi-tenant scheduling (DESIGN.md §12): each frame's tenant id is
-//     checked against that tenant's token-bucket quota and in-flight cap
-//     behind the same gate (same pause-vs-reject mapping), and admitted
-//     requests dispatch through the service's deficit-round-robin
-//     weighted-fair queue, so one hog tenant cannot starve the rest.
+//     service at once — one atomic shared by all shards, so the cap is
+//     global, not per-shard. Under kBlock a full gate pauses reading
+//     from the connection (TCP backpressure reaches the client) and the
+//     frame parks; a shard that frees gate slots wakes every sibling
+//     with parked frames so cross-shard unparks don't wait for the tick.
+//     Under kReject the request is answered Status::kRejected. The
+//     tenant token-bucket quota and in-flight cap sit behind the same
+//     gate (the registry is internally synchronized).
+//   - Idle reaping is O(expired), not O(connections): each shard keeps
+//     its connections on an intrusive LRU list ordered by last activity
+//     and pops from the cold end until it meets a live one.
 //   - Graceful drain: requestStop() (async-signal-safe; call it from a
-//     SIGTERM handler) closes the listener, stops decoding new frames,
-//     lets in-flight requests finish and flushes their responses, then
-//     returns from run(). drain_timeout_s bounds how long a stuck client
-//     can hold the process up.
+//     SIGTERM handler) wakes every shard; each closes its listener,
+//     stops decoding new frames, lets its in-flight requests finish and
+//     flushes their responses. run() returns when the last shard
+//     finishes draining; drain_timeout_s bounds how long a stuck client
+//     can hold any shard up.
 #pragma once
 
 #include <cstdint>
@@ -60,12 +70,21 @@ struct ServerConfig {
   /// deadlines, backpressure policy — which also selects the gate's
   /// pause-vs-reject behaviour).
   service::ServiceConfig service;
-  /// Hard cap on simultaneous connections; extras are accepted and
-  /// immediately closed.
+  /// Reactor shards (event-loop threads). 0 = hardware_concurrency/2,
+  /// floored at 1. Each shard owns its connections exclusively.
+  std::size_t reactors = 0;
+  /// With >1 shard on Linux, bind one SO_REUSEPORT listener per shard so
+  /// the kernel spreads connections. False forces the accept-and-hand-
+  /// off fallback (shard 0 accepts, deals round-robin — deterministic
+  /// placement, used by tests).
+  bool use_reuseport = true;
+  /// Hard cap on simultaneous connections across all shards; extras are
+  /// accepted and immediately closed.
   std::size_t max_connections = 1024;
   /// Admission gate: requests in flight inside the service across all
-  /// connections. Under kBlock backpressure the effective gate is capped
-  /// at the service queue capacity so submissions never block the loop.
+  /// connections and shards (one shared atomic). Under kBlock
+  /// backpressure the effective gate is capped at the service queue
+  /// capacity so submissions never block a loop thread.
   std::size_t max_in_flight = 256;
   /// Close connections with no traffic and no pending work for this
   /// long (0 = never).
@@ -89,7 +108,8 @@ struct ServerConfig {
 class Server {
  public:
   /// Binds and listens (throws util::Error on failure) but does not
-  /// serve until run().
+  /// serve until run(). With reactors > 1 and use_reuseport, one
+  /// listener per shard is bound here (all on the same port).
   explicit Server(const ServerConfig& config);
   ~Server();
   Server(const Server&) = delete;
@@ -98,12 +118,21 @@ class Server {
   /// The bound port (the ephemeral choice when config.port was 0).
   [[nodiscard]] std::uint16_t port() const;
 
-  /// Serves until requestStop(); returns after the graceful drain.
-  /// Call from exactly one thread.
+  /// The number of reactor shards actually serving (the resolved value
+  /// of ServerConfig::reactors).
+  [[nodiscard]] std::size_t reactors() const;
+
+  /// True when connections are kernel-distributed via SO_REUSEPORT
+  /// listeners; false in accept-and-hand-off mode.
+  [[nodiscard]] bool usingReuseport() const;
+
+  /// Serves until requestStop(); returns after every shard drains. Call
+  /// from exactly one thread — it becomes shard 0 and the remaining
+  /// shards run on threads spawned (and joined) inside.
   void run();
 
   /// Initiates shutdown. Async-signal-safe and idempotent; callable from
-  /// any thread or from a signal handler.
+  /// any thread or from a signal handler. Wakes every shard.
   void requestStop() noexcept;
 
   /// The backing service (metrics, cache introspection).
@@ -111,8 +140,9 @@ class Server {
   [[nodiscard]] const service::PrioService& service() const;
 
   /// The body of the HTTP /metrics endpoint: the service's Prometheus
-  /// snapshot, the server's prio_net_* series, and the per-tenant
-  /// prio_tenant_* families.
+  /// snapshot, the server's prio_net_* series (aggregated across
+  /// shards), the per-shard prio_net_shard_connections family, and the
+  /// per-tenant prio_tenant_* families.
   void writeMetricsText(std::ostream& out);
 
   /// The body of the HTTP /tenants endpoint: live per-tenant JSON
@@ -126,7 +156,8 @@ class Server {
   [[nodiscard]] tenant::TenantRegistry& tenants();
   [[nodiscard]] const tenant::TenantRegistry& tenants() const;
 
-  /// Server-side counters, readable from any thread.
+  /// Server-side counters, readable from any thread. Counter fields
+  /// aggregate across every shard.
   struct Stats {
     std::uint64_t connections_accepted = 0;
     std::uint64_t connections_closed = 0;
@@ -141,9 +172,18 @@ class Server {
     std::uint64_t tenant_rejected = 0;  ///< tenant quota / in-flight cap
     std::uint64_t requests_expired = 0;  ///< answered kExpired on the wire
     std::uint64_t http_requests = 0;
-    /// Event-loop watchdog: worst observed time (µs) the loop spent away
-    /// from poll in one iteration.
+    /// Wakeup coalescing: signal() calls issued vs. drains that consumed
+    /// at least one. signaled/drained >= 1 is the coalescing ratio the
+    /// net bench reports (eventfd makes it structural).
+    std::uint64_t wakeups_signaled = 0;
+    std::uint64_t wakeups_drained = 0;
+    /// Event-loop watchdog: worst observed time (µs) any shard's loop
+    /// spent away from poll in one iteration.
     std::uint64_t loop_stall_max_us = 0;
+    /// Connections adopted by each shard, indexed by shard. Under
+    /// SO_REUSEPORT this is the kernel's distribution; in hand-off mode
+    /// it is the round-robin deal.
+    std::vector<std::uint64_t> shard_connections;
   };
   [[nodiscard]] Stats stats() const;
 

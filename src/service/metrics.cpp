@@ -53,6 +53,7 @@ void ServiceMetrics::writeJson(std::ostream& out) const {
       << ",\"retries\":" << snap.counterValue("retries")
       << ",\"cache_hits\":" << hits << ",\"cache_misses\":" << misses
       << ",\"cache_hit_rate\":" << hit_rate
+      << ",\"text_cache_hits\":" << snap.counterValue("text_cache_hits")
       << ",\"fingerprint_aliases\":" << snap.counterValue("fingerprint_aliases")
       << ",\"queue_high_water\":" << gaugeValue(snap, "queue_high_water")
       << ",\"latency_total\":";

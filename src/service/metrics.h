@@ -42,6 +42,7 @@ struct ServiceMetrics {
         retries(registry.counter("retries")),
         cache_hits(registry.counter("cache_hits")),
         cache_misses(registry.counter("cache_misses")),
+        text_cache_hits(registry.counter("text_cache_hits")),
         fingerprint_aliases(registry.counter("fingerprint_aliases")),
         queue_high_water(registry.gauge("queue_high_water")),
         latency_total(registry.histogram("latency_total")),
@@ -70,6 +71,9 @@ struct ServiceMetrics {
   // Cache outcomes (completed requests only).
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
+  /// Subset of cache_hits answered by the serialized-response text memo
+  /// (byte-identical wire request; parse and serialize skipped too).
+  obs::Counter& text_cache_hits;
   /// Structural-fingerprint hit whose stored result was computed under a
   /// different node-id layout: sound to detect, unsound to reuse — served
   /// as a miss (see dag/fingerprint.h).

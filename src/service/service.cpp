@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <exception>
+#include <list>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <type_traits>
+#include <unordered_map>
 #include <utility>
 
 #include "dag/fingerprint.h"
@@ -18,12 +21,88 @@
 
 namespace prio::service {
 
+namespace {
+
+/// FNV-1a over the raw request bytes — routes text-cache lookups; the
+/// stored text decides (collisions degrade to misses, never wrong hits).
+std::uint64_t hashText(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+/// Serialized-response memo for the text path: exact request bytes →
+/// instrumented output (plus the Reply fields a hit must restore). One
+/// mutex over an LRU map — a hit copies two strings under the lock,
+/// which at wire sizes (~60KB) is still two orders of magnitude cheaper
+/// than the parse + reduce + instrument + serialize pipeline it skips.
+struct PrioService::TextCache {
+  struct Entry {
+    std::string dag_text;
+    std::string output;
+    std::shared_ptr<const core::PrioResult> result;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t layout = 0;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  explicit TextCache(std::size_t cap) : capacity(cap) {}
+
+  bool find(std::uint64_t key, const std::string& text, Reply& reply) {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = map.find(key);
+    if (it == map.end() || it->second.dag_text != text) return false;
+    lru.splice(lru.end(), lru, it->second.lru_it);
+    reply.output = it->second.output;
+    reply.result = it->second.result;
+    reply.fingerprint = it->second.fingerprint;
+    reply.layout = it->second.layout;
+    return true;
+  }
+
+  void insert(std::uint64_t key, const std::string& text,
+              const Reply& reply) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = map.find(key);
+    if (it != map.end()) {
+      lru.splice(lru.end(), lru, it->second.lru_it);
+    } else {
+      if (map.size() >= capacity && !lru.empty()) {
+        map.erase(lru.front());
+        lru.pop_front();
+      }
+      it = map.emplace(key, Entry{}).first;
+      it->second.lru_it = lru.insert(lru.end(), key);
+    }
+    Entry& e = it->second;
+    e.dag_text = text;
+    e.output = reply.output;
+    e.result = reply.result;
+    e.fingerprint = reply.fingerprint;
+    e.layout = reply.layout;
+  }
+
+  std::mutex mu;
+  const std::size_t capacity;
+  std::unordered_map<std::uint64_t, Entry> map;
+  std::list<std::uint64_t> lru;  ///< front = coldest
+};
+
 PrioService::PrioService(const ServiceConfig& config)
     : config_(config),
       cache_(config.cache_capacity == 0
                  ? nullptr
                  : std::make_unique<ResultCache>(config.cache_capacity,
                                                 config.cache_shards)),
+      text_cache_(config.cache_capacity == 0 || config.text_cache_capacity == 0
+                      ? nullptr
+                      : std::make_unique<TextCache>(
+                            config.text_cache_capacity)),
       fair_(config.tenants == nullptr
                 ? nullptr
                 : std::make_shared<tenant::FairQueue>(config.queue_capacity,
@@ -153,6 +232,21 @@ void PrioService::serveFile(const FileRequest& request, Reply& reply,
 void PrioService::serveText(const TextRequest& request, Reply& reply,
                             const obs::TraceContext& trace, double budget_s) {
   util::fault::checkpoint("service.parse");
+
+  // Serialized-response memo: byte-identical requests that previously
+  // completed kOk skip the whole pipeline. The checkpoint above still
+  // fires first, so fault injection sees every request.
+  std::uint64_t text_key = 0;
+  if (text_cache_ != nullptr) {
+    text_key = hashText(request.dag_text);
+    if (text_cache_->find(text_key, request.dag_text, reply)) {
+      reply.cache_hit = true;
+      metrics_.cache_hits.add();
+      metrics_.text_cache_hits.add();
+      return;
+    }
+  }
+
   dagman::DagmanFile file = [&] {
     obs::Span span(trace, "service.parse");
     std::istringstream in(request.dag_text);
@@ -171,6 +265,12 @@ void PrioService::serveText(const TextRequest& request, Reply& reply,
   std::ostringstream out;
   file.write(out);
   reply.output = std::move(out).str();
+
+  // Only full-fidelity results are memoized: degraded (deadline
+  // fallback) output must not be replayed to later, unhurried requests.
+  if (text_cache_ != nullptr && reply.status == RequestStatus::kOk) {
+    text_cache_->insert(text_key, request.dag_text, reply);
+  }
 }
 
 namespace {

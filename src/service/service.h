@@ -76,6 +76,14 @@ struct ServiceConfig {
   /// Result-cache size in entries (0 disables caching entirely).
   std::size_t cache_capacity = 1024;
   std::size_t cache_shards = 16;
+  /// Serialized-response memo for the text path (the wire protocol), in
+  /// entries: a byte-identical TextRequest that previously completed kOk
+  /// is answered from the stored instrumented text, skipping parse,
+  /// fingerprint, instrument, and serialize — the per-request floor that
+  /// otherwise caps a hot serving loop. Keyed by the exact request
+  /// bytes; an entry holds both texts (~2x the request size). 0
+  /// disables; cache_capacity == 0 (caching off) disables it too.
+  std::size_t text_cache_capacity = 128;
   /// Compute deadline per request in seconds (0 = unbounded). When the
   /// heuristic outlives it, the request degrades to the outdegree-only
   /// fallback and replies kDegraded.
@@ -285,9 +293,13 @@ class PrioService {
   template <typename Request>
   std::future<Reply> enqueue(Request request);
 
+  struct TextCache;
+
   ServiceConfig config_;
   ServiceMetrics metrics_;
   std::unique_ptr<ResultCache> cache_;  ///< null when caching disabled
+  /// Serialized-response memo for text requests; null when disabled.
+  std::unique_ptr<TextCache> text_cache_;
   /// Weighted-fair work queue; null without a tenant registry (the pool
   /// then owns a plain FIFO). Shared with pool_, which must outlive the
   /// workers popping from it.

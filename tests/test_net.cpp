@@ -13,6 +13,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -1273,6 +1274,212 @@ TEST(NetServer, TenantsEndpointServesJson) {
       std::string::npos)
       << metrics;
   EXPECT_NE(metrics.find("prio_tenant_weight{tenant=\"7\""), std::string::npos);
+}
+
+// ------------------------------------------------------- multi-reactor
+
+// DESIGN.md §14: with reactors > 1 the sharded server must be
+// indistinguishable from the single loop from the outside — same bytes,
+// same counters, same drain semantics — while connections actually
+// spread across shard-owned event loops.
+
+TEST(NetServer, MultiReactorByteParityAndPipelining) {
+  net::ServerConfig config;
+  config.reactors = 4;
+  ServerFixture fixture(config);
+  ASSERT_EQ(fixture.server().reactors(), 4u);
+
+  const std::string expected = offlineInstrument(kFig3);
+  constexpr int kClients = 4;
+  constexpr int kRequests = 8;
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<net::Client>());
+    clients.back()->connect("127.0.0.1", fixture.port());
+  }
+  for (auto& client : clients) {
+    for (int i = 0; i < kRequests; ++i) client->send(kFig3);
+  }
+  for (auto& client : clients) {
+    for (int i = 0; i < kRequests; ++i) {
+      const net::Response r = client->receive();
+      ASSERT_EQ(r.status, Status::kOk) << r.payload;
+      EXPECT_EQ(r.payload, expected);
+    }
+  }
+  const net::Server::Stats stats = fixture.server().stats();
+  EXPECT_EQ(stats.frames_received,
+            static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(stats.responses_sent,
+            static_cast<std::uint64_t>(kClients * kRequests));
+  EXPECT_EQ(stats.protocol_errors, 0u);
+  // Wakeup accounting: drains never outnumber signals (each counted
+  // drain consumed at least one), and both sides moved.
+  EXPECT_GT(stats.wakeups_signaled, 0u);
+  EXPECT_GT(stats.wakeups_drained, 0u);
+  EXPECT_GE(stats.wakeups_signaled, stats.wakeups_drained);
+
+  // Stats aggregation is served from ANY shard's HTTP connection: the
+  // totals cover every shard, and the per-shard family is present.
+  const std::string metrics =
+      net::Client::fetchMetrics("127.0.0.1", fixture.port());
+  EXPECT_NE(metrics.find("prio_net_frames_received 32"), std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("prio_net_shard_connections{shard=\"3\"}"),
+            std::string::npos)
+      << metrics;
+}
+
+#ifdef SO_REUSEPORT
+TEST(NetServer, ReuseportDistributesConnectionsAcrossShards) {
+  net::ServerConfig config;
+  config.reactors = 4;
+  ServerFixture fixture(config);
+  if (!fixture.server().usingReuseport()) {
+    GTEST_SKIP() << "SO_REUSEPORT refused by this kernel";
+  }
+
+  constexpr int kConns = 64;
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (int i = 0; i < kConns; ++i) {
+    clients.push_back(std::make_unique<net::Client>());
+    clients.back()->connect("127.0.0.1", fixture.port());
+    EXPECT_EQ(clients.back()->call(kFig3).status, Status::kOk);
+  }
+  const net::Server::Stats stats = fixture.server().stats();
+  ASSERT_EQ(stats.shard_connections.size(), 4u);
+  std::uint64_t total = 0;
+  int shards_used = 0;
+  for (const std::uint64_t n : stats.shard_connections) {
+    total += n;
+    if (n > 0) ++shards_used;
+  }
+  EXPECT_EQ(total, static_cast<std::uint64_t>(kConns));
+  // The kernel hashes 64 distinct loopback 4-tuples over 4 listeners;
+  // every one of them landing on a single shard would be a (1/4)^63
+  // accident, so >= 2 nonempty shards is a safe distribution check.
+  EXPECT_GE(shards_used, 2);
+}
+#endif  // SO_REUSEPORT
+
+TEST(NetServer, HandoffFallbackDealsConnectionsRoundRobin) {
+  net::ServerConfig config;
+  config.reactors = 3;
+  config.use_reuseport = false;
+  ServerFixture fixture(config);
+  EXPECT_FALSE(fixture.server().usingReuseport());
+
+  // Sequential connect+call guarantees accept order, and the deal is
+  // deterministic round-robin: 9 connections land 3-3-3.
+  constexpr int kConns = 9;
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (int i = 0; i < kConns; ++i) {
+    clients.push_back(std::make_unique<net::Client>());
+    clients.back()->connect("127.0.0.1", fixture.port());
+    ASSERT_EQ(clients.back()->call(kFig3).status, Status::kOk);
+  }
+  const net::Server::Stats stats = fixture.server().stats();
+  ASSERT_EQ(stats.shard_connections.size(), 3u);
+  for (const std::uint64_t n : stats.shard_connections) EXPECT_EQ(n, 3u);
+}
+
+TEST(NetServer, DrainFlushesInFlightFramesOnEveryShard) {
+  FaultGuard guard;
+  auto& injector = util::fault::Injector::instance();
+  injector.arm(/*seed=*/5);
+  injector.plan("service.parse",
+                {util::fault::Kind::kDelay, /*every_nth=*/1, 0.0,
+                 std::chrono::microseconds(150000)});
+
+  // One in-flight request on each of the three shards (hand-off mode
+  // places client i on shard i) when the stop lands: the drain must
+  // deliver all three responses before run() returns.
+  net::ServerConfig config;
+  config.reactors = 3;
+  config.use_reuseport = false;
+  config.service.num_threads = 3;
+  ServerFixture fixture(config);
+
+  std::vector<std::unique_ptr<net::Client>> clients;
+  for (int i = 0; i < 3; ++i) {
+    clients.push_back(std::make_unique<net::Client>());
+    clients.back()->connect("127.0.0.1", fixture.port());
+  }
+  for (auto& client : clients) client->send(kFig3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  fixture.stop();
+  const std::string expected = offlineInstrument(kFig3);
+  for (auto& client : clients) {
+    const net::Response r = client->receive();
+    EXPECT_EQ(r.status, Status::kOk) << r.payload;
+    EXPECT_EQ(r.payload, expected);
+  }
+}
+
+TEST(NetServer, BlockGateContendedAcrossShardsLosesNothing) {
+  FaultGuard guard;
+  auto& injector = util::fault::Injector::instance();
+  injector.arm(/*seed=*/7);
+  injector.plan("service.parse",
+                {util::fault::Kind::kDelay, /*every_nth=*/1, 0.0,
+                 std::chrono::microseconds(5000)});
+
+  // A single global gate slot fought over from two shards (hand-off
+  // mode pins one client per shard). Frames park on BOTH shards; every
+  // completion on one shard must wake the sibling's parked frame, and
+  // nothing may be lost or rejected.
+  net::ServerConfig config;
+  config.reactors = 2;
+  config.use_reuseport = false;
+  config.service.num_threads = 1;
+  config.max_in_flight = 1;
+  ServerFixture fixture(config);
+
+  net::Client a;
+  a.connect("127.0.0.1", fixture.port());
+  net::Client b;
+  b.connect("127.0.0.1", fixture.port());
+
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    a.send(kFig3);
+    b.send(kFig3);
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_EQ(a.receive().status, Status::kOk);
+    EXPECT_EQ(b.receive().status, Status::kOk);
+  }
+  const net::Server::Stats stats = fixture.server().stats();
+  EXPECT_EQ(stats.gate_rejected, 0u);
+  EXPECT_EQ(stats.frames_received,
+            static_cast<std::uint64_t>(2 * kRequests));
+  EXPECT_EQ(stats.responses_sent,
+            static_cast<std::uint64_t>(2 * kRequests));
+}
+
+// Satellite: the reaper walks the intrusive LRU list from the cold end
+// and must stop at the first warm connection — an active neighbour is
+// never scanned, let alone closed.
+TEST(NetServer, IdleReaperClosesOnlyExpiredConnections) {
+  net::ServerConfig config;
+  config.idle_timeout_s = 0.08;
+  ServerFixture fixture(config);
+  net::Client active;
+  active.connect("127.0.0.1", fixture.port());
+  net::Client idle;
+  idle.connect("127.0.0.1", fixture.port());
+  ASSERT_EQ(idle.call(kFig3).status, Status::kOk);
+
+  // Keep one connection warm while the other goes cold past the window.
+  for (int i = 0;
+       i < 100 && fixture.server().stats().connections_idle_closed == 0;
+       ++i) {
+    ASSERT_EQ(active.call(kFig3).status, Status::kOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fixture.server().stats().connections_idle_closed, 1u);
+  EXPECT_THROW(idle.receive(), util::Error);
+  EXPECT_EQ(active.call(kFig3).status, Status::kOk);
 }
 
 // Satellite: the priod_client exit path keys on usableOutput(), which
