@@ -25,6 +25,16 @@
 //                        shard wakeups signaled per drain that consumed
 //                        them during the point (>= 1; higher = more
 //                        eventfd coalescing under load; not gated)
+//   binary.rps@c64       the same closed loop shipping the AIRSN dag as
+//   binary.p50_ms@c64    a typed binary CSR payload (wire v3) instead of
+//   binary.error_rate@c64  DAGMan text
+//   batch.rps@c64        kBatchRequest frames of 16 binary dags per
+//   batch.p50_ms@c64     round-trip; rps counts ITEMS per second, p50 is
+//   batch.error_rate@c64 per round-trip
+//   parse_share.text     fraction of total service phase time spent in
+//   parse_share.binary   "service.parse" with all caches off — the
+//                        text-vs-binary hot-path parsing cost the v3
+//                        payload redesign exists to kill
 //
 // Sweep points above the hardware thread count (c=64, c=256) only run on
 // machines with at least 8 hardware threads; likewise c=2..c=8 require
@@ -50,9 +60,11 @@
 #include <thread>
 #include <vector>
 
+#include "dag/csr.h"
 #include "dagman/dagman_file.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "workloads/scientific.h"
 
 namespace {
@@ -86,7 +98,8 @@ std::string airsnDagText() {
 }
 
 struct LoadResult {
-  std::vector<double> latencies_s;
+  std::vector<double> latencies_s;  ///< one entry per ROUND-TRIP
+  std::uint64_t items = 0;  ///< answered dags (== round-trips unbatched)
   std::uint64_t ok = 0;
   std::uint64_t degraded = 0;
   std::uint64_t shed = 0;  ///< kShed + kRejected
@@ -94,13 +107,35 @@ struct LoadResult {
   double wall_s = 0.0;
 };
 
-void classify(const prio::net::Response& resp, LoadResult& r) {
-  switch (resp.status) {
+void classify(prio::net::Status status, LoadResult& r) {
+  switch (status) {
     case prio::net::Status::kOk: ++r.ok; break;
     case prio::net::Status::kDegraded: ++r.degraded; break;
     case prio::net::Status::kRejected:
     case prio::net::Status::kShed: ++r.shed; break;
     default: ++r.failed; break;
+  }
+}
+
+/// Counts one response: a single reply is one item; a batch reply is
+/// one item per decoded BatchItemReply (all failed if the envelope
+/// would not decode).
+void classifyResponse(const prio::net::Response& resp,
+                      std::size_t batch_items, LoadResult& r) {
+  if (!resp.batch) {
+    ++r.items;
+    classify(resp.status, r);
+    return;
+  }
+  const prio::net::Response::Result result = resp.result();
+  if (!result.usable) {
+    r.items += batch_items;
+    r.failed += batch_items;
+    return;
+  }
+  for (const prio::net::BatchItemReply& item : result.items) {
+    ++r.items;
+    classify(item.status, r);
   }
 }
 
@@ -110,8 +145,17 @@ void classify(const prio::net::Response& resp, LoadResult& r) {
 /// receive-then-resend round-robin until the deadline, and finally
 /// drains the outstanding response left on each connection.
 LoadResult runLoad(std::uint16_t port, std::size_t connections,
-                   double seconds, const std::string& dag_text) {
+                   double seconds, const std::string& payload,
+                   prio::net::PayloadKind kind =
+                       prio::net::PayloadKind::kDagmanText,
+                   std::size_t batch_items = 0) {
   const unsigned hw = std::thread::hardware_concurrency();
+  // batch_items > 0: each round-trip is one kBatchRequest carrying the
+  // payload that many times; 0 is the historical single-request loop.
+  std::vector<prio::net::BatchItem> batch;
+  for (std::size_t i = 0; i < batch_items; ++i) {
+    batch.push_back(prio::net::BatchItem{kind, payload});
+  }
   const std::size_t pool = std::max<std::size_t>(
       1, std::min({connections, static_cast<std::size_t>(hw == 0 ? 1 : hw),
                    std::size_t{16}}));
@@ -140,11 +184,16 @@ LoadResult runLoad(std::uint16_t port, std::size_t connections,
         conn->client.connect("127.0.0.1", port);
         conns.push_back(std::move(conn));
       }
-      for (auto& conn : conns) {
-        conn->sent = Clock::now();
-        conn->client.send(dag_text);
-        conn->outstanding = true;
-      }
+      auto sendOne = [&](Conn& conn) {
+        conn.sent = Clock::now();
+        if (batch_items > 0) {
+          conn.client.submitBatch(batch);
+        } else {
+          conn.client.sendPayload(kind, payload);
+        }
+        conn.outstanding = true;
+      };
+      for (auto& conn : conns) sendOne(*conn);
       bool running = true;
       while (running) {
         for (auto& conn : conns) {
@@ -153,14 +202,12 @@ LoadResult runLoad(std::uint16_t port, std::size_t connections,
           r.latencies_s.push_back(
               std::chrono::duration<double>(Clock::now() - conn->sent)
                   .count());
-          classify(resp, r);
+          classifyResponse(resp, batch_items, r);
           if (Clock::now() >= deadline) {
             running = false;
             break;
           }
-          conn->sent = Clock::now();
-          conn->client.send(dag_text);
-          conn->outstanding = true;
+          sendOne(*conn);
         }
       }
       // Drain: every connection except the one whose receive tripped the
@@ -172,7 +219,7 @@ LoadResult runLoad(std::uint16_t port, std::size_t connections,
         r.latencies_s.push_back(
             std::chrono::duration<double>(Clock::now() - conn->sent)
                 .count());
-        classify(resp, r);
+        classifyResponse(resp, batch_items, r);
       }
     });
   }
@@ -181,6 +228,7 @@ LoadResult runLoad(std::uint16_t port, std::size_t connections,
   LoadResult total;
   total.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
   for (LoadResult& r : per_thread) {
+    total.items += r.items;
     total.ok += r.ok;
     total.degraded += r.degraded;
     total.shed += r.shed;
@@ -245,7 +293,7 @@ int main() {
     const LoadResult r = runLoad(server.port(), connections, seconds,
                                  dag_text);
     const prio::net::Server::Stats after = server.stats();
-    const auto responses = static_cast<double>(r.latencies_s.size());
+    const auto responses = static_cast<double>(r.items);
     const double rps = r.wall_s > 0 ? responses / r.wall_s : 0.0;
     const double signaled = static_cast<double>(after.wakeups_signaled -
                                                 before.wakeups_signaled);
@@ -275,9 +323,88 @@ int main() {
     if (r.failed > 0) rc = 1;
   }
 
+  // Binary-payload and batched points at c=64 (same gating as the text
+  // c=64 point): the dag ships as a typed CSR payload — the server
+  // never parses text — and the batch point packs 16 of them into each
+  // kBatchRequest round-trip (rps counts items, so the two rps figures
+  // compare directly).
+  const std::string binary_payload =
+      prio::dag::encodeBinaryDag(prio::workloads::makeAirsn({}));
+  if (hw == 0 || hw >= 8) {
+    constexpr std::size_t kBatchSize = 16;
+    struct Point {
+      const char* name;
+      std::size_t batch;
+    };
+    for (const Point point : {Point{"binary", 0}, Point{"batch", kBatchSize}}) {
+      const LoadResult r =
+          runLoad(server.port(), 64, seconds, binary_payload,
+                  prio::net::PayloadKind::kBinaryCsr, point.batch);
+      const auto items = static_cast<double>(r.items);
+      const double rps = r.wall_s > 0 ? items / r.wall_s : 0.0;
+      const std::string prefix = point.name;
+      metric(prefix + ".rps@c64", rps);
+      metric(prefix + ".p50_ms@c64", quantile(r.latencies_s, 0.50) * 1e3);
+      metric(prefix + ".error_rate@c64",
+             items > 0 ? static_cast<double>(r.failed) / items : 0.0);
+      std::printf("  %s c=64: %7.1f dags/s, p50 %6.2fms (%llu ok, %llu "
+                  "degraded, %llu shed, %llu failed)\n",
+                  point.name, rps, quantile(r.latencies_s, 0.50) * 1e3,
+                  static_cast<unsigned long long>(r.ok),
+                  static_cast<unsigned long long>(r.degraded),
+                  static_cast<unsigned long long>(r.shed),
+                  static_cast<unsigned long long>(r.failed));
+      if (r.failed > 0) rc = 1;
+    }
+  }
+
   server.requestStop();
   server_thread.join();
   const prio::net::Server::Stats final_stats = server.stats();
+
+  // Parse-share split: fresh servers with the response memo, parse
+  // cache, and fingerprint cache all off, so every request pays its
+  // full parse + schedule cost; the share is phase_parse's fraction of
+  // total recorded phase time. This is the figure the binary payload
+  // exists to collapse. Measured at c=1 with a single worker: the
+  // share is a per-request cost ratio, and phase spans record wall
+  // time, so any preemption under concurrency inflates short spans
+  // (the binary decode most of all) and turns the ratio into a
+  // scheduler artifact on small machines.
+  auto parseShare = [&](bool binary_mode) {
+    prio::net::ServerConfig cold;
+    cold.port = 0;
+    cold.service.num_threads = 1;
+    cold.service.cache_capacity = 0;
+    cold.service.parse_cache_capacity = 0;
+    prio::net::Server cold_server(cold);
+    std::thread cold_thread([&] { cold_server.run(); });
+    runLoad(cold_server.port(), 1, std::min(seconds, 1.0),
+            binary_mode ? binary_payload : dag_text,
+            binary_mode ? prio::net::PayloadKind::kBinaryCsr
+                        : prio::net::PayloadKind::kDagmanText);
+    cold_server.requestStop();
+    cold_thread.join();
+    const prio::obs::Snapshot snap =
+        cold_server.service().metrics().registry.snapshot();
+    auto sumUs = [&](const char* name) {
+      for (const prio::obs::HistogramSnapshot& h : snap.histograms) {
+        if (h.name == name) return static_cast<double>(h.sum_us);
+      }
+      return 0.0;
+    };
+    const double parse = sumUs("phase_parse");
+    const double total = parse + sumUs("phase_reduce") +
+                         sumUs("phase_decompose") + sumUs("phase_recurse") +
+                         sumUs("phase_combine");
+    return total > 0.0 ? parse / total : 0.0;
+  };
+  const double share_text = parseShare(false);
+  const double share_binary = parseShare(true);
+  metric("parse_share.text", share_text);
+  metric("parse_share.binary", share_binary);
+  std::printf("  parse share (caches off): text %.1f%%, binary %.1f%%\n",
+              share_text * 100.0, share_binary * 100.0);
 
   {
     std::ofstream out("BENCH_net.json");

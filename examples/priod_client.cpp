@@ -28,6 +28,14 @@
 //                    original ids (safe — requests are idempotent), with
 //                    a circuit breaker failing fast when the server
 //                    stays down
+//   --binary         parse each .dag locally and ship it as a typed
+//                    binary CSR payload (wire v3); the server answers a
+//                    binary priority block and the client instruments
+//                    its local copy — output is byte-identical to the
+//                    text path, but the server never parses text
+//   --batch N        group inputs into kBatchRequest frames of up to N
+//                    dags each: one round-trip answers N inputs with
+//                    per-item statuses (composes with --binary)
 //   --metrics        fetch GET /metrics and print the snapshot to stdout
 //   --tenants        fetch GET /tenants and print the per-tenant JSON
 //   --healthz        probe GET /healthz: exit 0 iff the server is alive
@@ -43,6 +51,7 @@
 // / failed / empty-degraded response or transport error (including a
 // --timeout-ms expiry or an unready probe), 2 on usage errors. Every
 // non-usable response prints a one-line stderr diagnostic.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -52,6 +61,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dag/csr.h"
+#include "dagman/dagman_file.h"
+#include "dagman/instrument.h"
 #include "net/client.h"
 #include "net/resilient.h"
 #include "util/check.h"
@@ -64,7 +76,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: priod_client [--host ADDR] [--port N] [--port-file F] "
                "[--out DIR] [--tenant N] [--timeout-ms N] [--deadline-ms N] "
-               "[--retry] <file.dag>...\n"
+               "[--retry] [--binary] [--batch N] <file.dag>...\n"
                "       priod_client [--host ADDR] [--port N] [--port-file F] "
                "--metrics | --tenants | --healthz | --readyz\n");
   return 2;
@@ -90,6 +102,8 @@ int main(int argc, char** argv) {
   bool healthz = false;
   bool readyz = false;
   bool retry = false;
+  bool binary = false;
+  std::size_t batch = 0;
   std::uint32_t tenant = 0;
   std::uint32_t timeout_ms = 0;
   std::uint32_t deadline_ms = 0;
@@ -114,6 +128,9 @@ int main(int argc, char** argv) {
       else if (arg == "--deadline-ms")
         deadline_ms = static_cast<std::uint32_t>(std::stoul(next()));
       else if (arg == "--retry") retry = true;
+      else if (arg == "--binary") binary = true;
+      else if (arg == "--batch")
+        batch = static_cast<std::size_t>(std::stoul(next()));
       else if (arg == "--metrics") metrics = true;
       else if (arg == "--tenants") tenants = true;
       else if (arg == "--healthz") healthz = true;
@@ -171,50 +188,152 @@ int main(int argc, char** argv) {
     prio::net::ResilientOptions ropts;
     ropts.client = options;
     prio::net::ResilientClient resilient(host, port, ropts);
-    auto submit = [&](const std::string& text) {
-      return retry ? resilient.submit(text) : client.send(text);
-    };
-    auto await = [&]() {
-      return retry ? resilient.await() : client.receive();
-    };
     if (!retry) client.connect(host, port);
+    const prio::net::PayloadKind kind =
+        binary ? prio::net::PayloadKind::kBinaryCsr
+               : prio::net::PayloadKind::kDagmanText;
+
+    // Each input's wire payload, plus — under --binary — the locally
+    // parsed file the response's priority block instruments.
+    struct Prepared {
+      std::string wire;
+      prio::dagman::DagmanFile file;
+      std::vector<std::size_t> job_of_node;
+      bool has_done = false;
+    };
+    std::vector<Prepared> prepared(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const std::string text = slurp(inputs[i]);
+      if (!binary) {
+        prepared[i].wire = text;
+        continue;
+      }
+      std::istringstream in(text);
+      prepared[i].file = prio::dagman::DagmanFile::parse(in);
+      prepared[i].has_done = prepared[i].file.hasDoneJobs();
+      const prio::dag::Digraph graph =
+          prepared[i].has_done
+              ? prepared[i].file.toPendingDigraph(&prepared[i].job_of_node)
+              : prepared[i].file.toDigraph();
+      prepared[i].wire = prio::dag::encodeBinaryDag(graph);
+    }
 
     // Pipeline: all requests on the wire before the first response is
-    // read; the echoed request id maps each response back to its input.
-    std::unordered_map<std::uint64_t, std::size_t> input_of_request;
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      input_of_request[submit(slurp(inputs[i]))] = i;
+    // read; the echoed request id maps each response back to its
+    // input(s) — one per frame unbatched, a slice of up to --batch N
+    // inputs per kBatchRequest frame.
+    std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+        inputs_of_request;
+    const std::size_t group = batch > 1 ? batch : 1;
+    for (std::size_t i = 0; i < inputs.size(); i += group) {
+      const std::size_t end = std::min(i + group, inputs.size());
+      std::uint64_t id = 0;
+      if (group == 1) {
+        id = retry ? resilient.submitPayload(kind, prepared[i].wire)
+                   : client.sendPayload(kind, prepared[i].wire);
+      } else {
+        std::vector<prio::net::BatchItem> items;
+        items.reserve(end - i);
+        for (std::size_t j = i; j < end; ++j) {
+          items.push_back(prio::net::BatchItem{kind, prepared[j].wire});
+        }
+        id = retry ? resilient.submitBatch(items) : client.submitBatch(items);
+      }
+      std::vector<std::size_t>& slice = inputs_of_request[id];
+      for (std::size_t j = i; j < end; ++j) slice.push_back(j);
     }
 
     if (!out_dir.empty()) fs::create_directories(out_dir);
     std::size_t failed = 0;
-    for (std::size_t n = 0; n < inputs.size(); ++n) {
-      const prio::net::Response r = await();
-      const auto it = input_of_request.find(r.request_id);
-      PRIO_CHECK_MSG(it != input_of_request.end(),
-                     "unknown request id " << r.request_id);
-      const std::string& input = inputs[it->second];
-      // usableOutput, not hasOutput: a kDegraded reply with an empty
-      // payload would otherwise "succeed" by writing an empty file.
-      if (!r.usableOutput()) {
+
+    // One decoded item (or single response) lands here: render the
+    // output — under --binary, decode the priority block and instrument
+    // the local parse — then write or summarize it.
+    auto handleItem = [&](std::size_t input_idx, prio::net::Status status,
+                          bool usable, const std::string& payload) {
+      const std::string& input = inputs[input_idx];
+      if (!usable) {
         ++failed;
         std::fprintf(stderr, "priod_client: %s: %s: %s\n", input.c_str(),
-                     prio::net::statusName(r.status),
-                     r.payload.empty() ? "empty response payload"
-                                       : r.payload.c_str());
-        continue;
+                     prio::net::statusName(status),
+                     payload.empty() ? "empty response payload"
+                                     : payload.c_str());
+        return;
+      }
+      std::string output;
+      if (binary) {
+        try {
+          const std::vector<std::size_t> priorities =
+              prio::dag::decodeBinaryPriorities(payload);
+          Prepared& p = prepared[input_idx];
+          if (p.has_done) {
+            prio::dagman::instrumentPendingJobs(p.file, priorities,
+                                                p.job_of_node);
+          } else {
+            prio::dagman::instrumentDagmanFile(p.file, priorities);
+          }
+          std::ostringstream out;
+          p.file.write(out);
+          output = std::move(out).str();
+        } catch (const std::exception& e) {
+          ++failed;
+          std::fprintf(stderr, "priod_client: %s: bad binary response: %s\n",
+                       input.c_str(), e.what());
+          return;
+        }
+      } else {
+        output = payload;
       }
       if (!out_dir.empty()) {
         const fs::path out_path = fs::path(out_dir) / fs::path(input).filename();
         std::ofstream out(out_path, std::ios::binary);
-        out << r.payload;
+        out << output;
         PRIO_CHECK_MSG(out.good(), "cannot write " << out_path.string());
         std::printf("priod_client: %s -> %s (%s, %zu bytes)\n", input.c_str(),
-                    out_path.string().c_str(), prio::net::statusName(r.status),
-                    r.payload.size());
+                    out_path.string().c_str(), prio::net::statusName(status),
+                    output.size());
       } else {
         std::printf("priod_client: %s: %s (%zu bytes)\n", input.c_str(),
-                    prio::net::statusName(r.status), r.payload.size());
+                    prio::net::statusName(status), output.size());
+      }
+    };
+
+    const std::size_t round_trips = inputs_of_request.size();
+    for (std::size_t n = 0; n < round_trips; ++n) {
+      const prio::net::Response r =
+          retry ? resilient.await() : client.receive();
+      const auto it = inputs_of_request.find(r.request_id);
+      PRIO_CHECK_MSG(it != inputs_of_request.end(),
+                     "unknown request id " << r.request_id);
+      const std::vector<std::size_t>& slice = it->second;
+      const prio::net::Response::Result result = r.result();
+      if (r.batch) {
+        if (!result.usable || result.items.size() != slice.size()) {
+          // A whole-batch failure: non-kOk frames carry an error
+          // message; a kOk frame that would not decode (or answered
+          // the wrong item count) gets a fixed diagnostic instead of
+          // its binary envelope bytes.
+          const char* msg = r.status != prio::net::Status::kOk
+                                ? (r.payload.empty() ? "empty response payload"
+                                                     : r.payload.c_str())
+                                : "undecodable batch response";
+          for (const std::size_t input_idx : slice) {
+            ++failed;
+            std::fprintf(stderr, "priod_client: %s: %s: %s\n",
+                         inputs[input_idx].c_str(),
+                         prio::net::statusName(r.status), msg);
+          }
+          continue;
+        }
+        for (std::size_t j = 0; j < slice.size(); ++j) {
+          const prio::net::BatchItemReply& item = result.items[j];
+          handleItem(slice[j], item.status, item.usable(), item.payload);
+        }
+      } else {
+        // result().usable, not hasOutput: a kDegraded reply with an
+        // empty payload would otherwise "succeed" by writing an empty
+        // file.
+        handleItem(slice[0], r.status, result.usable, r.payload);
       }
     }
     return failed == 0 ? 0 : 1;

@@ -25,6 +25,10 @@
 //   --deadline-ms N        per-request compute deadline (reply kDegraded)
 //   --queue-deadline-ms N  queue-wait deadline (reply kShed)
 //   --idle-timeout-ms N    close connections idle this long (default: never)
+//   --max-payload N        per-frame payload cap in bytes (default 64 MiB)
+//   --max-batch-payload N  payload cap for kBatchRequest frames, so a
+//                          batch can deliberately exceed the single-dag
+//                          limit (default 0 = 4x max-payload)
 //   --drain-timeout-ms N   bound on graceful drain (default 5000)
 //   --metrics-out F  write the final Prometheus metrics snapshot to F on
 //                    shutdown (the live snapshot is always at GET /metrics)
@@ -69,6 +73,7 @@ int usage() {
       "[--cache N] "
       "[--max-in-flight N] [--max-connections N] [--deadline-ms N] "
       "[--queue-deadline-ms N] [--idle-timeout-ms N] [--drain-timeout-ms N] "
+      "[--max-payload N] [--max-batch-payload N] "
       "[--metrics-out F] [--tenant ID[:WEIGHT[:RATE[:BURST[:MAXINFL]]]]]... "
       "[--poll] [--trace]\n");
   return 2;
@@ -145,6 +150,11 @@ int main(int argc, char** argv) {
         config.idle_timeout_s = std::stod(next()) / 1e3;
       else if (arg == "--drain-timeout-ms")
         config.drain_timeout_s = std::stod(next()) / 1e3;
+      else if (arg == "--max-payload")
+        config.max_payload = static_cast<std::uint32_t>(std::stoul(next()));
+      else if (arg == "--max-batch-payload")
+        config.max_batch_payload =
+            static_cast<std::uint32_t>(std::stoul(next()));
       else if (arg == "--metrics-out") metrics_out = next();
       else if (arg == "--tenant")
         config.tenants.push_back(parseTenantSpec(next()));

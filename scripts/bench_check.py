@@ -118,12 +118,13 @@ METRICS_JSON_SCALARS = [
     "requests_submitted", "requests_completed", "requests_rejected",
     "requests_failed", "requests_degraded", "requests_deadline_exceeded",
     "requests_shed", "requests_expired", "retries", "cache_hits",
-    "cache_misses", "cache_hit_rate", "text_cache_hits",
-    "fingerprint_aliases", "queue_high_water",
+    "cache_misses", "cache_hit_rate", "text_cache_hits", "parse_cache_hits",
+    "fingerprint_aliases", "binary_requests", "batch_items",
+    "queue_high_water",
 ]
 METRICS_JSON_HISTOGRAMS = [
-    "latency_total", "latency_cache_hit", "phase_reduce", "phase_decompose",
-    "phase_recurse", "phase_combine",
+    "latency_total", "latency_cache_hit", "phase_parse", "phase_reduce",
+    "phase_decompose", "phase_recurse", "phase_combine",
 ]
 HISTOGRAM_FIELDS = ["count", "mean_s", "p50_s", "p99_s", "max_s"]
 

@@ -95,12 +95,41 @@ print("net_smoke: /tenants reports all %d tenants with correct counts"
       % len(expected))
 EOF
 
+# Binary payloads and batching (protocol v3): the same workloads through
+# the typed wire path — single binary frames, then one kBatchRequest
+# carrying all four dags — must stay byte-identical to prio_tool too.
+mkdir -p "$out/got_bin" "$out/got_batch"
+"$PRIOD_CLIENT" --port-file "$out/port" --binary --out "$out/got_bin" \
+  "${inputs[@]}"
+"$PRIOD_CLIENT" --port-file "$out/port" --binary --batch 4 \
+  --out "$out/got_batch" "${inputs[@]}"
+for w in "${workloads[@]}"; do
+  cmp "$out/expected/$w.dag" "$out/got_bin/$w.dag" || {
+    echo "net_smoke: $w.dag differs over binary payloads" >&2
+    exit 1
+  }
+  cmp "$out/expected/$w.dag" "$out/got_batch/$w.dag" || {
+    echo "net_smoke: $w.dag differs over batched binary payloads" >&2
+    exit 1
+  }
+done
+echo "net_smoke: binary and batched responses byte-identical to prio_tool"
+
 "$PRIOD_CLIENT" --port-file "$out/port" --metrics > "$out/metrics_live.prom"
 python3 "$script_dir/bench_check.py" --schema prometheus "$out/metrics_live.prom"
 grep -q 'prio_tenant_admitted_total{tenant="1"' "$out/metrics_live.prom" || {
   echo "net_smoke: /metrics lacks the prio_tenant_* families" >&2
   exit 1
 }
+# The typed-payload counters must be live (8 binary requests billed: the
+# four --binary singles plus four batch items), and the parse-cache
+# family must be exported.
+for fam in prio_binary_requests prio_batch_items prio_parse_cache_hits; do
+  grep -q "^$fam" "$out/metrics_live.prom" || {
+    echo "net_smoke: /metrics lacks the $fam family" >&2
+    exit 1
+  }
+done
 # All 4 reactor shards must show up in the per-shard connection gauge.
 grep -q 'prio_net_shard_connections{shard="3"}' "$out/metrics_live.prom" || {
   echo "net_smoke: /metrics lacks prio_net_shard_connections for shard 3" >&2

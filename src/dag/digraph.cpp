@@ -9,34 +9,33 @@ namespace prio::dag {
 Digraph::Digraph() = default;
 Digraph::~Digraph() = default;
 
-namespace {
-// Snapshot of another graph's cached CSR (may be null; never forces a
-// build). The snapshot is immutable, so copies can share it.
-std::shared_ptr<const Csr> snapshotCsr(std::mutex& mutex,
-                                       const std::shared_ptr<const Csr>& c) {
-  const std::lock_guard<std::mutex> lock(mutex);
-  return c;
-}
-}  // namespace
-
 Digraph::Digraph(const Digraph& other)
     : names_(other.names_),
       children_(other.children_),
       parents_(other.parents_),
-      name_index_(other.name_index_),
-      edge_set_(other.edge_set_),
-      num_edges_(other.num_edges_),
-      csr_cache_(snapshotCsr(other.csr_mutex_, other.csr_cache_)) {}
+      num_edges_(other.num_edges_) {
+  // The lazy members may be materializing under a concurrent const
+  // reader of `other`; snapshot them under its mutex.
+  const std::lock_guard<std::mutex> lock(other.cache_mutex_);
+  name_index_ = other.name_index_;
+  edge_set_ = other.edge_set_;
+  name_index_built_ = other.name_index_built_;
+  edge_set_built_ = other.edge_set_built_;
+  csr_cache_ = other.csr_cache_;
+}
 
 Digraph& Digraph::operator=(const Digraph& other) {
   if (this == &other) return *this;
   names_ = other.names_;
   children_ = other.children_;
   parents_ = other.parents_;
+  num_edges_ = other.num_edges_;
+  const std::lock_guard<std::mutex> lock(other.cache_mutex_);
   name_index_ = other.name_index_;
   edge_set_ = other.edge_set_;
-  num_edges_ = other.num_edges_;
-  csr_cache_ = snapshotCsr(other.csr_mutex_, other.csr_cache_);
+  name_index_built_ = other.name_index_built_;
+  edge_set_built_ = other.edge_set_built_;
+  csr_cache_ = other.csr_cache_;
   return *this;
 }
 
@@ -44,9 +43,11 @@ Digraph::Digraph(Digraph&& other) noexcept
     : names_(std::move(other.names_)),
       children_(std::move(other.children_)),
       parents_(std::move(other.parents_)),
+      num_edges_(std::exchange(other.num_edges_, 0)),
       name_index_(std::move(other.name_index_)),
       edge_set_(std::move(other.edge_set_)),
-      num_edges_(std::exchange(other.num_edges_, 0)),
+      name_index_built_(std::exchange(other.name_index_built_, true)),
+      edge_set_built_(std::exchange(other.edge_set_built_, true)),
       csr_cache_(std::move(other.csr_cache_)) {}
 
 Digraph& Digraph::operator=(Digraph&& other) noexcept {
@@ -54,15 +55,51 @@ Digraph& Digraph::operator=(Digraph&& other) noexcept {
   names_ = std::move(other.names_);
   children_ = std::move(other.children_);
   parents_ = std::move(other.parents_);
+  num_edges_ = std::exchange(other.num_edges_, 0);
   name_index_ = std::move(other.name_index_);
   edge_set_ = std::move(other.edge_set_);
-  num_edges_ = std::exchange(other.num_edges_, 0);
+  name_index_built_ = std::exchange(other.name_index_built_, true);
+  edge_set_built_ = std::exchange(other.edge_set_built_, true);
   csr_cache_ = std::move(other.csr_cache_);
   return *this;
 }
 
+Digraph Digraph::fromAdjacency(std::vector<std::string> names,
+                               std::vector<std::vector<NodeId>> children,
+                               std::vector<std::vector<NodeId>> parents,
+                               std::size_t num_edges) {
+  PRIO_CHECK(names.size() == children.size() &&
+             names.size() == parents.size());
+  Digraph g;
+  g.names_ = std::move(names);
+  g.children_ = std::move(children);
+  g.parents_ = std::move(parents);
+  g.num_edges_ = num_edges;
+  g.name_index_built_ = false;
+  g.edge_set_built_ = false;
+  return g;
+}
+
+void Digraph::ensureNameIndex() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (name_index_built_) return;
+  name_index_.reserve(names_.size());
+  for (NodeId u = 0; u < names_.size(); ++u) name_index_.emplace(names_[u], u);
+  name_index_built_ = true;
+}
+
+void Digraph::ensureEdgeSet() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  if (edge_set_built_) return;
+  edge_set_.reserve(num_edges_);
+  for (NodeId u = 0; u < children_.size(); ++u) {
+    for (NodeId v : children_[u]) edge_set_.insert(edgeKey(u, v));
+  }
+  edge_set_built_ = true;
+}
+
 const Csr& Digraph::csr() const {
-  const std::lock_guard<std::mutex> lock(csr_mutex_);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
   if (csr_cache_ == nullptr) {
     csr_cache_ = std::make_shared<const Csr>(Csr::build(*this));
   }
@@ -75,6 +112,7 @@ NodeId Digraph::addNode() {
 
 NodeId Digraph::addNode(std::string name) {
   PRIO_CHECK_MSG(!name.empty(), "node name must be non-empty");
+  ensureNameIndex();  // incremental maintenance needs the built index
   PRIO_CHECK_MSG(name_index_.find(name) == name_index_.end(),
                  "duplicate node name: " << name);
   const auto id = static_cast<NodeId>(numNodes());
@@ -89,6 +127,7 @@ NodeId Digraph::addNode(std::string name) {
 bool Digraph::addEdge(NodeId u, NodeId v) {
   PRIO_CHECK(u < numNodes() && v < numNodes());
   PRIO_CHECK_MSG(u != v, "self-loop on node " << names_[u]);
+  ensureEdgeSet();  // incremental maintenance needs the built set
   if (!edge_set_.insert(edgeKey(u, v)).second) return false;
   children_[u].push_back(v);
   parents_[v].push_back(u);
@@ -99,6 +138,7 @@ bool Digraph::addEdge(NodeId u, NodeId v) {
 
 bool Digraph::hasEdge(NodeId u, NodeId v) const {
   PRIO_CHECK(u < numNodes() && v < numNodes());
+  ensureEdgeSet();
   return edge_set_.find(edgeKey(u, v)) != edge_set_.end();
 }
 
@@ -119,6 +159,7 @@ std::vector<NodeId> Digraph::sinks() const {
 }
 
 std::optional<NodeId> Digraph::findNode(std::string_view name) const {
+  ensureNameIndex();
   auto it = name_index_.find(std::string(name));
   if (it == name_index_.end()) return std::nullopt;
   return it->second;

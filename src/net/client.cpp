@@ -115,10 +115,19 @@ long readBudgeted(int fd, char* buf, std::size_t n, double timeout_s,
   }
 }
 
+/// ClientOptions::max_batch_payload with the 0-means-4x default
+/// resolved (computed in 64 bits so a near-max cap saturates).
+std::uint32_t resolvedBatchCap(const ClientOptions& options) {
+  if (options.max_batch_payload != 0) return options.max_batch_payload;
+  return static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::uint64_t{4} * options.max_payload, 0xffffffffull));
+}
+
 }  // namespace
 
 Client::Client(ClientOptions options)
-    : options_(options), decoder_(options.max_payload) {}
+    : options_(options),
+      decoder_(options.max_payload, resolvedBatchCap(options)) {}
 
 void Client::connect(const std::string& host, std::uint16_t port) {
   close();
@@ -127,21 +136,51 @@ void Client::connect(const std::string& host, std::uint16_t port) {
 
 void Client::close() {
   fd_.reset();
-  decoder_ = FrameDecoder(options_.max_payload);
+  decoder_ = FrameDecoder(options_.max_payload, resolvedBatchCap(options_));
 }
 
 std::uint64_t Client::send(const std::string& dag_text, std::uint64_t trace_id,
                            std::uint64_t request_id) {
+  return sendFrame(FrameType::kRequest, PayloadKind::kDagmanText, dag_text,
+                   trace_id, request_id);
+}
+
+std::uint64_t Client::sendPayload(PayloadKind kind, const std::string& payload,
+                                  std::uint64_t trace_id,
+                                  std::uint64_t request_id) {
+  return sendFrame(FrameType::kRequest, kind, payload, trace_id, request_id);
+}
+
+std::uint64_t Client::submitBatch(const std::vector<BatchItem>& items,
+                                  std::uint64_t trace_id,
+                                  std::uint64_t request_id) {
+  return sendFrame(FrameType::kBatchRequest, PayloadKind::kDagmanText,
+                   encodeBatchRequest(items), trace_id, request_id);
+}
+
+std::uint64_t Client::sendFrame(FrameType type, PayloadKind kind,
+                                const std::string& payload,
+                                std::uint64_t trace_id,
+                                std::uint64_t request_id) {
   PRIO_CHECK_MSG(fd_.valid(), "client is not connected");
   Frame frame;
-  frame.type = FrameType::kRequest;
+  frame.type = type;
+  // Text singles stay on the v2 layout so the bytes (and pre-v3 server
+  // interop) are unchanged; only frames that need the kind byte or a
+  // batch type pay the v3 header.
+  const bool needs_v3 =
+      type != FrameType::kRequest || kind != PayloadKind::kDagmanText;
+  frame.version = needs_v3 ? kVersion3 : kVersion;
+  frame.payload_kind = kind;
   frame.request_id = request_id != 0 ? request_id : next_request_id_++;
   frame.trace_id = trace_id;
   frame.tenant = options_.tenant;
   frame.deadline_ms = options_.deadline_ms;
-  frame.payload = dag_text;
+  frame.payload = payload;
   std::string wire;
-  encodeFrame(frame, wire, options_.max_payload);
+  encodeFrame(frame, wire,
+              type == FrameType::kBatchRequest ? resolvedBatchCap(options_)
+                                               : options_.max_payload);
   PRIO_CHECK_MSG(util::writeAll(fd_.get(), wire.data(), wire.size()),
                  "send to priod failed: " << std::strerror(errno));
   return frame.request_id;
@@ -154,13 +193,16 @@ Response Client::receive() {
   for (;;) {
     switch (decoder_.next(frame)) {
       case FrameDecoder::Result::kFrame: {
-        PRIO_CHECK_MSG(frame.type == FrameType::kResponse,
+        PRIO_CHECK_MSG(frame.type == FrameType::kResponse ||
+                           frame.type == FrameType::kBatchResponse,
                        "peer sent a request frame to a client");
         Response r;
         r.request_id = frame.request_id;
         r.status = frame.status;
         r.trace_id = frame.trace_id;
         r.tenant = frame.tenant;
+        r.kind = frame.payload_kind;
+        r.batch = frame.type == FrameType::kBatchResponse;
         r.payload = std::move(frame.payload);
         return r;
       }
@@ -178,6 +220,24 @@ Response Client::receive() {
     PRIO_CHECK_MSG(r > 0, "priod closed the connection mid-response");
     decoder_.feed(buf, static_cast<std::size_t>(r));
   }
+}
+
+Response::Result Response::result() const {
+  Result r;
+  r.status = status;
+  if (!batch) {
+    r.usable = (status == Status::kOk || status == Status::kDegraded) &&
+               !payload.empty();
+    return r;
+  }
+  // A batch frame with a non-kOk whole-frame status carries an error
+  // message, not an envelope (the server's oversized downgrade answers
+  // a plain kResponse, but stay defensive about the combination).
+  if (status != Status::kOk) return r;
+  std::string error;
+  r.usable = decodeBatchResponse(payload, r.items, error);
+  if (!r.usable) r.items.clear();
+  return r;
 }
 
 Response Client::call(const std::string& dag_text) {

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/protocol.h"
 #include "obs/trace.h"
@@ -38,6 +39,10 @@ struct ClientOptions {
   obs::Tracer* tracer = nullptr;
   /// Payload cap applied to received frames.
   std::uint32_t max_payload = kMaxPayload;
+  /// Payload cap for batch frames in either direction (a batch may
+  /// deliberately exceed the single-dag limit). 0 = 4x max_payload —
+  /// mirror the server's ServerConfig::max_batch_payload.
+  std::uint32_t max_batch_payload = 0;
   /// Tenant id stamped on every request frame (0 = default tenant).
   /// Selects the server-side fair-queue lane, quota, and accounting row
   /// (priod_client --tenant).
@@ -69,20 +74,43 @@ struct Response {
   std::uint64_t trace_id = 0;
   /// The tenant the request was billed to (echoed; 0 from v1 servers).
   std::uint32_t tenant = 0;
-  /// Instrumented DAGMan text (kOk / kDegraded) or the error message.
+  /// What the payload encodes on kOk/kDegraded: instrumented DAGMan text
+  /// or a binary BPRI priority block (always kDagmanText from pre-v3
+  /// servers and for error messages).
+  PayloadKind kind = PayloadKind::kDagmanText;
+  /// True for kBatchResponse frames: the payload is a batch envelope —
+  /// read it through result().items rather than directly.
+  bool batch = false;
+  /// Instrumented output (kOk / kDegraded) or the error message; for
+  /// batch responses, the encoded per-item envelope.
   std::string payload;
+
+  /// The typed view of a response: whole-frame status, whether the
+  /// payload (or every decoded batch item) is safe to consume, and the
+  /// per-item replies for batch responses (in submission order).
+  struct Result {
+    Status status = Status::kOk;
+    /// Single responses: usable when the status is kOk/kDegraded and
+    /// the payload is non-empty (a kDegraded reply whose fallback
+    /// produced nothing parses as an empty DAGMan file; treating it as
+    /// success silently writes empty output — the priod_client
+    /// exit-code contract keys on this). Batch responses: usable when
+    /// the envelope decoded cleanly; judge each item by its own
+    /// BatchItemReply::usable().
+    bool usable = false;
+    /// Batch responses only: one reply per submitted item, in order.
+    std::vector<BatchItemReply> items;
+  };
+  [[nodiscard]] Result result() const;
 
   [[nodiscard]] bool ok() const { return status == Status::kOk; }
   /// kOk or kDegraded: the payload is a valid instrumented dag.
   [[nodiscard]] bool hasOutput() const {
     return status == Status::kOk || status == Status::kDegraded;
   }
-  /// hasOutput() AND the payload is non-empty — what a caller that wants
-  /// to USE the result must check. A kDegraded reply whose fallback
-  /// produced nothing parses as an empty DAGMan file; treating it as
-  /// success silently writes empty output (the priod_client exit-code
-  /// contract keys on this).
-  [[nodiscard]] bool usableOutput() const {
+  /// Pre-v3 spelling of result().usable for single text responses.
+  [[deprecated("use result().usable")]] [[nodiscard]] bool usableOutput()
+      const {
     return hasOutput() && !payload.empty();
   }
 };
@@ -108,6 +136,31 @@ class Client {
   /// util::Error on I/O failure.
   std::uint64_t send(const std::string& dag_text, std::uint64_t trace_id = 0,
                      std::uint64_t request_id = 0);
+
+  /// send() for a typed payload: kDagmanText payloads go out exactly
+  /// like send() (a v2 frame, so pre-v3 servers interoperate); a
+  /// kBinaryCsr payload rides a v3 frame with its kind byte set.
+  std::uint64_t sendPayload(PayloadKind kind, const std::string& payload,
+                            std::uint64_t trace_id = 0,
+                            std::uint64_t request_id = 0);
+
+  /// Encodes `items` as one kBatchRequest envelope (v3) and writes it;
+  /// returns the request id correlating the single kBatchResponse that
+  /// answers all items. Throws util::Error when the envelope exceeds
+  /// the batch payload cap.
+  std::uint64_t submitBatch(const std::vector<BatchItem>& items,
+                            std::uint64_t trace_id = 0,
+                            std::uint64_t request_id = 0);
+
+  /// The raw frame hook underneath send()/sendPayload()/submitBatch():
+  /// writes one frame of the given type/kind. Text kRequest frames
+  /// encode as v2 (byte-identical to historical clients); anything
+  /// needing the kind byte or a batch type encodes as v3. The replay
+  /// path of reconnecting wrappers.
+  std::uint64_t sendFrame(FrameType type, PayloadKind kind,
+                          const std::string& payload,
+                          std::uint64_t trace_id = 0,
+                          std::uint64_t request_id = 0);
 
   /// Blocks for the next response frame, at most request_timeout_s when
   /// that is set (TimeoutError past it; the connection is left as-is —

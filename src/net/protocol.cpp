@@ -54,16 +54,32 @@ void encodeFrame(const Frame& frame, std::string& out,
                                   << " bytes exceeds the " << max_payload
                                   << "-byte cap");
   PRIO_CHECK_MSG(
-      frame.version == kVersion || frame.version == kVersionLegacy,
+      frame.version == kVersion || frame.version == kVersionLegacy ||
+          frame.version == kVersion3,
       "cannot encode unknown protocol version "
           << static_cast<int>(frame.version));
   // A v1 frame has no tenant field; silently dropping a nonzero tenant
   // would mis-bill the request, so it is a caller bug. Same for the
   // deadline: a v1 peer would treat the budget bytes as payload.
-  PRIO_CHECK_MSG(frame.version == kVersion || frame.tenant == 0,
+  PRIO_CHECK_MSG(frame.version != kVersionLegacy || frame.tenant == 0,
                  "a v1 frame cannot carry tenant " << frame.tenant);
-  PRIO_CHECK_MSG(frame.version == kVersion || frame.deadline_ms == 0,
+  PRIO_CHECK_MSG(frame.version != kVersionLegacy || frame.deadline_ms == 0,
                  "a v1 frame cannot carry a deadline");
+  // payload_kind and the batch frame types are v3 additions; an older
+  // peer would misread the header, so encoding them pre-v3 is a caller
+  // bug, not a silent downgrade.
+  PRIO_CHECK_MSG(frame.version == kVersion3 ||
+                     frame.payload_kind == PayloadKind::kDagmanText,
+                 "a pre-v3 frame cannot carry payload kind "
+                     << static_cast<int>(frame.payload_kind));
+  const bool batch = frame.type == FrameType::kBatchRequest ||
+                     frame.type == FrameType::kBatchResponse;
+  PRIO_CHECK_MSG(frame.version == kVersion3 || !batch,
+                 "a pre-v3 frame cannot carry a batch");
+  PRIO_CHECK_MSG(static_cast<std::uint8_t>(frame.payload_kind) <=
+                     kMaxPayloadKind,
+                 "unknown payload kind "
+                     << static_cast<int>(frame.payload_kind));
   PRIO_CHECK_MSG((frame.flags & ~kKnownFlags) == 0,
                  "reserved flag bits set: " << static_cast<int>(frame.flags));
   const std::uint8_t flags =
@@ -77,7 +93,11 @@ void encodeFrame(const Frame& frame, std::string& out,
   out.push_back(static_cast<char>(flags));
   putU64(out, frame.request_id);
   putU64(out, frame.trace_id);
-  if (frame.version == kVersion) putU32(out, frame.tenant);
+  if (frame.version != kVersionLegacy) putU32(out, frame.tenant);
+  if (frame.version == kVersion3) {
+    out.push_back(static_cast<char>(frame.payload_kind));
+    out.append(3, '\0');  // reserved
+  }
   putU32(out, static_cast<std::uint32_t>(frame.payload.size()));
   if (flags & kFlagDeadline) putU32(out, frame.deadline_ms);
   out.append(frame.payload);
@@ -95,9 +115,9 @@ void FrameDecoder::feed(const char* data, std::size_t n) {
 
 FrameDecoder::Result FrameDecoder::next(Frame& out) {
   if (failed_) return Result::kError;
-  // The first 28 bytes are common to both versions (v2 appends tenant_id
-  // before payload_len), so the fixed fields validate before the
-  // version-dependent tail is even buffered.
+  // The first 28 bytes are common to all versions (v2 appends tenant_id,
+  // v3 additionally payload_kind, before payload_len), so the fixed
+  // fields validate before the version-dependent tail is even buffered.
   if (buf_.size() - pos_ < kHeaderSizeV1) return Result::kNeedMore;
 
   const auto* h = reinterpret_cast<const unsigned char*>(buf_.data() + pos_);
@@ -108,16 +128,25 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
     return Result::kError;
   }
   const std::uint8_t version = h[4];
-  if (version != kVersion && version != kVersionLegacy) {
+  if (version != kVersion && version != kVersionLegacy &&
+      version != kVersion3) {
     failed_ = true;
     error_ = "unsupported protocol version " + std::to_string(version);
     return Result::kError;
   }
   const std::uint8_t type = h[5];
-  if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
-      type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+  if (type < static_cast<std::uint8_t>(FrameType::kRequest) ||
+      type > static_cast<std::uint8_t>(FrameType::kBatchResponse)) {
     failed_ = true;
     error_ = "unknown frame type " + std::to_string(type);
+    return Result::kError;
+  }
+  const bool batch =
+      type == static_cast<std::uint8_t>(FrameType::kBatchRequest) ||
+      type == static_cast<std::uint8_t>(FrameType::kBatchResponse);
+  if (batch && version != kVersion3) {
+    failed_ = true;
+    error_ = "batch frame on protocol version " + std::to_string(version);
     return Result::kError;
   }
   const std::uint8_t status = h[6];
@@ -140,14 +169,30 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
   }
   const std::size_t header_size = headerSizeOf(version);
   if (buf_.size() - pos_ < header_size) return Result::kNeedMore;
+  std::uint8_t kind = 0;
+  if (version == kVersion3) {
+    kind = h[28];
+    if (kind > kMaxPayloadKind) {
+      failed_ = true;
+      error_ = "unknown payload kind " + std::to_string(kind);
+      return Result::kError;
+    }
+    if (h[29] != 0 || h[30] != 0 || h[31] != 0) {
+      failed_ = true;
+      error_ = "nonzero reserved header bytes";
+      return Result::kError;
+    }
+  }
   // The length is validated BEFORE waiting for the payload, so a corrupt
-  // prefix fails fast instead of stalling the connection forever.
-  const std::uint32_t len =
-      getU32(h + (version == kVersionLegacy ? 24 : 28));
-  if (len > max_payload_) {
+  // prefix fails fast instead of stalling the connection forever. Batch
+  // frames get their own cap — the type byte was read above, so the
+  // right limit gates the right frames.
+  const std::uint32_t len = getU32(h + header_size - 4);
+  const std::uint32_t cap = batch ? max_batch_payload_ : max_payload_;
+  if (len > cap) {
     failed_ = true;
     error_ = "payload of " + std::to_string(len) + " bytes exceeds the " +
-             std::to_string(max_payload_) + "-byte cap";
+             std::to_string(cap) + "-byte cap";
     return Result::kError;
   }
   const std::size_t extra = (flags & kFlagDeadline) ? 4 : 0;
@@ -160,10 +205,147 @@ FrameDecoder::Result FrameDecoder::next(Frame& out) {
   out.request_id = getU64(h + 8);
   out.trace_id = getU64(h + 16);
   out.tenant = version == kVersionLegacy ? 0 : getU32(h + 24);
+  out.payload_kind = static_cast<PayloadKind>(kind);
   out.deadline_ms = (flags & kFlagDeadline) ? getU32(h + header_size) : 0;
   out.payload.assign(buf_, pos_ + header_size + extra, len);
   pos_ += header_size + extra + len;
   return Result::kFrame;
+}
+
+namespace {
+
+/// Shared walk over a batch envelope. `item_header` is the per-item
+/// prefix before the u32 length (1 byte kind on requests; status + kind
+/// on responses). Calls `emit(p, item_header_bytes, len)` per item with
+/// `p` at the item start. Returns false + error on any structural
+/// violation; never throws.
+template <typename Emit>
+bool walkBatch(const std::string& payload, std::size_t item_header,
+               std::string& error, Emit&& emit) {
+  const auto* base = reinterpret_cast<const unsigned char*>(payload.data());
+  if (payload.size() < 4) {
+    error = "batch envelope truncated before count";
+    return false;
+  }
+  const std::uint32_t count = getU32(base);
+  std::size_t off = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - off < item_header + 4) {
+      error = "batch item " + std::to_string(i) + " truncated";
+      return false;
+    }
+    const std::uint32_t len = getU32(base + off + item_header);
+    if (payload.size() - off - item_header - 4 < len) {
+      error = "batch item " + std::to_string(i) + " truncated";
+      return false;
+    }
+    if (!emit(base + off, i, len)) return false;
+    off += item_header + 4 + len;
+  }
+  if (off != payload.size()) {
+    error = "trailing bytes after " + std::to_string(count) + " batch items";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string encodeBatchRequest(const std::vector<BatchItem>& items) {
+  std::size_t total = 4;
+  for (const BatchItem& item : items) total += 5 + item.bytes.size();
+  std::string out;
+  out.reserve(total);
+  putU32(out, static_cast<std::uint32_t>(items.size()));
+  for (const BatchItem& item : items) {
+    out.push_back(static_cast<char>(item.kind));
+    putU32(out, static_cast<std::uint32_t>(item.bytes.size()));
+    out.append(item.bytes);
+  }
+  return out;
+}
+
+bool decodeBatchRequest(const std::string& payload,
+                        std::vector<BatchItem>& out, std::string& error) {
+  out.clear();
+  return walkBatch(
+      payload, 1, error,
+      [&](const unsigned char* p, std::uint32_t i, std::uint32_t len) {
+        if (p[0] > kMaxPayloadKind) {
+          error = "batch item " + std::to_string(i) +
+                  " has unknown payload kind " + std::to_string(p[0]);
+          return false;
+        }
+        BatchItem item;
+        item.kind = static_cast<PayloadKind>(p[0]);
+        item.bytes.assign(reinterpret_cast<const char*>(p + 5), len);
+        out.push_back(std::move(item));
+        return true;
+      });
+}
+
+bool validateBatchRequest(const std::string& payload,
+                          std::uint32_t max_item_payload, std::size_t& count,
+                          std::string& error) {
+  count = 0;
+  return walkBatch(
+      payload, 1, error,
+      [&](const unsigned char* p, std::uint32_t i, std::uint32_t len) {
+        if (p[0] > kMaxPayloadKind) {
+          error = "batch item " + std::to_string(i) +
+                  " has unknown payload kind " + std::to_string(p[0]);
+          return false;
+        }
+        if (len > max_item_payload) {
+          error = "batch item " + std::to_string(i) + " of " +
+                  std::to_string(len) + " bytes exceeds the " +
+                  std::to_string(max_item_payload) + "-byte item cap";
+          return false;
+        }
+        ++count;
+        return true;
+      });
+}
+
+std::string encodeBatchResponse(const std::vector<BatchItemReply>& items) {
+  std::size_t total = 4;
+  for (const BatchItemReply& item : items) total += 6 + item.payload.size();
+  std::string out;
+  out.reserve(total);
+  putU32(out, static_cast<std::uint32_t>(items.size()));
+  for (const BatchItemReply& item : items) {
+    out.push_back(static_cast<char>(item.status));
+    out.push_back(static_cast<char>(item.kind));
+    putU32(out, static_cast<std::uint32_t>(item.payload.size()));
+    out.append(item.payload);
+  }
+  return out;
+}
+
+bool decodeBatchResponse(const std::string& payload,
+                         std::vector<BatchItemReply>& out,
+                         std::string& error) {
+  out.clear();
+  return walkBatch(
+      payload, 2, error,
+      [&](const unsigned char* p, std::uint32_t i, std::uint32_t len) {
+        if (p[0] > static_cast<std::uint8_t>(Status::kExpired)) {
+          error = "batch item " + std::to_string(i) +
+                  " has unknown status " + std::to_string(p[0]);
+          return false;
+        }
+        if (p[1] > kMaxPayloadKind) {
+          error = "batch item " + std::to_string(i) +
+                  " has unknown payload kind " + std::to_string(p[1]);
+          return false;
+        }
+        BatchItemReply item;
+        item.status = static_cast<Status>(p[0]);
+        item.kind = static_cast<PayloadKind>(p[1]);
+        item.payload.assign(reinterpret_cast<const char*>(p + 6), len);
+        out.push_back(std::move(item));
+        return true;
+      });
 }
 
 }  // namespace prio::net

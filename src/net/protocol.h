@@ -1,43 +1,55 @@
 // The priod wire protocol: length-prefixed binary frames over TCP.
 //
-// Version 2 (current) frames are a fixed 32-byte little-endian header
-// followed by an opaque payload (DESIGN.md §11/§12 have the full table):
+// Version 3 (current) frames are a fixed 36-byte little-endian header
+// followed by an opaque payload (DESIGN.md §11/§12/§15 have the full
+// tables):
 //
 //   offset  size  field
-//        0     4  magic        0x4F495250 ("PRIO" as ASCII bytes)
-//        4     1  version      2 (kVersion)
-//        5     1  type         FrameType (request / response)
-//        6     1  status       Status (responses; 0 on requests)
-//        7     1  flags        bit 0 = kFlagDeadline; other bits reserved,
-//                              must be 0
-//        8     8  request_id   caller-chosen; echoed verbatim in the
-//                              response so pipelined replies correlate
-//       16     8  trace_id     request: client trace id to adopt (0 =
-//                              none); response: the server-side trace id
-//       24     4  tenant_id    tenant the request is billed to (0 =
-//                              default); echoed in the response
-//       28     4  payload_len  bytes of payload following the header
+//        0     4  magic         0x4F495250 ("PRIO" as ASCII bytes)
+//        4     1  version       3 (kVersion3)
+//        5     1  type          FrameType (request / response / batch)
+//        6     1  status        Status (responses; 0 on requests)
+//        7     1  flags         bit 0 = kFlagDeadline; other bits
+//                               reserved, must be 0
+//        8     8  request_id    caller-chosen; echoed verbatim in the
+//                               response so pipelined replies correlate
+//       16     8  trace_id      request: client trace id to adopt (0 =
+//                               none); response: the server-side trace id
+//       24     4  tenant_id     tenant the request is billed to (0 =
+//                               default); echoed in the response
+//       28     1  payload_kind  PayloadKind: how to interpret the payload
+//                               bytes (DAGMan text / binary CSR)
+//       29     3  reserved      must be 0
+//       32     4  payload_len   bytes of payload following the header
 //
-// When kFlagDeadline is set (v2 requests only), a 4-byte little-endian
-// deadline_ms field follows the 32-byte header, BEFORE the payload: the
-// whole-request budget in milliseconds, measured from the instant the
-// client encoded the frame. The server decrements it by observed queue
-// wait and sheds the request (Status::kExpired) once the budget is gone,
-// so a deadline crosses the process boundary instead of dying at the
-// socket. payload_len still counts only payload bytes.
+// When kFlagDeadline is set (v2/v3 requests only), a 4-byte
+// little-endian deadline_ms field follows the header, BEFORE the
+// payload: the whole-request budget in milliseconds, measured from the
+// instant the client encoded the frame. The server decrements it by
+// observed queue wait and sheds the request (Status::kExpired) once the
+// budget is gone, so a deadline crosses the process boundary instead of
+// dying at the socket. payload_len still counts only payload bytes.
 //
-// Version 1 (pre-tenant) frames are the same layout without the
-// tenant_id field: a 28-byte header with payload_len at offset 24. The
-// decoder accepts both — v1 frames carry tenant 0 — and the encoder
-// emits whichever version Frame::version names, so the server can answer
-// a v1 client with frames its old decoder parses. Only unknown versions
-// are a protocol error.
+// Version 2 frames are the same layout without the payload_kind word: a
+// 32-byte header with payload_len at offset 28, always carrying DAGMan
+// text. Version 1 (pre-tenant) frames additionally drop the tenant_id
+// field: a 28-byte header with payload_len at offset 24. The decoder
+// accepts all three — per frame — and the encoder emits whichever
+// version Frame::version names, so the server can answer a v1 client
+// with frames its old decoder parses. Only unknown versions are a
+// protocol error.
 //
-// Request payloads carry DAGMan input-file text; response payloads carry
-// the instrumented DAGMan text (kOk / kDegraded) or an error message
-// (everything else). Payloads above kMaxPayload are a protocol error —
-// the peer replies Status::kProtocolError and closes, so a corrupt
-// length prefix can never make the server buffer gigabytes.
+// Single-request payloads carry one dag in the payload_kind encoding
+// (kDagmanText: DAGMan input-file text; kBinaryCsr: the BDAG layout in
+// dag/csr.h). Response payloads carry the instrumented DAGMan text or
+// BPRI priority table (kOk / kDegraded) or an error message (everything
+// else). kBatchRequest/kBatchResponse frames (v3 only) carry a batch
+// envelope — many dags per round-trip with a per-item status in the
+// reply; see encodeBatchRequest() below. Payloads above the decoder's
+// cap are a protocol error — the peer replies Status::kProtocolError
+// and closes, so a corrupt length prefix can never make the server
+// buffer gigabytes. Batch frames get their own (larger) cap so a batch
+// can exceed the single-dag limit deliberately.
 //
 // Encoding is explicit byte-at-a-time little-endian, so the wire format
 // is identical across architectures and independent of struct layout.
@@ -46,21 +58,28 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace prio::net {
 
 inline constexpr std::uint32_t kMagic = 0x4F495250u;  // "PRIO"
-/// Current protocol version: v2 added the tenant_id header field.
+/// Default version for plain text requests: v2 added the tenant_id
+/// header field. Kept as the single-request default so v2 golden bytes
+/// (and every pre-v3 peer) stay stable.
 inline constexpr std::uint8_t kVersion = 2;
 /// The pre-tenant protocol, still fully supported for old clients.
 inline constexpr std::uint8_t kVersionLegacy = 1;
-/// v2 header size; kHeaderSizeV1 is the v1 (28-byte) layout.
+/// v3 added payload_kind (typed payloads) and the batch frame types.
+inline constexpr std::uint8_t kVersion3 = 3;
+/// v2 header size; kHeaderSizeV1 / kHeaderSizeV3 are the other layouts.
 inline constexpr std::size_t kHeaderSize = 32;
 inline constexpr std::size_t kHeaderSizeV1 = 28;
-/// Hard payload cap (64 MiB) — larger than any plausible DAGMan file
-/// (SDSS, the paper's biggest dag, serializes to ~4 MiB).
+inline constexpr std::size_t kHeaderSizeV3 = 36;
+/// Default payload cap (64 MiB) — larger than any plausible DAGMan file
+/// (SDSS, the paper's biggest dag, serializes to ~4 MiB). Configurable
+/// per server/client since v3; batch frames get a separate cap.
 inline constexpr std::uint32_t kMaxPayload = 64u << 20;
-/// Flag bit: a 4-byte deadline_ms field follows the v2 header.
+/// Flag bit: a 4-byte deadline_ms field follows the v2/v3 header.
 inline constexpr std::uint8_t kFlagDeadline = 0x01;
 /// All flag bits the decoder understands; anything else is a protocol
 /// error (reserved bits must be zero until a version assigns them).
@@ -68,13 +87,30 @@ inline constexpr std::uint8_t kKnownFlags = kFlagDeadline;
 
 /// Header bytes of a frame of this version.
 [[nodiscard]] constexpr std::size_t headerSizeOf(std::uint8_t version) {
-  return version == kVersionLegacy ? kHeaderSizeV1 : kHeaderSize;
+  return version == kVersionLegacy ? kHeaderSizeV1
+         : version == kVersion3    ? kHeaderSizeV3
+                                   : kHeaderSize;
 }
 
 enum class FrameType : std::uint8_t {
   kRequest = 1,
   kResponse = 2,
+  /// v3 only: payload is a batch envelope of independent dag items.
+  kBatchRequest = 3,
+  /// v3 only: payload is a batch envelope of per-item replies.
+  kBatchResponse = 4,
 };
+
+/// How the payload bytes of a frame (or batch item) are encoded.
+/// Mirrors service::PayloadKind; rides the wire as the v3 payload_kind
+/// header byte. v1/v2 frames are implicitly kDagmanText.
+enum class PayloadKind : std::uint8_t {
+  kDagmanText = 0,  ///< DAGMan input-file text (replies: instrumented text)
+  kBinaryCsr = 1,   ///< BDAG binary dag (replies: BPRI priority table)
+};
+
+inline constexpr std::uint8_t kMaxPayloadKind =
+    static_cast<std::uint8_t>(PayloadKind::kBinaryCsr);
 
 /// Response disposition. Mirrors service::RequestStatus plus the
 /// wire-only kProtocolError.
@@ -93,19 +129,23 @@ enum class Status : std::uint8_t {
 struct Frame {
   /// Wire version this frame was decoded from / will encode to. The
   /// server echoes the request's version in its response so a v1 client
-  /// never sees a v2 frame.
+  /// never sees a v2 frame (nor a v2 client a v3 one).
   std::uint8_t version = kVersion;
   FrameType type = FrameType::kRequest;
   Status status = Status::kOk;
   std::uint8_t flags = 0;
   std::uint64_t request_id = 0;
   std::uint64_t trace_id = 0;
-  /// v2 only on the wire; a v1 frame decodes to (and must encode from)
+  /// v2+ only on the wire; a v1 frame decodes to (and must encode from)
   /// tenant 0.
   std::uint32_t tenant = 0;
   /// Whole-request budget in milliseconds (0 = none). Rides the wire as
-  /// the optional kFlagDeadline field; v2 only, like tenant.
+  /// the optional kFlagDeadline field; v2+ only, like tenant.
   std::uint32_t deadline_ms = 0;
+  /// v3 only on the wire; v1/v2 frames decode to (and must encode from)
+  /// kDagmanText. Meaningless on batch frames (each item carries its
+  /// own kind inside the envelope).
+  PayloadKind payload_kind = PayloadKind::kDagmanText;
   std::string payload;
 };
 
@@ -114,16 +154,83 @@ struct Frame {
 /// never set `flags` themselves. Throws util::Error when the payload
 /// exceeds `max_payload`, when the version is unknown, when a nonzero
 /// tenant or deadline is encoded into a v1 frame (which cannot carry
-/// them), or when reserved flag bits are set.
+/// them), when a non-text payload_kind or a batch frame type is encoded
+/// into a pre-v3 frame, or when reserved flag bits are set.
 void encodeFrame(const Frame& frame, std::string& out,
                  std::uint32_t max_payload = kMaxPayload);
 
+// ---------------------------------------------------------------------
+// Batch envelope (v3, FrameType::kBatchRequest / kBatchResponse).
+//
+// Request payload:   u32 count, then per item:
+//                      u8 kind (PayloadKind), u32 len, len bytes
+// Response payload:  u32 count, then per item, in request order:
+//                      u8 status (Status), u8 kind, u32 len, len bytes
+//
+// Items are independent dags; the reply carries one entry per item so a
+// malformed or expired item degrades only itself, never the batch.
+// ---------------------------------------------------------------------
+
+struct BatchItem {
+  PayloadKind kind = PayloadKind::kDagmanText;
+  std::string bytes;
+};
+
+struct BatchItemReply {
+  Status status = Status::kOk;
+  PayloadKind kind = PayloadKind::kDagmanText;
+  /// Instrumented text / BPRI table (kOk, kDegraded) or error message.
+  std::string payload;
+
+  /// True when `payload` is a usable schedule rather than an error.
+  [[nodiscard]] bool usable() const {
+    return status == Status::kOk || status == Status::kDegraded;
+  }
+};
+
+/// Serializes `items` into a kBatchRequest payload.
+[[nodiscard]] std::string encodeBatchRequest(
+    const std::vector<BatchItem>& items);
+
+/// Parses a kBatchRequest payload. Returns false (with `error` set) on
+/// any structural violation — truncation, trailing bytes, unknown kind.
+/// Never throws: batch envelopes arrive from the network.
+[[nodiscard]] bool decodeBatchRequest(const std::string& payload,
+                                      std::vector<BatchItem>& out,
+                                      std::string& error);
+
+/// Structure-only scan of a kBatchRequest payload: validates the
+/// envelope (and that every item is within `max_item_payload`) without
+/// copying item bytes. Sets `count` to the number of items. Used by the
+/// server before admission, so a malformed envelope is rejected without
+/// burning a queue slot.
+[[nodiscard]] bool validateBatchRequest(const std::string& payload,
+                                        std::uint32_t max_item_payload,
+                                        std::size_t& count,
+                                        std::string& error);
+
+/// Serializes per-item replies into a kBatchResponse payload.
+[[nodiscard]] std::string encodeBatchResponse(
+    const std::vector<BatchItemReply>& items);
+
+/// Parses a kBatchResponse payload; same contract as
+/// decodeBatchRequest().
+[[nodiscard]] bool decodeBatchResponse(const std::string& payload,
+                                       std::vector<BatchItemReply>& out,
+                                       std::string& error);
+
 /// Incremental frame parser for a byte stream. Feed bytes as they
 /// arrive; next() yields complete frames without copying the stream
-/// twice. Both protocol versions are accepted, per frame. A protocol
-/// violation (bad magic, unknown version or type, nonzero reserved
-/// flags, oversized payload) latches the decoder into the error state —
-/// the connection is beyond recovery because frame boundaries are lost.
+/// twice. All three protocol versions are accepted, per frame. A
+/// protocol violation (bad magic, unknown version/type/kind, nonzero
+/// reserved bits, oversized payload) latches the decoder into the error
+/// state — the connection is beyond recovery because frame boundaries
+/// are lost.
+///
+/// Two caps apply: `max_payload` for single-request/response frames and
+/// `max_batch_payload` for batch frames (0 = same as max_payload), so a
+/// batch can deliberately exceed the single-dag limit. The frame type
+/// is read before the length, so the right cap gates the right frames.
 class FrameDecoder {
  public:
   enum class Result {
@@ -132,8 +239,11 @@ class FrameDecoder {
     kError,     ///< protocol violation; see error()
   };
 
-  explicit FrameDecoder(std::uint32_t max_payload = kMaxPayload)
-      : max_payload_(max_payload) {}
+  explicit FrameDecoder(std::uint32_t max_payload = kMaxPayload,
+                        std::uint32_t max_batch_payload = 0)
+      : max_payload_(max_payload),
+        max_batch_payload_(max_batch_payload == 0 ? max_payload
+                                                  : max_batch_payload) {}
 
   /// Appends raw bytes from the stream.
   void feed(const char* data, std::size_t n);
@@ -149,6 +259,7 @@ class FrameDecoder {
 
  private:
   std::uint32_t max_payload_;
+  std::uint32_t max_batch_payload_;
   std::string buf_;
   std::size_t pos_ = 0;  ///< consumed prefix, compacted when large
   std::string error_;

@@ -118,8 +118,9 @@ void ResilientClient::recover() {
       // Replay every outstanding request under its original id, in
       // submission order. The server treats these as brand-new requests;
       // idempotence (and the result cache) makes that safe.
-      for (const auto& [id, text] : in_flight_) {
-        client_.send(text, /*trace_id=*/0, /*request_id=*/id);
+      for (const auto& [id, pending] : in_flight_) {
+        client_.sendFrame(pending.type, pending.kind, pending.payload,
+                          /*trace_id=*/0, /*request_id=*/id);
         ++stats_.replays;
       }
       reconnect_round_ = 0;
@@ -137,20 +138,40 @@ void ResilientClient::recover() {
                     " reconnect rounds: " + last_error);
 }
 
-std::uint64_t ResilientClient::submit(const std::string& dag_text) {
+std::uint64_t ResilientClient::submitPending(FrameType type, PayloadKind kind,
+                                             std::string payload) {
   checkBreaker();
   if (!client_.connected()) recover();
   const std::uint64_t id = next_id_++;
   // Track before sending: if the write itself dies mid-frame the
   // request is recovered with everything else on the next await().
-  in_flight_.emplace(id, dag_text);
+  const auto it =
+      in_flight_.emplace(id, PendingRequest{type, kind, std::move(payload)})
+          .first;
   try {
-    client_.send(dag_text, /*trace_id=*/0, /*request_id=*/id);
+    client_.sendFrame(type, kind, it->second.payload, /*trace_id=*/0,
+                      /*request_id=*/id);
   } catch (const util::Error&) {
     client_.close();
     recover();  // replays this request too (or throws)
   }
   return id;
+}
+
+std::uint64_t ResilientClient::submit(const std::string& dag_text) {
+  return submitPending(FrameType::kRequest, PayloadKind::kDagmanText,
+                       dag_text);
+}
+
+std::uint64_t ResilientClient::submitPayload(PayloadKind kind,
+                                             const std::string& payload) {
+  return submitPending(FrameType::kRequest, kind, payload);
+}
+
+std::uint64_t ResilientClient::submitBatch(
+    const std::vector<BatchItem>& items) {
+  return submitPending(FrameType::kBatchRequest, PayloadKind::kDagmanText,
+                       encodeBatchRequest(items));
 }
 
 Response ResilientClient::await() {

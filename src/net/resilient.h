@@ -30,6 +30,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "net/client.h"
 
@@ -117,6 +118,15 @@ class ResilientClient {
   /// recovery is exhausted.
   std::uint64_t submit(const std::string& dag_text);
 
+  /// submit() for a typed payload (text or binary CSR) — same tracking
+  /// and replay semantics.
+  std::uint64_t submitPayload(PayloadKind kind, const std::string& payload);
+
+  /// Submits one kBatchRequest covering `items`; the whole batch is one
+  /// tracked request (one await() answers every item) and replays as a
+  /// unit after a reconnect.
+  std::uint64_t submitBatch(const std::vector<BatchItem>& items);
+
   /// Blocks for the next response to ANY tracked request, recovering the
   /// connection (reconnect + replay) as needed along the way — at most
   /// max_reconnects recoveries per call, so a peer that accepts but never
@@ -149,15 +159,25 @@ class ResilientClient {
   /// it. On success records breaker success; on exhaustion records
   /// failure and rethrows the last error.
   void recover();
+  /// The shared submit path: track, send (or recover-and-replay).
+  std::uint64_t submitPending(FrameType type, PayloadKind kind,
+                              std::string payload);
 
   std::string host_;
   std::uint16_t port_;
   ResilientOptions options_;
   Client client_;
   CircuitBreaker breaker_;
-  /// id -> request text, ordered so replay preserves submission order
-  /// (the server's per-connection ordering contract).
-  std::map<std::uint64_t, std::string> in_flight_;
+  /// Everything needed to replay one tracked request byte-identically:
+  /// batch requests keep their pre-encoded envelope in `payload`.
+  struct PendingRequest {
+    FrameType type = FrameType::kRequest;
+    PayloadKind kind = PayloadKind::kDagmanText;
+    std::string payload;
+  };
+  /// id -> request, ordered so replay preserves submission order (the
+  /// server's per-connection ordering contract).
+  std::map<std::uint64_t, PendingRequest> in_flight_;
   std::uint64_t next_id_ = 1;
   bool ever_connected_ = false;
   std::uint64_t reconnect_round_ = 0;  ///< backoff step, reset on success

@@ -61,6 +61,18 @@ tenant::Outcome toTenantOutcome(service::RequestStatus s) {
   return tenant::Outcome::kFailed;
 }
 
+/// The net and service PayloadKind enums mirror each other by value;
+/// these keep the cast in one audited place.
+service::PayloadKind toServiceKind(PayloadKind k) {
+  return k == PayloadKind::kBinaryCsr ? service::PayloadKind::kBinaryCsr
+                                      : service::PayloadKind::kDagmanText;
+}
+
+PayloadKind toWireKind(service::PayloadKind k) {
+  return k == service::PayloadKind::kBinaryCsr ? PayloadKind::kBinaryCsr
+                                               : PayloadKind::kDagmanText;
+}
+
 /// The owned service's config with the server's tenant registry patched
 /// in, so the work queue is the weighted-fair queue keyed by frame
 /// tenant ids.
@@ -160,6 +172,9 @@ struct Server::Impl {
     /// the client's decoder understands (a v1 client never sees v2).
     std::uint8_t version = kVersion;
     std::uint32_t tenant = 0;
+    /// True when the request was a kBatchRequest: the reply's items are
+    /// re-encoded as a kBatchResponse envelope.
+    bool batch = false;
     service::Reply reply;
   };
 
@@ -340,7 +355,8 @@ struct Server::Impl {
       conn->id = next_conn_id_;
       next_conn_id_ += impl->num_shards_;
       conn->fd = std::move(fd);
-      conn->decoder = FrameDecoder(impl->config_.max_payload);
+      conn->decoder =
+          FrameDecoder(impl->config_.max_payload, impl->max_batch_payload_);
       conn->last_activity = Clock::now();
       poller_->add(conn->fd.get(), /*read=*/true, /*write=*/false);
       conn->lru_it = lru_.insert(lru_.end(), conn.get());
@@ -595,7 +611,8 @@ struct Server::Impl {
           case FrameDecoder::Result::kFrame:
             break;
         }
-        if (frame.type != FrameType::kRequest) {
+        if (frame.type != FrameType::kRequest &&
+            frame.type != FrameType::kBatchRequest) {
           impl->protocol_errors.add();
           Frame err;
           err.version = frame.version;
@@ -610,6 +627,29 @@ struct Server::Impl {
           return flushConn(conn);
         }
         impl->frames_received.add();
+        if (frame.type == FrameType::kBatchRequest) {
+          // Scan the envelope before burning an admission slot: the
+          // framing is intact, so a malformed envelope is a content
+          // error — answer kFailed and keep the connection alive. The
+          // real decode runs in dispatch(); a parked frame keeps the
+          // raw (already validated) envelope.
+          std::size_t item_count = 0;
+          std::string env_err;
+          if (!validateBatchRequest(frame.payload, impl->config_.max_payload,
+                                    item_count, env_err)) {
+            Frame rej;
+            rej.version = frame.version;
+            rej.type = FrameType::kResponse;
+            rej.status = Status::kFailed;
+            rej.request_id = frame.request_id;
+            rej.tenant = frame.tenant;
+            rej.payload = std::move(env_err);
+            encodeFrame(rej, conn->out, impl->config_.max_payload);
+            impl->responses_sent.add();
+            if (!flushConn(conn)) return false;
+            continue;
+          }
+        }
         // Two-stage admission: the global gate first (one shared atomic
         // — the cheaper check, and it caps total work in the service),
         // then the tenant's token bucket and in-flight cap. A denial
@@ -679,33 +719,76 @@ struct Server::Impl {
     /// registry tryAdmit succeeded) to the service; the paired
     /// registry recordReply runs when the completion drains.
     void dispatch(Connection* conn, Frame frame) {
-      ++conn->in_flight;
-      ++outstanding_;
-      impl->requests_in_flight.set(
-          impl->in_flight_.load(std::memory_order_relaxed));
-      service::TextRequest request;
-      request.dag_text = std::move(frame.payload);
-      request.trace_id = frame.trace_id;
-      request.tenant = frame.tenant;
       // The wire budget (already net of parked time) becomes the
       // service-side budget: spent in the work queue the request
       // answers kExpired, and the remainder tightens the compute
       // CancelToken.
-      request.deadline_s = frame.deadline_ms > 0
-                               ? static_cast<double>(frame.deadline_ms) / 1e3
-                               : 0.0;
-      impl->service_.submitCallback(
-          std::move(request),
-          [shard = this, conn_id = conn->id, request_id = frame.request_id,
-           version = frame.version,
-           tenant = frame.tenant](service::Reply reply) {
-            {
-              std::lock_guard<std::mutex> lock(shard->completions_mu_);
-              shard->completions_.push_back(Completion{
-                  conn_id, request_id, version, tenant, std::move(reply)});
-            }
-            shard->impl->signalShard(*shard);
-          });
+      const double deadline_s =
+          frame.deadline_ms > 0
+              ? static_cast<double>(frame.deadline_ms) / 1e3
+              : 0.0;
+      const bool batch = frame.type == FrameType::kBatchRequest;
+      auto complete = [shard = this, conn_id = conn->id,
+                       request_id = frame.request_id, version = frame.version,
+                       tenant = frame.tenant,
+                       batch](service::Reply reply) {
+        {
+          std::lock_guard<std::mutex> lock(shard->completions_mu_);
+          shard->completions_.push_back(Completion{
+              conn_id, request_id, version, tenant, batch, std::move(reply)});
+        }
+        shard->impl->signalShard(*shard);
+      };
+      if (batch) {
+        service::BatchRequest request;
+        std::vector<BatchItem> items;
+        std::string env_err;
+        // Validated before admission, so this decode cannot fail; the
+        // guard keeps a framing bug from throwing out of the loop.
+        if (!decodeBatchRequest(frame.payload, items, env_err)) {
+          impl->releaseGate();
+          impl->registry_.recordReply(frame.tenant, tenant::Outcome::kFailed,
+                                      false, 0.0);
+          Frame rej;
+          rej.version = frame.version;
+          rej.type = FrameType::kResponse;
+          rej.status = Status::kFailed;
+          rej.request_id = frame.request_id;
+          rej.tenant = frame.tenant;
+          rej.payload = std::move(env_err);
+          encodeFrame(rej, conn->out, impl->config_.max_payload);
+          impl->responses_sent.add();
+          flushConn(conn);
+          return;
+        }
+        request.items.reserve(items.size());
+        for (BatchItem& item : items) {
+          service::Payload payload;
+          payload.kind = toServiceKind(item.kind);
+          payload.bytes = std::move(item.bytes);
+          request.items.push_back(std::move(payload));
+        }
+        request.trace_id = frame.trace_id;
+        request.tenant = frame.tenant;
+        request.deadline_s = deadline_s;
+        ++conn->in_flight;
+        ++outstanding_;
+        impl->requests_in_flight.set(
+            impl->in_flight_.load(std::memory_order_relaxed));
+        impl->service_.submitCallback(std::move(request), std::move(complete));
+        return;
+      }
+      service::Request request;
+      request.payload.kind = toServiceKind(frame.payload_kind);
+      request.payload.bytes = std::move(frame.payload);
+      request.trace_id = frame.trace_id;
+      request.tenant = frame.tenant;
+      request.deadline_s = deadline_s;
+      ++conn->in_flight;
+      ++outstanding_;
+      impl->requests_in_flight.set(
+          impl->in_flight_.load(std::memory_order_relaxed));
+      impl->service_.submitCallback(std::move(request), std::move(complete));
     }
 
     void drainCompletions() {
@@ -736,33 +819,60 @@ struct Server::Impl {
         Frame resp;
         resp.version = c.version;
         resp.tenant = c.tenant;
-        resp.type = FrameType::kResponse;
         resp.status = toWireStatus(c.reply.status);
         resp.request_id = c.request_id;
         resp.trace_id = c.reply.trace_id;
-        resp.payload = (c.reply.status == service::RequestStatus::kOk ||
-                        c.reply.status == service::RequestStatus::kDegraded)
-                           ? std::move(c.reply.output)
-                           : (c.reply.error.empty()
-                                  ? std::string(statusName(resp.status))
-                                  : std::move(c.reply.error));
-        if (resp.payload.size() > impl->config_.max_payload) {
+        if (c.batch) {
+          // Re-encode the per-item replies as a kBatchResponse
+          // envelope, in request order. Failures degrade per item; a
+          // whole-batch failure (the oversized downgrade below) is
+          // answered as a plain kResponse carrying the error text.
+          resp.type = FrameType::kBatchResponse;
+          std::vector<BatchItemReply> item_replies;
+          item_replies.reserve(c.reply.items.size());
+          for (service::Reply& item : c.reply.items) {
+            BatchItemReply r;
+            r.status = toWireStatus(item.status);
+            r.kind = toWireKind(item.output_kind);
+            r.payload =
+                (item.status == service::RequestStatus::kOk ||
+                 item.status == service::RequestStatus::kDegraded)
+                    ? std::move(item.output)
+                    : (item.error.empty() ? std::string(statusName(r.status))
+                                          : std::move(item.error));
+            item_replies.push_back(std::move(r));
+          }
+          resp.payload = encodeBatchResponse(item_replies);
+        } else {
+          resp.type = FrameType::kResponse;
+          resp.payload_kind = toWireKind(c.reply.output_kind);
+          resp.payload = (c.reply.status == service::RequestStatus::kOk ||
+                          c.reply.status == service::RequestStatus::kDegraded)
+                             ? std::move(c.reply.output)
+                             : (c.reply.error.empty()
+                                    ? std::string(statusName(resp.status))
+                                    : std::move(c.reply.error));
+        }
+        const std::uint32_t cap =
+            c.batch ? impl->max_batch_payload_ : impl->config_.max_payload;
+        if (resp.payload.size() > cap) {
           // The instrumented output always outgrows its input, so a
           // valid request near the cap can yield an unencodable reply;
           // answer kFailed instead of letting encodeFrame throw out of
           // the loop.
           impl->responses_oversized.add();
+          resp.type = FrameType::kResponse;
+          resp.payload_kind = PayloadKind::kDagmanText;
           resp.status = Status::kFailed;
           resp.payload = "response of " +
                          std::to_string(resp.payload.size()) +
-                         " bytes exceeds the " +
-                         std::to_string(impl->config_.max_payload) +
+                         " bytes exceeds the " + std::to_string(cap) +
                          "-byte frame cap";
-          if (resp.payload.size() > impl->config_.max_payload) {
-            resp.payload.resize(impl->config_.max_payload);
+          if (resp.payload.size() > cap) {
+            resp.payload.resize(cap);
           }
         }
-        encodeFrame(resp, conn->out, impl->config_.max_payload);
+        encodeFrame(resp, conn->out, cap);
         impl->responses_sent.add();
         flushConn(conn);
       }
@@ -922,6 +1032,16 @@ struct Server::Impl {
     if (config_.service.backpressure == service::BackpressurePolicy::kBlock &&
         max_in_flight_ > config_.service.queue_capacity) {
       max_in_flight_ = config_.service.queue_capacity;
+    }
+
+    // Batch envelopes may deliberately exceed the single-dag frame cap;
+    // 0 defaults to 4x (computed in 64 bits so a near-max cap saturates
+    // instead of wrapping).
+    max_batch_payload_ = config_.max_batch_payload;
+    if (max_batch_payload_ == 0) {
+      max_batch_payload_ = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(std::uint64_t{4} * config_.max_payload,
+                                  0xffffffffull));
     }
 
     num_shards_ = resolveReactors(config_.reactors);
@@ -1087,6 +1207,9 @@ struct Server::Impl {
   obs::Gauge& loop_stall_max_us;
 
   std::size_t max_in_flight_ = 1;
+  /// Resolved payload cap for kBatchRequest frames (never 0; see
+  /// ServerConfig::max_batch_payload).
+  std::uint32_t max_batch_payload_ = kMaxPayload;
   std::size_t num_shards_ = 1;
   bool reuseport_ = false;  ///< mode actually in effect after binding
   std::uint16_t bound_port_ = 0;

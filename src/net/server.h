@@ -93,6 +93,10 @@ struct ServerConfig {
   double drain_timeout_s = 5.0;
   /// Per-frame payload cap (protocol error beyond it).
   std::uint32_t max_payload = kMaxPayload;
+  /// Payload cap for kBatchRequest frames, so a batch can deliberately
+  /// exceed the single-dag limit. 0 = 4x max_payload. Each item inside
+  /// the envelope is still bounded by max_payload.
+  std::uint32_t max_batch_payload = 0;
   /// False forces the poll(2) backend even where epoll is available.
   bool use_epoll = true;
   /// Tenant policies installed into the server's registry before

@@ -54,12 +54,17 @@ void ServiceMetrics::writeJson(std::ostream& out) const {
       << ",\"cache_hits\":" << hits << ",\"cache_misses\":" << misses
       << ",\"cache_hit_rate\":" << hit_rate
       << ",\"text_cache_hits\":" << snap.counterValue("text_cache_hits")
+      << ",\"parse_cache_hits\":" << snap.counterValue("parse_cache_hits")
       << ",\"fingerprint_aliases\":" << snap.counterValue("fingerprint_aliases")
+      << ",\"binary_requests\":" << snap.counterValue("binary_requests")
+      << ",\"batch_items\":" << snap.counterValue("batch_items")
       << ",\"queue_high_water\":" << gaugeValue(snap, "queue_high_water")
       << ",\"latency_total\":";
   writeHistogramJson(out, snap, "latency_total");
   out << ",\"latency_cache_hit\":";
   writeHistogramJson(out, snap, "latency_cache_hit");
+  out << ",\"phase_parse\":";
+  writeHistogramJson(out, snap, "phase_parse");
   out << ",\"phase_reduce\":";
   writeHistogramJson(out, snap, "phase_reduce");
   out << ",\"phase_decompose\":";

@@ -43,10 +43,14 @@ struct ServiceMetrics {
         cache_hits(registry.counter("cache_hits")),
         cache_misses(registry.counter("cache_misses")),
         text_cache_hits(registry.counter("text_cache_hits")),
+        parse_cache_hits(registry.counter("parse_cache_hits")),
         fingerprint_aliases(registry.counter("fingerprint_aliases")),
+        binary_requests(registry.counter("binary_requests")),
+        batch_items(registry.counter("batch_items")),
         queue_high_water(registry.gauge("queue_high_water")),
         latency_total(registry.histogram("latency_total")),
         latency_cache_hit(registry.histogram("latency_cache_hit")),
+        phase_parse(registry.histogram("phase_parse")),
         phase_reduce(registry.histogram("phase_reduce")),
         phase_decompose(registry.histogram("phase_decompose")),
         phase_recurse(registry.histogram("phase_recurse")),
@@ -71,19 +75,31 @@ struct ServiceMetrics {
   // Cache outcomes (completed requests only).
   obs::Counter& cache_hits;
   obs::Counter& cache_misses;
-  /// Subset of cache_hits answered by the serialized-response text memo
+  /// Subset of cache_hits answered by the serialized-response memo
   /// (byte-identical wire request; parse and serialize skipped too).
   obs::Counter& text_cache_hits;
+  /// Requests whose payload-bytes → parsed-dag lookup hit (parser
+  /// skipped even though the response memo missed, e.g. a different
+  /// deadline or output kind on the same dag bytes).
+  obs::Counter& parse_cache_hits;
   /// Structural-fingerprint hit whose stored result was computed under a
   /// different node-id layout: sound to detect, unsound to reuse — served
   /// as a miss (see dag/fingerprint.h).
   obs::Counter& fingerprint_aliases;
+  /// Requests (or batch items) that arrived as PayloadKind::kBinaryCsr.
+  obs::Counter& binary_requests;
+  /// Dags that arrived inside a BatchRequest (the batch itself counts
+  /// once in requests_submitted).
+  obs::Counter& batch_items;
   /// Queue depth high-water mark, mirrored from the pool at snapshot time.
   obs::Gauge& queue_high_water;
 
   // Latency split. End-to-end = submit() to reply (queue wait included).
   obs::Histogram& latency_total;
   obs::Histogram& latency_cache_hit;  ///< end-to-end for cache hits
+  /// Payload decode (DAGMan text parse or binary-CSR decode) per
+  /// non-memoized request — the numerator of the bench parse share.
+  obs::Histogram& phase_parse;
   obs::Histogram& phase_reduce;
   obs::Histogram& phase_decompose;
   obs::Histogram& phase_recurse;

@@ -31,12 +31,19 @@
 // so callers get a weaker answer instead of a hung or failed request.
 // With queue_deadline_s set, a request that waited longer than that in
 // the queue is shed (kShed) without computing anything: under overload
-// the result would be stale by the time it arrived. A TextRequest may
-// additionally carry its own whole-request budget (deadline_s, fed from
-// the wire deadline): spent in the queue it completes kExpired, and any
-// remainder tightens the compute deadline. Every request therefore
-// terminates with kOk, kDegraded, kShed, kRejected, kExpired, or
-// kFailed — never a hang.
+// the result would be stale by the time it arrived. A Request (or
+// BatchRequest) may additionally carry its own whole-request budget
+// (deadline_s, fed from the wire deadline): spent in the queue it
+// completes kExpired, and any remainder tightens the compute deadline.
+// Every request therefore terminates with kOk, kDegraded, kShed,
+// kRejected, kExpired, or kFailed — never a hang.
+//
+// Payloads (since wire v3) are typed: service::Request carries a tagged
+// Payload — kDagmanText (the classic text path) or kBinaryCsr (the BDAG
+// binary layout in dag/csr.h, decoded without any text parsing) — and
+// the reply's output is rendered in the same kind. BatchRequest carries
+// many payloads as one service request with per-item replies. The
+// pre-v3 TextRequest API remains as a deprecated, byte-identical shim.
 #pragma once
 
 #include <cstddef>
@@ -76,14 +83,25 @@ struct ServiceConfig {
   /// Result-cache size in entries (0 disables caching entirely).
   std::size_t cache_capacity = 1024;
   std::size_t cache_shards = 16;
-  /// Serialized-response memo for the text path (the wire protocol), in
-  /// entries: a byte-identical TextRequest that previously completed kOk
-  /// is answered from the stored instrumented text, skipping parse,
-  /// fingerprint, instrument, and serialize — the per-request floor that
-  /// otherwise caps a hot serving loop. Keyed by the exact request
-  /// bytes; an entry holds both texts (~2x the request size). 0
-  /// disables; cache_capacity == 0 (caching off) disables it too.
+  /// Serialized-response memo for the payload path (the wire protocol),
+  /// in entries: a byte-identical Request payload that previously
+  /// completed kOk is answered from the stored rendered output, skipping
+  /// parse, fingerprint, instrument, and serialize — the per-request
+  /// floor that otherwise caps a hot serving loop. Keyed by the exact
+  /// (kind, bytes) pair; an entry holds both byte strings (~2x the
+  /// request size). 0 disables; cache_capacity == 0 (caching off)
+  /// disables it too.
   std::size_t text_cache_capacity = 128;
+  /// Parse-result cache in FRONT of the fingerprint cache: payload
+  /// (kind, bytes) → parsed dag (DagmanFile + Digraph), sharded LRU.
+  /// Where the response memo above needs a byte-identical request AND a
+  /// prior kOk completion, this one only needs the same dag bytes — a
+  /// repeated payload skips the parser even when the deadline, tenant,
+  /// or requested output kind differ. Entries are shared_ptr snapshots,
+  /// so eviction never invalidates an in-flight request. 0 disables;
+  /// cache_capacity == 0 (caching off) disables it too.
+  std::size_t parse_cache_capacity = 256;
+  std::size_t parse_cache_shards = 8;
   /// Compute deadline per request in seconds (0 = unbounded). When the
   /// heuristic outlives it, the request degrades to the outdegree-only
   /// fallback and replies kDegraded.
@@ -122,6 +140,29 @@ enum class RequestStatus {
   kExpired,   ///< caller-supplied budget spent before compute started
 };
 
+/// How a Payload's bytes encode a dag. Mirrors net::PayloadKind (the v3
+/// wire payload_kind byte) without depending on the net layer.
+enum class PayloadKind : std::uint8_t {
+  kDagmanText = 0,  ///< DAGMan input-file text
+  kBinaryCsr = 1,   ///< BDAG binary layout (dag/csr.h)
+};
+
+/// One dag, as bytes plus the tag saying how to decode them. The typed
+/// replacement for the stringly dag_text parameter: the service decodes
+/// by tag (text parser or binary-CSR decoder) and renders the reply in
+/// the same kind (instrumented text / BPRI priority table).
+struct Payload {
+  PayloadKind kind = PayloadKind::kDagmanText;
+  std::string bytes;
+
+  [[nodiscard]] static Payload text(std::string dag_text) {
+    return {PayloadKind::kDagmanText, std::move(dag_text)};
+  }
+  [[nodiscard]] static Payload binary(std::string bdag_bytes) {
+    return {PayloadKind::kBinaryCsr, std::move(bdag_bytes)};
+  }
+};
+
 struct Reply {
   RequestStatus status = RequestStatus::kOk;
   /// The heuristic result (null unless kOk or kDegraded; kDegraded
@@ -135,9 +176,17 @@ struct Reply {
   std::string source;
   /// Error message when status == kFailed.
   std::string error;
-  /// For text requests (the wire-protocol path): the instrumented DAGMan
-  /// file serialized back to text. Empty for digraph/file requests.
+  /// For payload requests (the wire-protocol path): the rendered answer
+  /// — instrumented DAGMan text (kDagmanText) or a BPRI priority table
+  /// (kBinaryCsr), per output_kind. Empty for digraph/file requests.
   std::string output;
+  /// How `output` is encoded; always matches the request payload's kind.
+  PayloadKind output_kind = PayloadKind::kDagmanText;
+  /// BatchRequest only: one reply per item, in submission order. Item
+  /// replies carry per-item status/output; the enclosing Reply is the
+  /// batch-level disposition (kOk even when individual items failed —
+  /// a bad item degrades itself, never the batch).
+  std::vector<Reply> items;
   /// kFailed only: the error was transient (util::TransientError) and a
   /// resubmission may succeed — what prio_serve's retry loop keys on.
   bool transient = false;
@@ -162,12 +211,13 @@ struct FileRequest {
   std::uint32_t tenant = 0;
 };
 
-/// An in-memory DAGMan-text request — the wire-protocol path (src/net/):
-/// parse `dag_text`, prioritize, and serialize the instrumented file into
-/// Reply::output. Rescue dags (DONE jobs) are handled exactly as in file
-/// requests. No filesystem access on the worker.
-struct TextRequest {
-  std::string dag_text;
+/// An in-memory typed request — the wire-protocol path (src/net/):
+/// decode `payload` by its kind, prioritize, and render the answer into
+/// Reply::output in the same kind. Rescue dags (DONE jobs in text
+/// payloads) are handled exactly as in file requests. No filesystem
+/// access on the worker.
+struct Request {
+  Payload payload;
   /// Nonzero adopts this trace id for the request's span tree instead of
   /// allocating a fresh one — how a client-side trace id propagates
   /// across the wire into the server's TraceContext.
@@ -182,6 +232,29 @@ struct TextRequest {
   /// computing; otherwise the leftover budget tightens the compute
   /// deadline (CancelToken), so a request can never overrun the budget
   /// by more than one cancellation poll.
+  double deadline_s = 0.0;
+};
+
+/// Many independent dags submitted as ONE service request (the v3
+/// kBatchRequest frame): one queue slot, one admission decision, one
+/// Reply whose `items` carry the per-dag results in order. Items are
+/// served serially on the worker that claimed the batch; the shared
+/// budget is re-checked per item, so items past an expired deadline
+/// complete kExpired instead of computing.
+struct BatchRequest {
+  std::vector<Payload> items;
+  std::uint64_t trace_id = 0;
+  std::uint32_t tenant = 0;
+  double deadline_s = 0.0;
+};
+
+/// Pre-v3 text request, kept as a shim over Request/Payload::text().
+/// Byte-identical behavior is asserted in tests/test_binary_wire.cpp.
+struct [[deprecated(
+    "use service::Request with Payload::text()")]] TextRequest {
+  std::string dag_text;
+  std::uint64_t trace_id = 0;
+  std::uint32_t tenant = 0;
   double deadline_s = 0.0;
 };
 
@@ -202,15 +275,32 @@ class PrioService {
   /// Submits one DAGMan file request.
   std::future<Reply> submit(FileRequest request);
 
-  /// Submits one DAGMan-text request (the wire-protocol path).
-  std::future<Reply> submit(TextRequest request);
+  /// Submits one typed payload request (the wire-protocol path).
+  std::future<Reply> submit(Request request);
 
-  /// Callback flavor of submit(TextRequest) for event-driven callers (the
+  /// Submits one batch of payloads as a single service request; the
+  /// Reply's `items` carry the per-dag results in order.
+  std::future<Reply> submit(BatchRequest request);
+
+  /// Callback flavor of submit(Request) for event-driven callers (the
   /// net server, which cannot block on futures). `done` runs exactly once:
   /// on the worker thread that completed the request, or on the calling
   /// thread when a full queue rejects it under kReject. It must be cheap
   /// and must not throw — typically it hands the Reply to an event loop.
-  void submitCallback(TextRequest request, std::function<void(Reply)> done);
+  void submitCallback(Request request, std::function<void(Reply)> done);
+
+  /// Callback flavor of submit(BatchRequest).
+  void submitCallback(BatchRequest request, std::function<void(Reply)> done);
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  /// Pre-v3 shims: forward to the typed Request API, byte-identically.
+  [[deprecated("use submit(service::Request)")]] std::future<Reply> submit(
+      TextRequest request);
+  [[deprecated(
+      "use submitCallback(service::Request, done)")]] void
+  submitCallback(TextRequest request, std::function<void(Reply)> done);
+#pragma GCC diagnostic pop
 
   /// Batch submission, in order. Under kBlock the call blocks until the
   /// whole batch is enqueued; replies complete as workers finish.
@@ -279,27 +369,41 @@ class PrioService {
   /// Full file pipeline (parse, serve, instrument, write).
   void serveFile(const FileRequest& request, Reply& reply,
                  const obs::TraceContext& trace);
-  /// Full text pipeline (parse, serve, instrument, serialize to
-  /// Reply::output).
-  void serveText(const TextRequest& request, Reply& reply,
-                 const obs::TraceContext& trace, double budget_s = 0.0);
+  /// Full payload pipeline: response-memo probe, parse-cache probe,
+  /// decode by kind, serve, render the output in the payload's kind.
+  void servePayload(const Request& request, Reply& reply,
+                    const obs::TraceContext& trace, double budget_s = 0.0);
+  /// Serves every item of a batch serially on this worker, collecting
+  /// per-item replies into reply.items.
+  void serveBatch(const BatchRequest& request, Reply& reply,
+                  const obs::TraceContext& trace, double budget_s = 0.0);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  /// Pre-v3 shim over servePayload(); asserted byte-identical in tests.
+  [[deprecated("use servePayload()")]] void serveText(
+      const TextRequest& request, Reply& reply,
+      const obs::TraceContext& trace, double budget_s = 0.0);
+#pragma GCC diagnostic pop
 
   /// Shared submission path: runs `request` on the pool and delivers the
   /// Reply through `complete` (worker thread, or the calling thread on
   /// rejection).
-  template <typename Request>
-  void enqueueWith(Request request, std::function<void(Reply)> complete);
+  template <typename RequestT>
+  void enqueueWith(RequestT request, std::function<void(Reply)> complete);
 
-  template <typename Request>
-  std::future<Reply> enqueue(Request request);
+  template <typename RequestT>
+  std::future<Reply> enqueue(RequestT request);
 
   struct TextCache;
+  struct ParseCache;
 
   ServiceConfig config_;
   ServiceMetrics metrics_;
   std::unique_ptr<ResultCache> cache_;  ///< null when caching disabled
-  /// Serialized-response memo for text requests; null when disabled.
+  /// Serialized-response memo for payload requests; null when disabled.
   std::unique_ptr<TextCache> text_cache_;
+  /// Payload-bytes → parsed-dag cache; null when disabled.
+  std::unique_ptr<ParseCache> parse_cache_;
   /// Weighted-fair work queue; null without a tenant registry (the pool
   /// then owns a plain FIFO). Shared with pool_, which must outlive the
   /// workers popping from it.

@@ -569,23 +569,24 @@ TEST(NetSocket, WriteRetriesInjectedEintr) {
 
 // ----------------------------------------------------------------- service
 
-TEST(NetService, TextRequestMatchesOfflinePipeline) {
+TEST(NetService, TextPayloadMatchesOfflinePipeline) {
   service::ServiceConfig config;
   config.num_threads = 2;
   service::PrioService service(config);
-  auto reply = service.submit(service::TextRequest{kFig3}).get();
+  auto reply = service.submit(service::Request{service::Payload::text(kFig3)}).get();
   ASSERT_EQ(reply.status, service::RequestStatus::kOk);
   EXPECT_EQ(reply.output, offlineInstrument(kFig3));
 }
 
-TEST(NetService, TextRequestAdoptsWireTraceId) {
+TEST(NetService, TextPayloadAdoptsWireTraceId) {
   obs::Tracer tracer;
   service::ServiceConfig config;
   config.num_threads = 1;
   config.tracer = &tracer;
   service::PrioService service(config);
   auto reply =
-      service.submit(service::TextRequest{kFig3, /*trace_id=*/424242}).get();
+      service.submit(service::Request{service::Payload::text(kFig3), /*trace_id=*/424242})
+          .get();
   ASSERT_EQ(reply.status, service::RequestStatus::kOk);
   EXPECT_EQ(reply.trace_id, 424242u);
 }
@@ -595,7 +596,8 @@ TEST(NetService, MalformedTextFailsAndCountsRequestsFailed) {
   config.num_threads = 1;
   service::PrioService service(config);
   auto reply =
-      service.submit(service::TextRequest{"Job only_a_name\n"}).get();
+      service.submit(service::Request{service::Payload::text("Job only_a_name\n")})
+          .get();
   EXPECT_EQ(reply.status, service::RequestStatus::kFailed);
   EXPECT_FALSE(reply.error.empty());
   EXPECT_EQ(service.metrics().requests_failed.get(), 1u);
@@ -1165,7 +1167,7 @@ TEST(NetServer, TenantQuotaRejectsOverBudget) {
   EXPECT_EQ(rejected.status, Status::kRejected);
   EXPECT_NE(rejected.payload.find("quota"), std::string::npos)
       << rejected.payload;
-  EXPECT_FALSE(rejected.usableOutput());
+  EXPECT_FALSE(rejected.result().usable);
 
   // The unmetered default tenant is not affected.
   net::Client other;
@@ -1482,26 +1484,26 @@ TEST(NetServer, IdleReaperClosesOnlyExpiredConnections) {
   EXPECT_EQ(active.call(kFig3).status, Status::kOk);
 }
 
-// Satellite: the priod_client exit path keys on usableOutput(), which
+// Satellite: the priod_client exit path keys on result().usable, which
 // must stay false for every response a caller cannot use — including a
 // kDegraded reply whose payload is empty.
-TEST(NetClient, UsableOutputRejectsEmptyDegraded) {
+TEST(NetClient, ResultUsableRejectsEmptyDegraded) {
   net::Response r;
   r.status = Status::kOk;
   r.payload = "Job a a.submit\n";
-  EXPECT_TRUE(r.usableOutput());
+  EXPECT_TRUE(r.result().usable);
 
   r.status = Status::kDegraded;
-  EXPECT_TRUE(r.usableOutput());
+  EXPECT_TRUE(r.result().usable);
   r.payload.clear();
   EXPECT_TRUE(r.hasOutput());  // the old predicate would pass...
-  EXPECT_FALSE(r.usableOutput());  // ...the fixed one does not
+  EXPECT_FALSE(r.result().usable);  // ...the fixed one does not
 
   r.payload = "some diagnostic";
   for (Status s : {Status::kRejected, Status::kShed, Status::kFailed,
                    Status::kProtocolError, Status::kExpired}) {
     r.status = s;
-    EXPECT_FALSE(r.usableOutput());
+    EXPECT_FALSE(r.result().usable);
   }
 }
 
@@ -1538,7 +1540,7 @@ TEST(NetServer, WireDeadlineExpiresInServiceQueue) {
   const net::Response rb = b.receive();
   EXPECT_EQ(rb.status, Status::kExpired) << rb.payload;
   EXPECT_TRUE(rb.payload.empty() || !rb.ok());
-  EXPECT_FALSE(rb.usableOutput());
+  EXPECT_FALSE(rb.result().usable);
 
   // The expiry is visible on every surface: service JSON counter,
   // server stats, and the per-tenant ledger.

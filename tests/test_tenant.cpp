@@ -337,8 +337,8 @@ TEST(TenantService, RepliesCarryTheTenantAndTheRegistryAccounts) {
 
   std::vector<std::future<service::Reply>> futures;
   for (std::uint32_t tenant : {1u, 2u, 1u, 0u}) {
-    service::TextRequest request;
-    request.dag_text = kFig3;
+    service::Request request;
+    request.payload = service::Payload::text(kFig3);
     request.tenant = tenant;
     futures.push_back(service.submit(std::move(request)));
   }
@@ -368,8 +368,8 @@ TEST(TenantService, SingleTenantOutputMatchesUntenantedServiceByteForByte) {
   service::PrioService fair(fair_config);
 
   for (int i = 0; i < 5; ++i) {
-    service::TextRequest request;
-    request.dag_text = kFig3;
+    service::Request request;
+    request.payload = service::Payload::text(kFig3);
     const service::Reply a = plain.submit(request).get();
     const service::Reply b = fair.submit(request).get();
     ASSERT_EQ(a.status, service::RequestStatus::kOk);
@@ -393,8 +393,8 @@ TEST(TenantService, ManyTenantsUnderLoadAllComplete) {
   std::vector<std::future<service::Reply>> futures;
   for (int round = 0; round < 40; ++round) {
     for (std::uint32_t tenant = 1; tenant <= 4; ++tenant) {
-      service::TextRequest request;
-      request.dag_text = kFig3;
+      service::Request request;
+      request.payload = service::Payload::text(kFig3);
       request.tenant = tenant;
       futures.push_back(service.submit(std::move(request)));
     }
